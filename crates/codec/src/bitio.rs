@@ -1,0 +1,267 @@
+//! MSB-first bit-granular writer and reader.
+//!
+//! All entropy coders in this crate ([`crate::elias`], [`crate::float`])
+//! operate on top of these two types. Bits are packed most-significant-first
+//! into bytes, which makes the byte dumps human-auditable: the first bit
+//! written is the top bit of the first byte.
+
+use crate::{CodecError, Result};
+
+/// Accumulates individual bits into a byte buffer, MSB first.
+///
+/// # Example
+///
+/// ```
+/// use jwins_codec::bitio::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bit(true);
+/// w.write_bits(0b01, 2);
+/// let bytes = w.into_bytes();
+/// assert_eq!(bytes, vec![0b1010_0000]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in `current`.
+    filled: u8,
+    current: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with capacity for `bits` bits.
+    pub fn with_capacity_bits(bits: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(bits.div_ceil(8)),
+            filled: 0,
+            current: 0,
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.current = (self.current << 1) | u8::from(bit);
+        self.filled += 1;
+        if self.filled == 8 {
+            self.buf.push(self.current);
+            self.current = 0;
+            self.filled = 0;
+        }
+    }
+
+    /// Appends the lowest `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for shift in (0..count).rev() {
+            self.write_bit((value >> shift) & 1 == 1);
+        }
+    }
+
+    /// Appends `count` zero bits.
+    pub fn write_zeros(&mut self, count: u32) {
+        for _ in 0..count {
+            self.write_bit(false);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + usize::from(self.filled)
+    }
+
+    /// Number of bytes the final buffer will occupy (incomplete byte rounds up).
+    pub fn byte_len(&self) -> usize {
+        self.bit_len().div_ceil(8)
+    }
+
+    /// Finishes the stream, zero-padding the trailing partial byte.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.buf.push(self.current << (8 - self.filled));
+        }
+        self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+///
+/// # Example
+///
+/// ```
+/// use jwins_codec::bitio::BitReader;
+///
+/// let mut r = BitReader::new(&[0b1010_0000]);
+/// assert_eq!(r.read_bit().unwrap(), true);
+/// assert_eq!(r.read_bits(2).unwrap(), 0b01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Absolute bit cursor from the start of `data`.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bits remaining in the stream (including any zero padding).
+    pub fn remaining_bits(&self) -> usize {
+        self.data.len() * 8 - self.pos
+    }
+
+    /// Current absolute bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] when the stream is exhausted.
+    pub fn read_bit(&mut self) -> Result<bool> {
+        let byte = self.pos / 8;
+        if byte >= self.data.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let shift = 7 - (self.pos % 8);
+        self.pos += 1;
+        Ok((self.data[byte] >> shift) & 1 == 1)
+    }
+
+    /// Reads `count` bits into the low bits of a `u64`, MSB first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] when fewer than `count` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn read_bits(&mut self, count: u32) -> Result<u64> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        if self.remaining_bits() < count as usize {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut value = 0u64;
+        for _ in 0..count {
+            value = (value << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(value)
+    }
+
+    /// Counts and consumes consecutive zero bits, stopping after the first one
+    /// bit (which is consumed too). Returns the number of zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the stream ends before a one
+    /// bit is found.
+    pub fn read_unary_zeros(&mut self) -> Result<u32> {
+        let mut zeros = 0u32;
+        loop {
+            if self.read_bit()? {
+                return Ok(zeros);
+            }
+            zeros += 1;
+            if zeros > 64 {
+                return Err(CodecError::Corrupt("unary run exceeds 64 bits"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        assert_eq!(w.byte_len(), 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF, 32);
+        w.write_bits(0x3, 2);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_bits(2).unwrap(), 0x3);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn eof_is_detected() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEof));
+        assert_eq!(r.read_bits(1), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn unary_zero_run() {
+        let mut w = BitWriter::new();
+        w.write_zeros(5);
+        w.write_bit(true);
+        w.write_bit(true); // next code starts immediately
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_unary_zeros().unwrap(), 5);
+        assert!(r.read_bit().unwrap());
+    }
+
+    #[test]
+    fn unary_eof() {
+        let bytes = [0u8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_unary_zeros(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn zero_padding_is_deterministic() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        assert_eq!(w.into_bytes(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn empty_writer_produces_no_bytes() {
+        assert!(BitWriter::new().into_bytes().is_empty());
+    }
+
+    #[test]
+    fn remaining_and_position_track() {
+        let bytes = [0xAB, 0xCD];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining_bits(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.bit_pos(), 5);
+        assert_eq!(r.remaining_bits(), 11);
+    }
+}

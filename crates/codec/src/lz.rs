@@ -1,0 +1,359 @@
+//! LZ77 general-purpose byte compressor (extension).
+//!
+//! The paper's background (§II-B) lists LZ4 and LZMA as the traditional
+//! general-purpose alternatives to ML-specific compression, and §III-C notes
+//! that the authors "conducted experiments using various general-purpose
+//! compression algorithms" before settling on Elias gamma for the index
+//! metadata. This module reproduces that comparison point: a greedy LZ77
+//! coder with a hash-chain match finder, so the Figure-9 harness can pit a
+//! dictionary coder against the entropy coders on the very same index
+//! streams.
+//!
+//! The format is deliberately simple (varint-framed literal runs and
+//! `(length, distance)` matches) — the goal is a representative dictionary
+//! coder, not a drop-in LZ4 clone.
+//!
+//! # Example
+//!
+//! ```
+//! use jwins_codec::lz::{compress, decompress};
+//!
+//! # fn main() -> Result<(), jwins_codec::CodecError> {
+//! let data = b"abcabcabcabcabcabc".to_vec();
+//! let packed = compress(&data);
+//! assert!(packed.len() < data.len());
+//! assert_eq!(decompress(&packed)?, data);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::varint;
+use crate::{CodecError, Result};
+
+/// Sliding-window size: matches may reference at most this many bytes back.
+const WINDOW: usize = 1 << 15;
+/// Minimum match length worth emitting (shorter matches cost more than
+/// literals under varint framing).
+const MIN_MATCH: usize = 4;
+/// Maximum match length (keeps the copy loop bounded; plenty for our data).
+const MAX_MATCH: usize = 1 << 12;
+/// Hash-chain entries examined per position before giving up.
+const MAX_CHAIN: usize = 32;
+/// log2 of the hash-table size.
+const HASH_BITS: u32 = 15;
+
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Hash-chain match finder: `head[h]` is the most recent position with hash
+/// `h`; `prev[pos & mask]` links to the previous position with the same hash.
+struct Matcher {
+    head: Vec<i64>,
+    prev: Vec<i64>,
+}
+
+impl Matcher {
+    fn new() -> Self {
+        Self {
+            head: vec![-1; 1 << HASH_BITS],
+            prev: vec![-1; WINDOW],
+        }
+    }
+
+    fn insert(&mut self, data: &[u8], pos: usize) {
+        if pos + MIN_MATCH > data.len() {
+            return;
+        }
+        let h = hash4(&data[pos..]);
+        self.prev[pos & (WINDOW - 1)] = self.head[h];
+        self.head[h] = pos as i64;
+    }
+
+    /// Longest match for `data[pos..]` within the window, as
+    /// `(length, distance)`.
+    fn find(&self, data: &[u8], pos: usize) -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > data.len() {
+            return None;
+        }
+        let limit = data.len().min(pos + MAX_MATCH);
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut cand = self.head[hash4(&data[pos..])];
+        let min_pos = pos.saturating_sub(WINDOW) as i64;
+        let mut chain = 0;
+        while cand >= min_pos && chain < MAX_CHAIN {
+            let c = cand as usize;
+            debug_assert!(c < pos);
+            // Cheap rejection: the byte just past the current best must match.
+            if pos + best_len < limit && data[c + best_len] == data[pos + best_len] {
+                let len = common_prefix(&data[c..], &data[pos..limit]);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - c;
+                    if pos + len >= limit {
+                        break;
+                    }
+                }
+            }
+            cand = self.prev[c & (WINDOW - 1)];
+            chain += 1;
+        }
+        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+    }
+}
+
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// Compresses `data` with greedy LZ77.
+///
+/// The output starts with the varint-coded original length, followed by
+/// tokens of the form `varint literal_len, [literals], varint match_len,
+/// varint distance` where a `match_len` of zero terminates the stream (and
+/// omits the distance).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    varint::write_u64(&mut out, data.len() as u64);
+    let mut matcher = Matcher::new();
+    let mut pos = 0usize;
+    let mut lit_start = 0usize;
+    while pos < data.len() {
+        match matcher.find(data, pos) {
+            Some((len, dist)) => {
+                emit_token(&mut out, &data[lit_start..pos], len, dist);
+                // Index every position the match covers so later matches can
+                // point into it.
+                let end = pos + len;
+                while pos < end {
+                    matcher.insert(data, pos);
+                    pos += 1;
+                }
+                lit_start = pos;
+            }
+            None => {
+                matcher.insert(data, pos);
+                pos += 1;
+            }
+        }
+    }
+    // Trailing literals and the end-of-stream token.
+    emit_token(&mut out, &data[lit_start..], 0, 0);
+    out
+}
+
+/// Reads one varint from the front of `cursor`, advancing it.
+fn take_varint(cursor: &mut &[u8]) -> Result<u64> {
+    let (value, used) = varint::read_u64(cursor)?;
+    *cursor = &cursor[used..];
+    Ok(value)
+}
+
+fn emit_token(out: &mut Vec<u8>, literals: &[u8], match_len: usize, dist: usize) {
+    varint::write_u64(out, literals.len() as u64);
+    out.extend_from_slice(literals);
+    varint::write_u64(out, match_len as u64);
+    if match_len > 0 {
+        varint::write_u64(out, dist as u64);
+    }
+}
+
+/// Decompresses a buffer produced by [`compress`].
+///
+/// # Errors
+///
+/// Fails on truncated streams, invalid distances, or when the decoded length
+/// disagrees with the header.
+pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>> {
+    let mut cursor = bytes;
+    let expected = take_varint(&mut cursor)? as usize;
+    // Cap the pre-allocation: `expected` is attacker-controlled on corrupt
+    // streams, while actual growth is bounded by the in-loop length check.
+    let mut out = Vec::with_capacity(expected.min(1 << 16));
+    loop {
+        let lit_len = take_varint(&mut cursor)? as usize;
+        if lit_len > cursor.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        out.extend_from_slice(&cursor[..lit_len]);
+        cursor = &cursor[lit_len..];
+        let match_len = take_varint(&mut cursor)? as usize;
+        if match_len == 0 {
+            break;
+        }
+        let dist = take_varint(&mut cursor)? as usize;
+        if dist == 0 || dist > out.len() {
+            return Err(CodecError::Corrupt("match distance out of range"));
+        }
+        if match_len > MAX_MATCH {
+            return Err(CodecError::Corrupt("match length out of range"));
+        }
+        // Byte-by-byte copy handles overlapping matches (run-length style).
+        let start = out.len() - dist;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+        if out.len() > expected {
+            return Err(CodecError::LengthMismatch {
+                expected,
+                actual: out.len(),
+            });
+        }
+    }
+    if out.len() != expected {
+        return Err(CodecError::LengthMismatch {
+            expected,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let packed = compress(&[]);
+        assert_eq!(decompress(&packed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn short_incompressible_roundtrip() {
+        let data = vec![1u8, 2, 3];
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data: Vec<u8> = b"the quick brown fox ".repeat(64).to_vec();
+        let packed = compress(&data);
+        assert!(
+            packed.len() < data.len() / 4,
+            "{} of {} bytes",
+            packed.len(),
+            data.len()
+        );
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn run_length_overlapping_match() {
+        // dist < len exercises the overlapping-copy path.
+        let mut data = vec![7u8];
+        data.extend(std::iter::repeat_n(7u8, 500));
+        let packed = compress(&data);
+        assert!(packed.len() < 32, "{} bytes", packed.len());
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn random_data_expands_only_slightly() {
+        // Deterministic pseudo-random bytes: no matches expected.
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let packed = compress(&data);
+        assert!(packed.len() <= data.len() + 64, "{} bytes", packed.len());
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn delta_index_stream_compresses() {
+        // The Figure-9 workload: the *difference array* of sorted indices
+        // serialized as u32 — small repetitive values a dictionary coder
+        // squeezes hard (deltas cluster around the mean gap).
+        let mut bytes = Vec::new();
+        for i in 0..2000u32 {
+            let delta = 2 + (i % 3); // gaps 2, 3, 4 repeating
+            bytes.extend_from_slice(&delta.to_le_bytes());
+        }
+        let packed = compress(&bytes);
+        assert!(
+            packed.len() < bytes.len() / 10,
+            "{} of {} bytes",
+            packed.len(),
+            bytes.len()
+        );
+        assert_eq!(decompress(&packed).unwrap(), bytes);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let data: Vec<u8> = b"abcabcabcabc".to_vec();
+        let packed = compress(&data);
+        for cut in 1..packed.len() {
+            // Every strict prefix must fail loudly, never panic.
+            let _ = decompress(&packed[..cut]);
+        }
+        assert!(decompress(&packed[..packed.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn corrupt_distance_rejected() {
+        // literal_len=0, match_len=4, distance=200 with empty output so far.
+        let mut bad = Vec::new();
+        varint::write_u64(&mut bad, 4); // claimed original length
+        varint::write_u64(&mut bad, 0); // no literals
+        varint::write_u64(&mut bad, 4); // match of 4
+        varint::write_u64(&mut bad, 200); // impossible distance
+        assert!(matches!(
+            decompress(&bad),
+            Err(CodecError::Corrupt(_)) | Err(CodecError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let data = b"xyzxyzxyzxyz".to_vec();
+        let mut packed = compress(&data);
+        // Tamper with the declared length (first varint byte: 12 -> 11).
+        assert_eq!(packed[0], 12);
+        packed[0] = 11;
+        assert!(matches!(
+            decompress(&packed),
+            Err(CodecError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn window_boundary_matches() {
+        // A repeat 40 KiB apart is outside the 32 KiB window: must still
+        // round-trip (as literals), just without compression for that span.
+        let mut data = vec![0u8; 40 << 10];
+        let motif = b"0123456789abcdef";
+        data[..16].copy_from_slice(motif);
+        let n = data.len();
+        data[n - 16..].copy_from_slice(motif);
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_low_entropy(
+            runs in proptest::collection::vec((any::<u8>(), 1usize..64), 1..100),
+        ) {
+            let data: Vec<u8> = runs
+                .into_iter()
+                .flat_map(|(b, n)| std::iter::repeat_n(b, n))
+                .collect();
+            let packed = compress(&data);
+            prop_assert_eq!(decompress(&packed).unwrap(), data);
+        }
+
+        #[test]
+        fn decompress_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..500)) {
+            let _ = decompress(&bytes);
+        }
+    }
+}

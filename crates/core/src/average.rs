@@ -1,0 +1,151 @@
+//! Renormalized partial averaging of sparse vectors.
+//!
+//! When neighbours send only subsets of coefficients, a coefficient `k` can
+//! be averaged only over the parties that actually provided it. JWINS (like
+//! decentralizepy's partial-sharing models) renormalizes the Metropolis–
+//! Hastings weights over those parties:
+//!
+//! ```text
+//! x̄[k] = (w_ii·own[k] + Σ_{j sent k} w_ij·z_j[k]) / (w_ii + Σ_{j sent k} w_ij)
+//! ```
+//!
+//! With everyone sending everything this reduces to the standard D-PSGD
+//! weighted average, so full-sharing is the exact special case (verified in
+//! the tests).
+
+/// Accumulates sparse contributions into a weighted average over `own`.
+#[derive(Debug)]
+pub struct PartialAverager {
+    num: Vec<f64>,
+    den: Vec<f64>,
+}
+
+impl PartialAverager {
+    /// Starts an average seeded with the node's own dense vector and its
+    /// self-weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self_weight` is not positive — a node always keeps a share
+    /// of its own model under Metropolis–Hastings weights.
+    pub fn new(own: &[f32], self_weight: f64) -> Self {
+        assert!(self_weight > 0.0, "self weight must be positive");
+        Self {
+            num: own.iter().map(|&v| f64::from(v) * self_weight).collect(),
+            den: vec![self_weight; own.len()],
+        }
+    }
+
+    /// Dimension of the average.
+    pub fn len(&self) -> usize {
+        self.num.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.num.is_empty()
+    }
+
+    /// Adds a neighbour's sparse contribution with mixing weight `weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or slices mismatch in length.
+    pub fn add_sparse(&mut self, indices: &[u32], values: &[f32], weight: f64) {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        for (&i, &v) in indices.iter().zip(values) {
+            let i = i as usize;
+            self.num[i] += f64::from(v) * weight;
+            self.den[i] += weight;
+        }
+    }
+
+    /// Adds a neighbour's dense contribution (full sharing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn add_dense(&mut self, values: &[f32], weight: f64) {
+        assert_eq!(values.len(), self.num.len(), "length mismatch");
+        for (k, &v) in values.iter().enumerate() {
+            self.num[k] += f64::from(v) * weight;
+            self.den[k] += weight;
+        }
+    }
+
+    /// Finishes the average.
+    pub fn finish(self) -> Vec<f32> {
+        self.num
+            .iter()
+            .zip(&self.den)
+            .map(|(n, d)| (n / d) as f32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduces_to_weighted_average_when_dense() {
+        let own = [1.0f32, 2.0];
+        let mut avg = PartialAverager::new(&own, 0.5);
+        avg.add_dense(&[3.0, 4.0], 0.25);
+        avg.add_dense(&[5.0, 8.0], 0.25);
+        let out = avg.finish();
+        assert!((out[0] - (0.5 + 0.75 + 1.25)).abs() < 1e-6);
+        assert!((out[1] - (1.0 + 1.0 + 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn untouched_coordinates_keep_own_value() {
+        let own = [1.0f32, 2.0, 3.0];
+        let mut avg = PartialAverager::new(&own, 0.2);
+        avg.add_sparse(&[1], &[10.0], 0.8);
+        let out = avg.finish();
+        assert_eq!(out[0], 1.0);
+        assert!((out[1] - (0.2 * 2.0 + 0.8 * 10.0)).abs() < 1e-6);
+        assert_eq!(out[2], 3.0);
+    }
+
+    #[test]
+    fn renormalization_weights_only_present_parties() {
+        // Two neighbours, one sends coordinate 0, both send coordinate 1.
+        let own = [0.0f32, 0.0];
+        let mut avg = PartialAverager::new(&own, 0.5);
+        avg.add_sparse(&[0, 1], &[4.0, 4.0], 0.25);
+        avg.add_sparse(&[1], &[8.0], 0.25);
+        let out = avg.finish();
+        // coord 0: (0·.5 + 4·.25) / (0.75) = 4/3
+        assert!((out[0] - 4.0 / 3.0).abs() < 1e-6, "{}", out[0]);
+        // coord 1: (0·.5 + 4·.25 + 8·.25) / 1.0 = 3
+        assert!((out[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "self weight must be positive")]
+    fn zero_self_weight_rejected() {
+        let _ = PartialAverager::new(&[1.0], 0.0);
+    }
+
+    proptest! {
+        /// Consensus safety: the average always lies inside the convex hull
+        /// of the contributed values, coordinate-wise.
+        #[test]
+        fn average_stays_in_hull(
+            pairs in proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 1..20),
+        ) {
+            let (own, theirs): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+            let mut avg = PartialAverager::new(&own, 0.5);
+            avg.add_dense(&theirs, 0.5);
+            let out = avg.finish();
+            for ((o, t), r) in own.iter().zip(&theirs).zip(&out) {
+                let lo = o.min(*t) - 1e-4;
+                let hi = o.max(*t) + 1e-4;
+                prop_assert!(*r >= lo && *r <= hi);
+            }
+        }
+    }
+}

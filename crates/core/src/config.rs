@@ -1,0 +1,166 @@
+//! Experiment configuration.
+
+use crate::{JwinsError, Result};
+use jwins_net::TimeModel;
+use serde::{Deserialize, Serialize};
+
+/// Knobs of one decentralized training run.
+///
+/// Mirrors the paper's hyperparameter surface: rounds `T`, local steps `τ`,
+/// batch size `b`, learning rate `η`, plus evaluation cadence and the
+/// simulated-time model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of communication rounds `T`.
+    pub rounds: usize,
+    /// Local SGD steps per round `τ`.
+    pub local_steps: usize,
+    /// Mini-batch size `b`.
+    pub batch_size: usize,
+    /// Learning rate `η`.
+    pub lr: f32,
+    /// Master seed: drives initial weights, batch order and cut-off draws.
+    pub seed: u64,
+    /// Evaluate every this many rounds (also evaluates the final round).
+    /// `0` evaluates only at the end.
+    pub eval_every: usize,
+    /// Cap on test samples per evaluation (`0` = the full test set).
+    pub eval_test_samples: usize,
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
+    /// Simulated wall-clock model.
+    #[serde(skip, default)]
+    pub time_model: TimeModel,
+    /// Stop as soon as mean test accuracy reaches this value (Figures 5–6
+    /// "run to target accuracy").
+    pub target_accuracy: Option<f64>,
+    /// Probability that any single message is lost in flight (extension;
+    /// `0.0` = the paper's reliable TCP transport). Distinct from node
+    /// churn: here the node stays up but an individual link delivery fails.
+    #[serde(default)]
+    pub message_loss: f64,
+    /// Record each node's α every round (Figure 3).
+    pub record_alphas: bool,
+}
+
+impl TrainConfig {
+    /// A configuration with sensible defaults for `rounds` rounds.
+    pub fn new(rounds: usize) -> Self {
+        Self {
+            rounds,
+            local_steps: 3,
+            batch_size: 16,
+            lr: 0.05,
+            seed: 42,
+            eval_every: 10,
+            eval_test_samples: 0,
+            threads: 0,
+            time_model: TimeModel::default(),
+            target_accuracy: None,
+            message_loss: 0.0,
+            record_alphas: false,
+        }
+    }
+
+    /// A tiny configuration for unit tests and doctests (3 rounds).
+    pub fn quick_test() -> Self {
+        Self {
+            rounds: 3,
+            local_steps: 1,
+            batch_size: 4,
+            eval_every: 0,
+            eval_test_samples: 16,
+            threads: 1,
+            ..Self::new(3)
+        }
+    }
+
+    /// Fluent seed override.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fluent learning-rate override.
+    #[must_use]
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JwinsError::InvalidConfig`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.rounds == 0 {
+            return Err(JwinsError::InvalidConfig("rounds must be positive".into()));
+        }
+        if self.local_steps == 0 {
+            return Err(JwinsError::InvalidConfig(
+                "local_steps must be positive".into(),
+            ));
+        }
+        if self.batch_size == 0 {
+            return Err(JwinsError::InvalidConfig(
+                "batch_size must be positive".into(),
+            ));
+        }
+        // Written to also reject NaN, which `< 0.0` alone would admit.
+        if self.lr.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(JwinsError::InvalidConfig(
+                "learning rate must be positive".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.message_loss) {
+            return Err(JwinsError::InvalidConfig(
+                "message loss must be in [0, 1)".into(),
+            ));
+        }
+        if let Some(t) = self.target_accuracy {
+            if !(0.0..=1.0).contains(&t) {
+                return Err(JwinsError::InvalidConfig(
+                    "target accuracy must be in [0, 1]".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(TrainConfig::new(10).validate().is_ok());
+        assert!(TrainConfig::quick_test().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(TrainConfig::new(0).validate().is_err());
+        let mut c = TrainConfig::new(1);
+        c.lr = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = TrainConfig::new(1);
+        c.batch_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = TrainConfig::new(1);
+        c.target_accuracy = Some(1.5);
+        assert!(c.validate().is_err());
+        let mut c = TrainConfig::new(1);
+        c.message_loss = 1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fluent_overrides() {
+        let c = TrainConfig::new(5).with_seed(7).with_lr(0.5);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.lr, 0.5);
+    }
+}

@@ -1,0 +1,218 @@
+//! The randomized communication cut-off (paper §III-B).
+//!
+//! Each node independently draws its sharing fraction α every round. The
+//! paper motivates randomization three ways: slowly-changing parameters
+//! eventually get their turn (some rounds share a lot), no synchronized
+//! network burst (nodes draw independently), and no herd-behaviour quality
+//! drop from all nodes jumping to a large α simultaneously.
+//!
+//! The evaluation uses two shapes, both covered here:
+//! - main runs: α uniform over `{10, 15, 20, 25, 30, 40, 100}%` (E\[α\] ≈ 34%);
+//! - low-budget runs (Fig. 6): two-point distributions such as
+//!   `P(α=100%) = 0.1, P(α=10%) = 0.9` for a 20% budget.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over sharing fractions in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AlphaDistribution {
+    /// Deterministic fraction every round (the "without randomized cut-off"
+    /// ablation, and plain TopK baselines).
+    Fixed(f64),
+    /// Uniform over an explicit list of fractions (the paper's default).
+    UniformList(Vec<f64>),
+    /// `P(hi) = p_hi`, else `lo` (the paper's low-budget shape).
+    TwoPoint {
+        /// The large fraction.
+        hi: f64,
+        /// Probability of drawing `hi`.
+        p_hi: f64,
+        /// The small fraction.
+        lo: f64,
+    },
+}
+
+impl AlphaDistribution {
+    /// The paper's default list: `{10, 15, 20, 25, 30, 40, 100}%`.
+    pub fn paper_default() -> Self {
+        AlphaDistribution::UniformList(vec![0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 1.0])
+    }
+
+    /// The paper's 20%-budget shape: `P(100%) = 0.1, P(10%) = 0.9`.
+    pub fn budget_20() -> Self {
+        AlphaDistribution::TwoPoint {
+            hi: 1.0,
+            p_hi: 0.1,
+            lo: 0.10,
+        }
+    }
+
+    /// The paper's 10%-budget shape: `P(100%) = 0.05, P(5%) = 0.95`.
+    pub fn budget_10() -> Self {
+        AlphaDistribution::TwoPoint {
+            hi: 1.0,
+            p_hi: 0.05,
+            lo: 0.05,
+        }
+    }
+
+    /// Validates that every fraction lies in `[0, 1]` and probabilities are
+    /// proper.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let ok = |f: f64| (0.0..=1.0).contains(&f);
+        match self {
+            AlphaDistribution::Fixed(a) => ok(*a)
+                .then_some(())
+                .ok_or_else(|| format!("fixed fraction {a} outside [0,1]")),
+            AlphaDistribution::UniformList(list) => {
+                if list.is_empty() {
+                    return Err("empty fraction list".into());
+                }
+                list.iter()
+                    .all(|&a| ok(a))
+                    .then_some(())
+                    .ok_or_else(|| "list fraction outside [0,1]".into())
+            }
+            AlphaDistribution::TwoPoint { hi, p_hi, lo } => {
+                (ok(*hi) && ok(*lo) && ok(*p_hi))
+                    .then_some(())
+                    .ok_or_else(|| "two-point parameters outside [0,1]".into())
+            }
+        }
+    }
+
+    /// Expected sharing fraction E\[α\] — the long-run communication budget.
+    pub fn mean(&self) -> f64 {
+        match self {
+            AlphaDistribution::Fixed(a) => *a,
+            AlphaDistribution::UniformList(list) => {
+                list.iter().sum::<f64>() / list.len() as f64
+            }
+            AlphaDistribution::TwoPoint { hi, p_hi, lo } => p_hi * hi + (1.0 - p_hi) * lo,
+        }
+    }
+
+    /// Draws one fraction.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> f64 {
+        match self {
+            AlphaDistribution::Fixed(a) => *a,
+            AlphaDistribution::UniformList(list) => list[rng.gen_range(0..list.len())],
+            AlphaDistribution::TwoPoint { hi, p_hi, lo } => {
+                if rng.gen_range(0.0..1.0) < *p_hi {
+                    *hi
+                } else {
+                    *lo
+                }
+            }
+        }
+    }
+}
+
+/// A seeded sampler wrapping a distribution — one per node, so draws are
+/// independent across nodes but reproducible across runs.
+#[derive(Debug, Clone)]
+pub struct CutoffSampler {
+    dist: AlphaDistribution,
+    rng: ChaCha8Rng,
+    randomized: bool,
+}
+
+impl CutoffSampler {
+    /// Creates a sampler; `randomized = false` collapses the distribution to
+    /// its mean (the Figure-8 ablation).
+    pub fn new(dist: AlphaDistribution, seed: u64, randomized: bool) -> Self {
+        Self {
+            dist,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            randomized,
+        }
+    }
+
+    /// The distribution being sampled.
+    pub fn distribution(&self) -> &AlphaDistribution {
+        &self.dist
+    }
+
+    /// Next sharing fraction.
+    pub fn next_alpha(&mut self) -> f64 {
+        if self.randomized {
+            self.dist.sample(&mut self.rng)
+        } else {
+            self.dist.mean()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_mean_is_about_34_percent() {
+        let mean = AlphaDistribution::paper_default().mean();
+        assert!((mean - 0.3428).abs() < 1e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn budget_distributions_hit_their_budgets() {
+        assert!((AlphaDistribution::budget_20().mean() - 0.19).abs() < 1e-12);
+        assert!((AlphaDistribution::budget_10().mean() - 0.0975).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_come_from_support() {
+        let dist = AlphaDistribution::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let support = [0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 1.0];
+        for _ in 0..200 {
+            let a = dist.sample(&mut rng);
+            assert!(support.contains(&a), "unexpected draw {a}");
+        }
+    }
+
+    #[test]
+    fn empirical_mean_approaches_analytic() {
+        let dist = AlphaDistribution::budget_20();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        assert!((sum / n as f64 - dist.mean()).abs() < 0.01);
+    }
+
+    #[test]
+    fn non_randomized_sampler_returns_mean() {
+        let mut s = CutoffSampler::new(AlphaDistribution::paper_default(), 3, false);
+        let m = AlphaDistribution::paper_default().mean();
+        for _ in 0..5 {
+            assert!((s.next_alpha() - m).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samplers_are_reproducible_and_node_independent() {
+        let mut a = CutoffSampler::new(AlphaDistribution::paper_default(), 5, true);
+        let mut b = CutoffSampler::new(AlphaDistribution::paper_default(), 5, true);
+        let mut c = CutoffSampler::new(AlphaDistribution::paper_default(), 6, true);
+        let sa: Vec<f64> = (0..20).map(|_| a.next_alpha()).collect();
+        let sb: Vec<f64> = (0..20).map(|_| b.next_alpha()).collect();
+        let sc: Vec<f64> = (0..20).map(|_| c.next_alpha()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn validation_catches_bad_fractions() {
+        assert!(AlphaDistribution::Fixed(1.5).validate().is_err());
+        assert!(AlphaDistribution::UniformList(vec![]).validate().is_err());
+        assert!(AlphaDistribution::UniformList(vec![0.5, -0.1]).validate().is_err());
+        assert!(AlphaDistribution::paper_default().validate().is_ok());
+    }
+}

@@ -1,0 +1,169 @@
+//! Round-by-round experiment records.
+//!
+//! These are the series behind every figure: test accuracy and loss per
+//! round (Figures 4–8, 10), cumulative bytes per node split into payload and
+//! metadata (Figure 4 row 3, Figure 9), simulated wall-clock (Figure 6), and
+//! the per-node sharing fractions (Figure 3).
+
+use jwins_net::TrafficStats;
+use serde::{Deserialize, Serialize};
+
+/// One evaluation point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Communication round (0-based; the record is taken *after* the round).
+    pub round: usize,
+    /// Mean training loss across nodes (last local step of the round).
+    pub train_loss: f64,
+    /// Mean test loss across nodes on the shared test set.
+    pub test_loss: f64,
+    /// Mean top-1 test accuracy across nodes.
+    pub test_accuracy: f64,
+    /// Mean test RMSE (regression tasks; 0 otherwise).
+    pub test_rmse: f64,
+    /// Mean sharing fraction α drawn this round.
+    pub mean_alpha: f64,
+    /// Cumulative bytes sent per node (average), total.
+    pub cum_bytes_per_node: f64,
+    /// Payload component of [`Self::cum_bytes_per_node`].
+    pub cum_payload_per_node: f64,
+    /// Metadata component of [`Self::cum_bytes_per_node`].
+    pub cum_metadata_per_node: f64,
+    /// Simulated wall-clock seconds elapsed since round 0.
+    pub sim_time_s: f64,
+}
+
+/// Round and cost at which a target accuracy was first reached.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetHit {
+    /// Round of the first evaluation at or above the target.
+    pub round: usize,
+    /// Simulated seconds elapsed.
+    pub sim_time_s: f64,
+    /// Average cumulative bytes per node at that point.
+    pub bytes_per_node: f64,
+}
+
+/// The outcome of one training run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Strategy name (as reported by the per-node strategy).
+    pub strategy: String,
+    /// All evaluation records, in round order.
+    pub records: Vec<RoundRecord>,
+    /// Cluster-wide traffic totals.
+    pub total_traffic: TrafficStats,
+    /// Rounds actually executed (early stop can shorten a run).
+    pub rounds_run: usize,
+    /// First time the target accuracy was met, if one was set and reached.
+    pub reached_target: Option<TargetHit>,
+    /// Per-round, per-node sharing fractions (only when
+    /// `TrainConfig::record_alphas` is set).
+    pub alpha_history: Vec<Vec<f64>>,
+}
+
+impl RunResult {
+    /// The last evaluation record.
+    pub fn final_record(&self) -> Option<&RoundRecord> {
+        self.records.last()
+    }
+
+    /// Final mean test accuracy (0 when no evaluation ran).
+    pub fn final_accuracy(&self) -> f64 {
+        self.final_record().map_or(0.0, |r| r.test_accuracy)
+    }
+
+    /// Total bytes sent by the whole cluster, in GiB.
+    pub fn total_gib_sent(&self) -> f64 {
+        self.total_traffic.bytes_sent as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Serializes the records as CSV (header + one row per evaluation).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "round,train_loss,test_loss,test_accuracy,test_rmse,mean_alpha,\
+             cum_bytes_per_node,cum_payload_per_node,cum_metadata_per_node,sim_time_s\n",
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6},{:.4},{:.0},{:.0},{:.0},{:.3}\n",
+                r.round,
+                r.train_loss,
+                r.test_loss,
+                r.test_accuracy,
+                r.test_rmse,
+                r.mean_alpha,
+                r.cum_bytes_per_node,
+                r.cum_payload_per_node,
+                r.cum_metadata_per_node,
+                r.sim_time_s
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, acc: f64) -> RoundRecord {
+        RoundRecord {
+            round,
+            train_loss: 1.0,
+            test_loss: 0.9,
+            test_accuracy: acc,
+            test_rmse: 0.0,
+            mean_alpha: 0.34,
+            cum_bytes_per_node: 1000.0,
+            cum_payload_per_node: 900.0,
+            cum_metadata_per_node: 100.0,
+            sim_time_s: 12.5,
+        }
+    }
+
+    #[test]
+    fn final_accessors() {
+        let result = RunResult {
+            strategy: "jwins".into(),
+            records: vec![record(0, 0.1), record(10, 0.5)],
+            total_traffic: TrafficStats::default(),
+            rounds_run: 11,
+            reached_target: None,
+            alpha_history: Vec::new(),
+        };
+        assert_eq!(result.final_accuracy(), 0.5);
+        assert_eq!(result.final_record().unwrap().round, 10);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let result = RunResult {
+            strategy: "full-sharing".into(),
+            records: vec![record(0, 0.2)],
+            total_traffic: TrafficStats::default(),
+            rounds_run: 1,
+            reached_target: None,
+            alpha_history: Vec::new(),
+        };
+        let csv = result.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("round,"));
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let result = RunResult {
+            strategy: "jwins".into(),
+            records: Vec::new(),
+            total_traffic: TrafficStats::default(),
+            rounds_run: 0,
+            reached_target: None,
+            alpha_history: Vec::new(),
+        };
+        assert_eq!(result.final_accuracy(), 0.0);
+        assert!(result.final_record().is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-layer adaptive importance scaling (extension).
+//!
+//! The paper's conclusion proposes exactly this: "An adaptive version of the
+//! importance score based on the parameter type (CNN, RNN, FC) may be
+//! explored in depth" (§VI). A [`ScoreScaling`] multiplies the per-round
+//! model change by a per-segment factor *before* it enters JWINS's
+//! accumulated importance scores, where a segment is a contiguous range of
+//! the flat parameter vector — in practice one model layer (see
+//! `Sequential::layer_param_sizes` in `jwins-nn`).
+//!
+//! Why this matters: magnitude-ranked selection is biased toward large
+//! layers (a conv bank with 10⁵ weights offers far more top-K candidates
+//! than a 10² GroupNorm), so small-but-critical layers can starve under
+//! tight budgets. [`ScoreScaling::inverse_size`] counteracts that by giving
+//! every layer the same *total* score mass; [`ScoreScaling::uniform`] is the
+//! identity (JWINS's default behaviour). The `ext_adaptive` bench ablates
+//! the two.
+
+use crate::{JwinsError, Result};
+
+/// A per-segment multiplicative scaling of importance scores over the flat
+/// parameter vector.
+///
+/// # Example
+///
+/// ```
+/// use jwins::scaling::ScoreScaling;
+/// use jwins::strategies::JwinsConfig;
+///
+/// # fn main() -> jwins::Result<()> {
+/// // A conv bank of 1752 parameters next to a 40-parameter norm layer:
+/// // give both layers the same total score mass so the norm layer is not
+/// // starved by magnitude-ranked TopK.
+/// let scaling = ScoreScaling::inverse_size(&[1752, 40])?;
+/// let config = JwinsConfig::with_score_scaling(scaling);
+/// assert!(config.score_scaling.is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreScaling {
+    /// `(segment_len, factor)` in flat-vector order; lengths sum to the
+    /// model dimension.
+    segments: Vec<(usize, f32)>,
+}
+
+impl ScoreScaling {
+    /// Builds a scaling from `(segment_len, factor)` pairs in flat-vector
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty segment lists, zero-length segments, and non-positive
+    /// or non-finite factors.
+    pub fn new(segments: Vec<(usize, f32)>) -> Result<Self> {
+        if segments.is_empty() {
+            return Err(JwinsError::InvalidConfig(
+                "score scaling needs at least one segment".into(),
+            ));
+        }
+        for &(len, factor) in &segments {
+            if len == 0 {
+                return Err(JwinsError::InvalidConfig(
+                    "score scaling segments must be non-empty".into(),
+                ));
+            }
+            if !(factor > 0.0 && factor.is_finite()) {
+                return Err(JwinsError::InvalidConfig(format!(
+                    "score scaling factor {factor} must be positive and finite"
+                )));
+            }
+        }
+        Ok(Self { segments })
+    }
+
+    /// The identity scaling for a `dim`-parameter model (factor 1
+    /// everywhere) — JWINS's default ranking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn uniform(dim: usize) -> Self {
+        assert!(dim > 0, "model dimension must be positive");
+        Self {
+            segments: vec![(dim, 1.0)],
+        }
+    }
+
+    /// Inverse-size scaling over per-layer parameter counts: layer `l` gets
+    /// factor `(d / L) / size_l` (normalized so a uniform layout yields all
+    /// ones), giving every layer equal total score mass. Zero-size entries
+    /// (parameter-free layers) are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Rejects layouts whose parameterized layers are all empty.
+    pub fn inverse_size(layer_sizes: &[usize]) -> Result<Self> {
+        let sizes: Vec<usize> = layer_sizes.iter().copied().filter(|&s| s > 0).collect();
+        if sizes.is_empty() {
+            return Err(JwinsError::InvalidConfig(
+                "inverse-size scaling needs at least one parameterized layer".into(),
+            ));
+        }
+        let d: usize = sizes.iter().sum();
+        let l = sizes.len();
+        let segments = sizes
+            .into_iter()
+            .map(|size| (size, (d as f64 / l as f64 / size as f64) as f32))
+            .collect();
+        Self::new(segments)
+    }
+
+    /// Total length covered by the segments (must equal the model
+    /// dimension).
+    pub fn dim(&self) -> usize {
+        self.segments.iter().map(|(len, _)| len).sum()
+    }
+
+    /// The `(segment_len, factor)` pairs.
+    pub fn segments(&self) -> &[(usize, f32)] {
+        &self.segments
+    }
+
+    /// Checks this scaling covers exactly `dim` parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JwinsError::InvalidConfig`] on a mismatch.
+    pub fn validate_dim(&self, dim: usize) -> Result<()> {
+        if self.dim() != dim {
+            return Err(JwinsError::InvalidConfig(format!(
+                "score scaling covers {} parameters but the model has {dim}",
+                self.dim()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Multiplies `delta` in place by the per-segment factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `delta.len()` disagrees with [`Self::dim`]; callers
+    /// validate at `init` time via [`Self::validate_dim`].
+    pub fn apply(&self, delta: &mut [f32]) {
+        debug_assert_eq!(delta.len(), self.dim(), "scaling/model dim mismatch");
+        let total = delta.len();
+        let mut offset = 0usize;
+        for &(len, factor) in &self.segments {
+            let end = (offset + len).min(total);
+            if factor != 1.0 {
+                for v in &mut delta[offset..end] {
+                    *v *= factor;
+                }
+            }
+            offset = end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_identity() {
+        let s = ScoreScaling::uniform(5);
+        let mut v = vec![1.0f32, -2.0, 3.0, -4.0, 5.0];
+        let orig = v.clone();
+        s.apply(&mut v);
+        assert_eq!(v, orig);
+        assert_eq!(s.dim(), 5);
+    }
+
+    #[test]
+    fn segments_scale_their_ranges_only() {
+        let s = ScoreScaling::new(vec![(2, 2.0), (3, 0.5)]).unwrap();
+        let mut v = vec![1.0f32; 5];
+        s.apply(&mut v);
+        assert_eq!(v, vec![2.0, 2.0, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn inverse_size_equalizes_total_mass() {
+        // Layers of 8 and 2 params: factors (10/2)/8 = 0.625 and (10/2)/2 = 2.5.
+        let s = ScoreScaling::inverse_size(&[8, 0, 2]).unwrap();
+        assert_eq!(s.dim(), 10);
+        let mut v = vec![1.0f32; 10];
+        s.apply(&mut v);
+        let mass_a: f32 = v[..8].iter().sum();
+        let mass_b: f32 = v[8..].iter().sum();
+        assert!((mass_a - mass_b).abs() < 1e-5, "{mass_a} vs {mass_b}");
+    }
+
+    #[test]
+    fn inverse_size_uniform_layout_is_identity() {
+        let s = ScoreScaling::inverse_size(&[4, 4, 4]).unwrap();
+        for &(_, f) in s.segments() {
+            assert!((f - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ScoreScaling::new(vec![]).is_err());
+        assert!(ScoreScaling::new(vec![(0, 1.0)]).is_err());
+        assert!(ScoreScaling::new(vec![(3, 0.0)]).is_err());
+        assert!(ScoreScaling::new(vec![(3, f32::NAN)]).is_err());
+        assert!(ScoreScaling::new(vec![(3, -1.0)]).is_err());
+        assert!(ScoreScaling::inverse_size(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn validate_dim_catches_mismatch() {
+        let s = ScoreScaling::new(vec![(4, 1.0)]).unwrap();
+        assert!(s.validate_dim(4).is_ok());
+        assert!(s.validate_dim(5).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Full-sharing D-PSGD: the accuracy upper baseline.
+//!
+//! Every round each node broadcasts its whole parameter vector (float-codec
+//! compressed, like all algorithms in the evaluation — the paper applies
+//! Fpzip "uniformly for all the model parameters and for all experiments and
+//! baselines") and aggregates with Metropolis–Hastings weights.
+
+use crate::average::PartialAverager;
+use crate::strategy::{OutMessage, ReceivedMessage, ShareStrategy};
+use crate::{JwinsError, Result};
+use jwins_codec::float::{FloatCodec, XorFloatCodec};
+use jwins_codec::varint;
+use jwins_net::ByteBreakdown;
+
+/// Full-model broadcast with weighted averaging.
+#[derive(Debug, Default)]
+pub struct FullSharing {
+    dim: usize,
+}
+
+impl FullSharing {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ShareStrategy for FullSharing {
+    fn name(&self) -> &'static str {
+        "full-sharing"
+    }
+
+    fn init(&mut self, params: &[f32]) {
+        self.dim = params.len();
+    }
+
+    fn make_message(&mut self, _round: usize, params: &[f32]) -> Result<OutMessage> {
+        if self.dim == 0 {
+            return Err(JwinsError::Protocol("init was not called"));
+        }
+        let payload = XorFloatCodec.encode(params);
+        let mut bytes = Vec::with_capacity(payload.len() + 5);
+        varint::write_u64(&mut bytes, params.len() as u64);
+        let header = bytes.len();
+        bytes.extend_from_slice(&payload);
+        Ok(OutMessage::new(
+            bytes,
+            ByteBreakdown {
+                payload: payload.len(),
+                metadata: header,
+            },
+        ))
+    }
+
+    fn aggregate(
+        &mut self,
+        _round: usize,
+        params: &[f32],
+        self_weight: f64,
+        received: &[ReceivedMessage<'_>],
+    ) -> Result<Vec<f32>> {
+        let mut avg = PartialAverager::new(params, self_weight);
+        for msg in received {
+            let (count, used) = varint::read_u64(msg.bytes)?;
+            if count as usize != params.len() {
+                return Err(JwinsError::Protocol("full-sharing dimension mismatch"));
+            }
+            let values = XorFloatCodec.decode(&msg.bytes[used..], count as usize)?;
+            avg.add_dense(&values, msg.weight);
+        }
+        Ok(avg.finish())
+    }
+
+    fn last_alpha(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_message(params: &[f32]) -> OutMessage {
+        let mut s = FullSharing::new();
+        s.init(params);
+        s.make_message(0, params).expect("encodes")
+    }
+
+    #[test]
+    fn message_roundtrips_through_aggregate() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![3.0f32, 4.0, 5.0];
+        let msg_b = roundtrip_message(&b);
+        let mut s = FullSharing::new();
+        s.init(&a);
+        let out = s
+            .aggregate(
+                0,
+                &a,
+                0.5,
+                &[ReceivedMessage {
+                    from: 1,
+                    weight: 0.5,
+                    bytes: &msg_b.bytes,
+                }],
+            )
+            .unwrap();
+        for (o, expect) in out.iter().zip([2.0f32, 3.0, 4.0]) {
+            assert!((o - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn no_neighbours_is_identity() {
+        let a = vec![1.5f32, -2.5];
+        let mut s = FullSharing::new();
+        s.init(&a);
+        let out = s.aggregate(0, &a, 1.0, &[]).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn uninitialized_strategy_errors() {
+        let mut s = FullSharing::new();
+        assert!(s.make_message(0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn corrupt_message_rejected() {
+        let a = vec![1.0f32; 4];
+        let mut s = FullSharing::new();
+        s.init(&a);
+        let bad = [7u8, 1, 2];
+        assert!(s
+            .aggregate(
+                0,
+                &a,
+                0.5,
+                &[ReceivedMessage {
+                    from: 0,
+                    weight: 0.5,
+                    bytes: &bad
+                }]
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn metadata_is_negligible() {
+        let params = vec![0.25f32; 1000];
+        let msg = roundtrip_message(&params);
+        assert!(msg.breakdown.metadata <= 4);
+        assert!(msg.breakdown.payload > 100);
+    }
+}

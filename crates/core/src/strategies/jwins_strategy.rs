@@ -1,0 +1,611 @@
+//! JWINS: the paper's algorithm (§III, Algorithm 1).
+//!
+//! Per round `t` on node `i` (the engine does the τ local SGD steps first):
+//!
+//! 1. `V_i += DWT(x_i^{t,τ} − x_i^{t,0})` — accumulate the local model change
+//!    in the wavelet domain (eq. 3);
+//! 2. draw α from the randomized cut-off; budget `K = ⌈α·D⌉`;
+//! 3. `I_i = TopK(|V_i|, K)`;
+//! 4. broadcast `DWT(x_i^{t,τ})[I_i]` plus Elias-gamma-compressed `I_i`;
+//! 5. average received coefficients with its own, weight-renormalized per
+//!    coefficient, and invert: `x_i^{t+1,0} = DWT⁻¹(x̄)`;
+//! 6. `V_i[I_i] = 0`, then `V_i += DWT(x_i^{t+1,0} − x_i^{t,τ})` — the sent
+//!    scores reset and the averaging-induced change is accounted for, so
+//!    across the round `V` absorbs exactly `DWT(x^{t+1,0} − x^{t,0})` minus
+//!    what was shared (eq. 4).
+//!
+//! The three ablation switches of Figure 8 are part of the configuration:
+//! disabling the wavelet turns the transform into the identity (making the
+//! strategy plain TopK-with-accumulation), disabling accumulation ranks on
+//! the current change only, and disabling the randomized cut-off shares the
+//! distribution mean every round.
+
+use crate::cutoff::{AlphaDistribution, CutoffSampler};
+use crate::scaling::ScoreScaling;
+use crate::sparsify::{budget, gather, top_k_indices};
+use crate::strategy::{OutMessage, ReceivedMessage, ShareStrategy};
+use crate::{JwinsError, Result};
+use jwins_codec::sparse::{IndexCodec, SparseVecCodec, ValueCodec};
+use jwins_net::ByteBreakdown;
+use jwins_wavelet::{Dwt, Wavelet, WaveletCoeffs};
+
+/// Configuration of the JWINS strategy, including the Figure-8 ablation
+/// switches.
+#[derive(Debug, Clone)]
+pub struct JwinsConfig {
+    /// Wavelet and decomposition depth; `None` disables the transform (the
+    /// "without wavelet" ablation — effectively TopK in parameter space).
+    pub wavelet: Option<(Wavelet, usize)>,
+    /// Accumulate importance across rounds (error feedback). Disabling ranks
+    /// on the current round's change only.
+    pub accumulation: bool,
+    /// Draw α randomly per round; disabling uses E\[α\] every round.
+    pub randomized_cutoff: bool,
+    /// The cut-off distribution.
+    pub alpha: AlphaDistribution,
+    /// Index metadata codec (Elias gamma in the paper; raw/varint for the
+    /// Figure-9 comparison).
+    pub index_codec: IndexCodec,
+    /// Value compression (XOR-predictive stands in for Fpzip).
+    pub value_codec: ValueCodec,
+    /// Optional per-layer importance scaling applied to the model change
+    /// before it enters the scores (the §VI "adaptive importance score"
+    /// future-work direction; `None` keeps the paper's unscaled ranking).
+    pub score_scaling: Option<ScoreScaling>,
+}
+
+impl JwinsConfig {
+    /// The paper's configuration: 4-level Symlet-2, accumulation, randomized
+    /// cut-off over the default α list, Elias gamma metadata.
+    pub fn paper_default() -> Self {
+        Self {
+            wavelet: Some((Wavelet::sym2(), 4)),
+            accumulation: true,
+            randomized_cutoff: true,
+            alpha: AlphaDistribution::paper_default(),
+            index_codec: IndexCodec::EliasGammaDelta,
+            value_codec: ValueCodec::Xor,
+            score_scaling: None,
+        }
+    }
+
+    /// Paper default plus a per-layer importance scaling (the §VI
+    /// "adaptive importance score" extension).
+    pub fn with_score_scaling(scaling: ScoreScaling) -> Self {
+        Self {
+            score_scaling: Some(scaling),
+            ..Self::paper_default()
+        }
+    }
+
+    /// Paper default with a custom α distribution (used by the low-budget
+    /// Figure-6 runs).
+    pub fn with_alpha(alpha: AlphaDistribution) -> Self {
+        Self {
+            alpha,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Plain TopK baseline: no wavelet, fixed fraction, with accumulation.
+    pub fn topk(fraction: f64) -> Self {
+        Self {
+            wavelet: None,
+            accumulation: true,
+            randomized_cutoff: false,
+            alpha: AlphaDistribution::Fixed(fraction),
+            ..Self::paper_default()
+        }
+    }
+
+    /// The "without wavelet" ablation of Figure 8.
+    pub fn without_wavelet() -> Self {
+        Self {
+            wavelet: None,
+            ..Self::paper_default()
+        }
+    }
+
+    /// The "without accumulation" ablation of Figure 8.
+    pub fn without_accumulation() -> Self {
+        Self {
+            accumulation: false,
+            ..Self::paper_default()
+        }
+    }
+
+    /// The "without randomized cut-off" ablation of Figure 8.
+    pub fn without_random_cutoff() -> Self {
+        Self {
+            randomized_cutoff: false,
+            ..Self::paper_default()
+        }
+    }
+}
+
+/// The coefficient-domain representation: either a real DWT or the identity
+/// (ablation).
+#[derive(Debug)]
+enum Transform {
+    Wavelet(Dwt),
+    Identity,
+}
+
+impl Transform {
+    fn forward(&self, params: &[f32]) -> Vec<f32> {
+        match self {
+            Transform::Wavelet(dwt) => dwt.forward(params).data,
+            Transform::Identity => params.to_vec(),
+        }
+    }
+
+    fn inverse(&self, coeffs: Vec<f32>, dim: usize) -> Result<Vec<f32>> {
+        match self {
+            Transform::Wavelet(dwt) => {
+                let layout = dwt.layout_for(dim);
+                let wrapped = WaveletCoeffs::from_parts(coeffs, layout)?;
+                Ok(dwt.inverse(&wrapped)?)
+            }
+            Transform::Identity => Ok(coeffs),
+        }
+    }
+
+    fn coeff_len(&self, dim: usize) -> usize {
+        match self {
+            Transform::Wavelet(dwt) => dwt.layout_for(dim).coeff_len(),
+            Transform::Identity => dim,
+        }
+    }
+}
+
+/// Per-round state carried from `make_message` to `aggregate`.
+#[derive(Debug)]
+struct PendingRound {
+    round: usize,
+    /// `DWT(x^{t,τ})` — reused for averaging.
+    own_coeffs: Vec<f32>,
+    /// Indices shared this round (to reset in `V`).
+    sent: Vec<u32>,
+}
+
+/// The JWINS sharing strategy (one instance per node).
+#[derive(Debug)]
+pub struct Jwins {
+    config: JwinsConfig,
+    transform: Transform,
+    codec: SparseVecCodec,
+    cutoff: CutoffSampler,
+    /// Accumulated importance scores `V_i` (coefficient domain).
+    scores: Vec<f32>,
+    /// `x_i^{t,0}` — parameters at the start of the current round.
+    round_start: Vec<f32>,
+    pending: Option<PendingRound>,
+    dim: usize,
+    last_alpha: f64,
+}
+
+impl Jwins {
+    /// Creates a node-local instance. `seed` drives only this node's cut-off
+    /// draws (nodes must use distinct seeds — the paper's cut-off is
+    /// independent per node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the α distribution is invalid.
+    pub fn new(config: JwinsConfig, seed: u64) -> Self {
+        config
+            .alpha
+            .validate()
+            .expect("alpha distribution must be valid");
+        let transform = match &config.wavelet {
+            Some((wavelet, levels)) => Transform::Wavelet(
+                Dwt::new(wavelet.clone(), *levels).expect("levels >= 1 by construction"),
+            ),
+            None => Transform::Identity,
+        };
+        let codec = SparseVecCodec::new(config.index_codec, config.value_codec);
+        let cutoff = CutoffSampler::new(config.alpha.clone(), seed, config.randomized_cutoff);
+        Self {
+            config,
+            transform,
+            codec,
+            cutoff,
+            scores: Vec::new(),
+            round_start: Vec::new(),
+            pending: None,
+            dim: 0,
+            last_alpha: 0.0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &JwinsConfig {
+        &self.config
+    }
+
+    /// Read-only view of the accumulated importance scores (for tests and
+    /// diagnostics).
+    pub fn scores(&self) -> &[f32] {
+        &self.scores
+    }
+}
+
+impl ShareStrategy for Jwins {
+    fn name(&self) -> &'static str {
+        match (&self.config.wavelet, self.config.accumulation) {
+            (Some(_), true) => "jwins",
+            (Some(_), false) => "jwins-no-accumulation",
+            (None, true) => "jwins-no-wavelet",
+            (None, false) => "topk-plain",
+        }
+    }
+
+    fn init(&mut self, params: &[f32]) {
+        self.dim = params.len();
+        self.scores = vec![0.0; self.transform.coeff_len(self.dim)];
+        self.round_start = params.to_vec();
+        self.pending = None;
+    }
+
+    fn make_message(&mut self, round: usize, params: &[f32]) -> Result<OutMessage> {
+        if self.dim == 0 {
+            return Err(JwinsError::Protocol("init was not called"));
+        }
+        if self.pending.is_some() {
+            return Err(JwinsError::Protocol("make_message called twice in a round"));
+        }
+        if let Some(scaling) = &self.config.score_scaling {
+            scaling.validate_dim(self.dim)?;
+        }
+        // Eq. (3): accumulate the local change in the coefficient domain,
+        // optionally rebalanced per layer (§VI adaptive-score extension).
+        let mut delta: Vec<f32> = params
+            .iter()
+            .zip(&self.round_start)
+            .map(|(a, b)| a - b)
+            .collect();
+        if let Some(scaling) = &self.config.score_scaling {
+            scaling.apply(&mut delta);
+        }
+        let delta_coeffs = self.transform.forward(&delta);
+        if self.config.accumulation {
+            for (s, d) in self.scores.iter_mut().zip(&delta_coeffs) {
+                *s += d;
+            }
+        } else {
+            self.scores.copy_from_slice(&delta_coeffs);
+        }
+        // Randomized cut-off → budget → TopK selection.
+        let alpha = self.cutoff.next_alpha();
+        self.last_alpha = alpha;
+        let k = budget(self.scores.len(), alpha);
+        let indices = top_k_indices(&self.scores, k);
+        // Share DWT(x^{t,τ}) at the selected indices.
+        let own_coeffs = self.transform.forward(params);
+        let values = gather(&own_coeffs, &indices);
+        let encoded = self.codec.encode(&indices, &values)?;
+        let breakdown = ByteBreakdown {
+            payload: encoded.payload_bytes,
+            metadata: encoded.metadata_bytes,
+        };
+        self.pending = Some(PendingRound {
+            round,
+            own_coeffs,
+            sent: indices,
+        });
+        Ok(OutMessage::new(encoded.into_bytes(), breakdown))
+    }
+
+    fn aggregate(
+        &mut self,
+        round: usize,
+        params: &[f32],
+        self_weight: f64,
+        received: &[ReceivedMessage<'_>],
+    ) -> Result<Vec<f32>> {
+        let pending = self
+            .pending
+            .take()
+            .ok_or(JwinsError::Protocol("aggregate before make_message"))?;
+        if pending.round != round {
+            return Err(JwinsError::Protocol("round number mismatch"));
+        }
+        // Average in the wavelet domain, renormalizing per coefficient.
+        let mut avg = crate::average::PartialAverager::new(&pending.own_coeffs, self_weight);
+        for msg in received {
+            let (indices, values) = self.codec.decode(msg.bytes)?;
+            if indices.last().is_some_and(|&i| i as usize >= self.scores.len()) {
+                return Err(JwinsError::Protocol("received coefficient index out of range"));
+            }
+            avg.add_sparse(&indices, &values, msg.weight);
+        }
+        let averaged = avg.finish();
+        let next = self.transform.inverse(averaged, self.dim)?;
+        // Eq. (4) bookkeeping: sent scores reset, averaging change absorbed
+        // (scaled the same way as the training change, so score units match).
+        for &i in &pending.sent {
+            self.scores[i as usize] = 0.0;
+        }
+        let mut avg_delta: Vec<f32> = next.iter().zip(params).map(|(a, b)| a - b).collect();
+        if let Some(scaling) = &self.config.score_scaling {
+            scaling.apply(&mut avg_delta);
+        }
+        let avg_delta_coeffs = self.transform.forward(&avg_delta);
+        for (s, d) in self.scores.iter_mut().zip(&avg_delta_coeffs) {
+            *s += d;
+        }
+        self.round_start = next.clone();
+        Ok(next)
+    }
+
+    fn last_alpha(&self) -> f64 {
+        self.last_alpha
+    }
+
+    fn state_bytes(&self) -> usize {
+        // Accumulation vector V plus the round-start snapshot.
+        (self.scores.len() + self.round_start.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_pair(config: JwinsConfig, dim: usize) -> (Jwins, Jwins, Vec<f32>, Vec<f32>) {
+        let mut a = Jwins::new(config.clone(), 1);
+        let mut b = Jwins::new(config, 2);
+        let xa: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.3).sin()).collect();
+        let xb: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.3).cos()).collect();
+        a.init(&xa);
+        b.init(&xb);
+        (a, b, xa, xb)
+    }
+
+    #[test]
+    fn full_alpha_roundtrip_matches_dense_average() {
+        // With α ≡ 1, JWINS degenerates to full-sharing (in coefficient
+        // space), so the aggregate must equal the weighted parameter average.
+        let config = JwinsConfig {
+            alpha: AlphaDistribution::Fixed(1.0),
+            ..JwinsConfig::paper_default()
+        };
+        let (mut a, mut b, xa, xb) = make_pair(config, 101);
+        let _ = a.make_message(0, &xa).unwrap();
+        let msg_b = b.make_message(0, &xb).unwrap();
+        let out = a
+            .aggregate(
+                0,
+                &xa,
+                0.5,
+                &[ReceivedMessage {
+                    from: 1,
+                    weight: 0.5,
+                    bytes: &msg_b.bytes,
+                }],
+            )
+            .unwrap();
+        for ((o, pa), pb) in out.iter().zip(&xa).zip(&xb) {
+            let expect = 0.5 * pa + 0.5 * pb;
+            assert!((o - expect).abs() < 1e-3, "{o} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn no_neighbours_reconstructs_own_model() {
+        let (mut a, _, xa, _) = make_pair(JwinsConfig::paper_default(), 77);
+        let _ = a.make_message(0, &xa).unwrap();
+        let out = a.aggregate(0, &xa, 1.0, &[]).unwrap();
+        for (o, p) in out.iter().zip(&xa) {
+            assert!((o - p).abs() < 1e-4, "{o} vs {p}");
+        }
+    }
+
+    #[test]
+    fn budget_respected_in_message_size() {
+        let config = JwinsConfig {
+            alpha: AlphaDistribution::Fixed(0.1),
+            randomized_cutoff: false,
+            ..JwinsConfig::paper_default()
+        };
+        let dim = 1000;
+        let mut s = Jwins::new(config, 3);
+        let x: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.01).sin()).collect();
+        s.init(&x);
+        // Perturb so scores are nonzero.
+        let x2: Vec<f32> = x.iter().map(|v| v + 0.01).collect();
+        let msg = s.make_message(0, &x2).unwrap();
+        // ~10% of coefficients as f32 ≈ 400 payload bytes upper bound (XOR
+        // codec ≤ raw + small constant).
+        assert!(
+            msg.breakdown.payload < 600,
+            "payload {} too large for 10% budget",
+            msg.breakdown.payload
+        );
+        assert!((s.last_alpha() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_reset_after_sending() {
+        let config = JwinsConfig {
+            alpha: AlphaDistribution::Fixed(0.2),
+            randomized_cutoff: false,
+            ..JwinsConfig::paper_default()
+        };
+        let (mut a, _, xa, _) = make_pair(config, 64);
+        let x2: Vec<f32> = xa.iter().map(|v| v * 1.5 + 0.1).collect();
+        let _ = a.make_message(0, &x2).unwrap();
+        let sent = a.pending.as_ref().unwrap().sent.clone();
+        assert!(!sent.is_empty());
+        let out = a.aggregate(0, &x2, 1.0, &[]).unwrap();
+        // After a no-neighbour aggregate the model is (numerically) the same,
+        // so the eq-4 correction is ~0 and sent scores stay ~0.
+        for &i in &sent {
+            assert!(
+                a.scores()[i as usize].abs() < 1e-3,
+                "score {i} = {}",
+                a.scores()[i as usize]
+            );
+        }
+        let _ = out;
+    }
+
+    #[test]
+    fn accumulation_carries_unsent_importance() {
+        let config = JwinsConfig {
+            alpha: AlphaDistribution::Fixed(0.05),
+            randomized_cutoff: false,
+            ..JwinsConfig::paper_default()
+        };
+        let dim = 200;
+        let mut s = Jwins::new(config, 9);
+        let x0 = vec![0.0f32; dim];
+        s.init(&x0);
+        // Round 0: a change too widespread for the 5% budget.
+        let x1: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.7).sin() * 0.1).collect();
+        let _ = s.make_message(0, &x1).unwrap();
+        let _ = s.aggregate(0, &x1, 1.0, &[]).unwrap();
+        // Un-sent importance must persist.
+        let live = s.scores().iter().filter(|v| v.abs() > 1e-6).count();
+        assert!(live > dim / 2, "only {live} scores persisted");
+    }
+
+    #[test]
+    fn ablation_identity_transform_shares_parameters() {
+        let config = JwinsConfig {
+            alpha: AlphaDistribution::Fixed(1.0),
+            ..JwinsConfig::without_wavelet()
+        };
+        let (mut a, mut b, xa, xb) = make_pair(config, 50);
+        let _ = a.make_message(0, &xa).unwrap();
+        let msg = b.make_message(0, &xb).unwrap();
+        let out = a
+            .aggregate(
+                0,
+                &xa,
+                0.5,
+                &[ReceivedMessage {
+                    from: 1,
+                    weight: 0.5,
+                    bytes: &msg.bytes,
+                }],
+            )
+            .unwrap();
+        for ((o, pa), pb) in out.iter().zip(&xa).zip(&xb) {
+            // Identity transform: exact parameter-space averaging.
+            assert!((o - (0.5 * pa + 0.5 * pb)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn protocol_violations_are_errors() {
+        let (mut a, _, xa, _) = make_pair(JwinsConfig::paper_default(), 30);
+        assert!(a.aggregate(0, &xa, 1.0, &[]).is_err(), "aggregate first");
+        let _ = a.make_message(0, &xa).unwrap();
+        assert!(a.make_message(0, &xa).is_err(), "double make_message");
+        let mut fresh = Jwins::new(JwinsConfig::paper_default(), 1);
+        assert!(fresh.make_message(0, &xa).is_err(), "missing init");
+    }
+
+    #[test]
+    fn corrupt_neighbour_message_rejected() {
+        let (mut a, _, xa, _) = make_pair(JwinsConfig::paper_default(), 30);
+        let _ = a.make_message(0, &xa).unwrap();
+        let garbage = [0xFFu8, 0xFF, 0x01];
+        assert!(a
+            .aggregate(
+                0,
+                &xa,
+                1.0,
+                &[ReceivedMessage {
+                    from: 0,
+                    weight: 0.5,
+                    bytes: &garbage
+                }]
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn score_scaling_biases_selection_toward_boosted_segment() {
+        // Two equal "layers"; the second gets a 50× score boost. With an
+        // identity transform (no wavelet mixing) and a tight budget, the
+        // selected indices must concentrate in the boosted half.
+        let dim = 200;
+        let scaling = ScoreScaling::new(vec![(100, 1.0), (100, 50.0)]).unwrap();
+        let config = JwinsConfig {
+            wavelet: None,
+            alpha: AlphaDistribution::Fixed(0.1),
+            randomized_cutoff: false,
+            score_scaling: Some(scaling),
+            ..JwinsConfig::paper_default()
+        };
+        let mut s = Jwins::new(config, 5);
+        let x0 = vec![0.0f32; dim];
+        s.init(&x0);
+        // A uniform change across the whole model.
+        let x1 = vec![0.1f32; dim];
+        let _ = s.make_message(0, &x1).unwrap();
+        let sent = s.pending.as_ref().unwrap().sent.clone();
+        assert_eq!(sent.len(), 20);
+        assert!(
+            sent.iter().all(|&i| i >= 100),
+            "boosted segment not preferred: {sent:?}"
+        );
+    }
+
+    #[test]
+    fn score_scaling_dim_mismatch_is_error() {
+        let scaling = ScoreScaling::new(vec![(7, 2.0)]).unwrap();
+        let config = JwinsConfig::with_score_scaling(scaling);
+        let mut s = Jwins::new(config, 1);
+        let x = vec![0.0f32; 10];
+        s.init(&x);
+        assert!(s.make_message(0, &x).is_err(), "7-param scaling on 10-param model");
+    }
+
+    #[test]
+    fn scaled_jwins_still_reconstructs_with_full_alpha() {
+        let dim = 96;
+        let scaling = ScoreScaling::inverse_size(&[32, 64]).unwrap();
+        let config = JwinsConfig {
+            alpha: AlphaDistribution::Fixed(1.0),
+            score_scaling: Some(scaling),
+            ..JwinsConfig::paper_default()
+        };
+        let (mut a, mut b, xa, xb) = make_pair(config, dim);
+        let _ = a.make_message(0, &xa).unwrap();
+        let msg = b.make_message(0, &xb).unwrap();
+        let out = a
+            .aggregate(
+                0,
+                &xa,
+                0.5,
+                &[ReceivedMessage {
+                    from: 1,
+                    weight: 0.5,
+                    bytes: &msg.bytes,
+                }],
+            )
+            .unwrap();
+        // Scaling affects only the ranking, never the shared values: with
+        // α = 1 the result is still the exact average.
+        for ((o, pa), pb) in out.iter().zip(&xa).zip(&xb) {
+            assert!((o - (0.5 * pa + 0.5 * pb)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn randomized_cutoff_varies_alpha() {
+        let (mut a, _, xa, _) = make_pair(JwinsConfig::paper_default(), 40);
+        let mut alphas = std::collections::HashSet::new();
+        let mut x = xa.clone();
+        for round in 0..20 {
+            x[round % 40] += 0.1;
+            let _ = a.make_message(round, &x).unwrap();
+            alphas.insert((a.last_alpha() * 100.0) as u64);
+            x = a.aggregate(round, &x, 1.0, &[]).unwrap();
+        }
+        assert!(alphas.len() > 2, "cut-off never varied: {alphas:?}");
+    }
+}

@@ -1,0 +1,907 @@
+//! PowerGossip (Vogels et al., NeurIPS 2020) — per-edge low-rank
+//! compression (extension).
+//!
+//! The paper names PowerGossip as "another strong communication-efficient
+//! algorithm for DL, but it performs as good as tuned CHOCO in their
+//! experiments. Hence, we only compare against CHOCO here" (§IV-B-c). This
+//! module implements it anyway, so the benchmark suite can check that claim
+//! instead of citing it: PowerGossip needs no step-size hyperparameter
+//! (CHOCO's γ), which is exactly the property JWINS advertises for itself.
+//!
+//! For every edge `{i, j}` the algorithm approximates the *pairwise model
+//! difference* `D = X_low − X_high` (endpoints ordered canonically) by
+//! low-rank power iteration without either side ever materializing `D`:
+//! multiplying `D` by a vector only needs `X_i v` and `X_j v`, one locally
+//! computed vector from each endpoint. Both endpoints then apply the
+//! antisymmetric gossip update
+//!
+//! ```text
+//! x_low  ← x_low  − w_ij · P̂ ΔQᵀ
+//! x_high ← x_high + w_ij · P̂ ΔQᵀ
+//! ```
+//!
+//! which preserves the cluster-wide parameter mean exactly, like any doubly
+//! stochastic gossip step.
+//!
+//! **Matricization matters.** The original PowerGossip factorizes *each
+//! layer's* natural weight matrix (conv banks as `[out, in·k·k]`, linear as
+//! `[out, in]`, biases as columns a rank-1 factor captures exactly), because
+//! SGD updates of those matrices are near-low-rank — a property a global
+//! near-square reshape of the flat vector destroys. [`MatrixLayout`] exposes
+//! both: [`MatrixLayout::Segments`] (the faithful per-layer design, fed from
+//! `param_segments()` in `jwins-nn`) and [`MatrixLayout::GlobalSquare`]
+//! (the strawman, kept for the ablation).
+//!
+//! **Transport requirements.** Edge state stays consistent because both
+//! endpoints see the same exchanges: symmetric node churn (both directions
+//! skip a round together) is fine, but *asymmetric message loss* — one
+//! direction of an edge delivered, the other dropped — desynchronizes the
+//! warm-started factors. Run PowerGossip on reliable links
+//! (`TrainConfig::message_loss = 0`, the default); the broadcast strategies
+//! tolerate loss because they renormalize per received message.
+//!
+//! Adaptation to the bulk-synchronous engine: the power iteration is
+//! *pipelined* across rounds. A round-`t` message carries `P = M Q` for the
+//! query matrix `Q` warm-started in round `t−1`, together with `Q' = Mᵀ P̂`
+//! for the left factor `P̂` orthonormalized in round `t−1`, so from the
+//! second round onward every round applies one low-rank update per edge.
+
+use crate::strategy::{OutMessage, Outbound, ReceivedMessage, ShareStrategy};
+use crate::{JwinsError, Result};
+use jwins_net::ByteBreakdown;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// How the flat parameter vector is viewed as matrices for factorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatrixLayout {
+    /// One zero-padded near-square matrix over the whole vector. Cheap to
+    /// set up but discards the per-layer low-rank structure; kept as the
+    /// ablation arm.
+    GlobalSquare,
+    /// One matrix per parameter block, `(rows, cols)` in flat order with
+    /// products summing to the model dimension — the original PowerGossip
+    /// design. Column blocks (`cols == 1`, e.g. biases) are represented
+    /// exactly by rank 1.
+    Segments(Vec<(usize, usize)>),
+}
+
+/// PowerGossip configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerGossipConfig {
+    /// Target rank per matrix (clamped per segment to `min(rows, cols)`;
+    /// the PowerGossip paper defaults to 1 or 2).
+    pub rank: usize,
+    /// Matricization of the flat parameter vector.
+    pub layout: MatrixLayout,
+}
+
+impl PowerGossipConfig {
+    /// Per-layer factorization at `rank` — the faithful configuration.
+    /// `segments` come from the model (e.g. `ImageClassifier::param_segments`).
+    pub fn per_layer(rank: usize, segments: Vec<(usize, usize)>) -> Self {
+        Self {
+            rank,
+            layout: MatrixLayout::Segments(segments),
+        }
+    }
+
+    /// Single global near-square matrix at `rank` (the ablation arm).
+    pub fn global(rank: usize) -> Self {
+        Self {
+            rank,
+            layout: MatrixLayout::GlobalSquare,
+        }
+    }
+}
+
+impl Default for PowerGossipConfig {
+    fn default() -> Self {
+        Self::global(1)
+    }
+}
+
+/// One matrix view over the flat vector.
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    offset: usize,
+    rows: usize,
+    cols: usize,
+    /// Effective rank: `min(config.rank, rows, cols)`.
+    rank: usize,
+    /// Real parameters in this segment (`< rows*cols` only for the padded
+    /// global layout).
+    len: usize,
+}
+
+impl Seg {
+    fn p_len(&self) -> usize {
+        self.rows * self.rank
+    }
+
+    fn q_len(&self) -> usize {
+        self.cols * self.rank
+    }
+
+    /// Copies this segment out of the flat vector, zero-padding the tail.
+    fn extract(&self, flat: &[f32]) -> Vec<f32> {
+        let mut m = vec![0.0f32; self.rows * self.cols];
+        m[..self.len].copy_from_slice(&flat[self.offset..self.offset + self.len]);
+        m
+    }
+
+    /// Writes the (possibly padded) matrix back into the flat vector.
+    fn write_back(&self, flat: &mut [f32], m: &[f32]) {
+        flat[self.offset..self.offset + self.len].copy_from_slice(&m[..self.len]);
+    }
+}
+
+/// Per-edge power-iteration state, kept bitwise-identical on both endpoints.
+#[derive(Debug, Clone)]
+struct EdgeState {
+    /// Query planes `Q_s` per segment (`cols_s × rank_s`, plane-major).
+    q: Vec<Vec<f32>>,
+    /// Orthonormal left factors `P̂_s` from the previous round (possibly
+    /// all-zero planes where the difference vanished).
+    p_hat: Option<Vec<Vec<f32>>>,
+}
+
+/// Own contribution to an edge, remembered between `make_outbound` and
+/// `aggregate`.
+#[derive(Debug)]
+struct EdgePending {
+    /// `P_s = M_s Q_s` per segment.
+    p_own: Vec<Vec<f32>>,
+    /// `Q'_s = M_sᵀ P̂_s` per segment, when `P̂` existed.
+    q_own: Option<Vec<Vec<f32>>>,
+}
+
+#[derive(Debug)]
+struct PendingRound {
+    round: usize,
+    per_edge: HashMap<usize, EdgePending>,
+}
+
+/// The PowerGossip sharing strategy (one instance per node).
+///
+/// Unlike the broadcast strategies, PowerGossip sends a *different* message
+/// to every neighbour, so it implements [`ShareStrategy::make_outbound`] and
+/// rejects plain [`ShareStrategy::make_message`].
+///
+/// # Example
+///
+/// ```
+/// use jwins::strategies::{PowerGossip, PowerGossipConfig};
+/// use jwins::strategy::{Outbound, ShareStrategy};
+///
+/// # fn main() -> jwins::Result<()> {
+/// // Per-layer matricization: a [16, 25] weight block plus its bias column.
+/// let config = PowerGossipConfig::per_layer(2, vec![(16, 25), (16, 1)]);
+/// let mut node = PowerGossip::new(config, 0, 42); // node 0, cluster seed 42
+/// let params = vec![0.1_f32; 16 * 25 + 16];
+/// node.init(&params);
+/// let Outbound::PerEdge(messages) = node.make_outbound(0, &params, &[1, 2])? else {
+///     unreachable!("power gossip is edge-based");
+/// };
+/// assert_eq!(messages.len(), 2, "one message per neighbour");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PowerGossip {
+    config: PowerGossipConfig,
+    /// This node's id — needed to orient every edge canonically.
+    node_id: usize,
+    /// Seed all nodes share, so fresh edges start from identical `Q`.
+    shared_seed: u64,
+    segs: Vec<Seg>,
+    edges: HashMap<usize, EdgeState>,
+    pending: Option<PendingRound>,
+    dim: usize,
+}
+
+impl PowerGossip {
+    /// Creates a node-local instance. `node_id` must be the node's engine
+    /// index and `shared_seed` must be identical across the cluster (it
+    /// seeds the per-edge warm-start queries both endpoints must agree on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank == 0` or a segment has a zero dimension.
+    pub fn new(config: PowerGossipConfig, node_id: usize, shared_seed: u64) -> Self {
+        assert!(config.rank >= 1, "rank must be at least 1");
+        if let MatrixLayout::Segments(segments) = &config.layout {
+            assert!(!segments.is_empty(), "segment layout must be non-empty");
+            for &(r, c) in segments {
+                assert!(r > 0 && c > 0, "segment dimensions must be positive");
+            }
+        }
+        Self {
+            config,
+            node_id,
+            shared_seed,
+            segs: Vec::new(),
+            edges: HashMap::new(),
+            pending: None,
+            dim: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PowerGossipConfig {
+        &self.config
+    }
+
+    /// Returns `(low, high)` for the edge to `peer`.
+    fn orient(&self, peer: usize) -> (usize, usize) {
+        if self.node_id < peer {
+            (self.node_id, peer)
+        } else {
+            (peer, self.node_id)
+        }
+    }
+
+    /// Deterministic initial query planes for an edge: both endpoints
+    /// derive the same `Q` from `(shared_seed, low, high)`.
+    fn fresh_edge(&self, peer: usize) -> EdgeState {
+        let (low, high) = self.orient(peer);
+        let mut z = self
+            .shared_seed
+            .wrapping_add((low as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((high as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let mut rng = ChaCha8Rng::seed_from_u64(z ^ (z >> 31));
+        let q = self
+            .segs
+            .iter()
+            .map(|seg| {
+                let mut planes = vec![0.0f32; seg.q_len()];
+                for v in &mut planes {
+                    *v = rng.gen_range(-1.0f32..1.0);
+                }
+                orthonormalize_planes(&mut planes, seg.cols, seg.rank);
+                planes
+            })
+            .collect();
+        EdgeState { q, p_hat: None }
+    }
+
+    fn message_p_len(&self) -> usize {
+        self.segs.iter().map(Seg::p_len).sum()
+    }
+
+    fn message_q_len(&self) -> usize {
+        self.segs.iter().map(Seg::q_len).sum()
+    }
+
+    fn encode(&self, pending: &EdgePending) -> OutMessage {
+        // Wire: 1 header byte (bit0 = has Q' part), then raw LE f32 planes,
+        // all segments' P blocks then all segments' Q' blocks.
+        let has_q = pending.q_own.is_some();
+        let floats = self.message_p_len() + if has_q { self.message_q_len() } else { 0 };
+        let mut bytes = Vec::with_capacity(1 + 4 * floats);
+        bytes.push(u8::from(has_q));
+        for block in &pending.p_own {
+            for &v in block {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        if let Some(q) = &pending.q_own {
+            for block in q {
+                for &v in block {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        let payload = bytes.len() - 1;
+        OutMessage::new(
+            bytes,
+            ByteBreakdown {
+                payload,
+                metadata: 1,
+            },
+        )
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn decode(&self, bytes: &[u8]) -> Result<(Vec<Vec<f32>>, Option<Vec<Vec<f32>>>)> {
+        let Some((&header, body)) = bytes.split_first() else {
+            return Err(JwinsError::Protocol("empty power-gossip message"));
+        };
+        if header > 1 {
+            return Err(JwinsError::Protocol("invalid power-gossip header"));
+        }
+        let has_q = header == 1;
+        let expected = 4 * (self.message_p_len() + if has_q { self.message_q_len() } else { 0 });
+        if body.len() != expected {
+            return Err(JwinsError::Protocol("power-gossip message length mismatch"));
+        }
+        let mut cursor = body;
+        let mut read_block = |n: usize| -> Vec<f32> {
+            let (head, rest) = cursor.split_at(4 * n);
+            cursor = rest;
+            head.chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .collect()
+        };
+        let p: Vec<Vec<f32>> = self.segs.iter().map(|s| read_block(s.p_len())).collect();
+        let q = has_q.then(|| self.segs.iter().map(|s| read_block(s.q_len())).collect());
+        Ok((p, q))
+    }
+}
+
+/// Computes `P = M Q` for plane-major `Q` (`rank` planes of `cols` each),
+/// producing plane-major `P` (`rank` planes of `rows` each).
+fn mat_mul_planes(m: &[f32], rows: usize, cols: usize, q: &[f32], rank: usize) -> Vec<f32> {
+    debug_assert_eq!(q.len(), cols * rank);
+    let mut out = vec![0.0f32; rows * rank];
+    for k in 0..rank {
+        let q_plane = &q[k * cols..(k + 1) * cols];
+        let out_plane = &mut out[k * rows..(k + 1) * rows];
+        for (r, o) in out_plane.iter_mut().enumerate() {
+            let row = &m[r * cols..(r + 1) * cols];
+            let mut acc = 0.0f64;
+            for (a, b) in row.iter().zip(q_plane) {
+                acc += f64::from(*a) * f64::from(*b);
+            }
+            *o = acc as f32;
+        }
+    }
+    out
+}
+
+/// Computes `Q = Mᵀ P` for plane-major `P`, producing plane-major `Q`.
+fn mat_t_mul_planes(m: &[f32], rows: usize, cols: usize, p: &[f32], rank: usize) -> Vec<f32> {
+    debug_assert_eq!(p.len(), rows * rank);
+    let mut out = vec![0.0f32; cols * rank];
+    for k in 0..rank {
+        let p_plane = &p[k * rows..(k + 1) * rows];
+        let out_plane = &mut out[k * cols..(k + 1) * cols];
+        for (r, &pv) in p_plane.iter().enumerate() {
+            if pv == 0.0 {
+                continue;
+            }
+            let row = &m[r * cols..(r + 1) * cols];
+            for (o, &mv) in out_plane.iter_mut().zip(row) {
+                *o += (f64::from(mv) * f64::from(pv)) as f32;
+            }
+        }
+    }
+    out
+}
+
+/// In-place modified Gram–Schmidt over `rank` planes of length `n`.
+/// Near-zero planes are zeroed (their updates contribute nothing).
+fn orthonormalize_planes(planes: &mut [f32], n: usize, rank: usize) {
+    debug_assert_eq!(planes.len(), n * rank);
+    for k in 0..rank {
+        for prev in 0..k {
+            let dot: f64 = (0..n)
+                .map(|i| f64::from(planes[k * n + i]) * f64::from(planes[prev * n + i]))
+                .sum();
+            for i in 0..n {
+                planes[k * n + i] -= (dot * f64::from(planes[prev * n + i])) as f32;
+            }
+        }
+        let norm: f64 = (0..n)
+            .map(|i| f64::from(planes[k * n + i]).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        if norm < 1e-12 {
+            planes[k * n..(k + 1) * n].fill(0.0);
+        } else {
+            for i in 0..n {
+                planes[k * n + i] = (f64::from(planes[k * n + i]) / norm) as f32;
+            }
+        }
+    }
+}
+
+impl ShareStrategy for PowerGossip {
+    fn name(&self) -> &'static str {
+        match self.config.layout {
+            MatrixLayout::GlobalSquare => "power-gossip-global",
+            MatrixLayout::Segments(_) => "power-gossip",
+        }
+    }
+
+    fn init(&mut self, params: &[f32]) {
+        self.dim = params.len();
+        self.segs = match &self.config.layout {
+            MatrixLayout::GlobalSquare => {
+                let rows = ((self.dim as f64).sqrt().ceil() as usize).max(1);
+                let cols = self.dim.div_ceil(rows).max(1);
+                vec![Seg {
+                    offset: 0,
+                    rows,
+                    cols,
+                    rank: self.config.rank.min(rows).min(cols),
+                    len: self.dim,
+                }]
+            }
+            MatrixLayout::Segments(segments) => {
+                let mut offset = 0usize;
+                let segs: Vec<Seg> = segments
+                    .iter()
+                    .map(|&(rows, cols)| {
+                        let seg = Seg {
+                            offset,
+                            rows,
+                            cols,
+                            rank: self.config.rank.min(rows).min(cols),
+                            len: rows * cols,
+                        };
+                        offset += rows * cols;
+                        seg
+                    })
+                    .collect();
+                assert_eq!(
+                    offset, self.dim,
+                    "segment layout covers {offset} parameters but the model has {}",
+                    self.dim
+                );
+                segs
+            }
+        };
+        self.edges.clear();
+        self.pending = None;
+    }
+
+    fn make_message(&mut self, _round: usize, _params: &[f32]) -> Result<OutMessage> {
+        Err(JwinsError::Protocol(
+            "power gossip is edge-based; the engine must call make_outbound",
+        ))
+    }
+
+    fn make_outbound(
+        &mut self,
+        round: usize,
+        params: &[f32],
+        neighbors: &[usize],
+    ) -> Result<Outbound> {
+        if self.dim == 0 {
+            return Err(JwinsError::Protocol("init was not called"));
+        }
+        if self.pending.is_some() {
+            return Err(JwinsError::Protocol("make_outbound called twice in a round"));
+        }
+        let mats: Vec<Vec<f32>> = self.segs.iter().map(|s| s.extract(params)).collect();
+        let mut per_edge = HashMap::with_capacity(neighbors.len());
+        let mut messages = Vec::with_capacity(neighbors.len());
+        for &peer in neighbors {
+            if !self.edges.contains_key(&peer) {
+                let fresh = self.fresh_edge(peer);
+                self.edges.insert(peer, fresh);
+            }
+            let state = &self.edges[&peer];
+            let p_own: Vec<Vec<f32>> = self
+                .segs
+                .iter()
+                .zip(&mats)
+                .zip(&state.q)
+                .map(|((seg, m), q)| mat_mul_planes(m, seg.rows, seg.cols, q, seg.rank))
+                .collect();
+            let q_own = state.p_hat.as_ref().map(|p_hat| {
+                self.segs
+                    .iter()
+                    .zip(&mats)
+                    .zip(p_hat)
+                    .map(|((seg, m), ph)| mat_t_mul_planes(m, seg.rows, seg.cols, ph, seg.rank))
+                    .collect::<Vec<_>>()
+            });
+            let pend = EdgePending { p_own, q_own };
+            messages.push(Some(self.encode(&pend)));
+            per_edge.insert(peer, pend);
+        }
+        self.pending = Some(PendingRound { round, per_edge });
+        Ok(Outbound::PerEdge(messages))
+    }
+
+    fn aggregate(
+        &mut self,
+        round: usize,
+        params: &[f32],
+        _self_weight: f64,
+        received: &[ReceivedMessage<'_>],
+    ) -> Result<Vec<f32>> {
+        let pending = self
+            .pending
+            .take()
+            .ok_or(JwinsError::Protocol("aggregate before make_outbound"))?;
+        if pending.round != round {
+            return Err(JwinsError::Protocol("round number mismatch"));
+        }
+        let mut flat = params.to_vec();
+        let mut mats: Vec<Vec<f32>> = self.segs.iter().map(|s| s.extract(params)).collect();
+        for msg in received {
+            let Some(pend) = pending.per_edge.get(&msg.from) else {
+                return Err(JwinsError::Protocol("message from unexpected edge"));
+            };
+            let (p_peer, q_peer) = self.decode(msg.bytes)?;
+            let (low, _) = self.orient(msg.from);
+            let i_am_low = low == self.node_id;
+            // Canonical Δ = own_low − own_high, identical on both endpoints.
+            let orient = |own: &[f32], theirs: &[f32]| -> Vec<f32> {
+                own.iter()
+                    .zip(theirs)
+                    .map(|(a, b)| if i_am_low { a - b } else { b - a })
+                    .collect()
+            };
+            let state = self
+                .edges
+                .get_mut(&msg.from)
+                .expect("edge created in make_outbound");
+            // Pipelined update: last round's P̂ with this round's ΔQ'.
+            if let (Some(q_own), Some(q_peer), Some(p_hat)) =
+                (&pend.q_own, &q_peer, state.p_hat.as_ref())
+            {
+                let sign = if i_am_low { -1.0f64 } else { 1.0 };
+                let theta = sign * msg.weight;
+                let mut q_next = Vec::with_capacity(self.segs.len());
+                for (((seg, m), (qo, qp)), ph) in self
+                    .segs
+                    .iter()
+                    .zip(&mut mats)
+                    .zip(q_own.iter().zip(q_peer))
+                    .zip(p_hat)
+                {
+                    let delta_q = orient(qo, qp);
+                    // x ← x ∓ w · P̂ ΔQᵀ (minus on the low endpoint).
+                    for k in 0..seg.rank {
+                        let p_plane = &ph[k * seg.rows..(k + 1) * seg.rows];
+                        let q_plane = &delta_q[k * seg.cols..(k + 1) * seg.cols];
+                        for (r, &pv) in p_plane.iter().enumerate() {
+                            if pv == 0.0 {
+                                continue;
+                            }
+                            let coeff = theta * f64::from(pv);
+                            let row = &mut m[r * seg.cols..(r + 1) * seg.cols];
+                            for (cell, &qv) in row.iter_mut().zip(q_plane) {
+                                *cell = (f64::from(*cell) + coeff * f64::from(qv)) as f32;
+                            }
+                        }
+                    }
+                    // Warm-start next round's query (power iteration).
+                    let mut next = delta_q;
+                    orthonormalize_planes(&mut next, seg.cols, seg.rank);
+                    q_next.push(next);
+                }
+                // Keep the old query where the difference vanished, so the
+                // iteration can restart from a non-degenerate direction.
+                for (cur, next) in state.q.iter_mut().zip(q_next) {
+                    if next.iter().any(|v| *v != 0.0) {
+                        *cur = next;
+                    }
+                }
+            }
+            // New left factors for next round's Q' exchange.
+            let p_hat_next: Vec<Vec<f32>> = self
+                .segs
+                .iter()
+                .zip(pend.p_own.iter().zip(&p_peer))
+                .map(|(seg, (po, pp))| {
+                    let mut dp = orient(po, pp);
+                    orthonormalize_planes(&mut dp, seg.rows, seg.rank);
+                    dp
+                })
+                .collect();
+            state.p_hat = Some(p_hat_next);
+        }
+        for (seg, m) in self.segs.iter().zip(&mats) {
+            seg.write_back(&mut flat, m);
+        }
+        Ok(flat)
+    }
+
+    fn last_alpha(&self) -> f64 {
+        // Per-edge fraction of the model actually moved per round.
+        (self.message_p_len() + self.message_q_len()) as f64 / self.dim.max(1) as f64
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.edges
+            .values()
+            .map(|e| {
+                let q: usize = e.q.iter().map(Vec::len).sum();
+                let p: usize = e
+                    .p_hat
+                    .as_ref()
+                    .map_or(0, |ph| ph.iter().map(Vec::len).sum());
+                (q + p) * std::mem::size_of::<f32>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair_with(
+        config: PowerGossipConfig,
+        dim: usize,
+    ) -> (PowerGossip, PowerGossip, Vec<f32>, Vec<f32>) {
+        let mut a = PowerGossip::new(config.clone(), 0, 99);
+        let mut b = PowerGossip::new(config, 1, 99);
+        let xa: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.13).sin()).collect();
+        let xb: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.13).cos()).collect();
+        a.init(&xa);
+        b.init(&xb);
+        (a, b, xa, xb)
+    }
+
+    fn pair(dim: usize, rank: usize) -> (PowerGossip, PowerGossip, Vec<f32>, Vec<f32>) {
+        pair_with(PowerGossipConfig::global(rank), dim)
+    }
+
+    /// One full exchange between a and b with weight w; returns new params.
+    fn exchange(
+        a: &mut PowerGossip,
+        b: &mut PowerGossip,
+        round: usize,
+        xa: &[f32],
+        xb: &[f32],
+        w: f64,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let out_a = a.make_outbound(round, xa, &[1]).unwrap();
+        let out_b = b.make_outbound(round, xb, &[0]).unwrap();
+        let msg_a = match out_a {
+            Outbound::PerEdge(mut v) => v.remove(0).unwrap(),
+            Outbound::Broadcast(_) => panic!("power gossip must be per-edge"),
+        };
+        let msg_b = match out_b {
+            Outbound::PerEdge(mut v) => v.remove(0).unwrap(),
+            Outbound::Broadcast(_) => panic!("power gossip must be per-edge"),
+        };
+        let xa2 = a
+            .aggregate(round, xa, 1.0 - w, &[ReceivedMessage { from: 1, weight: w, bytes: &msg_b.bytes }])
+            .unwrap();
+        let xb2 = b
+            .aggregate(round, xb, 1.0 - w, &[ReceivedMessage { from: 0, weight: w, bytes: &msg_a.bytes }])
+            .unwrap();
+        (xa2, xb2)
+    }
+
+    fn max_gap(xa: &[f32], xb: &[f32]) -> f32 {
+        xa.iter()
+            .zip(xb)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn pure_gossip_contracts_to_consensus() {
+        let (mut a, mut b, mut xa, mut xb) = pair(100, 1);
+        let initial = max_gap(&xa, &xb);
+        for round in 0..120 {
+            let (na, nb) = exchange(&mut a, &mut b, round, &xa, &xb, 0.5);
+            xa = na;
+            xb = nb;
+        }
+        let gap = max_gap(&xa, &xb);
+        assert!(gap < initial * 0.05, "no contraction: {gap} vs {initial}");
+    }
+
+    #[test]
+    fn rank_two_contracts_faster() {
+        let run = |rank: usize| {
+            let (mut a, mut b, mut xa, mut xb) = pair(144, rank);
+            for round in 0..40 {
+                let (na, nb) = exchange(&mut a, &mut b, round, &xa, &xb, 0.5);
+                xa = na;
+                xb = nb;
+            }
+            xa.iter()
+                .zip(&xb)
+                .map(|(p, q)| f64::from(p - q).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let g1 = run(1);
+        let g2 = run(2);
+        assert!(g2 < g1, "rank-2 gap {g2} not below rank-1 gap {g1}");
+    }
+
+    #[test]
+    fn per_layer_layout_contracts_faster_than_global() {
+        // A "model" of two 12×12 blocks whose difference is exactly rank-1
+        // per block: the per-layer factorization removes it in a handful of
+        // rounds, while the global reshape mixes the blocks and cannot.
+        let segments = vec![(12, 12), (12, 12)];
+        let dim = 288;
+        let base: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.05).sin()).collect();
+        let mut delta = vec![0.0f32; dim];
+        for blk in 0..2 {
+            for r in 0..12 {
+                for c in 0..12 {
+                    // Outer product u vᵀ per block.
+                    delta[blk * 144 + r * 12 + c] =
+                        ((r + 1) as f32 * 0.1) * ((c as f32 * 0.4 + blk as f32).cos());
+                }
+            }
+        }
+        let xb_init: Vec<f32> = base.iter().zip(&delta).map(|(a, d)| a + d).collect();
+        let run = |config: PowerGossipConfig| {
+            let mut a = PowerGossip::new(config.clone(), 0, 7);
+            let mut b = PowerGossip::new(config, 1, 7);
+            let mut xa = base.clone();
+            let mut xb = xb_init.clone();
+            a.init(&xa);
+            b.init(&xb);
+            for round in 0..8 {
+                let (na, nb) = exchange(&mut a, &mut b, round, &xa, &xb, 0.5);
+                xa = na;
+                xb = nb;
+            }
+            max_gap(&xa, &xb)
+        };
+        let per_layer = run(PowerGossipConfig::per_layer(1, segments));
+        let global = run(PowerGossipConfig::global(1));
+        assert!(
+            per_layer < global * 0.2,
+            "per-layer {per_layer} not much better than global {global}"
+        );
+    }
+
+    #[test]
+    fn column_segments_are_exact_at_rank_one() {
+        // Bias-like [len, 1] blocks: rank-1 represents the difference
+        // exactly, so two nodes agree after the first pipelined update.
+        let config = PowerGossipConfig::per_layer(1, vec![(10, 1), (6, 1)]);
+        let (mut a, mut b, mut xa, mut xb) = pair_with(config, 16);
+        for round in 0..4 {
+            let (na, nb) = exchange(&mut a, &mut b, round, &xa, &xb, 0.5);
+            xa = na;
+            xb = nb;
+        }
+        assert!(max_gap(&xa, &xb) < 1e-5, "gap {}", max_gap(&xa, &xb));
+    }
+
+    #[test]
+    fn updates_preserve_parameter_mean() {
+        let (mut a, mut b, mut xa, mut xb) = pair(60, 1);
+        let mean0: Vec<f64> = xa
+            .iter()
+            .zip(&xb)
+            .map(|(p, q)| (f64::from(*p) + f64::from(*q)) / 2.0)
+            .collect();
+        for round in 0..30 {
+            let (na, nb) = exchange(&mut a, &mut b, round, &xa, &xb, 0.5);
+            xa = na;
+            xb = nb;
+        }
+        for ((p, q), m0) in xa.iter().zip(&xb).zip(&mean0) {
+            let m = (f64::from(*p) + f64::from(*q)) / 2.0;
+            assert!((m - m0).abs() < 1e-3, "mean drifted: {m} vs {m0}");
+        }
+    }
+
+    #[test]
+    fn message_bytes_scale_with_rank_and_dims() {
+        let (mut a, _, xa, _) = pair(400, 1); // 20x20 matrix
+        let out = a.make_outbound(0, &xa, &[1]).unwrap();
+        let Outbound::PerEdge(msgs) = out else {
+            panic!()
+        };
+        let msg = msgs[0].as_ref().unwrap();
+        // Round 0 has no Q' part: 1 header + 20 rows × 4 bytes.
+        assert_eq!(msg.bytes.len(), 1 + 20 * 4);
+        let xa2 = a.aggregate(0, &xa, 0.5, &[]).unwrap();
+        assert_eq!(xa2, xa, "no neighbours, no change");
+    }
+
+    #[test]
+    fn endpoints_stay_in_sync_through_missing_rounds() {
+        // Round 1 is skipped on both sides (churn): edge state must remain
+        // consistent and later rounds must still contract.
+        let (mut a, mut b, mut xa, mut xb) = pair(81, 1);
+        let (na, nb) = exchange(&mut a, &mut b, 0, &xa, &xb, 0.5);
+        xa = na;
+        xb = nb;
+        // Round 1: both endpoints are "inactive" — no calls at all.
+        for round in 2..80 {
+            let (na, nb) = exchange(&mut a, &mut b, round, &xa, &xb, 0.5);
+            xa = na;
+            xb = nb;
+        }
+        assert!(max_gap(&xa, &xb) < 0.05, "gap {}", max_gap(&xa, &xb));
+    }
+
+    #[test]
+    fn identical_models_produce_no_update() {
+        let config = PowerGossipConfig::default();
+        let mut a = PowerGossip::new(config.clone(), 0, 5);
+        let mut b = PowerGossip::new(config, 1, 5);
+        let x: Vec<f32> = (0..49).map(|i| i as f32 * 0.01).collect();
+        a.init(&x);
+        b.init(&x);
+        let mut xa = x.clone();
+        let mut xb = x.clone();
+        for round in 0..5 {
+            let (na, nb) = exchange(&mut a, &mut b, round, &xa, &xb, 0.5);
+            xa = na;
+            xb = nb;
+        }
+        for (v, orig) in xa.iter().zip(&x) {
+            assert!((v - orig).abs() < 1e-6, "{v} vs {orig}");
+        }
+        assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn protocol_violations_are_errors() {
+        let (mut a, _, xa, _) = pair(36, 1);
+        assert!(a.aggregate(0, &xa, 1.0, &[]).is_err(), "aggregate first");
+        assert!(a.make_message(0, &xa).is_err(), "broadcast path rejected");
+        let _ = a.make_outbound(0, &xa, &[1]).unwrap();
+        assert!(a.make_outbound(0, &xa, &[1]).is_err(), "double make_outbound");
+        let mut fresh = PowerGossip::new(PowerGossipConfig::default(), 0, 1);
+        assert!(fresh.make_outbound(0, &xa, &[1]).is_err(), "missing init");
+    }
+
+    #[test]
+    #[should_panic(expected = "segment layout covers")]
+    fn mismatched_segment_layout_panics_at_init() {
+        let mut s = PowerGossip::new(PowerGossipConfig::per_layer(1, vec![(4, 4)]), 0, 1);
+        s.init(&[0.0; 20]);
+    }
+
+    #[test]
+    fn corrupt_messages_rejected() {
+        let (mut a, _, xa, _) = pair(36, 1);
+        let _ = a.make_outbound(0, &xa, &[1]).unwrap();
+        let bad_header = [7u8, 0, 0, 0];
+        assert!(a
+            .aggregate(0, &xa, 1.0, &[ReceivedMessage { from: 1, weight: 0.5, bytes: &bad_header }])
+            .is_err());
+        let _ = a.make_outbound(1, &xa, &[1]).unwrap();
+        let truncated = [0u8, 1, 2];
+        assert!(a
+            .aggregate(1, &xa, 1.0, &[ReceivedMessage { from: 1, weight: 0.5, bytes: &truncated }])
+            .is_err());
+        let _ = a.make_outbound(2, &xa, &[1]).unwrap();
+        assert!(
+            a.aggregate(2, &xa, 1.0, &[ReceivedMessage { from: 3, weight: 0.5, bytes: &[0u8] }])
+                .is_err(),
+            "message from a peer we never addressed"
+        );
+    }
+
+    #[test]
+    fn non_square_dimension_handled() {
+        // 50 params → 8×7 global matrix with 6 padded cells.
+        let (mut a, mut b, mut xa, mut xb) = pair(50, 1);
+        for round in 0..100 {
+            let (na, nb) = exchange(&mut a, &mut b, round, &xa, &xb, 0.5);
+            xa = na;
+            xb = nb;
+        }
+        assert!(max_gap(&xa, &xb) < 0.05, "gap {}", max_gap(&xa, &xb));
+    }
+
+    #[test]
+    fn orthonormalize_produces_orthonormal_planes() {
+        let n = 10;
+        let mut planes: Vec<f32> = (0..2 * n).map(|i| (i as f32 * 0.7).sin() + 0.3).collect();
+        orthonormalize_planes(&mut planes, n, 2);
+        let dot = |a: &[f32], b: &[f32]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| f64::from(*x) * f64::from(*y)).sum()
+        };
+        let (p0, p1) = planes.split_at(n);
+        assert!((dot(p0, p0) - 1.0).abs() < 1e-5);
+        assert!((dot(p1, p1) - 1.0).abs() < 1e-5);
+        assert!(dot(p0, p1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn state_bytes_counts_edge_state() {
+        let (mut a, _, xa, _) = pair(100, 1);
+        assert_eq!(a.state_bytes(), 0);
+        let _ = a.make_outbound(0, &xa, &[1, 2, 3]).unwrap();
+        // Three edges × 10-col query planes × 4 bytes.
+        assert_eq!(a.state_bytes(), 3 * 10 * 4);
+    }
+}

@@ -1,0 +1,169 @@
+//! The communicate–aggregate interface.
+//!
+//! JWINS "concerns only the communication stage in DL, and it is independent
+//! of the specific aggregation algorithm" (paper §II-A). The engine reflects
+//! that separation: after τ local SGD steps it asks the node's
+//! [`ShareStrategy`] to produce one broadcast message, delivers messages
+//! along the topology, and asks the strategy to fold the received messages
+//! into the next round's parameters. Everything an algorithm needs to
+//! remember between rounds (accumulated scores, CHOCO's replicas, RNG
+//! streams) lives inside its strategy instance — one per node.
+
+use crate::Result;
+use bytes::Bytes;
+use jwins_net::ByteBreakdown;
+
+/// A serialized broadcast message plus its byte composition.
+#[derive(Debug, Clone)]
+pub struct OutMessage {
+    /// The wire image sent to every neighbour.
+    pub bytes: Bytes,
+    /// Payload vs metadata accounting (must cover every byte).
+    pub breakdown: ByteBreakdown,
+}
+
+impl OutMessage {
+    /// Wraps a buffer with its breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the breakdown does not cover the buffer exactly.
+    pub fn new(bytes: Vec<u8>, breakdown: ByteBreakdown) -> Self {
+        debug_assert_eq!(breakdown.total(), bytes.len(), "breakdown must cover buffer");
+        Self {
+            bytes: Bytes::from(bytes),
+            breakdown,
+        }
+    }
+}
+
+/// What a node sends in one round: either one broadcast for all neighbours
+/// (JWINS and the paper's baselines) or one message per neighbour
+/// (edge-based algorithms like PowerGossip, or random-model-walk's single
+/// random target).
+#[derive(Debug, Clone)]
+pub enum Outbound {
+    /// The same message goes to every neighbour.
+    Broadcast(OutMessage),
+    /// `messages[k]` goes to `neighbors[k]`; `None` sends nothing on that
+    /// edge. Must be as long as the neighbour list it was built from.
+    PerEdge(Vec<Option<OutMessage>>),
+}
+
+/// A message received from a neighbour, annotated with the mixing weight of
+/// the edge it arrived on.
+#[derive(Debug, Clone, Copy)]
+pub struct ReceivedMessage<'a> {
+    /// Sender node id.
+    pub from: usize,
+    /// Metropolis–Hastings weight `w_ij` of the edge for this round.
+    pub weight: f64,
+    /// Serialized message body.
+    pub bytes: &'a [u8],
+}
+
+/// Per-node communication algorithm: produces one broadcast per round and
+/// folds in the neighbours' broadcasts.
+///
+/// Protocol per round `t`: `make_message(t, params)` exactly once, then
+/// `aggregate(t, params, …)` exactly once. `init` is called once before
+/// round 0 with the (cluster-identical) initial parameters.
+pub trait ShareStrategy: Send {
+    /// Stable name for logs and experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Observes the initial parameter vector (dimension, starting point).
+    fn init(&mut self, params: &[f32]) {
+        let _ = params;
+    }
+
+    /// Builds this round's broadcast from the post-local-training parameters.
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail on internal protocol violations.
+    fn make_message(&mut self, round: usize, params: &[f32]) -> Result<OutMessage>;
+
+    /// Builds this round's outbound traffic given the neighbour list the
+    /// engine will deliver to. The default delegates to [`make_message`] and
+    /// broadcasts; edge-based strategies (PowerGossip, random model walk)
+    /// override this instead.
+    ///
+    /// `neighbors` is sorted and contains only neighbours that will actually
+    /// receive (inactive nodes are already filtered out under churn).
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail on internal protocol violations.
+    ///
+    /// [`make_message`]: Self::make_message
+    fn make_outbound(
+        &mut self,
+        round: usize,
+        params: &[f32],
+        neighbors: &[usize],
+    ) -> Result<Outbound> {
+        let _ = neighbors;
+        Ok(Outbound::Broadcast(self.make_message(round, params)?))
+    }
+
+    /// Combines own parameters with the received messages, returning the
+    /// parameters that start the next round.
+    ///
+    /// `self_weight` is `w_ii` for this round's topology.
+    ///
+    /// # Errors
+    ///
+    /// Fails on undecodable messages or protocol violations.
+    fn aggregate(
+        &mut self,
+        round: usize,
+        params: &[f32],
+        self_weight: f64,
+        received: &[ReceivedMessage<'_>],
+    ) -> Result<Vec<f32>>;
+
+    /// The sharing fraction used in the most recent `make_message`, in
+    /// `[0, 1]` (1.0 for full sharing). Drives the Figure-3 plot.
+    fn last_alpha(&self) -> f64 {
+        1.0
+    }
+
+    /// Bytes of per-node algorithm state held between rounds (beyond the
+    /// model itself). Backs the paper's memory-efficiency claim (§V):
+    /// JWINS keeps one accumulation vector, while CHOCO-style error feedback
+    /// keeps model replicas.
+    fn state_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_message_wraps_bytes() {
+        let m = OutMessage::new(
+            vec![1, 2, 3],
+            ByteBreakdown {
+                payload: 2,
+                metadata: 1,
+            },
+        );
+        assert_eq!(&m.bytes[..], &[1, 2, 3]);
+        assert_eq!(m.breakdown.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "breakdown must cover buffer")]
+    fn mismatched_breakdown_panics_in_debug() {
+        let _ = OutMessage::new(
+            vec![1, 2, 3],
+            ByteBreakdown {
+                payload: 1,
+                metadata: 1,
+            },
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Mini-batch sampling.
+//!
+//! Each DL node draws random mini-batches from its local shard every local
+//! step (Algorithm 1 line 3). The sampler is an explicit-state object so the
+//! engine can give every node an independent, seeded stream — reproducibility
+//! across runs is what lets the paper average five seeds.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Seeded with-replacement mini-batch sampler over an owned sample list.
+#[derive(Debug, Clone)]
+pub struct BatchSampler<S> {
+    samples: Vec<S>,
+    rng: ChaCha8Rng,
+}
+
+impl<S: Clone> BatchSampler<S> {
+    /// Creates a sampler over `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty — a node with no data cannot train.
+    pub fn new(samples: Vec<S>, seed: u64) -> Self {
+        assert!(!samples.is_empty(), "cannot sample from an empty shard");
+        Self {
+            samples,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of samples in the underlying shard.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the shard is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Immutable view of the shard.
+    pub fn samples(&self) -> &[S] {
+        &self.samples
+    }
+
+    /// Draws a mini-batch of `size` samples uniformly with replacement.
+    pub fn sample(&mut self, size: usize) -> Vec<S> {
+        (0..size)
+            .map(|_| self.samples[self.rng.gen_range(0..self.samples.len())].clone())
+            .collect()
+    }
+
+    /// Number of mini-batches that constitute one "epoch" (the paper tunes
+    /// rounds-per-epoch, so engines need this to convert).
+    pub fn batches_per_epoch(&self, batch_size: usize) -> usize {
+        self.samples.len().div_ceil(batch_size.max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = BatchSampler::new((0..100u32).collect(), 5);
+        let mut b = BatchSampler::new((0..100u32).collect(), 5);
+        assert_eq!(a.sample(8), b.sample(8));
+        let mut c = BatchSampler::new((0..100u32).collect(), 6);
+        assert_ne!(a.sample(8), c.sample(8));
+    }
+
+    #[test]
+    fn batches_have_requested_size() {
+        let mut s = BatchSampler::new(vec![1u8, 2, 3], 0);
+        assert_eq!(s.sample(10).len(), 10); // with replacement
+        assert_eq!(s.sample(0).len(), 0);
+    }
+
+    #[test]
+    fn epoch_math() {
+        let s = BatchSampler::new((0..10u8).collect(), 0);
+        assert_eq!(s.batches_per_epoch(4), 3);
+        assert_eq!(s.batches_per_epoch(10), 1);
+        assert_eq!(s.batches_per_epoch(16), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shard")]
+    fn empty_shard_rejected() {
+        let _ = BatchSampler::new(Vec::<u8>::new(), 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! In-process network simulator with exact byte metering.
+//!
+//! The paper deploys 96–384 node processes over ZeroMQ TCP sockets and
+//! *instruments the experiments* to measure real bytes transferred (§IV-B-g).
+//! This crate is the single-process substitute: nodes exchange the very same
+//! serialized payloads a socket would carry, through per-node mailboxes, and
+//! a meter records payload vs. metadata bytes per node — the two series the
+//! paper plots in Figure 4 (row 3) and Figure 9.
+//!
+//! [`TimeModel`] converts measured bytes into simulated wall-clock time
+//! (compute + latency + bandwidth), preserving the *relative* time-to-accuracy
+//! comparisons of Figures 5–6.
+
+pub mod meter;
+pub mod time;
+pub mod transport;
+
+pub use meter::{ByteBreakdown, TrafficStats};
+pub use time::TimeModel;
+pub use transport::{Envelope, LossModel, SimNetwork};

@@ -1,0 +1,103 @@
+//! Per-node traffic accounting.
+
+/// The byte composition of one message: model payload vs. sparsification
+/// metadata (index lists, seeds, headers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByteBreakdown {
+    /// Bytes carrying parameter/coefficient values.
+    pub payload: usize,
+    /// Bytes carrying indices, seeds and framing.
+    pub metadata: usize,
+}
+
+impl ByteBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.payload + self.metadata
+    }
+}
+
+/// Cumulative counters for one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Total bytes sent.
+    pub bytes_sent: u64,
+    /// Total bytes received.
+    pub bytes_received: u64,
+    /// Payload component of `bytes_sent`.
+    pub payload_sent: u64,
+    /// Metadata component of `bytes_sent`.
+    pub metadata_sent: u64,
+    /// Number of messages sent.
+    pub messages_sent: u64,
+    /// Messages the network dropped in flight (lossy links only).
+    pub messages_dropped: u64,
+}
+
+impl TrafficStats {
+    /// Records an outgoing message.
+    pub fn record_send(&mut self, breakdown: ByteBreakdown) {
+        self.bytes_sent += breakdown.total() as u64;
+        self.payload_sent += breakdown.payload as u64;
+        self.metadata_sent += breakdown.metadata as u64;
+        self.messages_sent += 1;
+    }
+
+    /// Records an incoming message.
+    pub fn record_receive(&mut self, bytes: usize) {
+        self.bytes_received += bytes as u64;
+    }
+
+    /// Records a message lost in flight (already counted as sent).
+    pub fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    /// Merges counters from another node (for cluster-wide totals).
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.payload_sent += other.payload_sent;
+        self.metadata_sent += other.metadata_sent;
+        self.messages_sent += other.messages_sent;
+        self.messages_dropped += other.messages_dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals() {
+        let b = ByteBreakdown {
+            payload: 100,
+            metadata: 28,
+        };
+        assert_eq!(b.total(), 128);
+    }
+
+    #[test]
+    fn stats_accumulate_and_merge() {
+        let mut a = TrafficStats::default();
+        a.record_send(ByteBreakdown {
+            payload: 10,
+            metadata: 2,
+        });
+        a.record_send(ByteBreakdown {
+            payload: 5,
+            metadata: 1,
+        });
+        a.record_receive(7);
+        assert_eq!(a.bytes_sent, 18);
+        assert_eq!(a.payload_sent, 15);
+        assert_eq!(a.metadata_sent, 3);
+        assert_eq!(a.messages_sent, 2);
+        assert_eq!(a.bytes_received, 7);
+        let mut b = TrafficStats::default();
+        b.merge(&a);
+        b.merge(&a);
+        assert_eq!(b.bytes_sent, 36);
+        assert_eq!(b.messages_sent, 4);
+    }
+}

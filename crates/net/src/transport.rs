@@ -1,0 +1,324 @@
+//! Mailbox-based message transport.
+//!
+//! A [`SimNetwork`] connects `n` nodes. Senders enqueue [`Envelope`]s into
+//! the receiver's mailbox; receivers drain their mailbox once per round (the
+//! training engine is bulk-synchronous, like the paper's round structure).
+//! Payloads are reference-counted [`bytes::Bytes`], so broadcasting one
+//! message to `d` neighbours costs one allocation while still being counted
+//! `d` times by the meter — exactly like a TCP fan-out.
+
+use crate::meter::{ByteBreakdown, TrafficStats};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Independent per-message loss on every directed link, deterministic in
+/// `(seed, from, to, per-link sequence number)`.
+///
+/// Dropped messages are still metered as sent (the sender paid for the
+/// bytes) but never reach the receiver's mailbox; the drop is counted in
+/// [`TrafficStats::messages_dropped`]. Node-level churn is a different
+/// failure mode — see the engine's participation models.
+///
+/// # Example
+///
+/// ```
+/// use jwins_net::{LossModel, SimNetwork};
+/// use jwins_net::ByteBreakdown;
+/// use bytes::Bytes;
+///
+/// let net = SimNetwork::lossy(2, LossModel::new(0.5, 7));
+/// for _ in 0..100 {
+///     net.send(0, 1, Bytes::from(vec![0u8]), ByteBreakdown { payload: 1, metadata: 0 });
+/// }
+/// let delivered = net.drain(1).len() as u64;
+/// assert_eq!(delivered + net.stats(0).messages_dropped, 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossModel {
+    probability: f64,
+    seed: u64,
+}
+
+impl LossModel {
+    /// Creates a loss model dropping each message with `probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= probability < 1`.
+    pub fn new(probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&probability),
+            "loss probability must be in [0, 1)"
+        );
+        Self { probability, seed }
+    }
+
+    /// The configured drop probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    fn drops(&self, from: usize, to: usize, sequence: u64) -> bool {
+        // SplitMix64 over (seed, from, to, sequence).
+        let mut z = self
+            .seed
+            .wrapping_add((from as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((to as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((sequence + 1).wrapping_mul(0x94D0_49BB_1331_11EB));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let u = (z ^ (z >> 31)) as f64 / u64::MAX as f64;
+        u < self.probability
+    }
+}
+
+/// A delivered message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending node.
+    pub from: usize,
+    /// Serialized message body.
+    pub payload: Bytes,
+}
+
+/// An in-process network between `n` nodes.
+#[derive(Debug)]
+pub struct SimNetwork {
+    mailboxes: Vec<Mutex<Vec<Envelope>>>,
+    stats: Vec<Mutex<TrafficStats>>,
+    loss: Option<LossModel>,
+    /// Per-directed-link sequence numbers driving the loss hash.
+    sequences: Mutex<HashMap<(usize, usize), u64>>,
+}
+
+impl SimNetwork {
+    /// Creates a reliable network with `n` empty mailboxes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            mailboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            stats: (0..n).map(|_| Mutex::new(TrafficStats::default())).collect(),
+            loss: None,
+            sequences: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Creates a lossy network: each message independently dropped per
+    /// [`LossModel`]. Determinism holds per directed link regardless of the
+    /// interleaving of sends on other links.
+    pub fn lossy(n: usize, loss: LossModel) -> Self {
+        Self {
+            loss: Some(loss),
+            ..Self::new(n)
+        }
+    }
+
+    /// The loss model in effect, if any.
+    pub fn loss_model(&self) -> Option<LossModel> {
+        self.loss
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.mailboxes.is_empty()
+    }
+
+    /// Sends `payload` from `from` to `to`, metering `breakdown` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn send(&self, from: usize, to: usize, payload: Bytes, breakdown: ByteBreakdown) {
+        assert!(from < self.len() && to < self.len(), "endpoint out of range");
+        debug_assert_eq!(
+            breakdown.total(),
+            payload.len(),
+            "breakdown must account for every byte"
+        );
+        self.stats[from].lock().record_send(breakdown);
+        if let Some(loss) = &self.loss {
+            let sequence = {
+                let mut sequences = self.sequences.lock();
+                let counter = sequences.entry((from, to)).or_insert(0);
+                let current = *counter;
+                *counter += 1;
+                current
+            };
+            if loss.drops(from, to, sequence) {
+                self.stats[from].lock().record_drop();
+                return;
+            }
+        }
+        self.stats[to].lock().record_receive(payload.len());
+        self.mailboxes[to].lock().push(Envelope { from, payload });
+    }
+
+    /// Broadcasts `payload` from `from` to every node in `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn broadcast(&self, from: usize, to: &[usize], payload: Bytes, breakdown: ByteBreakdown) {
+        for &t in to {
+            self.send(from, t, payload.clone(), breakdown);
+        }
+    }
+
+    /// Drains and returns the mailbox of `node` (delivery order preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn drain(&self, node: usize) -> Vec<Envelope> {
+        std::mem::take(&mut *self.mailboxes[node].lock())
+    }
+
+    /// Snapshot of a node's traffic counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn stats(&self, node: usize) -> TrafficStats {
+        *self.stats[node].lock()
+    }
+
+    /// Cluster-wide traffic totals.
+    pub fn total_stats(&self) -> TrafficStats {
+        let mut total = TrafficStats::default();
+        for s in &self.stats {
+            total.merge(&s.lock());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(payload: usize, metadata: usize) -> ByteBreakdown {
+        ByteBreakdown { payload, metadata }
+    }
+
+    #[test]
+    fn send_and_drain() {
+        let net = SimNetwork::new(3);
+        net.send(0, 1, Bytes::from(vec![1u8, 2, 3]), breakdown(2, 1));
+        net.send(2, 1, Bytes::from(vec![4u8]), breakdown(1, 0));
+        let inbox = net.drain(1);
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox[0].from, 0);
+        assert_eq!(&inbox[0].payload[..], &[1, 2, 3]);
+        assert_eq!(inbox[1].from, 2);
+        // Drained mailboxes are empty.
+        assert!(net.drain(1).is_empty());
+    }
+
+    #[test]
+    fn metering_matches_messages() {
+        let net = SimNetwork::new(2);
+        net.send(0, 1, Bytes::from(vec![0u8; 10]), breakdown(8, 2));
+        net.send(0, 1, Bytes::from(vec![0u8; 6]), breakdown(6, 0));
+        let s0 = net.stats(0);
+        assert_eq!(s0.bytes_sent, 16);
+        assert_eq!(s0.payload_sent, 14);
+        assert_eq!(s0.metadata_sent, 2);
+        assert_eq!(s0.messages_sent, 2);
+        assert_eq!(net.stats(1).bytes_received, 16);
+        assert_eq!(net.total_stats().bytes_sent, 16);
+    }
+
+    #[test]
+    fn broadcast_meters_per_receiver() {
+        let net = SimNetwork::new(4);
+        net.broadcast(0, &[1, 2, 3], Bytes::from(vec![0u8; 5]), breakdown(5, 0));
+        assert_eq!(net.stats(0).bytes_sent, 15, "fan-out counts per link");
+        assert_eq!(net.stats(0).messages_sent, 3);
+        for node in 1..4 {
+            assert_eq!(net.drain(node).len(), 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_sends_are_safe() {
+        let net = std::sync::Arc::new(SimNetwork::new(2));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let net = net.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        net.send(0, 1, Bytes::from(vec![0u8; 3]), breakdown(3, 0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert_eq!(net.stats(0).messages_sent, 800);
+        assert_eq!(net.drain(1).len(), 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn invalid_endpoint_panics() {
+        SimNetwork::new(1).send(0, 1, Bytes::new(), breakdown(0, 0));
+    }
+
+    #[test]
+    fn lossy_network_drops_at_configured_rate() {
+        let net = SimNetwork::lossy(2, LossModel::new(0.25, 7));
+        for _ in 0..2000 {
+            net.send(0, 1, Bytes::from(vec![1u8]), breakdown(1, 0));
+        }
+        let delivered = net.drain(1).len();
+        let dropped = net.stats(0).messages_dropped;
+        assert_eq!(delivered as u64 + dropped, 2000);
+        let rate = dropped as f64 / 2000.0;
+        assert!((rate - 0.25).abs() < 0.03, "drop rate {rate}");
+        // Sender still pays for every byte; receiver sees only delivered.
+        assert_eq!(net.stats(0).bytes_sent, 2000);
+        assert_eq!(net.stats(1).bytes_received, delivered as u64);
+    }
+
+    #[test]
+    fn loss_pattern_is_deterministic_per_link() {
+        let run = || {
+            let net = SimNetwork::lossy(3, LossModel::new(0.5, 3));
+            for _ in 0..32 {
+                net.send(0, 1, Bytes::from(vec![0u8]), breakdown(1, 0));
+            }
+            net.drain(1).len()
+        };
+        assert_eq!(run(), run());
+        // Interleaving traffic on another link must not disturb link (0,1).
+        let net = SimNetwork::lossy(3, LossModel::new(0.5, 3));
+        for _ in 0..32 {
+            net.send(2, 1, Bytes::from(vec![9u8]), breakdown(1, 0));
+            net.send(0, 1, Bytes::from(vec![0u8]), breakdown(1, 0));
+        }
+        let from_zero = net.drain(1).iter().filter(|e| e.from == 0).count();
+        assert_eq!(from_zero, run());
+    }
+
+    #[test]
+    fn zero_loss_delivers_everything() {
+        let net = SimNetwork::lossy(2, LossModel::new(0.0, 1));
+        for _ in 0..50 {
+            net.send(0, 1, Bytes::from(vec![0u8]), breakdown(1, 0));
+        }
+        assert_eq!(net.drain(1).len(), 50);
+        assert_eq!(net.stats(0).messages_dropped, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn full_loss_rejected() {
+        let _ = LossModel::new(1.0, 0);
+    }
+}

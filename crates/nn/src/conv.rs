@@ -1,0 +1,239 @@
+//! 2-D convolution (direct algorithm, stride 1, symmetric zero padding).
+//!
+//! GN-LeNet — the CIFAR-10 model of Hsieh et al. that the paper adopts — is
+//! two convolution blocks followed by a classifier head. At the scaled-down
+//! image sizes of the synthetic workloads a direct convolution loop is both
+//! simple and fast enough; correctness is what matters for the reproduction
+//! and is established by finite-difference tests.
+
+use crate::init;
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Stride-1 2-D convolution with square kernels and zero padding.
+///
+/// Parameters are packed `[weight: out_ch × in_ch × k × k][bias: out_ch]`.
+#[derive(Debug)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    pad: usize,
+    params: Vec<f32>,
+    grads: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0`.
+    pub fn new(in_ch: usize, out_ch: usize, kernel: usize, pad: usize, seed: u64) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        let wlen = out_ch * in_ch * kernel * kernel;
+        let mut params = init::kaiming_normal(in_ch * kernel * kernel, wlen, seed);
+        params.extend(std::iter::repeat_n(0.0f32, out_ch));
+        let len = params.len();
+        Self {
+            in_ch,
+            out_ch,
+            kernel,
+            pad,
+            params,
+            grads: vec![0.0; len],
+            cached_input: None,
+        }
+    }
+
+    fn out_dim(&self, dim: usize) -> usize {
+        dim + 2 * self.pad + 1 - self.kernel
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let [b, c, h, w]: [usize; 4] = input.shape().try_into().expect("expects [b,c,h,w]");
+        assert_eq!(c, self.in_ch, "channel mismatch");
+        assert!(
+            h + 2 * self.pad >= self.kernel && w + 2 * self.pad >= self.kernel,
+            "input smaller than kernel"
+        );
+        let (oh, ow) = (self.out_dim(h), self.out_dim(w));
+        let k = self.kernel;
+        let x = input.data();
+        let wlen = self.out_ch * self.in_ch * k * k;
+        let (weight, bias) = self.params.split_at(wlen);
+        let mut out = vec![0.0f32; b * self.out_ch * oh * ow];
+        let pad = self.pad as isize;
+        for bi in 0..b {
+            for oc in 0..self.out_ch {
+                let dst =
+                    &mut out[(bi * self.out_ch + oc) * oh * ow..(bi * self.out_ch + oc + 1) * oh * ow];
+                for ic in 0..self.in_ch {
+                    let plane = &x[(bi * c + ic) * h * w..(bi * c + ic + 1) * h * w];
+                    let kern = &weight[(oc * self.in_ch + ic) * k * k..(oc * self.in_ch + ic + 1) * k * k];
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = 0.0;
+                            for ky in 0..k {
+                                let iy = oy as isize + ky as isize - pad;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize + kx as isize - pad;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += plane[iy as usize * w + ix as usize] * kern[ky * k + kx];
+                                }
+                            }
+                            dst[oy * ow + ox] += acc;
+                        }
+                    }
+                }
+                for v in dst.iter_mut() {
+                    *v += bias[oc];
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(&[b, self.out_ch, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward");
+        let [b, c, h, w]: [usize; 4] = input.shape().try_into().expect("cached shape");
+        let (oh, ow) = (self.out_dim(h), self.out_dim(w));
+        assert_eq!(grad_out.len(), b * self.out_ch * oh * ow);
+        let k = self.kernel;
+        let pad = self.pad as isize;
+        let x = input.data();
+        let gy = grad_out.data();
+        let wlen = self.out_ch * self.in_ch * k * k;
+        let weight: Vec<f32> = self.params[..wlen].to_vec();
+        let (gw, gb) = self.grads.split_at_mut(wlen);
+        let mut gx = vec![0.0f32; b * c * h * w];
+        for bi in 0..b {
+            for oc in 0..self.out_ch {
+                let gys = &gy[(bi * self.out_ch + oc) * oh * ow..(bi * self.out_ch + oc + 1) * oh * ow];
+                gb[oc] += gys.iter().sum::<f32>();
+                for ic in 0..self.in_ch {
+                    let plane = &x[(bi * c + ic) * h * w..(bi * c + ic + 1) * h * w];
+                    let kern = &weight[(oc * self.in_ch + ic) * k * k..(oc * self.in_ch + ic + 1) * k * k];
+                    let gkern = &mut gw[(oc * self.in_ch + ic) * k * k..(oc * self.in_ch + ic + 1) * k * k];
+                    let gplane_base = (bi * c + ic) * h * w;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = gys[oy * ow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for ky in 0..k {
+                                let iy = oy as isize + ky as isize - pad;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize + kx as isize - pad;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let ii = iy as usize * w + ix as usize;
+                                    gkern[ky * k + kx] += g * plane[ii];
+                                    gx[gplane_base + ii] += g * kern[ky * k + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[b, c, h, w], gx)
+    }
+
+    fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    fn param_segments(&self) -> Vec<(usize, usize)> {
+        // Filter bank [out, in*k*k] then the bias column — the natural
+        // matricization PowerSGD/PowerGossip factorize.
+        vec![
+            (self.out_ch, self.in_ch * self.kernel * self.kernel),
+            (self.out_ch, 1),
+        ]
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn grads(&self) -> &[f32] {
+        &self.grads
+    }
+
+    fn zero_grads(&mut self) {
+        self.grads.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1 kernel with weight 1 and no padding acts as identity.
+        let mut conv = Conv2d::new(1, 1, 1, 0, 0);
+        conv.params_mut().copy_from_slice(&[1.0, 0.0]);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0);
+        // Sum-of-neighbourhood kernel.
+        let mut p = vec![1.0f32; 9];
+        p.push(0.0); // bias
+        conv.params_mut().copy_from_slice(&p);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x);
+        // With zero padding every output is the sum of all in-range pixels.
+        assert_eq!(y.data(), &[10.0, 10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn output_shape_and_bias() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 7);
+        let x = Tensor::zeros(&[2, 2, 8, 8]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[2, 3, 8, 8]);
+        assert_eq!(conv.param_count(), 3 * 2 * 9 + 3);
+    }
+
+    #[test]
+    fn gradient_accumulates_across_calls() {
+        let mut conv = Conv2d::new(1, 1, 1, 0, 3);
+        let x = Tensor::from_vec(&[1, 1, 1, 1], vec![2.0]);
+        let _ = conv.forward(&x);
+        let _ = conv.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]));
+        let g1 = conv.grads()[0];
+        let _ = conv.forward(&x);
+        let _ = conv.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]));
+        assert_eq!(conv.grads()[0], 2.0 * g1);
+        conv.zero_grads();
+        assert_eq!(conv.grads()[0], 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Finite-difference gradient verification.
+//!
+//! Every model in this crate must pass `check_model` before it is trusted in
+//! an experiment: analytic backprop is compared against central differences
+//! `(L(p+ε) − L(p−ε)) / 2ε` on a deterministic subset of coordinates. A wrong
+//! backward pass is off by orders of magnitude on at least some coordinates,
+//! so a modest relative tolerance reliably separates correct from broken
+//! implementations despite `f32` noise.
+
+use crate::model::Model;
+
+/// Compares analytic and numeric gradients on up to `max_checks` evenly
+/// spaced parameter coordinates.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first failing coordinate.
+pub fn check_model<M: Model>(
+    model: &mut M,
+    batch: &[M::Sample],
+    eps: f32,
+    rel_tol: f32,
+    max_checks: usize,
+) -> Result<(), String> {
+    let (_, analytic) = model.loss_and_grad(batch);
+    let base = model.params();
+    let n = base.len();
+    if n == 0 {
+        return Err("model has no parameters".to_owned());
+    }
+    let stride = (n / max_checks.max(1)).max(1);
+    let numeric_at = |model: &mut M, idx: usize, eps: f32| -> f64 {
+        let mut plus = base.clone();
+        plus[idx] += eps;
+        model.set_params(&plus);
+        let (loss_plus, _) = model.loss_and_grad(batch);
+        let mut minus = base.clone();
+        minus[idx] -= eps;
+        model.set_params(&minus);
+        let (loss_minus, _) = model.loss_and_grad(batch);
+        (f64::from(loss_plus) - f64::from(loss_minus)) / (2.0 * f64::from(eps))
+    };
+    let mut skipped = 0usize;
+    let mut checked = 0usize;
+    for idx in (0..n).step_by(stride) {
+        let coarse = numeric_at(model, idx, eps);
+        let fine = numeric_at(model, idx, eps / 2.0);
+        let got = f64::from(analytic[idx]);
+        let scale = fine.abs().max(got.abs()).max(0.05);
+        // If halving the step moves the estimate materially, the loss is not
+        // locally smooth here (e.g. a ReLU kink sits inside the probe
+        // interval) and the finite difference says nothing about the
+        // analytic gradient — skip the coordinate.
+        if (coarse - fine).abs() > 0.25 * f64::from(rel_tol) * scale {
+            skipped += 1;
+            continue;
+        }
+        checked += 1;
+        if (fine - got).abs() > f64::from(rel_tol) * scale {
+            model.set_params(&base);
+            return Err(format!(
+                "gradient mismatch at parameter {idx}: numeric {fine:.6e}, analytic {got:.6e}"
+            ));
+        }
+    }
+    model.set_params(&base);
+    if checked < skipped {
+        return Err(format!(
+            "only {checked} smooth coordinates out of {} probed — check inconclusive",
+            checked + skipped
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EvalMetrics;
+
+    /// Scalar quadratic with an intentionally scalable gradient bug.
+    struct Quadratic {
+        p: Vec<f32>,
+        grad_scale: f32,
+    }
+
+    impl Model for Quadratic {
+        type Sample = f32;
+
+        fn param_count(&self) -> usize {
+            self.p.len()
+        }
+
+        fn params(&self) -> Vec<f32> {
+            self.p.clone()
+        }
+
+        fn set_params(&mut self, flat: &[f32]) {
+            self.p.copy_from_slice(flat);
+        }
+
+        fn loss_and_grad(&mut self, batch: &[f32]) -> (f32, Vec<f32>) {
+            let target = batch[0];
+            let loss: f32 = self.p.iter().map(|v| (v - target) * (v - target)).sum();
+            let grad: Vec<f32> = self
+                .p
+                .iter()
+                .map(|v| self.grad_scale * 2.0 * (v - target))
+                .collect();
+            (loss, grad)
+        }
+
+        fn evaluate(&mut self, _batch: &[f32]) -> EvalMetrics {
+            EvalMetrics::default()
+        }
+    }
+
+    #[test]
+    fn correct_gradient_passes() {
+        let mut m = Quadratic {
+            p: vec![1.0, -2.0, 0.5],
+            grad_scale: 1.0,
+        };
+        check_model(&mut m, &[0.3], 1e-3, 1e-2, 10).unwrap();
+    }
+
+    #[test]
+    fn wrong_gradient_fails() {
+        let mut m = Quadratic {
+            p: vec![1.0, -2.0, 0.5],
+            grad_scale: 0.5, // analytic gradient half of the true one
+        };
+        assert!(check_model(&mut m, &[0.3], 1e-3, 1e-2, 10).is_err());
+    }
+
+    #[test]
+    fn parameters_are_restored_after_check() {
+        let mut m = Quadratic {
+            p: vec![1.0, -2.0, 0.5],
+            grad_scale: 1.0,
+        };
+        let before = m.params();
+        check_model(&mut m, &[0.3], 1e-3, 1e-2, 10).unwrap();
+        assert_eq!(m.params(), before);
+    }
+}

@@ -1,0 +1,107 @@
+//! Seeded weight initializers.
+//!
+//! Every experiment in the paper is repeated over five seeds that determine
+//! "the data distribution, neighbors, and initial weights" (§IV-B), so
+//! initialization must be a pure function of an explicit seed. All nodes in a
+//! run start from identical weights (standard D-PSGD practice), which the
+//! engine achieves by initializing one model and broadcasting its flat
+//! parameter vector.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+/// The default for linear and embedding weights.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, len: usize, seed: u64) -> Vec<f32> {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    let dist = Uniform::new_inclusive(-a, a);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| dist.sample(&mut rng) as f32).collect()
+}
+
+/// Kaiming/He normal: `N(0, sqrt(2 / fan_in))`, suited to ReLU stacks
+/// (convolutions in GN-LeNet).
+pub fn kaiming_normal(fan_in: usize, len: usize, seed: u64) -> Vec<f32> {
+    let std = (2.0 / fan_in as f64).sqrt();
+    let dist = Normal::new(0.0, std).expect("std is finite and positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| dist.sample(&mut rng) as f32).collect()
+}
+
+/// Small-scale normal `N(0, std)` for embedding tables.
+pub fn scaled_normal(std: f64, len: usize, seed: u64) -> Vec<f32> {
+    let dist = Normal::new(0.0, std).expect("std is finite and positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| dist.sample(&mut rng) as f32).collect()
+}
+
+/// Uniform in `[lo, hi)`, for miscellaneous parameters.
+pub fn uniform(lo: f32, hi: f32, len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Derives a fresh sub-seed from a base seed and a stream index, so layers of
+/// one model get decorrelated streams while the whole model stays a pure
+/// function of its seed.
+pub fn sub_seed(seed: u64, stream: u64) -> u64 {
+    // SplitMix64 finalizer over (seed, stream).
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(
+            xavier_uniform(10, 10, 32, 7),
+            xavier_uniform(10, 10, 32, 7)
+        );
+        assert_ne!(
+            xavier_uniform(10, 10, 32, 7),
+            xavier_uniform(10, 10, 32, 8)
+        );
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let a = (6.0f64 / 20.0).sqrt() as f32;
+        for v in xavier_uniform(10, 10, 1000, 3) {
+            assert!(v.abs() <= a + 1e-6);
+        }
+    }
+
+    #[test]
+    fn kaiming_has_expected_scale() {
+        let vals = kaiming_normal(50, 20_000, 11);
+        let mean: f64 = vals.iter().map(|&v| f64::from(v)).sum::<f64>() / vals.len() as f64;
+        let var: f64 =
+            vals.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 2.0 / 50.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn sub_seed_decorrelates_streams() {
+        let s0 = sub_seed(1, 0);
+        let s1 = sub_seed(1, 1);
+        let s2 = sub_seed(2, 0);
+        assert_ne!(s0, s1);
+        assert_ne!(s0, s2);
+        assert_eq!(s0, sub_seed(1, 0));
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        for v in uniform(-0.5, 0.5, 500, 5) {
+            assert!((-0.5..0.5).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! The [`Layer`] trait and the dense/stateless layers.
+//!
+//! Layers own their parameters and gradients as flat `f32` buffers so a
+//! [`crate::sequential::Sequential`] container can expose the whole network
+//! as one parameter vector — the representation JWINS sparsifies. Every
+//! backward implementation here is covered by finite-difference tests in
+//! [`crate::gradcheck`].
+
+use crate::init;
+use crate::tensor::Tensor;
+
+/// A differentiable module with owned parameters.
+///
+/// Contract: `forward` caches whatever `backward` needs; `backward` consumes
+/// the cache of the *most recent* forward, accumulates parameter gradients
+/// into `grads()` and returns the gradient with respect to the input.
+pub trait Layer: Send + std::fmt::Debug {
+    /// Computes the layer output for a batch.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backpropagates `grad_out`, returning the gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// May panic if called before `forward` or with a mismatched shape.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Flat view of the parameters.
+    fn params(&self) -> &[f32] {
+        &[]
+    }
+
+    /// Mutable flat view of the parameters.
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut []
+    }
+
+    /// Flat view of the accumulated gradients (same layout as `params`).
+    fn grads(&self) -> &[f32] {
+        &[]
+    }
+
+    /// Clears accumulated gradients.
+    fn zero_grads(&mut self) {}
+
+    /// Matrix shapes of the parameter blocks, in flat order; the `(rows,
+    /// cols)` products sum to [`Self::param_count`]. Low-rank compressors
+    /// (PowerGossip) factorize each block separately, which only pays off
+    /// when the shapes match the layer's natural matrices — the default
+    /// treats all parameters as one column vector, which a rank-1
+    /// factorization represents exactly (right for biases and norms).
+    fn param_segments(&self) -> Vec<(usize, usize)> {
+        if self.param_count() == 0 {
+            Vec::new()
+        } else {
+            vec![(self.param_count(), 1)]
+        }
+    }
+}
+
+/// Fully connected layer: `y = W x + b`, weights `[out, in]` row-major
+/// followed by the bias in the flat parameter buffer.
+#[derive(Debug)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    params: Vec<f32>,
+    grads: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialized linear layer.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        let mut params = init::xavier_uniform(
+            in_features,
+            out_features,
+            in_features * out_features,
+            seed,
+        );
+        params.extend(std::iter::repeat_n(0.0f32, out_features)); // bias
+        let len = params.len();
+        Self {
+            in_features,
+            out_features,
+            params,
+            grads: vec![0.0; len],
+            cached_input: None,
+        }
+    }
+
+    fn weight(&self) -> &[f32] {
+        &self.params[..self.in_features * self.out_features]
+    }
+
+    fn bias(&self) -> &[f32] {
+        &self.params[self.in_features * self.out_features..]
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let b = input.shape()[0];
+        assert_eq!(
+            input.len(),
+            b * self.in_features,
+            "linear expects [batch, {}]",
+            self.in_features
+        );
+        let x = input.data();
+        let w = self.weight();
+        let bias = self.bias();
+        let mut out = vec![0.0f32; b * self.out_features];
+        for s in 0..b {
+            let xs = &x[s * self.in_features..(s + 1) * self.in_features];
+            let ys = &mut out[s * self.out_features..(s + 1) * self.out_features];
+            for (o, y) in ys.iter_mut().enumerate() {
+                let row = &w[o * self.in_features..(o + 1) * self.in_features];
+                let mut acc = bias[o];
+                for (xi, wi) in xs.iter().zip(row) {
+                    acc += xi * wi;
+                }
+                *y = acc;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(&[b, self.out_features], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward");
+        let b = input.shape()[0];
+        assert_eq!(grad_out.len(), b * self.out_features);
+        let x = input.data();
+        let gy = grad_out.data();
+        let wlen = self.in_features * self.out_features;
+        let mut gx = vec![0.0f32; b * self.in_features];
+        {
+            let (gw, gb) = self.grads.split_at_mut(wlen);
+            let w = &self.params[..wlen];
+            for s in 0..b {
+                let xs = &x[s * self.in_features..(s + 1) * self.in_features];
+                let gys = &gy[s * self.out_features..(s + 1) * self.out_features];
+                let gxs = &mut gx[s * self.in_features..(s + 1) * self.in_features];
+                for (o, &g) in gys.iter().enumerate() {
+                    gb[o] += g;
+                    let grow = &mut gw[o * self.in_features..(o + 1) * self.in_features];
+                    let wrow = &w[o * self.in_features..(o + 1) * self.in_features];
+                    for i in 0..self.in_features {
+                        grow[i] += g * xs[i];
+                        gxs[i] += g * wrow[i];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[b, self.in_features], gx)
+    }
+
+    fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    fn param_segments(&self) -> Vec<(usize, usize)> {
+        // Weight matrix [out, in] then the bias column.
+        vec![
+            (self.out_features, self.in_features),
+            (self.out_features, 1),
+        ]
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn grads(&self) -> &[f32] {
+        &self.grads
+    }
+
+    fn zero_grads(&mut self) {
+        self.grads.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+    shape: Vec<usize>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.mask = input.data().iter().map(|&v| v > 0.0).collect();
+        self.shape = input.shape().to_vec();
+        let out: Vec<f32> = input.data().iter().map(|&v| v.max(0.0)).collect();
+        Tensor::from_vec(input.shape(), out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
+        let gx: Vec<f32> = grad_out
+            .data()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(&self.shape, gx)
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    cached_output: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_output = input.data().iter().map(|&v| v.tanh()).collect();
+        self.shape = input.shape().to_vec();
+        Tensor::from_vec(input.shape(), self.cached_output.clone())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let gx: Vec<f32> = grad_out
+            .data()
+            .iter()
+            .zip(&self.cached_output)
+            .map(|(&g, &y)| g * (1.0 - y * y))
+            .collect();
+        Tensor::from_vec(&self.shape, gx)
+    }
+}
+
+/// Collapses `[batch, d1, d2, …]` to `[batch, d1·d2·…]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flattening layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.input_shape = input.shape().to_vec();
+        let b = input.shape()[0];
+        let rest = input.len() / b.max(1);
+        input.clone().reshape(&[b, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone().reshape(&self.input_shape)
+    }
+}
+
+/// Non-overlapping average pooling over `[batch, ch, h, w]` with a square
+/// window.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    window: usize,
+    input_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average pool with the given square window/stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            input_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let [b, c, h, w]: [usize; 4] = input.shape().try_into().expect("expects [b,c,h,w]");
+        assert!(
+            h % self.window == 0 && w % self.window == 0,
+            "spatial dims {h}x{w} not divisible by window {}",
+            self.window
+        );
+        self.input_shape = input.shape().to_vec();
+        let (oh, ow) = (h / self.window, w / self.window);
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let x = input.data();
+        let norm = 1.0 / (self.window * self.window) as f32;
+        for bi in 0..b {
+            for ci in 0..c {
+                let plane = &x[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
+                let dst = &mut out[(bi * c + ci) * oh * ow..(bi * c + ci + 1) * oh * ow];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for dy in 0..self.window {
+                            for dx in 0..self.window {
+                                acc += plane[(oy * self.window + dy) * w + ox * self.window + dx];
+                            }
+                        }
+                        dst[oy * ow + ox] = acc * norm;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[b, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [b, c, h, w]: [usize; 4] = self.input_shape[..]
+            .try_into()
+            .expect("backward before forward");
+        let (oh, ow) = (h / self.window, w / self.window);
+        let gy = grad_out.data();
+        let norm = 1.0 / (self.window * self.window) as f32;
+        let mut gx = vec![0.0f32; b * c * h * w];
+        for bi in 0..b {
+            for ci in 0..c {
+                let src = &gy[(bi * c + ci) * oh * ow..(bi * c + ci + 1) * oh * ow];
+                let dst = &mut gx[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = src[oy * ow + ox] * norm;
+                        for dy in 0..self.window {
+                            for dx in 0..self.window {
+                                dst[(oy * self.window + dy) * w + ox * self.window + dx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&self.input_shape, gx)
+    }
+}
+
+/// Non-overlapping max pooling over `[batch, ch, h, w]`.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    input_shape: Vec<usize>,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max pool with the given square window/stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            input_shape: Vec::new(),
+            argmax: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let [b, c, h, w]: [usize; 4] = input.shape().try_into().expect("expects [b,c,h,w]");
+        assert!(
+            h % self.window == 0 && w % self.window == 0,
+            "spatial dims {h}x{w} not divisible by window {}",
+            self.window
+        );
+        self.input_shape = input.shape().to_vec();
+        let (oh, ow) = (h / self.window, w / self.window);
+        let x = input.data();
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        self.argmax = vec![0; out.len()];
+        for bi in 0..b {
+            for ci in 0..c {
+                let base = (bi * c + ci) * h * w;
+                let obase = (bi * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..self.window {
+                            for dx in 0..self.window {
+                                let idx =
+                                    base + (oy * self.window + dy) * w + ox * self.window + dx;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out[obase + oy * ow + ox] = best;
+                        self.argmax[obase + oy * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[b, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut gx = vec![0.0f32; self.input_shape.iter().product()];
+        for (g, &idx) in grad_out.data().iter().zip(&self.argmax) {
+            gx[idx] += g;
+        }
+        Tensor::from_vec(&self.input_shape, gx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_forward_known() {
+        let mut l = Linear::new(2, 2, 0);
+        l.params_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 0.5, -0.5]);
+        // W = [[1,2],[3,4]], b = [0.5,-0.5]; x = [1, -1]
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, -1.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.data(), &[1.0 - 2.0 + 0.5, 3.0 - 4.0 - 0.5]);
+    }
+
+    #[test]
+    fn linear_backward_shapes_and_bias_grad() {
+        let mut l = Linear::new(3, 2, 1);
+        let x = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.0]);
+        let _ = l.forward(&x);
+        let gy = Tensor::from_vec(&[2, 2], vec![1.0, 1.0, 1.0, 1.0]);
+        let gx = l.backward(&gy);
+        assert_eq!(gx.shape(), &[2, 3]);
+        // Bias grads sum over the batch.
+        let gb = &l.grads()[6..];
+        assert_eq!(gb, &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(&[1, 4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = r.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = r.backward(&Tensor::from_vec(&[1, 4], vec![1.0; 4]));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_uses_output() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(&[1, 1], vec![0.0]);
+        let y = t.forward(&x);
+        assert_eq!(y.data(), &[0.0]);
+        let g = t.backward(&Tensor::from_vec(&[1, 1], vec![2.0]));
+        assert_eq!(g.data(), &[2.0]); // 1 - tanh(0)^2 = 1
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), &[2, 48]);
+        let g = f.backward(&Tensor::zeros(&[2, 48]));
+        assert_eq!(g.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn avg_pool_known() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = p.forward(&x);
+        assert_eq!(y.data(), &[2.5]);
+        let g = p.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![4.0]));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn max_pool_routes_gradient_to_argmax() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 4.0]);
+        let y = p.forward(&x);
+        assert_eq!(y.data(), &[5.0]);
+        let g = p.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![7.0]));
+        assert_eq!(g.data(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn stateless_layers_report_zero_params() {
+        assert_eq!(Relu::new().param_count(), 0);
+        assert_eq!(Flatten::new().param_count(), 0);
+        assert_eq!(AvgPool2d::new(2).param_count(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Minimal neural-network training stack with hand-written backprop.
+//!
+//! The paper trains its workloads with PyTorch; this crate is the Rust
+//! substitute: exactly the layers the five evaluation models need, each with
+//! an analytic backward pass that is verified against central finite
+//! differences (see [`gradcheck`]). Everything a decentralized-learning
+//! algorithm touches goes through the flat-parameter-vector [`Model`] trait —
+//! JWINS explicitly "considers models as flat vectors of parameters"
+//! (paper §IV-G), so `params`/`set_params`/`loss_and_grad` all speak
+//! `&[f32]`.
+//!
+//! # Contents
+//!
+//! - [`tensor::Tensor`]: shape-checked dense `f32` arrays.
+//! - [`layers`]: linear, activations, flatten, pooling.
+//! - [`conv::Conv2d`], [`norm::GroupNorm`]: the GN-LeNet building blocks.
+//! - [`recurrent`]: embeddings and LSTMs for the Shakespeare-style task.
+//! - [`sequential::Sequential`], [`models`]: the paper's five architectures.
+//! - [`loss`]: softmax cross-entropy and mean-squared error.
+//! - [`optim::Sgd`]: plain SGD (the paper uses SGD without momentum).
+//! - [`gradcheck`]: finite-difference verification harness.
+//!
+//! # Example
+//!
+//! ```
+//! use jwins_nn::models::mlp_classifier;
+//! use jwins_nn::model::Model;
+//!
+//! let mut model = mlp_classifier(4, &[16], 3, 42);
+//! let batch = vec![(vec![0.1, -0.2, 0.3, 0.5], 1usize)];
+//! let (loss, grad) = model.loss_and_grad(&batch);
+//! assert!(loss > 0.0);
+//! assert_eq!(grad.len(), model.param_count());
+//! ```
+
+pub mod conv;
+pub mod gradcheck;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod models;
+pub mod norm;
+pub mod optim;
+pub mod recurrent;
+pub mod sequential;
+pub mod tensor;
+
+pub use model::{EvalMetrics, Model};
+pub use tensor::Tensor;

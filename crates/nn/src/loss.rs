@@ -1,0 +1,185 @@
+//! Loss functions: softmax cross-entropy and mean squared error.
+//!
+//! Classification tasks (CIFAR/FEMNIST/CelebA/Shakespeare analogues) use
+//! cross-entropy; the MovieLens-style matrix factorization uses MSE. Both
+//! return the mean loss over the batch together with the gradient w.r.t. the
+//! predictions, already divided by the batch size so optimizer steps are
+//! batch-size invariant.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable mean softmax cross-entropy.
+///
+/// `logits` is `[batch, classes]`; `targets[b]` is the class index of sample
+/// `b`. Returns `(mean_loss, grad)` with `grad = (softmax - onehot) / batch`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or out-of-range targets.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    let [b, c]: [usize; 2] = logits.shape().try_into().expect("expects [batch, classes]");
+    assert_eq!(targets.len(), b, "one target per sample");
+    let x = logits.data();
+    let mut grad = vec![0.0f32; x.len()];
+    let mut loss = 0.0f64;
+    for (s, &target) in targets.iter().enumerate() {
+        assert!(target < c, "target {target} out of {c} classes");
+        let row = &x[s * c..(s + 1) * c];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for &v in row {
+            denom += f64::from(v - max).exp();
+        }
+        let log_denom = denom.ln();
+        loss += log_denom - f64::from(row[target] - max);
+        let grow = &mut grad[s * c..(s + 1) * c];
+        for (k, g) in grow.iter_mut().enumerate() {
+            let p = (f64::from(row[k] - max).exp() / denom) as f32;
+            *g = (p - if k == target { 1.0 } else { 0.0 }) / b as f32;
+        }
+    }
+    ((loss / b as f64) as f32, Tensor::from_vec(&[b, c], grad))
+}
+
+/// Softmax probabilities of a logit matrix (used for evaluation).
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let [b, c]: [usize; 2] = logits.shape().try_into().expect("expects [batch, classes]");
+    let x = logits.data();
+    let mut out = vec![0.0f32; x.len()];
+    for s in 0..b {
+        let row = &x[s * c..(s + 1) * c];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for &v in row {
+            denom += f64::from(v - max).exp();
+        }
+        for (k, o) in out[s * c..(s + 1) * c].iter_mut().enumerate() {
+            *o = (f64::from(row[k] - max).exp() / denom) as f32;
+        }
+    }
+    Tensor::from_vec(&[b, c], out)
+}
+
+/// Index of the largest logit per row.
+pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    let [b, c]: [usize; 2] = logits.shape().try_into().expect("expects [batch, classes]");
+    let x = logits.data();
+    (0..b)
+        .map(|s| {
+            let row = &x[s * c..(s + 1) * c];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+                .map(|(i, _)| i)
+                .expect("nonzero class count")
+        })
+        .collect()
+}
+
+/// Mean squared error: returns `(mean_loss, grad)` with
+/// `grad = 2 (pred - target) / n`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(pred: &[f32], target: &[f32]) -> (f32, Vec<f32>) {
+    assert_eq!(pred.len(), target.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty batch");
+    let n = pred.len() as f64;
+    let mut loss = 0.0f64;
+    let grad: Vec<f32> = pred
+        .iter()
+        .zip(target)
+        .map(|(&p, &t)| {
+            let d = f64::from(p) - f64::from(t);
+            loss += d * d;
+            (2.0 * d / n) as f32
+        })
+        .collect();
+    ((loss / n) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+        // Gradient rows sum to zero.
+        for row in grad.data().chunks(4) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let logits = Tensor::from_vec(&[1, 3], vec![10.0, -10.0, -10.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+        let (loss_wrong, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss_wrong > 10.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let base = vec![0.3f32, -0.7, 1.2, 0.1, 0.9, -0.2];
+        let targets = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&Tensor::from_vec(&[2, 3], base.clone()), &targets);
+        let eps = 1e-3f32;
+        for i in 0..base.len() {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&Tensor::from_vec(&[2, 3], plus), &targets);
+            let (lm, _) = softmax_cross_entropy(&Tensor::from_vec(&[2, 3], minus), &targets);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "coord {i}: numeric {numeric} vs analytic {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn stability_under_huge_logits() {
+        let logits = Tensor::from_vec(&[1, 2], vec![1e4, -1e4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let p = softmax(&logits);
+        for row in p.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 5.0, 3.0, -1.0, -2.0, -0.5]);
+        assert_eq!(argmax_rows(&logits), vec![1, 2]);
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let (loss, grad) = mse(&[1.0, 2.0], &[0.0, 4.0]);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(grad, vec![1.0, -2.0]); // 2d/n
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_rejects_mismatch() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

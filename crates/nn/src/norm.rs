@@ -1,0 +1,203 @@
+//! Group normalization (Wu & He, 2018).
+//!
+//! The paper's CIFAR-10 model is *GN*-LeNet (Hsieh et al., "The non-IID data
+//! quagmire"): batch norm is replaced by group norm precisely because batch
+//! statistics break under non-IID decentralized training. Group norm
+//! normalizes each sample independently over channel groups, so it behaves
+//! identically at train and eval time and needs no running statistics.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+const EPS: f64 = 1e-5;
+
+/// Group normalization over `[batch, ch, h, w]` with per-channel affine
+/// parameters (`gamma` then `beta` in the flat buffer).
+#[derive(Debug)]
+pub struct GroupNorm {
+    groups: usize,
+    channels: usize,
+    params: Vec<f32>,
+    grads: Vec<f32>,
+    /// Cached from forward: normalized activations and per-(sample, group)
+    /// inverse standard deviations.
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    xhat: Vec<f32>,
+    inv_std: Vec<f64>,
+    shape: Vec<usize>,
+}
+
+impl GroupNorm {
+    /// Creates a group norm with `gamma = 1`, `beta = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `groups` divides `channels`.
+    pub fn new(groups: usize, channels: usize) -> Self {
+        assert!(groups > 0 && channels.is_multiple_of(groups), "groups must divide channels");
+        let mut params = vec![1.0f32; channels];
+        params.extend(std::iter::repeat_n(0.0f32, channels));
+        Self {
+            groups,
+            channels,
+            grads: vec![0.0; 2 * channels],
+            params,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for GroupNorm {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let [b, c, h, w]: [usize; 4] = input.shape().try_into().expect("expects [b,c,h,w]");
+        assert_eq!(c, self.channels, "channel mismatch");
+        let gsize = c / self.groups * h * w; // elements per (sample, group)
+        let x = input.data();
+        let (gamma, beta) = self.params.split_at(c);
+        let mut xhat = vec![0.0f32; x.len()];
+        let mut out = vec![0.0f32; x.len()];
+        let mut inv_std = vec![0.0f64; b * self.groups];
+        let ch_per_group = c / self.groups;
+        for bi in 0..b {
+            for g in 0..self.groups {
+                let start = bi * c * h * w + g * ch_per_group * h * w;
+                let slice = &x[start..start + gsize];
+                let mean = slice.iter().map(|&v| f64::from(v)).sum::<f64>() / gsize as f64;
+                let var = slice
+                    .iter()
+                    .map(|&v| (f64::from(v) - mean).powi(2))
+                    .sum::<f64>()
+                    / gsize as f64;
+                let istd = 1.0 / (var + EPS).sqrt();
+                inv_std[bi * self.groups + g] = istd;
+                for (k, &v) in slice.iter().enumerate() {
+                    let ch = g * ch_per_group + k / (h * w);
+                    let xh = ((f64::from(v) - mean) * istd) as f32;
+                    xhat[start + k] = xh;
+                    out[start + k] = gamma[ch] * xh + beta[ch];
+                }
+            }
+        }
+        self.cache = Some(Cache {
+            xhat,
+            inv_std,
+            shape: input.shape().to_vec(),
+        });
+        Tensor::from_vec(input.shape(), out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let [b, c, h, w]: [usize; 4] = cache.shape[..].try_into().expect("cached shape");
+        assert_eq!(grad_out.len(), b * c * h * w);
+        let gy = grad_out.data();
+        let gsize = c / self.groups * h * w;
+        let ch_per_group = c / self.groups;
+        let gamma: Vec<f32> = self.params[..c].to_vec();
+        let (ggamma, gbeta) = self.grads.split_at_mut(c);
+        let mut gx = vec![0.0f32; gy.len()];
+        for bi in 0..b {
+            for g in 0..self.groups {
+                let start = bi * c * h * w + g * ch_per_group * h * w;
+                let istd = cache.inv_std[bi * self.groups + g];
+                // Per-group reductions of gxhat and gxhat·xhat.
+                let mut sum_gxh = 0.0f64;
+                let mut sum_gxh_xh = 0.0f64;
+                for k in 0..gsize {
+                    let ch = g * ch_per_group + k / (h * w);
+                    let gxh = f64::from(gy[start + k]) * f64::from(gamma[ch]);
+                    let xh = f64::from(cache.xhat[start + k]);
+                    sum_gxh += gxh;
+                    sum_gxh_xh += gxh * xh;
+                    ggamma[ch] += gy[start + k] * cache.xhat[start + k];
+                    gbeta[ch] += gy[start + k];
+                }
+                let m = gsize as f64;
+                for k in 0..gsize {
+                    let ch = g * ch_per_group + k / (h * w);
+                    let gxh = f64::from(gy[start + k]) * f64::from(gamma[ch]);
+                    let xh = f64::from(cache.xhat[start + k]);
+                    gx[start + k] =
+                        ((istd / m) * (m * gxh - sum_gxh - xh * sum_gxh_xh)) as f32;
+                }
+            }
+        }
+        Tensor::from_vec(&cache.shape, gx)
+    }
+
+    fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn grads(&self) -> &[f32] {
+        &self.grads
+    }
+
+    fn zero_grads(&mut self) {
+        self.grads.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_to_zero_mean_unit_var() {
+        let mut gn = GroupNorm::new(2, 4);
+        let x = Tensor::from_vec(
+            &[1, 4, 1, 2],
+            vec![1.0, 3.0, 5.0, 7.0, -2.0, 0.0, 2.0, 4.0],
+        );
+        let y = gn.forward(&x);
+        // Group 0 covers channels 0-1 (first 4 values), group 1 the rest.
+        for group in y.data().chunks(4) {
+            let mean: f32 = group.iter().sum::<f32>() / 4.0;
+            let var: f32 = group.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn affine_parameters_apply() {
+        let mut gn = GroupNorm::new(1, 2);
+        let c = 2;
+        gn.params_mut()[0] = 2.0; // gamma ch0
+        gn.params_mut()[c] = 1.0; // beta ch0
+        let x = Tensor::from_vec(&[1, 2, 1, 1], vec![1.0, -1.0]);
+        let y = gn.forward(&x);
+        // xhat = [1, -1] (mean 0, var 1 over the group of both channels).
+        assert!((y.data()[0] - 3.0).abs() < 1e-3, "{:?}", y.data());
+        assert!((y.data()[1] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn samples_are_independent() {
+        // Changing sample 2 must not affect sample 1's output.
+        let mut gn = GroupNorm::new(1, 1);
+        let x1 = Tensor::from_vec(&[2, 1, 1, 2], vec![1.0, 2.0, 100.0, -50.0]);
+        let x2 = Tensor::from_vec(&[2, 1, 1, 2], vec![1.0, 2.0, 7.0, 9.0]);
+        let y1 = gn.forward(&x1).data()[..2].to_vec();
+        let y2 = gn.forward(&x2).data()[..2].to_vec();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups must divide channels")]
+    fn invalid_groups_panics() {
+        let _ = GroupNorm::new(3, 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! Stochastic gradient descent.
+//!
+//! The paper tunes a plain SGD optimizer without momentum (§IV-B); momentum
+//! is provided as an option for the extension experiments but defaults off.
+
+/// Plain SGD with optional classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with classical momentum `v ← μv + g; p ← p − ηv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0` and `0 <= momentum < 1`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update step in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length, or if the length
+    /// changes between calls while momentum is active.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        if self.momentum == 0.0 {
+            for (p, g) in params.iter_mut().zip(grads) {
+                *p -= self.lr * g;
+            }
+            return;
+        }
+        if self.velocity.is_empty() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter count changed");
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            *v = self.momentum * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_step() {
+        let mut sgd = Sgd::new(0.1);
+        let mut p = vec![1.0f32, -1.0];
+        sgd.step(&mut p, &[2.0, -2.0]);
+        assert_eq!(p, vec![0.8, -0.8]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut sgd = Sgd::with_momentum(0.1, 0.5);
+        let mut p = vec![0.0f32];
+        sgd.step(&mut p, &[1.0]); // v=1, p=-0.1
+        sgd.step(&mut p, &[1.0]); // v=1.5, p=-0.25
+        assert!((p[0] + 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn descends_a_quadratic() {
+        // f(x) = x², gradient 2x: iterates must converge to 0.
+        let mut sgd = Sgd::new(0.1);
+        let mut x = vec![5.0f32];
+        for _ in 0..100 {
+            let g = vec![2.0 * x[0]];
+            sgd.step(&mut x, &g);
+        }
+        assert!(x[0].abs() < 1e-3, "did not converge: {}", x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_zero_lr() {
+        let _ = Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! A sequential container exposing its layers as one flat parameter vector.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// A stack of layers applied in order.
+///
+/// The container concatenates every layer's parameters (in layer order) into
+/// the single flat vector JWINS and the baselines sparsify, and scatters
+/// updates back.
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn with(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs all layers forward.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut cur = input.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Backpropagates through all layers (reverse order), accumulating
+    /// parameter gradients; returns the gradient w.r.t. the input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Per-layer parameter counts, in flat-vector order. Layers without
+    /// parameters (activations, pooling) contribute a `0` entry, so the
+    /// sizes always sum to [`Self::param_count`]. Used to build per-layer
+    /// importance scalings over the flat vector.
+    pub fn layer_param_sizes(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.param_count()).collect()
+    }
+
+    /// Matrix shapes of every parameter block across all layers, in flat
+    /// order (see [`Layer::param_segments`]); products sum to
+    /// [`Self::param_count`]. Feeds low-rank per-layer compressors.
+    pub fn param_segments(&self) -> Vec<(usize, usize)> {
+        self.layers.iter().flat_map(|l| l.param_segments()).collect()
+    }
+
+    /// Copies all parameters into a fresh flat vector (layer order).
+    pub fn params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            out.extend_from_slice(layer.params());
+        }
+        out
+    }
+
+    /// Loads a flat parameter vector produced by [`Self::params`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != self.param_count()`.
+    pub fn set_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "parameter length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            let n = layer.param_count();
+            layer.params_mut().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// Copies all gradients into a fresh flat vector (same layout as
+    /// [`Self::params`]).
+    pub fn grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            out.extend_from_slice(layer.grads());
+        }
+        out
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+
+    fn tiny_net() -> Sequential {
+        Sequential::new()
+            .with(Linear::new(3, 4, 1))
+            .with(Relu::new())
+            .with(Linear::new(4, 2, 2))
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut net = tiny_net();
+        assert_eq!(net.param_count(), 3 * 4 + 4 + 4 * 2 + 2);
+        let p = net.params();
+        let mut p2 = p.clone();
+        p2[0] += 1.0;
+        net.set_params(&p2);
+        assert_eq!(net.params(), p2);
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut net = tiny_net();
+        let x = Tensor::from_vec(&[2, 3], vec![0.5; 6]);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[2, 2]);
+        let gx = net.backward(&Tensor::from_vec(&[2, 2], vec![1.0; 4]));
+        assert_eq!(gx.shape(), &[2, 3]);
+        assert_eq!(net.grads().len(), net.param_count());
+    }
+
+    #[test]
+    fn zero_grads_clears_everything() {
+        let mut net = tiny_net();
+        let x = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]);
+        let _ = net.forward(&x);
+        let _ = net.backward(&Tensor::from_vec(&[1, 2], vec![1.0, -1.0]));
+        assert!(net.grads().iter().any(|&g| g != 0.0));
+        net.zero_grads();
+        assert!(net.grads().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter length mismatch")]
+    fn set_params_validates_length() {
+        tiny_net().set_params(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Static and per-round dynamic topology providers.
+//!
+//! Figure 7 of the paper randomizes each node's neighbours every round
+//! without moving any data, which mixes models faster and lifts the accuracy
+//! of both full-sharing and JWINS. A [`TopologyProvider`] abstracts over the
+//! static and dynamic cases so the training engine is agnostic to which one
+//! is in use.
+
+use crate::gen::random_regular;
+use crate::weights::MetropolisWeights;
+use crate::{Graph, TopologyError};
+use std::sync::Arc;
+
+/// A graph paired with its Metropolis–Hastings weights, shared immutably
+/// across the engine's worker threads.
+#[derive(Debug, Clone)]
+pub struct RoundTopology {
+    /// The communication graph for this round.
+    pub graph: Arc<Graph>,
+    /// Mixing weights for [`Self::graph`].
+    pub weights: Arc<MetropolisWeights>,
+}
+
+impl RoundTopology {
+    /// Bundles a graph with freshly computed MH weights.
+    pub fn new(graph: Graph) -> Self {
+        let weights = MetropolisWeights::for_graph(&graph);
+        Self {
+            graph: Arc::new(graph),
+            weights: Arc::new(weights),
+        }
+    }
+}
+
+/// Supplies the communication graph for every training round.
+pub trait TopologyProvider: Send + Sync {
+    /// Number of nodes all produced graphs must have.
+    fn nodes(&self) -> usize;
+
+    /// The topology used in `round`. Must be deterministic in `round`.
+    fn topology(&self, round: usize) -> RoundTopology;
+
+    /// Whether the graph changes between rounds (used by strategies such as
+    /// CHOCO-SGD whose state assumes a fixed neighbourhood).
+    fn is_dynamic(&self) -> bool;
+}
+
+/// The same graph every round (the paper's default).
+#[derive(Debug, Clone)]
+pub struct StaticTopology {
+    round: RoundTopology,
+    nodes: usize,
+}
+
+impl StaticTopology {
+    /// Wraps a fixed graph.
+    pub fn new(graph: Graph) -> Self {
+        let nodes = graph.len();
+        Self {
+            round: RoundTopology::new(graph),
+            nodes,
+        }
+    }
+
+    /// Convenience: a random `d`-regular static topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors for infeasible `(n, d)`.
+    pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Self, TopologyError> {
+        Ok(Self::new(random_regular(n, d, seed)?))
+    }
+}
+
+impl TopologyProvider for StaticTopology {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn topology(&self, _round: usize) -> RoundTopology {
+        self.round.clone()
+    }
+
+    fn is_dynamic(&self) -> bool {
+        false
+    }
+}
+
+/// A fresh random `d`-regular graph every round, deterministic in
+/// `(seed, round)` — the paper's "dynamic topology" (Figure 7).
+#[derive(Debug, Clone)]
+pub struct DynamicRegular {
+    nodes: usize,
+    degree: usize,
+    seed: u64,
+}
+
+impl DynamicRegular {
+    /// Creates the provider, validating feasibility once up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InfeasibleRegular`] for impossible `(n, d)`.
+    pub fn new(nodes: usize, degree: usize, seed: u64) -> Result<Self, TopologyError> {
+        // Validate by generating round 0 once.
+        random_regular(nodes, degree, seed)?;
+        Ok(Self {
+            nodes,
+            degree,
+            seed,
+        })
+    }
+}
+
+impl TopologyProvider for DynamicRegular {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn topology(&self, round: usize) -> RoundTopology {
+        let round_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(round as u64);
+        let graph = random_regular(self.nodes, self.degree, round_seed)
+            .expect("feasibility was validated in the constructor");
+        RoundTopology::new(graph)
+    }
+
+    fn is_dynamic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn static_provider_repeats_the_same_graph() {
+        let provider = StaticTopology::random_regular(12, 4, 5).unwrap();
+        let a = provider.topology(0);
+        let b = provider.topology(999);
+        assert_eq!(*a.graph, *b.graph);
+        assert!(!provider.is_dynamic());
+        assert_eq!(provider.nodes(), 12);
+    }
+
+    #[test]
+    fn dynamic_provider_changes_but_is_deterministic() {
+        let provider = DynamicRegular::new(16, 4, 7).unwrap();
+        assert!(provider.is_dynamic());
+        let r0 = provider.topology(0);
+        let r1 = provider.topology(1);
+        assert_ne!(*r0.graph, *r1.graph, "rounds should differ w.h.p.");
+        let r0_again = provider.topology(0);
+        assert_eq!(*r0.graph, *r0_again.graph, "same round must reproduce");
+        for round in 0..5 {
+            let t = provider.topology(round);
+            assert!(t.graph.is_connected());
+            for v in 0..16 {
+                assert_eq!(t.graph.degree(v), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_rejects_infeasible() {
+        assert!(DynamicRegular::new(5, 3, 0).is_err());
+    }
+
+    #[test]
+    fn round_topology_weights_match_graph() {
+        let g = gen::ring(8).unwrap();
+        let rt = RoundTopology::new(g);
+        for v in 0..8 {
+            let sum: f64 =
+                rt.weights.self_weight(v) + rt.weights.neighbor_weights(v).iter().sum::<f64>();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+}

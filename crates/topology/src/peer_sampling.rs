@@ -1,0 +1,443 @@
+//! Gossip-based peer sampling (extension).
+//!
+//! The paper closes its related-work discussion with: "JWINS does not assume
+//! anything about the topology of the nodes, therefore can be combined with
+//! peer-sampling and selection services. This is an interesting avenue for
+//! future research" (§V). This module explores that avenue with a
+//! Cyclon-style peer-sampling service: every node maintains a small partial
+//! *view* of the network and periodically shuffles view entries with its
+//! oldest peer. Each round's communication graph is sampled from the current
+//! views, so the topology both changes every round (like Figure 7's dynamic
+//! graphs) and emerges from a realistic membership protocol rather than a
+//! global random-regular construction no real deployment could build.
+//!
+//! Simplifications relative to the full Cyclon protocol, which do not affect
+//! the properties the experiments rely on (uniform-ish sampling, self-healing
+//! views, bounded degree): shuffles happen synchronously once per round in
+//! node order, and the "network" delivering shuffle requests is the
+//! simulator itself.
+
+use crate::dynamic::{RoundTopology, TopologyProvider};
+use crate::Graph;
+use parking_lot::Mutex;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A view entry: a known peer and how many shuffle rounds ago it was
+/// inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    peer: usize,
+    age: u32,
+}
+
+/// Configuration of the peer-sampling service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerSamplingConfig {
+    /// Partial-view size per node (Cyclon's cache size).
+    pub view_size: usize,
+    /// Entries exchanged per shuffle (Cyclon's shuffle length).
+    pub shuffle_len: usize,
+    /// Gossip targets drawn from the view each round (out-degree before
+    /// symmetrization).
+    pub degree: usize,
+}
+
+impl Default for PeerSamplingConfig {
+    fn default() -> Self {
+        Self {
+            view_size: 8,
+            shuffle_len: 4,
+            degree: 2,
+        }
+    }
+}
+
+/// Mutable protocol state, evolved one shuffle per round.
+#[derive(Debug)]
+struct CyclonState {
+    /// Round the next `step` call will produce.
+    next_round: usize,
+    views: Vec<Vec<Entry>>,
+    /// Most recently derived topology, keyed by round.
+    cache: Option<(usize, RoundTopology)>,
+}
+
+/// A [`TopologyProvider`] backed by a Cyclon-style peer-sampling service.
+///
+/// Deterministic in `(seed, round)`: querying rounds out of order replays
+/// the protocol from its bootstrap state, so repeated queries for the same
+/// round always return the same graph.
+///
+/// # Example
+///
+/// ```
+/// use jwins_topology::peer_sampling::{PeerSampling, PeerSamplingConfig};
+/// use jwins_topology::dynamic::TopologyProvider;
+///
+/// let provider = PeerSampling::new(32, PeerSamplingConfig::default(), 7);
+/// let t0 = provider.topology(0);
+/// let t5 = provider.topology(5);
+/// assert_ne!(
+///     t0.graph.neighbors(0),
+///     t5.graph.neighbors(0),
+///     "views shuffle, so neighbourhoods drift"
+/// );
+/// ```
+#[derive(Debug)]
+pub struct PeerSampling {
+    nodes: usize,
+    config: PeerSamplingConfig,
+    seed: u64,
+    state: Mutex<CyclonState>,
+}
+
+impl PeerSampling {
+    /// Creates a service over `nodes` nodes.
+    ///
+    /// Nodes bootstrap with a chain-of-successors view (node `i` knows
+    /// `i+1 .. i+view_size`), mimicking deployments where joiners learn a few
+    /// contacts from the node that introduced them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`, `view_size == 0`, `degree == 0`, or
+    /// `shuffle_len == 0`.
+    pub fn new(nodes: usize, config: PeerSamplingConfig, seed: u64) -> Self {
+        assert!(nodes >= 2, "peer sampling needs at least two nodes");
+        assert!(config.view_size > 0, "view_size must be positive");
+        assert!(config.degree > 0, "degree must be positive");
+        assert!(config.shuffle_len > 0, "shuffle_len must be positive");
+        Self {
+            nodes,
+            config,
+            seed,
+            state: Mutex::new(CyclonState {
+                next_round: 0,
+                views: Self::bootstrap(nodes, config.view_size),
+                cache: None,
+            }),
+        }
+    }
+
+    fn bootstrap(nodes: usize, view_size: usize) -> Vec<Vec<Entry>> {
+        (0..nodes)
+            .map(|i| {
+                (1..=view_size.min(nodes - 1))
+                    .map(|k| Entry {
+                        peer: (i + k) % nodes,
+                        age: 0,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> PeerSamplingConfig {
+        self.config
+    }
+
+    /// A snapshot of node `v`'s current partial view (diagnostics/tests).
+    /// Reflects the state after the most recently queried round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= nodes`.
+    pub fn view_of(&self, v: usize) -> Vec<usize> {
+        let state = self.state.lock();
+        state.views[v].iter().map(|e| e.peer).collect()
+    }
+
+    fn rng_for(&self, round: usize, salt: u64) -> ChaCha8Rng {
+        // SplitMix64 over (seed, round, salt) for decorrelated streams.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(round as u64 + 1))
+            .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ChaCha8Rng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// Derives this round's communication graph from the current views:
+    /// every node picks `degree` distinct peers from its view; the edge set
+    /// is symmetrized.
+    fn derive_graph(&self, views: &[Vec<Entry>], round: usize) -> Graph {
+        let mut rng = self.rng_for(round, 0xE);
+        let mut edges = Vec::with_capacity(self.nodes * self.config.degree);
+        for (i, view) in views.iter().enumerate() {
+            let mut peers: Vec<usize> = view.iter().map(|e| e.peer).collect();
+            peers.shuffle(&mut rng);
+            for &p in peers.iter().take(self.config.degree) {
+                edges.push((i, p));
+            }
+        }
+        Graph::from_edges(self.nodes, &edges)
+            .expect("views contain only valid, non-self peers")
+    }
+
+    /// One synchronous Cyclon shuffle across all nodes.
+    fn shuffle_step(&self, views: &mut [Vec<Entry>], round: usize) {
+        let mut rng = self.rng_for(round, 0x5);
+        for i in 0..views.len() {
+            for e in views[i].iter_mut() {
+                e.age += 1;
+            }
+            // Pick the oldest peer as the shuffle partner and drop it from
+            // the view (it is replaced by the partner's fresh entries).
+            let Some(oldest_pos) = views[i]
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| e.age)
+                .map(|(pos, _)| pos)
+            else {
+                continue;
+            };
+            let partner = views[i].remove(oldest_pos).peer;
+            // Request: up to shuffle_len−1 random entries plus our own
+            // descriptor with age 0.
+            let mut request: Vec<Entry> = {
+                let mut pool: Vec<Entry> = views[i].clone();
+                pool.shuffle(&mut rng);
+                pool.truncate(self.config.shuffle_len.saturating_sub(1));
+                pool
+            };
+            request.push(Entry { peer: i, age: 0 });
+            // Reply: up to shuffle_len random entries from the partner.
+            let reply: Vec<Entry> = {
+                let mut pool: Vec<Entry> = views[partner].clone();
+                pool.shuffle(&mut rng);
+                pool.truncate(self.config.shuffle_len);
+                pool
+            };
+            let sent_by_partner: Vec<usize> = reply.iter().map(|e| e.peer).collect();
+            let sent_by_i: Vec<usize> = request.iter().map(|e| e.peer).collect();
+            Self::merge(&mut views[i], i, &reply, &sent_by_i, self.config.view_size);
+            Self::merge(
+                &mut views[partner],
+                partner,
+                &request,
+                &sent_by_partner,
+                self.config.view_size,
+            );
+        }
+    }
+
+    /// Cyclon merge: insert received entries (skipping self and known
+    /// peers), evicting first the entries that were sent away, then the
+    /// oldest, to stay within `cap`.
+    fn merge(view: &mut Vec<Entry>, owner: usize, received: &[Entry], sent: &[usize], cap: usize) {
+        for &entry in received {
+            if entry.peer == owner || view.iter().any(|e| e.peer == entry.peer) {
+                continue;
+            }
+            if view.len() >= cap {
+                // Prefer evicting an entry we just offered to the partner.
+                let victim = view
+                    .iter()
+                    .position(|e| sent.contains(&e.peer))
+                    .or_else(|| {
+                        view.iter()
+                            .enumerate()
+                            .max_by_key(|(_, e)| e.age)
+                            .map(|(pos, _)| pos)
+                    });
+                match victim {
+                    Some(pos) => {
+                        view.remove(pos);
+                    }
+                    None => break,
+                }
+            }
+            view.push(entry);
+        }
+    }
+
+    /// Advances the protocol to `round` and returns that round's topology,
+    /// replaying from bootstrap if an earlier round is requested.
+    fn topology_at(&self, round: usize) -> RoundTopology {
+        let mut state = self.state.lock();
+        if let Some((r, topo)) = &state.cache {
+            if *r == round {
+                return topo.clone();
+            }
+        }
+        if round < state.next_round {
+            state.views = Self::bootstrap(self.nodes, self.config.view_size);
+            state.next_round = 0;
+            state.cache = None;
+        }
+        loop {
+            let r = state.next_round;
+            let topo = RoundTopology::new(self.derive_graph(&state.views, r));
+            self.shuffle_step(&mut state.views, r);
+            state.next_round = r + 1;
+            if r == round {
+                state.cache = Some((r, topo.clone()));
+                return topo;
+            }
+        }
+    }
+}
+
+impl TopologyProvider for PeerSampling {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn topology(&self, round: usize) -> RoundTopology {
+        self.topology_at(round)
+    }
+
+    fn is_dynamic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provider(n: usize, seed: u64) -> PeerSampling {
+        PeerSampling::new(n, PeerSamplingConfig::default(), seed)
+    }
+
+    #[test]
+    fn every_round_has_no_isolated_nodes() {
+        let p = provider(24, 3);
+        for round in 0..30 {
+            let topo = p.topology(round);
+            for v in 0..24 {
+                assert!(
+                    topo.graph.degree(v) >= 1,
+                    "node {v} isolated in round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn views_stay_valid_under_shuffling() {
+        let p = provider(16, 11);
+        let _ = p.topology(40);
+        for v in 0..16 {
+            let view = p.view_of(v);
+            assert!(view.len() <= p.config().view_size);
+            assert!(!view.contains(&v), "self in view of {v}");
+            let mut sorted = view.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), view.len(), "duplicate peers in view of {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_replayable() {
+        let p1 = provider(20, 9);
+        let p2 = provider(20, 9);
+        let a = p1.topology(7);
+        let b = p2.topology(7);
+        assert_eq!(a.graph.edges().collect::<Vec<_>>(), b.graph.edges().collect::<Vec<_>>());
+        // Out-of-order query replays deterministically.
+        let _ = p1.topology(2);
+        let again = p1.topology(7);
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            again.graph.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = provider(20, 1).topology(5);
+        let b = provider(20, 2).topology(5);
+        assert_ne!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn topology_drifts_over_rounds() {
+        let p = provider(32, 5);
+        let early = p.topology(0);
+        let late = p.topology(25);
+        let e0: std::collections::HashSet<_> = early.graph.edges().collect();
+        let e25: std::collections::HashSet<_> = late.graph.edges().collect();
+        assert_ne!(e0, e25, "shuffling must change the sampled graph");
+    }
+
+    #[test]
+    fn views_mix_beyond_bootstrap_neighbourhood() {
+        // Bootstrap views are successor chains; after enough shuffles a
+        // node's view should include peers far outside its initial window.
+        let p = provider(64, 21);
+        let _ = p.topology(60);
+        let mut far = 0;
+        for v in 0..64 {
+            for peer in p.view_of(v) {
+                let dist = (peer + 64 - v) % 64;
+                if !(1..=p.config().view_size).contains(&dist) {
+                    far += 1;
+                }
+            }
+        }
+        assert!(far > 64, "views never mixed: only {far} far entries");
+    }
+
+    #[test]
+    fn union_over_rounds_is_connected() {
+        let p = provider(24, 13);
+        let mut edges = Vec::new();
+        for round in 0..10 {
+            edges.extend(p.topology(round).graph.edges());
+        }
+        let union = Graph::from_edges(24, &edges).unwrap();
+        assert!(union.is_connected());
+    }
+
+    #[test]
+    fn load_spreads_across_nodes() {
+        // No node should be referenced dramatically more often than average
+        // across many rounds (peer-sampling's load-balancing property).
+        let p = provider(32, 17);
+        let mut refs = vec![0usize; 32];
+        for round in 0..40 {
+            let topo = p.topology(round);
+            for (v, count) in refs.iter_mut().enumerate() {
+                *count += topo.graph.degree(v);
+            }
+        }
+        let mean = refs.iter().sum::<usize>() as f64 / 32.0;
+        let max = *refs.iter().max().unwrap() as f64;
+        assert!(
+            max < mean * 3.0,
+            "hot spot: max degree-sum {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_rejected() {
+        let _ = PeerSampling::new(1, PeerSamplingConfig::default(), 0);
+    }
+
+    #[test]
+    fn works_with_tiny_views() {
+        let p = PeerSampling::new(
+            8,
+            PeerSamplingConfig {
+                view_size: 2,
+                shuffle_len: 1,
+                degree: 1,
+            },
+            3,
+        );
+        for round in 0..20 {
+            let topo = p.topology(round);
+            assert_eq!(topo.graph.len(), 8);
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Orthogonal wavelet filter banks.
+//!
+//! Each family is defined by its *scaling* (lowpass reconstruction) filter
+//! `rec_lo`; the remaining three filters follow from the quadrature-mirror
+//! relations used by PyWavelets:
+//!
+//! ```text
+//! rec_hi[k] = (-1)^k · rec_lo[L-1-k]
+//! dec_lo[k] = rec_lo[L-1-k]
+//! dec_hi[k] = rec_hi[L-1-k]
+//! ```
+//!
+//! The coefficient tables are the standard Daubechies/Symlet/Coiflet values
+//! (identical to PyWavelets); `sym2` is numerically identical to `db2`, the
+//! filter JWINS uses. Orthogonality (`Σ h[m]·h[m+2j] = δ_j`) is asserted by
+//! the tests below, which is what guarantees perfect reconstruction of the
+//! periodized transform in [`crate::transform`].
+
+use crate::WaveletError;
+
+/// Daubechies scaling filters `db1..db8` (reconstruction lowpass).
+const DB: [&[f64]; 8] = [
+    // db1 / Haar
+    &[std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2],
+    // db2 (== sym2)
+    &[
+        0.48296291314469025,
+        0.836516303737469,
+        0.22414386804185735,
+        -0.12940952255092145,
+    ],
+    // db3
+    &[
+        0.3326705529509569,
+        0.8068915093133388,
+        0.4598775021193313,
+        -0.13501102001039084,
+        -0.08544127388224149,
+        0.035226291882100656,
+    ],
+    // db4
+    &[
+        0.23037781330885523,
+        0.7148465705525415,
+        0.6308807679295904,
+        -0.02798376941698385,
+        -0.18703481171888114,
+        0.030841381835986965,
+        0.032883011666982945,
+        -0.010597401784997278,
+    ],
+    // db5
+    &[
+        0.160102397974125,
+        0.6038292697974729,
+        0.7243085284385744,
+        0.13842814590110342,
+        -0.24229488706619015,
+        -0.03224486958502952,
+        0.07757149384006515,
+        -0.006241490213011705,
+        -0.012580751999015526,
+        0.003335725285001549,
+    ],
+    // db6
+    &[
+        0.11154074335008017,
+        0.4946238903983854,
+        0.7511339080215775,
+        0.3152503517092432,
+        -0.22626469396516913,
+        -0.12976686756709563,
+        0.09750160558707936,
+        0.02752286553001629,
+        -0.031582039318031156,
+        0.0005538422009938016,
+        0.004777257511010651,
+        -0.00107730108499558,
+    ],
+    // db7
+    &[
+        0.07785205408506236,
+        0.39653931948230575,
+        0.7291320908465551,
+        0.4697822874053586,
+        -0.14390600392910627,
+        -0.22403618499416572,
+        0.07130921926705004,
+        0.08061260915107307,
+        -0.03802993693503463,
+        -0.01657454163101562,
+        0.012550998556013784,
+        0.00042957797300470274,
+        -0.0018016407039998328,
+        0.0003537138000010399,
+    ],
+    // db8
+    &[
+        0.05441584224308161,
+        0.3128715909144659,
+        0.6756307362980128,
+        0.5853546836548691,
+        -0.015829105256023893,
+        -0.2840155429624281,
+        0.00047248457399797254,
+        0.128747426620186,
+        -0.01736930100202211,
+        -0.04408825393106472,
+        0.013981027917015516,
+        0.008746094047015655,
+        -0.00487035299301066,
+        -0.0003917403729959771,
+        0.0006754494059985568,
+        -0.00011747678400228192,
+    ],
+];
+
+/// Symlet scaling filters `sym2..sym8`.
+const SYM: [&[f64]; 7] = [
+    // sym2 == db2
+    &[
+        0.48296291314469025,
+        0.836516303737469,
+        0.22414386804185735,
+        -0.12940952255092145,
+    ],
+    // sym3 == db3
+    &[
+        0.3326705529509569,
+        0.8068915093133388,
+        0.4598775021193313,
+        -0.13501102001039084,
+        -0.08544127388224149,
+        0.035226291882100656,
+    ],
+    // sym4
+    &[
+        0.032_223_100_604_042_7,
+        -0.012603967262037833,
+        -0.09921954357684722,
+        0.29785779560527736,
+        0.8037387518059161,
+        0.49761866763201545,
+        -0.02963552764599851,
+        -0.07576571478927333,
+    ],
+    // sym5
+    &[
+        0.019538882735286728,
+        -0.021101834024758855,
+        -0.17532808990845047,
+        0.01660210576452232,
+        0.6339789634582119,
+        0.7234076904024206,
+        0.1993975339773936,
+        -0.039134249302383094,
+        0.029519490925774643,
+        0.027333068345077982,
+    ],
+    // sym6
+    &[
+        -0.007800708325034148,
+        0.0017677118642428036,
+        0.04472490177066578,
+        -0.021060292512300564,
+        -0.07263752278646252,
+        0.3379294217276218,
+        0.787641141030194,
+        0.4910559419267466,
+        -0.048311742585633,
+        -0.11799011114819057,
+        0.0034907120842174702,
+        0.015404109327027373,
+    ],
+    // sym7
+    &[
+        0.010268176708511255,
+        0.004010244871533663,
+        -0.10780823770381774,
+        -0.14004724044296152,
+        0.2886296317515146,
+        0.767764317003164,
+        0.5361019170917628,
+        0.017441255086855827,
+        -0.049552834937127255,
+        0.0678926935013727,
+        0.03051551316596357,
+        -0.01263630340325193,
+        -0.0010473848886829163,
+        0.002681814568257878,
+    ],
+    // sym8
+    &[
+        0.0018899503327594609,
+        -0.0003029205147213668,
+        -0.01495225833704823,
+        0.003808752013890615,
+        0.049137179673607506,
+        -0.027219029917056003,
+        -0.05194583810770904,
+        0.3644418948353314,
+        0.7771857517005235,
+        0.4813596512583722,
+        -0.061273359067658524,
+        -0.1432942383508097,
+        0.007607487324917605,
+        0.03169508781149298,
+        -0.0005421323317911481,
+        -0.0033824159510061256,
+    ],
+];
+
+/// Coiflet scaling filters `coif1..coif2`.
+const COIF: [&[f64]; 2] = [
+    &[
+        -0.01565572813546454,
+        -0.0727326195128539,
+        0.38486484686420286,
+        0.8525720202122554,
+        0.3378976624578092,
+        -0.0727326195128539,
+    ],
+    &[
+        -0.000720549445364512,
+        -0.0018232088707029932,
+        0.0056114348193944995,
+        0.023680171946334084,
+        -0.0594344186464569,
+        -0.0764885990783064,
+        0.41700518442169254,
+        0.8127236354455423,
+        0.3861100668211622,
+        -0.06737255472196302,
+        -0.04146493678175915,
+        0.016387336463522112,
+    ],
+];
+
+/// An orthogonal wavelet: the four filters of a two-channel filter bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wavelet {
+    name: &'static str,
+    dec_lo: Vec<f64>,
+    dec_hi: Vec<f64>,
+    rec_lo: Vec<f64>,
+    rec_hi: Vec<f64>,
+}
+
+impl Wavelet {
+    fn from_rec_lo(name: &'static str, rec_lo: &[f64]) -> Self {
+        let len = rec_lo.len();
+        let rec_lo: Vec<f64> = rec_lo.to_vec();
+        let rec_hi: Vec<f64> = (0..len)
+            .map(|k| {
+                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                sign * rec_lo[len - 1 - k]
+            })
+            .collect();
+        let dec_lo: Vec<f64> = rec_lo.iter().rev().copied().collect();
+        let dec_hi: Vec<f64> = rec_hi.iter().rev().copied().collect();
+        Self {
+            name,
+            dec_lo,
+            dec_hi,
+            rec_lo,
+            rec_hi,
+        }
+    }
+
+    /// Haar wavelet (synonym for [`Wavelet::daubechies`]`(1)`).
+    pub fn haar() -> Self {
+        Self::from_rec_lo("haar", DB[0])
+    }
+
+    /// Symlet-2, the wavelet JWINS uses (numerically identical to `db2`).
+    pub fn sym2() -> Self {
+        Self::from_rec_lo("sym2", SYM[0])
+    }
+
+    /// Daubechies wavelet of the given order (1–8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveletError::UnknownWavelet`] for orders outside 1–8.
+    pub fn daubechies(order: usize) -> Result<Self, WaveletError> {
+        static NAMES: [&str; 8] = ["db1", "db2", "db3", "db4", "db5", "db6", "db7", "db8"];
+        if !(1..=8).contains(&order) {
+            return Err(WaveletError::UnknownWavelet(format!("db{order}")));
+        }
+        Ok(Self::from_rec_lo(NAMES[order - 1], DB[order - 1]))
+    }
+
+    /// Symlet wavelet of the given order (2–8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveletError::UnknownWavelet`] for orders outside 2–8.
+    pub fn symlet(order: usize) -> Result<Self, WaveletError> {
+        static NAMES: [&str; 7] = ["sym2", "sym3", "sym4", "sym5", "sym6", "sym7", "sym8"];
+        if !(2..=8).contains(&order) {
+            return Err(WaveletError::UnknownWavelet(format!("sym{order}")));
+        }
+        Ok(Self::from_rec_lo(NAMES[order - 2], SYM[order - 2]))
+    }
+
+    /// Coiflet wavelet of the given order (1–2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveletError::UnknownWavelet`] for orders outside 1–2.
+    pub fn coiflet(order: usize) -> Result<Self, WaveletError> {
+        static NAMES: [&str; 2] = ["coif1", "coif2"];
+        if !(1..=2).contains(&order) {
+            return Err(WaveletError::UnknownWavelet(format!("coif{order}")));
+        }
+        Ok(Self::from_rec_lo(NAMES[order - 1], COIF[order - 1]))
+    }
+
+    /// Looks a wavelet up by its PyWavelets-style name (`"haar"`, `"db4"`,
+    /// `"sym2"`, `"coif1"`, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveletError::UnknownWavelet`] for unrecognized names.
+    pub fn by_name(name: &str) -> Result<Self, WaveletError> {
+        if name == "haar" {
+            return Ok(Self::haar());
+        }
+        let parse = |prefix: &str| -> Option<usize> {
+            name.strip_prefix(prefix).and_then(|s| s.parse().ok())
+        };
+        if let Some(order) = parse("db") {
+            return Self::daubechies(order);
+        }
+        if let Some(order) = parse("sym") {
+            return Self::symlet(order);
+        }
+        if let Some(order) = parse("coif") {
+            return Self::coiflet(order);
+        }
+        Err(WaveletError::UnknownWavelet(name.to_owned()))
+    }
+
+    /// All built-in wavelet names, for sweeps/ablations.
+    pub fn all_names() -> Vec<&'static str> {
+        let mut names = vec!["haar"];
+        names.extend((1..=8).map(|o| ["db1", "db2", "db3", "db4", "db5", "db6", "db7", "db8"][o - 1]));
+        names.extend((2..=8).map(|o| ["sym2", "sym3", "sym4", "sym5", "sym6", "sym7", "sym8"][o - 2]));
+        names.extend(["coif1", "coif2"]);
+        names
+    }
+
+    /// PyWavelets-style name of this wavelet.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Filter length (number of taps).
+    pub fn filter_len(&self) -> usize {
+        self.dec_lo.len()
+    }
+
+    /// Decomposition (analysis) lowpass filter.
+    pub fn dec_lo(&self) -> &[f64] {
+        &self.dec_lo
+    }
+
+    /// Decomposition (analysis) highpass filter.
+    pub fn dec_hi(&self) -> &[f64] {
+        &self.dec_hi
+    }
+
+    /// Reconstruction (synthesis) lowpass filter.
+    pub fn rec_lo(&self) -> &[f64] {
+        &self.rec_lo
+    }
+
+    /// Reconstruction (synthesis) highpass filter.
+    pub fn rec_hi(&self) -> &[f64] {
+        &self.rec_hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    fn all_wavelets() -> Vec<Wavelet> {
+        Wavelet::all_names()
+            .into_iter()
+            .map(|n| Wavelet::by_name(n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn lowpass_sums_to_sqrt2() {
+        for w in all_wavelets() {
+            let sum: f64 = w.dec_lo().iter().sum();
+            assert!(
+                (sum - std::f64::consts::SQRT_2).abs() < 1e-7,
+                "{}: Σ dec_lo = {sum}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn highpass_sums_to_zero() {
+        for w in all_wavelets() {
+            let sum: f64 = w.dec_hi().iter().sum();
+            assert!(sum.abs() < 1e-7, "{}: Σ dec_hi = {sum}", w.name());
+        }
+    }
+
+    #[test]
+    fn unit_energy() {
+        for w in all_wavelets() {
+            let e: f64 = w.dec_lo().iter().map(|h| h * h).sum();
+            assert!((e - 1.0).abs() < 1e-8, "{}: ‖dec_lo‖² = {e}", w.name());
+        }
+    }
+
+    /// Σ h[m]·h[m+2j] = δ_j — double-shift orthogonality, the property that
+    /// makes the periodized transform invertible.
+    #[test]
+    fn double_shift_orthogonality() {
+        for w in all_wavelets() {
+            let h = w.dec_lo();
+            let g = w.dec_hi();
+            let len = h.len();
+            for j in 1..len / 2 {
+                let dot_h: f64 = (0..len - 2 * j).map(|m| h[m] * h[m + 2 * j]).sum();
+                let dot_g: f64 = (0..len - 2 * j).map(|m| g[m] * g[m + 2 * j]).sum();
+                assert!(dot_h.abs() < TOL, "{}: <h, h shift {j}> = {dot_h}", w.name());
+                assert!(dot_g.abs() < TOL, "{}: <g, g shift {j}> = {dot_g}", w.name());
+            }
+            // Cross-orthogonality at every even shift (both directions).
+            for j in 0..len / 2 {
+                let cross: f64 = (0..len - 2 * j).map(|m| h[m + 2 * j] * g[m]).sum();
+                let cross2: f64 = (0..len - 2 * j).map(|m| h[m] * g[m + 2 * j]).sum();
+                assert!(cross.abs() < TOL, "{}: <h shift {j}, g> = {cross}", w.name());
+                assert!(cross2.abs() < TOL, "{}: <h, g shift {j}> = {cross2}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sym2_is_db2() {
+        let sym2 = Wavelet::sym2();
+        let db2 = Wavelet::daubechies(2).unwrap();
+        assert_eq!(sym2.dec_lo(), db2.dec_lo());
+        assert_eq!(sym2.dec_hi(), db2.dec_hi());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Wavelet::by_name("haar").unwrap().filter_len(), 2);
+        assert_eq!(Wavelet::by_name("db4").unwrap().filter_len(), 8);
+        assert_eq!(Wavelet::by_name("sym8").unwrap().filter_len(), 16);
+        assert!(Wavelet::by_name("db9").is_err());
+        assert!(Wavelet::by_name("sym1").is_err());
+        assert!(Wavelet::by_name("nonsense").is_err());
+    }
+
+    #[test]
+    fn filters_are_consistent() {
+        for w in all_wavelets() {
+            let len = w.filter_len();
+            for k in 0..len {
+                assert!((w.dec_lo()[k] - w.rec_lo()[len - 1 - k]).abs() < TOL);
+                assert!((w.dec_hi()[k] - w.rec_hi()[len - 1 - k]).abs() < TOL);
+            }
+        }
+    }
+
+    /// db2 has two vanishing moments: the highpass filter annihilates
+    /// constant and linear sequences.
+    #[test]
+    fn db2_vanishing_moments() {
+        let w = Wavelet::daubechies(2).unwrap();
+        let g = w.dec_hi();
+        let moment0: f64 = g.iter().sum();
+        let moment1: f64 = g.iter().enumerate().map(|(k, v)| k as f64 * v).sum();
+        assert!(moment0.abs() < 1e-8);
+        assert!(moment1.abs() < 1e-7);
+    }
+}

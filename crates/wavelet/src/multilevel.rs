@@ -1,0 +1,399 @@
+//! Multilevel DWT over arbitrary-length `f32` vectors.
+//!
+//! JWINS flattens an entire model into one parameter vector and transforms it
+//! with a 4-level Symlet-2 decomposition. Model sizes are arbitrary, so each
+//! level pads odd inputs by repeating the final sample (the same choice
+//! PyWavelets makes in periodization mode); the [`CoeffLayout`] records the
+//! true lengths so the inverse can truncate the padding away and recover the
+//! input bit-for-bit (up to `f32` rounding).
+//!
+//! Coefficients are packed `[cA_J | cD_J | cD_{J-1} | … | cD_1]` — coarsest
+//! first, matching `pywt.wavedec` — so a TopK sparsifier can treat the whole
+//! transform as one flat vector while the layout stays recoverable.
+
+use crate::family::Wavelet;
+use crate::transform::{analyze, synthesize};
+use crate::WaveletError;
+
+/// Describes how a flat coefficient vector maps back onto decomposition
+/// levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoeffLayout {
+    /// Original signal length.
+    input_len: usize,
+    /// Per level, from finest (level 1) to coarsest (level J): the length of
+    /// the signal *entering* that level, pre-padding.
+    level_input_lens: Vec<usize>,
+    /// Length of the final approximation band.
+    approx_len: usize,
+    /// Detail band lengths, finest (level 1) first.
+    detail_lens: Vec<usize>,
+}
+
+impl CoeffLayout {
+    /// Computes the layout for a signal of `input_len` decomposed `levels`
+    /// times. Levels stop early once the approximation shrinks to a single
+    /// coefficient, mirroring `pywt.dwt_max_level` behaviour.
+    pub fn plan(input_len: usize, levels: usize) -> Self {
+        let mut level_input_lens = Vec::with_capacity(levels);
+        let mut detail_lens = Vec::with_capacity(levels);
+        let mut cur = input_len;
+        for _ in 0..levels {
+            if cur < 2 {
+                break;
+            }
+            level_input_lens.push(cur);
+            let padded = cur + cur % 2;
+            detail_lens.push(padded / 2);
+            cur = padded / 2;
+        }
+        Self {
+            input_len,
+            approx_len: cur,
+            level_input_lens,
+            detail_lens,
+        }
+    }
+
+    /// Original signal length.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Number of levels actually performed (may be less than requested for
+    /// very short signals).
+    pub fn levels(&self) -> usize {
+        self.detail_lens.len()
+    }
+
+    /// Total number of coefficients in the flat packing.
+    pub fn coeff_len(&self) -> usize {
+        self.approx_len + self.detail_lens.iter().sum::<usize>()
+    }
+
+    /// Range of the final approximation band within the flat vector.
+    pub fn approx_range(&self) -> std::ops::Range<usize> {
+        0..self.approx_len
+    }
+
+    /// Range of the detail band for `level` (1 = finest) within the flat
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or exceeds [`Self::levels`].
+    pub fn detail_range(&self, level: usize) -> std::ops::Range<usize> {
+        assert!(
+            (1..=self.levels()).contains(&level),
+            "level {level} out of 1..={}",
+            self.levels()
+        );
+        // Packing order: approx, then details coarsest→finest.
+        let mut start = self.approx_len;
+        for l in (level + 1..=self.levels()).rev() {
+            start += self.detail_lens[l - 1];
+        }
+        start..start + self.detail_lens[level - 1]
+    }
+}
+
+/// A flat coefficient vector plus the layout needed to invert it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveletCoeffs {
+    /// The packed coefficients, `[cA_J | cD_J | … | cD_1]`.
+    pub data: Vec<f32>,
+    layout: CoeffLayout,
+}
+
+impl WaveletCoeffs {
+    /// Wraps an externally produced coefficient vector (e.g. averaged
+    /// coefficients received from neighbours) in a layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveletError::LayoutMismatch`] when lengths disagree.
+    pub fn from_parts(data: Vec<f32>, layout: CoeffLayout) -> Result<Self, WaveletError> {
+        if data.len() != layout.coeff_len() {
+            return Err(WaveletError::LayoutMismatch {
+                expected: layout.coeff_len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Self { data, layout })
+    }
+
+    /// The layout describing this packing.
+    pub fn layout(&self) -> &CoeffLayout {
+        &self.layout
+    }
+
+    /// Number of coefficients.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether there are no coefficients.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A multilevel DWT engine: a wavelet plus a level count.
+///
+/// JWINS's configuration is `Dwt::new(Wavelet::sym2(), 4)`.
+#[derive(Debug, Clone)]
+pub struct Dwt {
+    wavelet: Wavelet,
+    levels: usize,
+}
+
+impl Dwt {
+    /// Creates a multilevel transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveletError::ZeroLevels`] when `levels == 0`.
+    pub fn new(wavelet: Wavelet, levels: usize) -> Result<Self, WaveletError> {
+        if levels == 0 {
+            return Err(WaveletError::ZeroLevels);
+        }
+        Ok(Self { wavelet, levels })
+    }
+
+    /// The wavelet in use.
+    pub fn wavelet(&self) -> &Wavelet {
+        &self.wavelet
+    }
+
+    /// Requested decomposition depth.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Layout for a signal of the given length under this configuration.
+    pub fn layout_for(&self, input_len: usize) -> CoeffLayout {
+        CoeffLayout::plan(input_len, self.levels)
+    }
+
+    /// Forward transform: signal → packed coefficients.
+    pub fn forward(&self, signal: &[f32]) -> WaveletCoeffs {
+        let layout = self.layout_for(signal.len());
+        let mut cur: Vec<f64> = signal.iter().map(|&v| f64::from(v)).collect();
+        // Details collected coarsest-last; we reverse while packing.
+        let mut details: Vec<Vec<f64>> = Vec::with_capacity(layout.levels());
+        for level in 0..layout.levels() {
+            debug_assert_eq!(cur.len(), layout.level_input_lens[level]);
+            if cur.len() % 2 == 1 {
+                let last = *cur.last().expect("len >= 2 guaranteed by plan");
+                cur.push(last);
+            }
+            let (approx, detail) = analyze(&self.wavelet, &cur);
+            details.push(detail);
+            cur = approx;
+        }
+        let mut data = Vec::with_capacity(layout.coeff_len());
+        data.extend(cur.iter().map(|&v| v as f32));
+        for detail in details.iter().rev() {
+            data.extend(detail.iter().map(|&v| v as f32));
+        }
+        debug_assert_eq!(data.len(), layout.coeff_len());
+        WaveletCoeffs { data, layout }
+    }
+
+    /// Inverse transform: packed coefficients → signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveletError::LayoutMismatch`] if the coefficient vector was
+    /// built for a different configuration (different length).
+    pub fn inverse(&self, coeffs: &WaveletCoeffs) -> Result<Vec<f32>, WaveletError> {
+        let layout = &coeffs.layout;
+        if coeffs.data.len() != layout.coeff_len() {
+            return Err(WaveletError::LayoutMismatch {
+                expected: layout.coeff_len(),
+                actual: coeffs.data.len(),
+            });
+        }
+        let mut cur: Vec<f64> = coeffs.data[layout.approx_range()]
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect();
+        for level in (1..=layout.levels()).rev() {
+            let detail: Vec<f64> = coeffs.data[layout.detail_range(level)]
+                .iter()
+                .map(|&v| f64::from(v))
+                .collect();
+            let mut signal = synthesize(&self.wavelet, &cur, &detail);
+            // Remove the pad inserted when this level's input was odd.
+            signal.truncate(layout.level_input_lens[level - 1]);
+            cur = signal;
+        }
+        Ok(cur.iter().map(|&v| v as f32).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.37).sin() * 3.0 + i as f32 * 0.01).collect()
+    }
+
+    #[test]
+    fn zero_levels_rejected() {
+        assert_eq!(
+            Dwt::new(Wavelet::sym2(), 0).unwrap_err(),
+            WaveletError::ZeroLevels
+        );
+    }
+
+    #[test]
+    fn layout_even_power_of_two() {
+        let layout = CoeffLayout::plan(64, 4);
+        assert_eq!(layout.levels(), 4);
+        assert_eq!(layout.coeff_len(), 64); // critically sampled
+        assert_eq!(layout.approx_range(), 0..4);
+        assert_eq!(layout.detail_range(4), 4..8);
+        assert_eq!(layout.detail_range(1), 32..64);
+    }
+
+    #[test]
+    fn layout_odd_lengths_grow_minimally() {
+        let layout = CoeffLayout::plan(101, 4);
+        // 101 → pad 102 → 51 → pad 52 → 26 → 13 → pad 14 → 7
+        assert_eq!(layout.levels(), 4);
+        assert_eq!(layout.detail_lens, vec![51, 26, 13, 7]);
+        assert_eq!(layout.approx_len, 7);
+        assert_eq!(layout.coeff_len(), 104);
+    }
+
+    #[test]
+    fn layout_stops_early_for_tiny_signals() {
+        let layout = CoeffLayout::plan(3, 10);
+        // 3 → pad 4 → 2 → 1, stop: only two levels possible.
+        assert_eq!(layout.levels(), 2);
+        assert_eq!(layout.approx_len, 1);
+    }
+
+    #[test]
+    fn roundtrip_power_of_two() {
+        let dwt = Dwt::new(Wavelet::sym2(), 4).unwrap();
+        let x = ramp(256);
+        let coeffs = dwt.forward(&x);
+        assert_eq!(coeffs.len(), 256);
+        let y = dwt.inverse(&coeffs).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_awkward_lengths() {
+        for n in [1usize, 2, 3, 5, 7, 9, 17, 33, 101, 1023, 4097] {
+            for wname in ["haar", "sym2", "db4", "sym5"] {
+                let dwt = Dwt::new(Wavelet::by_name(wname).unwrap(), 4).unwrap();
+                let x = ramp(n);
+                let coeffs = dwt.forward(&x);
+                let y = dwt.inverse(&coeffs).unwrap();
+                assert_eq!(y.len(), n, "{wname} n={n}");
+                for (a, b) in x.iter().zip(&y) {
+                    assert!((a - b).abs() < 1e-3, "{wname} n={n}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_coefficients_summarize_neighbourhoods() {
+        // An impulse in the input influences only O(filter_len · 2^level)
+        // coefficients per band, while a coarse coefficient flows back into a
+        // whole neighbourhood — the locality JWINS exploits. Verify that
+        // zeroing everything except the coarse band still reconstructs the
+        // low-frequency trend: reconstruction error must be far below the
+        // signal energy for a smooth signal.
+        let dwt = Dwt::new(Wavelet::sym2(), 4).unwrap();
+        let x: Vec<f32> = (0..512).map(|i| (i as f32 * 0.01).sin() * 5.0).collect();
+        let mut coeffs = dwt.forward(&x);
+        let keep = coeffs.layout().approx_range().end;
+        for v in coeffs.data.iter_mut().skip(keep) {
+            *v = 0.0;
+        }
+        let y = dwt.inverse(&coeffs).unwrap();
+        let err: f32 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
+        let energy: f32 = x.iter().map(|a| a * a).sum();
+        assert!(
+            err < energy * 0.05,
+            "coarse-only reconstruction error {err} vs energy {energy}"
+        );
+    }
+
+    #[test]
+    fn from_parts_validates_length() {
+        let dwt = Dwt::new(Wavelet::sym2(), 4).unwrap();
+        let layout = dwt.layout_for(100);
+        assert!(WaveletCoeffs::from_parts(vec![0.0; 3], layout.clone()).is_err());
+        assert!(WaveletCoeffs::from_parts(vec![0.0; layout.coeff_len()], layout).is_ok());
+    }
+
+    #[test]
+    fn detail_ranges_partition_the_vector() {
+        let layout = CoeffLayout::plan(777, 4);
+        let mut covered = vec![false; layout.coeff_len()];
+        for i in layout.approx_range() {
+            covered[i] = true;
+        }
+        for level in 1..=layout.levels() {
+            for i in layout.detail_range(level) {
+                assert!(!covered[i], "overlap at {i} (level {level})");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "gaps in coverage");
+    }
+
+    #[test]
+    fn energy_preserved_on_even_chain() {
+        // 256 halves evenly four times: the transform is exactly orthonormal.
+        let dwt = Dwt::new(Wavelet::daubechies(3).unwrap(), 4).unwrap();
+        let x = ramp(256);
+        let coeffs = dwt.forward(&x);
+        let ex: f64 = x.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        let ec: f64 = coeffs.data.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        assert!((ex - ec).abs() < ex * 1e-5, "{ex} vs {ec}");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_length_any_wavelet(
+            n in 1usize..600,
+            levels in 1usize..6,
+            widx in 0usize..18,
+            seed in any::<u64>(),
+        ) {
+            let name = Wavelet::all_names()[widx];
+            let dwt = Dwt::new(Wavelet::by_name(name).unwrap(), levels).unwrap();
+            let mut s = seed | 1;
+            let x: Vec<f32> = (0..n).map(|_| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                ((s >> 16) as f32 / (1u64 << 48) as f32) * 4.0 - 2.0
+            }).collect();
+            let coeffs = dwt.forward(&x);
+            let y = dwt.inverse(&coeffs).unwrap();
+            prop_assert_eq!(y.len(), n);
+            for (a, b) in x.iter().zip(&y) {
+                prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+            }
+        }
+
+        #[test]
+        fn coeff_len_is_within_padding_bound(n in 1usize..5000, levels in 1usize..7) {
+            let layout = CoeffLayout::plan(n, levels);
+            // Each level adds at most one padding slot at that level's scale;
+            // total overhead is bounded by the number of levels.
+            prop_assert!(layout.coeff_len() >= n);
+            prop_assert!(layout.coeff_len() <= n + layout.levels() * 2);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Single-level periodized analysis and synthesis.
+//!
+//! With periodization, a length-`N` (even) signal maps to `N/2` approximation
+//! plus `N/2` detail coefficients — critically sampled, no growth. The
+//! analysis operator with rows `{dec_lo, dec_hi}` shifted by two (indices
+//! taken mod `N`) is *orthonormal* for the orthogonal families in
+//! [`crate::family`], so synthesis is simply its transpose. Implementing the
+//! inverse as the transpose sidesteps every filter-alignment convention
+//! pitfall and is verified by exhaustive roundtrip tests.
+
+use crate::family::Wavelet;
+
+/// One analysis level: `signal` (even length `N`) → `(approx, detail)` of
+/// length `N/2` each.
+///
+/// # Panics
+///
+/// Panics if `signal.len()` is odd or zero (callers pad first — see
+/// [`crate::multilevel`]).
+pub fn analyze(wavelet: &Wavelet, signal: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = signal.len();
+    assert!(n > 0 && n.is_multiple_of(2), "analysis needs a nonzero even length");
+    let h = wavelet.dec_lo();
+    let g = wavelet.dec_hi();
+    let taps = h.len();
+    let half = n / 2;
+    let mut approx = vec![0.0; half];
+    let mut detail = vec![0.0; half];
+    for k in 0..half {
+        let mut a = 0.0;
+        let mut d = 0.0;
+        let base = 2 * k;
+        for m in 0..taps {
+            let x = signal[(base + m) % n];
+            a += h[m] * x;
+            d += g[m] * x;
+        }
+        approx[k] = a;
+        detail[k] = d;
+    }
+    (approx, detail)
+}
+
+/// One synthesis level: `(approx, detail)` of equal length `N/2` → signal of
+/// length `N`. Exact inverse of [`analyze`] (transpose of an orthonormal
+/// operator).
+///
+/// # Panics
+///
+/// Panics if the halves differ in length or are empty.
+pub fn synthesize(wavelet: &Wavelet, approx: &[f64], detail: &[f64]) -> Vec<f64> {
+    assert_eq!(approx.len(), detail.len(), "halves must have equal length");
+    assert!(!approx.is_empty(), "synthesis needs nonempty coefficients");
+    let h = wavelet.dec_lo();
+    let g = wavelet.dec_hi();
+    let taps = h.len();
+    let n = approx.len() * 2;
+    let mut signal = vec![0.0; n];
+    for k in 0..approx.len() {
+        let base = 2 * k;
+        let a = approx[k];
+        let d = detail[k];
+        for m in 0..taps {
+            signal[(base + m) % n] += h[m] * a + g[m] * d;
+        }
+    }
+    signal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn haar_known_values() {
+        let w = Wavelet::haar();
+        let x = [1.0, 1.0, -1.0, -1.0];
+        let (a, d) = analyze(&w, &x);
+        let s = std::f64::consts::SQRT_2;
+        assert_close(&a, &[s, -s], 1e-12, "approx");
+        assert_close(&d, &[0.0, 0.0], 1e-12, "detail");
+    }
+
+    #[test]
+    fn haar_detail_captures_oscillation() {
+        let w = Wavelet::haar();
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let (a, d) = analyze(&w, &x);
+        let s = std::f64::consts::SQRT_2;
+        assert_close(&a, &[0.0, 0.0], 1e-12, "approx");
+        // dec_hi = [-1/√2, 1/√2] under the QMF convention used here, so the
+        // alternating signal lands on -√2 in every detail slot.
+        assert_close(&d, &[-s, -s], 1e-12, "detail");
+    }
+
+    #[test]
+    fn constant_signal_has_zero_details_for_all_wavelets() {
+        for name in Wavelet::all_names() {
+            let w = Wavelet::by_name(name).unwrap();
+            let x = vec![3.5; 32];
+            let (a, d) = analyze(&w, &x);
+            for v in &d {
+                assert!(v.abs() < 1e-9, "{name}: detail {v}");
+            }
+            // Approx coefficients carry the scaled constant.
+            for v in &a {
+                assert!((v - 3.5 * std::f64::consts::SQRT_2).abs() < 1e-9, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_wavelet_small_even_lengths() {
+        for name in Wavelet::all_names() {
+            let w = Wavelet::by_name(name).unwrap();
+            for n in [2usize, 4, 6, 8, 10, 16, 30, 64] {
+                let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 17) as f64 - 8.0).collect();
+                let (a, d) = analyze(&w, &x);
+                assert_eq!(a.len(), n / 2);
+                let y = synthesize(&w, &a, &d);
+                assert_close(&x, &y, 1e-9, &format!("{name} n={n}"));
+            }
+        }
+    }
+
+    /// Orthonormality ⇒ energy preservation (Parseval).
+    #[test]
+    fn energy_is_preserved() {
+        for name in ["haar", "db2", "db4", "sym4", "coif1"] {
+            let w = Wavelet::by_name(name).unwrap();
+            let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() * 2.0).collect();
+            let ex: f64 = x.iter().map(|v| v * v).sum();
+            let (a, d) = analyze(&w, &x);
+            let ec: f64 = a.iter().chain(&d).map(|v| v * v).sum();
+            assert!((ex - ec).abs() < 1e-9 * ex, "{name}: {ex} vs {ec}");
+        }
+    }
+
+    #[test]
+    fn smooth_signals_compact_into_approx() {
+        // db4 has 4 vanishing moments; a cubic (away from the wrap) should
+        // put almost all energy into the approximation band.
+        let w = Wavelet::daubechies(4).unwrap();
+        let x: Vec<f64> = (0..128).map(|i| ((i as f64) * 0.05).sin()).collect();
+        let (a, d) = analyze(&w, &x);
+        let ea: f64 = a.iter().map(|v| v * v).sum();
+        let ed: f64 = d.iter().map(|v| v * v).sum();
+        assert!(ed < ea * 0.01, "detail energy {ed} vs approx {ea}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_length_panics() {
+        let _ = analyze(&Wavelet::haar(), &[1.0, 2.0, 3.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_signals(
+            half_n in 1usize..100,
+            seed in any::<u64>(),
+            widx in 0usize..18,
+        ) {
+            let name = Wavelet::all_names()[widx];
+            let w = Wavelet::by_name(name).unwrap();
+            let n = half_n * 2;
+            let mut s = seed | 1;
+            let x: Vec<f64> = (0..n).map(|_| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                ((s >> 16) as f64 / (1u64 << 48) as f64) * 20.0 - 10.0
+            }).collect();
+            let (a, d) = analyze(&w, &x);
+            let y = synthesize(&w, &a, &d);
+            for (u, v) in x.iter().zip(&y) {
+                prop_assert!((u - v).abs() < 1e-8, "{} vs {}", u, v);
+            }
+        }
+    }
+}

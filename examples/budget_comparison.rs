@@ -1,0 +1,66 @@
+//! Low communication budgets: JWINS vs CHOCO-SGD (paper §IV-D).
+//!
+//! At 20% and 10% of the full-sharing budget, JWINS's two-point randomized
+//! cut-off lets every node periodically share its whole model while CHOCO
+//! sends a fixed TopK slice and needs its γ hyperparameter tuned. This
+//! example reproduces the comparison shape on a laptop-scale workload.
+//!
+//! Run with: `cargo run --release --example budget_comparison`
+
+use jwins::config::TrainConfig;
+use jwins::cutoff::AlphaDistribution;
+use jwins::engine::Trainer;
+use jwins::strategies::{ChocoConfig, ChocoSgd, Jwins, JwinsConfig};
+use jwins::strategy::ShareStrategy;
+use jwins_data::images::{cifar_like, ImageConfig};
+use jwins_nn::models::mlp_classifier;
+use jwins_topology::dynamic::StaticTopology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nodes = 8;
+    let img = ImageConfig::tiny();
+    let data = cifar_like(&img, nodes, 2, 3);
+
+    let mut config = TrainConfig::new(120);
+    config.local_steps = 2;
+    config.batch_size = 8;
+    config.lr = 0.1;
+    config.eval_every = 40;
+
+    for (label, alpha, choco) in [
+        ("20% budget", AlphaDistribution::budget_20(), ChocoConfig::budget_20()),
+        ("10% budget", AlphaDistribution::budget_10(), ChocoConfig::budget_10()),
+    ] {
+        println!("\n=== {label} ===");
+        for which in ["choco", "jwins"] {
+            let alpha = alpha.clone();
+            let choco = choco.clone();
+            let trainer = Trainer::builder(config.clone())
+                .topology(StaticTopology::random_regular(nodes, 4, 17)?)
+                .test_set(data.test.clone())
+                .nodes(data.node_train.clone(), |node| {
+                    let model = mlp_classifier(img.pixels(), &[32], img.classes, 9);
+                    let strategy: Box<dyn ShareStrategy> = if which == "choco" {
+                        Box::new(ChocoSgd::new(choco.clone()))
+                    } else {
+                        Box::new(Jwins::new(
+                            JwinsConfig::with_alpha(alpha.clone()),
+                            400 + node as u64,
+                        ))
+                    };
+                    (model, strategy)
+                })
+                .build()?;
+            let result = trainer.run()?;
+            let last = result.final_record().expect("evaluated");
+            println!(
+                "  {:<10} accuracy {:5.1}%  sent/node {:>7.3} MiB  sim time {:>6.1}s",
+                result.strategy,
+                last.test_accuracy * 100.0,
+                last.cum_bytes_per_node / (1024.0 * 1024.0),
+                last.sim_time_s
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Node churn: decentralized training while nodes leave and rejoin.
+//!
+//! The paper argues JWINS is "flexible to nodes leaving and joining" because
+//! it keeps no per-neighbour replicas (§V). This example runs the same
+//! workload three ways — no churn, random per-round dropout, and a scripted
+//! outage — and shows training survives all of them, with CHOCO-SGD's
+//! error-feedback state degrading where JWINS does not.
+//!
+//! Run with: `cargo run --release --example node_churn`
+
+use jwins::config::TrainConfig;
+use jwins::cutoff::AlphaDistribution;
+use jwins::engine::Trainer;
+use jwins::participation::{AlwaysOn, Outage, ParticipationModel, RandomDropout, ScriptedOutages};
+use jwins::strategies::{ChocoConfig, ChocoSgd, Jwins, JwinsConfig};
+use jwins::strategy::ShareStrategy;
+use jwins_data::images::{cifar_like, ImageConfig};
+use jwins_nn::models::mlp_classifier;
+use jwins_topology::dynamic::StaticTopology;
+
+fn run(
+    participation: impl ParticipationModel + 'static,
+    use_jwins: bool,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let nodes = 8;
+    let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
+    let features = ImageConfig::tiny().pixels();
+    let classes = ImageConfig::tiny().classes;
+
+    let mut config = TrainConfig::new(80);
+    config.local_steps = 2;
+    config.batch_size = 8;
+    config.lr = 0.1;
+    config.eval_every = 0; // evaluate at the end only
+
+    let trainer = Trainer::builder(config)
+        .topology(StaticTopology::random_regular(nodes, 4, 7)?)
+        .participation(participation)
+        .test_set(data.test.clone())
+        .nodes(data.node_train.clone(), |node| {
+            let model = mlp_classifier(features, &[32], classes, 42);
+            let strategy: Box<dyn ShareStrategy> = if use_jwins {
+                Box::new(Jwins::new(
+                    JwinsConfig::with_alpha(AlphaDistribution::budget_20()),
+                    1000 + node as u64,
+                ))
+            } else {
+                Box::new(ChocoSgd::new(ChocoConfig::budget_20()))
+            };
+            (model, strategy)
+        })
+        .build()?;
+    Ok(trainer.run()?.final_accuracy())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One node disappears for the middle half of the run, another flaps.
+    let scripted = ScriptedOutages::default()
+        .with_outage(Outage::new(3, 20, 60))
+        .with_outage(Outage::new(5, 30, 35))
+        .with_outage(Outage::new(5, 45, 50));
+
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "participation", "jwins@20%", "choco@20%"
+    );
+    for (name, jwins_acc, choco_acc) in [
+        (
+            "always-on",
+            run(AlwaysOn, true)?,
+            run(AlwaysOn, false)?,
+        ),
+        (
+            "30% random dropout",
+            run(RandomDropout::new(0.3, 9), true)?,
+            run(RandomDropout::new(0.3, 9), false)?,
+        ),
+        (
+            "scripted outages",
+            run(scripted.clone(), true)?,
+            run(scripted.clone(), false)?,
+        ),
+    ] {
+        println!(
+            "{name:<24} {:>11.1}% {:>11.1}%",
+            jwins_acc * 100.0,
+            choco_acc * 100.0
+        );
+    }
+    println!("\nJWINS keeps no per-neighbour state, so absent nodes simply rejoin;");
+    println!("CHOCO's neighbour aggregate goes stale every round a message is missed.");
+    Ok(())
+}

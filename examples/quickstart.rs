@@ -1,0 +1,65 @@
+//! Quickstart: train a small model decentralized with JWINS and compare the
+//! bytes on the wire against full-sharing D-PSGD.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use jwins::config::TrainConfig;
+use jwins::engine::Trainer;
+use jwins::strategies::{FullSharing, Jwins, JwinsConfig};
+use jwins::strategy::ShareStrategy;
+use jwins_data::images::{cifar_like, ImageConfig};
+use jwins_nn::models::mlp_classifier;
+use jwins_topology::dynamic::StaticTopology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 8 nodes, 4-regular random graph, label-sharded non-IID data.
+    let nodes = 8;
+    let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
+    let features = ImageConfig::tiny().pixels();
+    let classes = ImageConfig::tiny().classes;
+
+    let mut config = TrainConfig::new(60);
+    config.local_steps = 2;
+    config.batch_size = 8;
+    config.lr = 0.1;
+    config.eval_every = 20;
+
+    let mut results = Vec::new();
+    for use_jwins in [false, true] {
+        let trainer = Trainer::builder(config.clone())
+            .topology(StaticTopology::random_regular(nodes, 4, 7)?)
+            .test_set(data.test.clone())
+            .nodes(data.node_train.clone(), |node| {
+                let model = mlp_classifier(features, &[32], classes, 42);
+                let strategy: Box<dyn ShareStrategy> = if use_jwins {
+                    Box::new(Jwins::new(
+                        JwinsConfig::paper_default(),
+                        1000 + node as u64,
+                    ))
+                } else {
+                    Box::new(FullSharing::new())
+                };
+                (model, strategy)
+            })
+            .build()?;
+        let result = trainer.run()?;
+        println!(
+            "{:<14} final accuracy {:5.1}%  total sent {:>8.2} MiB",
+            result.strategy,
+            result.final_accuracy() * 100.0,
+            result.total_traffic.bytes_sent as f64 / (1024.0 * 1024.0),
+        );
+        results.push(result);
+    }
+
+    let full = &results[0];
+    let jwins = &results[1];
+    let savings = 100.0
+        * (1.0 - jwins.total_traffic.bytes_sent as f64 / full.total_traffic.bytes_sent as f64);
+    println!("\nJWINS network savings vs full-sharing: {savings:.1}%");
+    println!(
+        "accuracy gap: {:+.1} percentage points",
+        (jwins.final_accuracy() - full.final_accuracy()) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the JWINS reproduction: re-exports every sub-crate so the
+//! examples and integration tests can use a single dependency.
+pub use jwins as core;
+pub use jwins_codec as codec;
+pub use jwins_data as data;
+pub use jwins_fourier as fourier;
+pub use jwins_net as net;
+pub use jwins_nn as nn;
+pub use jwins_topology as topology;
+pub use jwins_wavelet as wavelet;

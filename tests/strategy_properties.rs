@@ -1,0 +1,381 @@
+//! Cross-crate properties of the sharing strategies.
+//!
+//! These pin down the paper's qualitative claims at tiny scale: budget
+//! compliance on the wire, metadata negligibility, determinism, and the
+//! orderings between algorithms that the figures report.
+
+use jwins::config::TrainConfig;
+use jwins::cutoff::AlphaDistribution;
+use jwins::engine::Trainer;
+use jwins::metrics::RunResult;
+use jwins::strategies::{ChocoConfig, ChocoSgd, FullSharing, Jwins, JwinsConfig, RandomSampling};
+use jwins::strategy::ShareStrategy;
+use jwins_codec::sparse::IndexCodec;
+use jwins_data::images::{cifar_like, ImageConfig};
+use jwins_nn::models::mlp_classifier;
+use jwins_topology::dynamic::{DynamicRegular, StaticTopology};
+
+const NODES: usize = 8;
+
+fn config(rounds: usize) -> TrainConfig {
+    let mut c = TrainConfig::new(rounds);
+    c.local_steps = 2;
+    c.batch_size = 8;
+    c.lr = 0.1;
+    c.eval_every = 0;
+    c.eval_test_samples = 128;
+    c.threads = 2;
+    c
+}
+
+fn run_with(
+    rounds: usize,
+    dynamic: bool,
+    factory: impl Fn(usize) -> Box<dyn ShareStrategy>,
+) -> RunResult {
+    let img = ImageConfig::tiny();
+    let data = cifar_like(&img, NODES, 2, 5);
+    let builder = Trainer::builder(config(rounds))
+        .test_set(data.test.clone())
+        .nodes(data.node_train.clone(), |node| {
+            (mlp_classifier(img.pixels(), &[24], img.classes, 11), factory(node))
+        });
+    let builder = if dynamic {
+        builder.topology(DynamicRegular::new(NODES, 4, 13).unwrap())
+    } else {
+        builder.topology(StaticTopology::random_regular(NODES, 4, 13).unwrap())
+    };
+    builder.build().unwrap().run().unwrap()
+}
+
+#[test]
+fn all_strategies_learn_above_chance() {
+    let chance = 0.25;
+    for (name, factory) in strategy_matrix() {
+        let result = run_with(15, false, factory);
+        assert!(
+            result.final_accuracy() > chance,
+            "{name} stuck at {:.3}",
+            result.final_accuracy()
+        );
+    }
+}
+
+type StrategyFactory = Box<dyn Fn(usize) -> Box<dyn ShareStrategy>>;
+
+fn strategy_matrix() -> Vec<(&'static str, StrategyFactory)> {
+    vec![
+        (
+            "full-sharing",
+            Box::new(|_| Box::new(FullSharing::new()) as Box<dyn ShareStrategy>),
+        ),
+        (
+            "random-sampling",
+            Box::new(|_| Box::new(RandomSampling::new(0.37, 42)) as Box<dyn ShareStrategy>),
+        ),
+        (
+            "jwins",
+            Box::new(|n: usize| {
+                Box::new(Jwins::new(JwinsConfig::paper_default(), 70 + n as u64))
+                    as Box<dyn ShareStrategy>
+            }),
+        ),
+        (
+            "topk",
+            Box::new(|n: usize| {
+                Box::new(Jwins::new(JwinsConfig::topk(0.34), 70 + n as u64))
+                    as Box<dyn ShareStrategy>
+            }),
+        ),
+        (
+            "choco",
+            Box::new(|_| {
+                Box::new(ChocoSgd::new(ChocoConfig {
+                    fraction: 0.34,
+                    gamma: 0.6,
+                    ..ChocoConfig::budget_20()
+                })) as Box<dyn ShareStrategy>
+            }),
+        ),
+    ]
+}
+
+#[test]
+fn sparse_strategies_save_bytes_in_budget_order() {
+    let full = run_with(8, false, |_| Box::new(FullSharing::new()));
+    let jwins20 = run_with(8, false, |n| {
+        Box::new(Jwins::new(
+            JwinsConfig::with_alpha(AlphaDistribution::budget_20()),
+            n as u64,
+        ))
+    });
+    let jwins10 = run_with(8, false, |n| {
+        Box::new(Jwins::new(
+            JwinsConfig::with_alpha(AlphaDistribution::budget_10()),
+            n as u64,
+        ))
+    });
+    let b_full = full.total_traffic.bytes_sent;
+    let b20 = jwins20.total_traffic.bytes_sent;
+    let b10 = jwins10.total_traffic.bytes_sent;
+    assert!(b10 < b20, "10% ({b10}) should send less than 20% ({b20})");
+    assert!(b20 < b_full, "20% ({b20}) should send less than full ({b_full})");
+}
+
+#[test]
+fn jwins_metadata_is_a_small_fraction_with_elias_gamma() {
+    let result = run_with(8, false, |n| {
+        Box::new(Jwins::new(JwinsConfig::paper_default(), n as u64))
+    });
+    let t = result.total_traffic;
+    let frac = t.metadata_sent as f64 / t.bytes_sent as f64;
+    assert!(frac < 0.25, "metadata fraction {frac:.3} too high");
+}
+
+#[test]
+fn raw_metadata_roughly_doubles_traffic() {
+    // The Figure-9 claim: without compression, metadata ≈ payload (both are
+    // 32-bit per shared value).
+    let gamma = run_with(6, false, |n| {
+        let mut cfg = JwinsConfig::paper_default();
+        cfg.value_codec = jwins_codec::sparse::ValueCodec::Raw;
+        Box::new(Jwins::new(cfg, n as u64))
+    });
+    let raw = run_with(6, false, |n| {
+        let mut cfg = JwinsConfig::paper_default();
+        cfg.index_codec = IndexCodec::RawU32;
+        cfg.value_codec = jwins_codec::sparse::ValueCodec::Raw;
+        Box::new(Jwins::new(cfg, n as u64))
+    });
+    let raw_meta = raw.total_traffic.metadata_sent as f64;
+    let raw_payload = raw.total_traffic.payload_sent as f64;
+    assert!(
+        raw_meta > raw_payload * 0.9,
+        "raw metadata {raw_meta} should be ~payload {raw_payload}"
+    );
+    let improvement = raw_meta / gamma.total_traffic.metadata_sent as f64;
+    assert!(
+        improvement > 3.0,
+        "Elias gamma should shrink metadata several-fold, got {improvement:.1}x"
+    );
+}
+
+#[test]
+fn runs_are_reproducible() {
+    let a = run_with(5, false, |n| {
+        Box::new(Jwins::new(JwinsConfig::paper_default(), n as u64))
+    });
+    let b = run_with(5, false, |n| {
+        Box::new(Jwins::new(JwinsConfig::paper_default(), n as u64))
+    });
+    assert_eq!(a.total_traffic.bytes_sent, b.total_traffic.bytes_sent);
+    assert_eq!(a.final_accuracy(), b.final_accuracy());
+}
+
+#[test]
+fn dynamic_topology_works_for_jwins_but_not_choco() {
+    // Figure 7: JWINS keeps learning when neighbours change every round;
+    // CHOCO's error-feedback state becomes incoherent. A harder workload
+    // (more classes, heavier noise, stricter sharding) is needed so the
+    // difference is visible before everything saturates.
+    let mut img = ImageConfig::tiny();
+    img.classes = 8;
+    img.noise = 1.1;
+    img.train_per_unit = 48;
+    let data = cifar_like(&img, NODES, 2, 5);
+    let run = |factory: &dyn Fn(usize) -> Box<dyn ShareStrategy>| {
+        let mut cfg = config(12);
+        cfg.lr = 0.05;
+        Trainer::builder(cfg)
+            .topology(DynamicRegular::new(NODES, 4, 13).unwrap())
+            .test_set(data.test.clone())
+            .nodes(data.node_train.clone(), |node| {
+                (mlp_classifier(img.pixels(), &[24], img.classes, 11), factory(node))
+            })
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    let jwins_dyn = run(&|n| {
+        Box::new(Jwins::new(JwinsConfig::paper_default(), n as u64)) as Box<dyn ShareStrategy>
+    });
+    let choco_dyn = run(&|_| {
+        Box::new(ChocoSgd::new(ChocoConfig {
+            fraction: 0.34,
+            gamma: 0.6,
+            ..ChocoConfig::budget_20()
+        })) as Box<dyn ShareStrategy>
+    });
+    assert!(
+        jwins_dyn.final_accuracy() > 1.5 / 8.0,
+        "jwins-dynamic accuracy {:.3}",
+        jwins_dyn.final_accuracy()
+    );
+    // CHOCO under dynamic topology must trail JWINS (the paper observes
+    // "practically no learning"; at tiny scale a clear gap suffices).
+    assert!(
+        choco_dyn.final_accuracy() + 0.02 < jwins_dyn.final_accuracy(),
+        "choco-dynamic {:.3} >= jwins-dynamic {:.3}",
+        choco_dyn.final_accuracy(),
+        jwins_dyn.final_accuracy()
+    );
+}
+
+#[test]
+fn mean_alpha_matches_distribution_mean() {
+    let img = ImageConfig::tiny();
+    let data = cifar_like(&img, NODES, 2, 5);
+    let mut cfg = config(30);
+    cfg.record_alphas = true;
+    let trainer = Trainer::builder(cfg)
+        .topology(StaticTopology::random_regular(NODES, 4, 13).unwrap())
+        .test_set(data.test)
+        .nodes(data.node_train, |node| {
+            (
+                mlp_classifier(img.pixels(), &[24], img.classes, 11),
+                Box::new(Jwins::new(JwinsConfig::paper_default(), node as u64))
+                    as Box<dyn ShareStrategy>,
+            )
+        })
+        .build()
+        .unwrap();
+    let result = trainer.run().unwrap();
+    assert_eq!(result.alpha_history.len(), 30);
+    let all: Vec<f64> = result.alpha_history.iter().flatten().copied().collect();
+    let mean = all.iter().sum::<f64>() / all.len() as f64;
+    let expected = AlphaDistribution::paper_default().mean();
+    assert!(
+        (mean - expected).abs() < 0.08,
+        "empirical mean α {mean:.3} vs {expected:.3}"
+    );
+    // Nodes draw independently: within a round, not all alphas equal.
+    let varied = result
+        .alpha_history
+        .iter()
+        .filter(|row| row.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9))
+        .count();
+    assert!(varied > 15, "only {varied}/30 rounds had per-node variation");
+}
+
+#[test]
+fn jwins_holds_less_state_than_choco() {
+    // Paper §V: JWINS nodes do not maintain replicas of neighbour models,
+    // making it more memory-efficient than CHOCO-style error feedback. JWINS
+    // keeps V plus a round-start snapshot; CHOCO keeps x̂ and s. Both are
+    // O(d), but the claim pinned here is that JWINS needs no *additional*
+    // state when CHOCO-style replicas grow (e.g. non-memory-efficient CHOCO
+    // keeps one replica per neighbour). We verify the measured state sizes
+    // are reported and comparable (within 2x), and that FullSharing is
+    // stateless.
+    let d = 1000;
+    let params: Vec<f32> = (0..d).map(|i| i as f32 * 0.01).collect();
+    let mut full = FullSharing::new();
+    full.init(&params);
+    assert_eq!(full.state_bytes(), 0);
+    let mut jwins = Jwins::new(JwinsConfig::paper_default(), 1);
+    jwins.init(&params);
+    let mut choco = ChocoSgd::new(ChocoConfig::budget_20());
+    choco.init(&params);
+    assert!(jwins.state_bytes() > 0 && choco.state_bytes() > 0);
+    assert!(
+        jwins.state_bytes() <= choco.state_bytes() + 4 * d,
+        "jwins {} vs choco {}",
+        jwins.state_bytes(),
+        choco.state_bytes()
+    );
+}
+
+mod adversarial_inputs {
+    //! No strategy may panic on arbitrary neighbour bytes — a malformed or
+    //! malicious message must surface as `Err`, never as a crash (the
+    //! simulator stands in for real sockets, where garbage is a fact of
+    //! life).
+
+    use jwins::strategies::{
+        ChocoConfig, ChocoSgd, Jwins, JwinsConfig, PowerGossip, PowerGossipConfig,
+        QuantizedSharing, RandomModelWalk,
+    };
+    use jwins::strategy::{Outbound, ReceivedMessage, ShareStrategy};
+    use proptest::prelude::*;
+
+    fn params(dim: usize) -> Vec<f32> {
+        (0..dim).map(|i| (i as f32 * 0.17).sin()).collect()
+    }
+
+    fn deliver_garbage(strategy: &mut dyn ShareStrategy, bytes: &[u8]) {
+        let x = params(64);
+        strategy.init(&x);
+        let _ = strategy
+            .make_outbound(0, &x, &[1])
+            .expect("own message construction succeeds");
+        let msg = ReceivedMessage {
+            from: 1,
+            weight: 0.5,
+            bytes,
+        };
+        // Must not panic; Err or Ok are both acceptable outcomes.
+        let _ = strategy.aggregate(0, &x, 0.5, &[msg]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn jwins_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let mut s = Jwins::new(JwinsConfig::paper_default(), 3);
+            deliver_garbage(&mut s, &bytes);
+        }
+
+        #[test]
+        fn choco_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let mut s = ChocoSgd::new(ChocoConfig::budget_20());
+            deliver_garbage(&mut s, &bytes);
+        }
+
+        #[test]
+        fn power_gossip_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let mut s = PowerGossip::new(PowerGossipConfig::global(1), 0, 7);
+            deliver_garbage(&mut s, &bytes);
+        }
+
+        #[test]
+        fn quantized_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let mut s = QuantizedSharing::new(255, 5);
+            deliver_garbage(&mut s, &bytes);
+        }
+
+        #[test]
+        fn rmw_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let mut s = RandomModelWalk::new(5);
+            deliver_garbage(&mut s, &bytes);
+        }
+    }
+
+    #[test]
+    fn own_messages_always_decode() {
+        // Round-trip sanity across all strategies: a node's own wire image
+        // is always accepted by a peer instance of the same strategy.
+        let x = params(64);
+        let y: Vec<f32> = x.iter().map(|v| v * 0.9 + 0.01).collect();
+        let mut a = Jwins::new(JwinsConfig::paper_default(), 1);
+        let mut b = Jwins::new(JwinsConfig::paper_default(), 2);
+        a.init(&x);
+        b.init(&y);
+        let Outbound::Broadcast(msg) = a.make_outbound(0, &x, &[1]).unwrap() else {
+            panic!("jwins broadcasts")
+        };
+        let _ = b.make_outbound(0, &y, &[0]).unwrap();
+        b.aggregate(
+            0,
+            &y,
+            0.5,
+            &[ReceivedMessage {
+                from: 0,
+                weight: 0.5,
+                bytes: &msg.bytes,
+            }],
+        )
+        .expect("well-formed peer message accepted");
+    }
+}
