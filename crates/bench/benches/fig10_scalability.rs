@@ -23,8 +23,7 @@ fn main() {
     let ladder = [(base, 4usize), (2 * base, 5), (3 * base, 5), (4 * base, 6)];
     let max_rounds = scale.rounds(140);
     let target = 0.90;
-    let mut csv =
-        String::from("nodes,rounds_random,rounds_jwins,bytes_random,bytes_jwins\n");
+    let mut csv = String::from("nodes,rounds_random,rounds_jwins,bytes_random,bytes_jwins\n");
     let mut round_leads = Vec::new();
     let mut byte_ratios = Vec::new();
     println!(

@@ -78,7 +78,10 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(99);
     let mut cum = [0.0f64; 3]; // wavelet, fft, random
     let mut csv = String::from("epoch,wavelet,fft,random_sampling\n");
-    println!("\n{:>5}  {:>12}  {:>12}  {:>12}", "epoch", "wavelet", "fft", "random");
+    println!(
+        "\n{:>5}  {:>12}  {:>12}  {:>12}",
+        "epoch", "wavelet", "fft", "random"
+    );
     let steps_per_epoch = (train.len() / 8).max(1);
     for epoch in 1..=epochs {
         for step in 0..steps_per_epoch {

@@ -4,9 +4,9 @@
 //! round. Right chart: the average shared fraction across nodes over the
 //! rounds, hovering around E[α] ≈ 34%.
 
-use jwins_bench::{banner, run_cifar, save_csv, Algo, RunCfg, Scale};
 use jwins::cutoff::AlphaDistribution;
 use jwins::strategies::JwinsConfig;
+use jwins_bench::{banner, run_cifar, save_csv, Algo, RunCfg, Scale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -22,7 +22,11 @@ fn main() {
     let mid = result.alpha_history.len() / 2;
     println!("\nshared fraction in round {mid} (left chart):");
     for (node, alpha) in result.alpha_history[mid].iter().enumerate() {
-        println!("  node {node:>3}: {:>5.1}%  {}", alpha * 100.0, "#".repeat((alpha * 40.0) as usize));
+        println!(
+            "  node {node:>3}: {:>5.1}%  {}",
+            alpha * 100.0,
+            "#".repeat((alpha * 40.0) as usize)
+        );
     }
 
     println!("\naverage shared fraction over rounds (right chart):");
@@ -41,11 +45,18 @@ fn main() {
 
     let expected = AlphaDistribution::paper_default().mean();
     println!("\npaper-vs-measured:");
-    println!("  paper: average sharing percentage ≈ {:.0}% across rounds", expected * 100.0);
+    println!(
+        "  paper: average sharing percentage ≈ {:.0}% across rounds",
+        expected * 100.0
+    );
     println!(
         "  here:  {:.1}% (|Δ| = {:.1} pp) => {}",
         overall * 100.0,
         (overall - expected).abs() * 100.0,
-        if (overall - expected).abs() < 0.05 { "REPRODUCED" } else { "NOT reproduced" }
+        if (overall - expected).abs() < 0.05 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

@@ -24,9 +24,8 @@ fn main() {
         "\n{:<18} {:>12} {:>16} {:>10} {:>14} {:>14} {:>9}",
         "DATASET", "full-share", "random-sampling", "JWINS", "full sent", "JWINS sent", "savings"
     );
-    let mut summary = String::from(
-        "workload,acc_full,acc_random,acc_jwins,bytes_full,bytes_jwins,savings_pct\n",
-    );
+    let mut summary =
+        String::from("workload,acc_full,acc_random,acc_jwins,bytes_full,bytes_jwins,savings_pct\n");
     let mut reproduced = 0usize;
     for workload in Workload::all() {
         let rounds = scale.rounds(workload.base_rounds());
@@ -39,7 +38,10 @@ fn main() {
             accs.push(result.final_accuracy());
             bytes.push(result.total_traffic.bytes_sent as f64);
             let curve = result.to_csv();
-            save_csv(&format!("fig4_{}_{}", workload.name(), algo.label()), &curve);
+            save_csv(
+                &format!("fig4_{}_{}", workload.name(), algo.label()),
+                &curve,
+            );
         }
         let savings = 100.0 * (1.0 - bytes[2] / bytes[0]);
         println!(
@@ -72,10 +74,18 @@ fn main() {
     }
     save_csv("table1_summary", &summary);
     println!("\npaper-vs-measured:");
-    println!("  paper: JWINS within 3pp of full-sharing, ≥ random sampling, 62-65% savings on every row");
-    println!("  here:  {reproduced}/5 workloads satisfy (within 5pp of full, ≥ random, >40% savings)");
+    println!(
+        "  paper: JWINS within 3pp of full-sharing, ≥ random sampling, 62-65% savings on every row"
+    );
+    println!(
+        "  here:  {reproduced}/5 workloads satisfy (within 5pp of full, ≥ random, >40% savings)"
+    );
     println!(
         "  => {}",
-        if reproduced >= 4 { "REPRODUCED (shape)" } else { "PARTIAL" }
+        if reproduced >= 4 {
+            "REPRODUCED (shape)"
+        } else {
+            "PARTIAL"
+        }
     );
 }

@@ -39,7 +39,11 @@ fn main() {
     // Phase 2: run the competitors until they reach that accuracy.
     let mut rows = vec![(
         "random-sampling".to_owned(),
-        Some((random_hit.round + 1, random_hit.cum_bytes_per_node, random_hit.sim_time_s)),
+        Some((
+            random_hit.round + 1,
+            random_hit.cum_bytes_per_node,
+            random_hit.sim_time_s,
+        )),
     )];
     for algo in [Algo::Full, Algo::Jwins(JwinsConfig::paper_default())] {
         let mut cfg = RunCfg::new(long_rounds);
@@ -80,7 +84,11 @@ fn main() {
     println!("\npaper-vs-measured:");
     println!("  paper: JWINS needs fewer rounds than random sampling and 1.5–4x fewer bytes");
     let rs = rows[0].1.expect("random reached its own best");
-    if let Some(jw) = rows.iter().find(|(n, _)| n == "jwins").and_then(|(_, h)| *h) {
+    if let Some(jw) = rows
+        .iter()
+        .find(|(n, _)| n == "jwins")
+        .and_then(|(_, h)| *h)
+    {
         let byte_ratio = rs.1 / jw.1.max(1.0);
         let fewer_rounds = rs.0 as i64 - jw.0 as i64;
         println!(

@@ -19,8 +19,16 @@ fn main() {
     let rounds = scale.rounds(130);
     let mut gap_by_budget = Vec::new();
     for (label, alpha, choco) in [
-        ("20%", AlphaDistribution::budget_20(), ChocoConfig::budget_20()),
-        ("10%", AlphaDistribution::budget_10(), ChocoConfig::budget_10()),
+        (
+            "20%",
+            AlphaDistribution::budget_20(),
+            ChocoConfig::budget_20(),
+        ),
+        (
+            "10%",
+            AlphaDistribution::budget_10(),
+            ChocoConfig::budget_10(),
+        ),
     ] {
         println!("\n--- communication budget {label} ---");
         let mut final_accs = Vec::new();

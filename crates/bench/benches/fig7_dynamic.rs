@@ -19,8 +19,16 @@ fn main() {
     let runs: [(&str, Algo, bool); 5] = [
         ("full-static", Algo::Full, false),
         ("full-dynamic", Algo::Full, true),
-        ("jwins-static", Algo::Jwins(JwinsConfig::paper_default()), false),
-        ("jwins-dynamic", Algo::Jwins(JwinsConfig::paper_default()), true),
+        (
+            "jwins-static",
+            Algo::Jwins(JwinsConfig::paper_default()),
+            false,
+        ),
+        (
+            "jwins-dynamic",
+            Algo::Jwins(JwinsConfig::paper_default()),
+            true,
+        ),
         (
             "choco-dynamic",
             Algo::Choco(ChocoConfig {

@@ -17,7 +17,10 @@ fn main() {
         ("jwins", JwinsConfig::paper_default()),
         ("without-wavelet", JwinsConfig::without_wavelet()),
         ("without-accumulation", JwinsConfig::without_accumulation()),
-        ("without-random-cutoff", JwinsConfig::without_random_cutoff()),
+        (
+            "without-random-cutoff",
+            JwinsConfig::without_random_cutoff(),
+        ),
     ];
     let mut losses = std::collections::HashMap::new();
     println!();
@@ -35,10 +38,14 @@ fn main() {
         losses.insert(name, last.test_loss);
     }
     let full = losses["jwins"];
-    let worst = ["without-wavelet", "without-accumulation", "without-random-cutoff"]
-        .iter()
-        .map(|k| losses[k])
-        .fold(0.0f64, f64::max);
+    let worst = [
+        "without-wavelet",
+        "without-accumulation",
+        "without-random-cutoff",
+    ]
+    .iter()
+    .map(|k| losses[k])
+    .fold(0.0f64, f64::max);
     println!("\npaper-vs-measured:");
     println!("  paper: full JWINS attains the minimum test loss; removing wavelet degrades most");
     let complete = losses
@@ -49,6 +56,10 @@ fn main() {
         "  here:  full {:.4} vs worst ablation {:.4} => {}",
         full,
         worst,
-        if complete { "REPRODUCED (full JWINS best)" } else { "PARTIAL" }
+        if complete {
+            "REPRODUCED (full JWINS best)"
+        } else {
+            "PARTIAL"
+        }
     );
 }

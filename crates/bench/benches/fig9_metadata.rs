@@ -78,8 +78,10 @@ fn main() {
         prev = i;
     }
     let gamma = delta::encode_gamma(&indices).expect("strictly increasing");
-    println!("
-general-purpose vs entropy coders on one 10k-index stream:");
+    println!(
+        "
+general-purpose vs entropy coders on one 10k-index stream:"
+    );
     for (name, bytes) in [
         ("raw u32", raw.len()),
         ("LZ77 (raw u32)", lz_raw.len()),

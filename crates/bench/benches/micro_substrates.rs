@@ -8,9 +8,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use jwins::average::PartialAverager;
 use jwins::sparsify::top_k_indices;
 use jwins_codec::float::{FloatCodec, RawFloatCodec, XorFloatCodec};
-use jwins_codec::{delta, lz};
 use jwins_codec::quantize::Qsgd;
 use jwins_codec::sparse::{IndexCodec, SparseVecCodec, ValueCodec};
+use jwins_codec::{delta, lz};
 use jwins_fourier::fft_real;
 use jwins_topology::{gen, weights::MetropolisWeights};
 use jwins_wavelet::{Dwt, Wavelet};
@@ -55,7 +55,9 @@ fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
     group.sample_size(20);
     group.bench_function("radix2_64k", |b| b.iter(|| black_box(fft_real(&x))));
-    group.bench_function("bluestein_64k-1", |b| b.iter(|| black_box(fft_real(&x_odd))));
+    group.bench_function("bluestein_64k-1", |b| {
+        b.iter(|| black_box(fft_real(&x_odd)))
+    });
     group.finish();
 }
 
@@ -78,8 +80,14 @@ fn bench_codecs(c: &mut Criterion) {
         b.iter(|| black_box(RawFloatCodec.encode(&values)));
     });
     for (name, codec) in [
-        ("gamma+xor", SparseVecCodec::new(IndexCodec::EliasGammaDelta, ValueCodec::Xor)),
-        ("raw+raw", SparseVecCodec::new(IndexCodec::RawU32, ValueCodec::Raw)),
+        (
+            "gamma+xor",
+            SparseVecCodec::new(IndexCodec::EliasGammaDelta, ValueCodec::Xor),
+        ),
+        (
+            "raw+raw",
+            SparseVecCodec::new(IndexCodec::RawU32, ValueCodec::Raw),
+        ),
     ] {
         group.bench_with_input(
             BenchmarkId::new("sparse_roundtrip_6k", name),

@@ -11,7 +11,7 @@
 //! - output helpers that print paper-style rows and persist CSV series under
 //!   `target/experiments/`.
 
-use jwins::config::TrainConfig;
+use jwins::config::{ExecutionMode, TrainConfig};
 use jwins::engine::Trainer;
 use jwins::metrics::RunResult;
 use jwins::participation::RandomDropout;
@@ -27,6 +27,7 @@ use jwins_data::Partitioned;
 use jwins_nn::models::{
     gn_lenet, leaf_cnn, CharLstm, ClassSample, ImageClassifier, MatrixFactorization,
 };
+use jwins_sim::HeterogeneityProfile;
 use jwins_topology::dynamic::{DynamicRegular, StaticTopology, TopologyProvider};
 use jwins_topology::peer_sampling::{PeerSampling, PeerSamplingConfig};
 
@@ -245,6 +246,12 @@ pub struct RunCfg {
     /// Sample the topology from a Cyclon peer-sampling service instead of a
     /// random-regular construction (extension).
     pub peer_sampling: bool,
+    /// Execution substrate (barrier rounds vs event-driven async gossip).
+    pub execution: ExecutionMode,
+    /// Hardware heterogeneity for event-driven runs.
+    pub heterogeneity: HeterogeneityProfile,
+    /// Override the simulated wall-clock model (None = engine default).
+    pub time_model: Option<jwins_net::TimeModel>,
 }
 
 impl RunCfg {
@@ -260,6 +267,9 @@ impl RunCfg {
             dynamic_topology: false,
             dropout: None,
             peer_sampling: false,
+            execution: ExecutionMode::default(),
+            heterogeneity: HeterogeneityProfile::default(),
+            time_model: None,
         }
     }
 }
@@ -274,6 +284,11 @@ fn train_config(cfg: &RunCfg, lr: f32) -> TrainConfig {
     c.eval_test_samples = 256;
     c.target_accuracy = cfg.target_accuracy;
     c.record_alphas = cfg.record_alphas;
+    c.execution = cfg.execution;
+    c.heterogeneity = cfg.heterogeneity.clone();
+    if let Some(tm) = cfg.time_model {
+        c.time_model = tm;
+    }
     c
 }
 
@@ -358,7 +373,14 @@ pub fn run_cifar_n(
         .test_set(data.test.clone())
         .nodes(data.node_train, |node| {
             (
-                gn_lenet(img.channels, img.height, img.width, img.classes, 8, cfg.seed),
+                gn_lenet(
+                    img.channels,
+                    img.height,
+                    img.width,
+                    img.classes,
+                    8,
+                    cfg.seed,
+                ),
                 algo.strategy(node, cfg.seed),
             )
         });
@@ -377,7 +399,17 @@ pub fn run_femnist(scale: Scale, algo: &Algo, cfg: &RunCfg) -> RunResult {
     run_image(
         data,
         &img,
-        |seed| leaf_cnn(img.channels, img.height, img.width, img.classes, 4, 24, seed),
+        |seed| {
+            leaf_cnn(
+                img.channels,
+                img.height,
+                img.width,
+                img.classes,
+                4,
+                24,
+                seed,
+            )
+        },
         scale,
         algo,
         cfg,
@@ -393,7 +425,17 @@ pub fn run_celeba(scale: Scale, algo: &Algo, cfg: &RunCfg) -> RunResult {
     run_image(
         data,
         &img,
-        |seed| leaf_cnn(img.channels, img.height, img.width, img.classes, 3, 16, seed),
+        |seed| {
+            leaf_cnn(
+                img.channels,
+                img.height,
+                img.width,
+                img.classes,
+                3,
+                16,
+                seed,
+            )
+        },
         scale,
         algo,
         cfg,
@@ -481,7 +523,10 @@ pub fn banner(figure: &str, claim: &str) {
     println!("\n================================================================");
     println!("{figure}");
     println!("paper claim: {claim}");
-    println!("scale: {:?} (set JWINS_SCALE=medium|paper for larger runs)", Scale::from_env());
+    println!(
+        "scale: {:?} (set JWINS_SCALE=medium|paper for larger runs)",
+        Scale::from_env()
+    );
     println!("================================================================");
 }
 

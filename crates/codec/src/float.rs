@@ -101,9 +101,8 @@ impl FloatCodec for XorFloatCodec {
             let lead = x.leading_zeros().min(Self::MAX_LEADING);
             let trail = x.trailing_zeros();
             let len = 32 - lead - trail;
-            let fits_window = win_lead != u32::MAX
-                && lead >= win_lead
-                && lead + len <= win_lead + win_len;
+            let fits_window =
+                win_lead != u32::MAX && lead >= win_lead && lead + len <= win_lead + win_len;
             w.write_bit(true);
             if fits_window {
                 w.write_bit(false);

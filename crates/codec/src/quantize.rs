@@ -93,7 +93,11 @@ impl Qsgd {
 }
 
 fn l2_norm(values: &[f32]) -> f32 {
-    values.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt() as f32
+    values
+        .iter()
+        .map(|v| f64::from(*v) * f64::from(*v))
+        .sum::<f64>()
+        .sqrt() as f32
 }
 
 #[cfg(test)]

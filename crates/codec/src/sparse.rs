@@ -238,7 +238,9 @@ impl SparseVecCodec {
         // index and one per value, so anything above 4 elements per byte is
         // structurally impossible — reject before allocating.
         if count > bytes.len() as u64 * 4 {
-            return Err(CodecError::Corrupt("declared count exceeds buffer capacity"));
+            return Err(CodecError::Corrupt(
+                "declared count exceeds buffer capacity",
+            ));
         }
         let count = count as usize;
         let index_len = index_len as usize;

@@ -2,7 +2,24 @@
 
 use crate::{JwinsError, Result};
 use jwins_net::TimeModel;
+use jwins_sim::HeterogeneityProfile;
 use serde::{Deserialize, Serialize};
+
+/// Which execution substrate drives a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ExecutionMode {
+    /// The paper's round structure: train → communicate → aggregate behind a
+    /// global barrier; round time from [`TimeModel::round_seconds`].
+    #[default]
+    BulkSynchronous,
+    /// Discrete-event asynchronous gossip: each node advances its own
+    /// virtual clock through heterogeneous compute and links, mixing with
+    /// whatever neighbour messages have *arrived* by its local time. With a
+    /// degenerate [`HeterogeneityProfile`] this reproduces
+    /// [`ExecutionMode::BulkSynchronous`] results bit-for-bit.
+    EventDriven,
+}
 
 /// Knobs of one decentralized training run.
 ///
@@ -28,9 +45,18 @@ pub struct TrainConfig {
     pub eval_test_samples: usize,
     /// Worker threads (`0` = all available cores).
     pub threads: usize,
-    /// Simulated wall-clock model.
-    #[serde(skip, default)]
+    /// Simulated wall-clock model. (Serialized since the event-driven
+    /// runtime landed; configs now round-trip losslessly.)
+    #[serde(default)]
     pub time_model: TimeModel,
+    /// Execution substrate: barrier rounds or event-driven async gossip.
+    #[serde(default)]
+    pub execution: ExecutionMode,
+    /// Hardware heterogeneity (compute speeds, link capacities) for
+    /// [`ExecutionMode::EventDriven`]. The default profile is degenerate:
+    /// uniform compute, instantaneous links.
+    #[serde(default)]
+    pub heterogeneity: HeterogeneityProfile,
     /// Stop as soon as mean test accuracy reaches this value (Figures 5–6
     /// "run to target accuracy").
     pub target_accuracy: Option<f64>,
@@ -56,10 +82,20 @@ impl TrainConfig {
             eval_test_samples: 0,
             threads: 0,
             time_model: TimeModel::default(),
+            execution: ExecutionMode::default(),
+            heterogeneity: HeterogeneityProfile::default(),
             target_accuracy: None,
             message_loss: 0.0,
             record_alphas: false,
         }
+    }
+
+    /// Fluent switch to event-driven execution under `profile`.
+    #[must_use]
+    pub fn with_event_driven(mut self, profile: HeterogeneityProfile) -> Self {
+        self.execution = ExecutionMode::EventDriven;
+        self.heterogeneity = profile;
+        self
     }
 
     /// A tiny configuration for unit tests and doctests (3 rounds).
@@ -126,6 +162,23 @@ impl TrainConfig {
                 ));
             }
         }
+        self.heterogeneity
+            .validate()
+            .map_err(JwinsError::InvalidConfig)?;
+        if self.execution == ExecutionMode::EventDriven {
+            // The event clock derives every node's round length from
+            // compute_s; zero (or NaN/negative, which SimTime would clamp
+            // to zero silently) would let one node run all its rounds at
+            // t=0 before any other node starts.
+            if self.time_model.compute_s.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+                || !self.time_model.compute_s.is_finite()
+            {
+                return Err(JwinsError::InvalidConfig(
+                    "event-driven execution requires a positive, finite time_model.compute_s"
+                        .into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -162,5 +215,73 @@ mod tests {
         let c = TrainConfig::new(5).with_seed(7).with_lr(0.5);
         assert_eq!(c.seed, 7);
         assert_eq!(c.lr, 0.5);
+        let c = c.with_event_driven(HeterogeneityProfile::stragglers(0.25, 4.0, 0.005, 12.5e6));
+        assert_eq!(c.execution, ExecutionMode::EventDriven);
+        assert!(!c.heterogeneity.is_degenerate());
+    }
+
+    #[test]
+    fn bad_heterogeneity_rejected() {
+        let mut c = TrainConfig::new(1);
+        c.heterogeneity = HeterogeneityProfile::stragglers(2.0, 4.0, 0.0, 1e6);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn event_driven_requires_positive_compute() {
+        let mut c = TrainConfig::new(1).with_event_driven(HeterogeneityProfile::default());
+        assert!(c.validate().is_ok());
+        c.time_model.compute_s = 0.0;
+        assert!(c.validate().is_err());
+        c.time_model.compute_s = -1.0;
+        assert!(c.validate().is_err());
+        c.time_model.compute_s = f64::NAN;
+        assert!(c.validate().is_err());
+        // The barrier engine never schedules by compute_s alone; zero stays
+        // legal there.
+        c.execution = ExecutionMode::BulkSynchronous;
+        c.time_model.compute_s = 0.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn config_round_trips_through_serde_losslessly() {
+        // Regression: time_model used to be #[serde(skip)], so configs came
+        // back with a default time model and any tuned bandwidth silently
+        // vanished.
+        let mut config = TrainConfig::new(7).with_seed(99).with_lr(0.125);
+        config.time_model = jwins_net::TimeModel {
+            compute_s: 0.75,
+            bandwidth_bps: 1.5e6,
+            latency_s: 0.025,
+        };
+        config.execution = ExecutionMode::EventDriven;
+        config.heterogeneity = HeterogeneityProfile::stragglers(0.125, 8.0, 0.001, 2.5e7);
+        config.target_accuracy = Some(0.5);
+        config.message_loss = 0.125;
+        let text = serde::json::to_string(&config);
+        let back: TrainConfig = serde::json::from_str(&text).unwrap();
+        assert_eq!(back.time_model, config.time_model);
+        assert_eq!(back.execution, config.execution);
+        assert_eq!(back.heterogeneity, config.heterogeneity);
+        assert_eq!(back.rounds, config.rounds);
+        assert_eq!(back.lr, config.lr);
+        assert_eq!(back.seed, config.seed);
+        assert_eq!(back.target_accuracy, config.target_accuracy);
+        assert_eq!(back.message_loss, config.message_loss);
+    }
+
+    #[test]
+    fn old_configs_without_new_fields_still_parse() {
+        // Forward compatibility: serialized configs predating the
+        // event-driven runtime omit execution/heterogeneity/time_model.
+        let text = r#"{"rounds":3,"local_steps":1,"batch_size":4,"lr":0.05,
+            "seed":42,"eval_every":0,"eval_test_samples":16,"threads":1,
+            "target_accuracy":null,"record_alphas":false}"#;
+        let config: TrainConfig = serde::json::from_str(text).unwrap();
+        assert_eq!(config.execution, ExecutionMode::BulkSynchronous);
+        assert!(config.heterogeneity.is_degenerate());
+        assert_eq!(config.time_model, jwins_net::TimeModel::default());
+        assert!(config.validate().is_ok());
     }
 }

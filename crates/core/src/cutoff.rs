@@ -81,11 +81,9 @@ impl AlphaDistribution {
                     .then_some(())
                     .ok_or_else(|| "list fraction outside [0,1]".into())
             }
-            AlphaDistribution::TwoPoint { hi, p_hi, lo } => {
-                (ok(*hi) && ok(*lo) && ok(*p_hi))
-                    .then_some(())
-                    .ok_or_else(|| "two-point parameters outside [0,1]".into())
-            }
+            AlphaDistribution::TwoPoint { hi, p_hi, lo } => (ok(*hi) && ok(*lo) && ok(*p_hi))
+                .then_some(())
+                .ok_or_else(|| "two-point parameters outside [0,1]".into()),
         }
     }
 
@@ -93,9 +91,7 @@ impl AlphaDistribution {
     pub fn mean(&self) -> f64 {
         match self {
             AlphaDistribution::Fixed(a) => *a,
-            AlphaDistribution::UniformList(list) => {
-                list.iter().sum::<f64>() / list.len() as f64
-            }
+            AlphaDistribution::UniformList(list) => list.iter().sum::<f64>() / list.len() as f64,
             AlphaDistribution::TwoPoint { hi, p_hi, lo } => p_hi * hi + (1.0 - p_hi) * lo,
         }
     }
@@ -212,7 +208,9 @@ mod tests {
     fn validation_catches_bad_fractions() {
         assert!(AlphaDistribution::Fixed(1.5).validate().is_err());
         assert!(AlphaDistribution::UniformList(vec![]).validate().is_err());
-        assert!(AlphaDistribution::UniformList(vec![0.5, -0.1]).validate().is_err());
+        assert!(AlphaDistribution::UniformList(vec![0.5, -0.1])
+            .validate()
+            .is_err());
         assert!(AlphaDistribution::paper_default().validate().is_ok());
     }
 }

@@ -1,14 +1,26 @@
-//! The bulk-synchronous decentralized training engine.
+//! The decentralized training engine, with two execution substrates.
 //!
-//! Reproduces the paper's round structure (train → communicate → aggregate,
-//! §II-A) over the simulated network: every round each node runs τ local SGD
-//! steps, broadcasts one strategy-built message to its neighbours for this
-//! round's topology, then folds the received messages into its parameters
-//! using Metropolis–Hastings weights. Nodes execute in parallel worker
-//! threads inside each phase; phases are barrier-separated, so runs are
-//! bit-deterministic regardless of thread count.
+//! **Bulk-synchronous** (the paper's round structure, §II-A): every round
+//! each node runs τ local SGD steps, broadcasts one strategy-built message
+//! to its neighbours for this round's topology, then folds the received
+//! messages into its parameters using Metropolis–Hastings weights. Nodes
+//! execute in parallel worker threads inside each phase; phases are
+//! barrier-separated, so runs are bit-deterministic regardless of thread
+//! count.
+//!
+//! **Event-driven** ([`crate::config::ExecutionMode::EventDriven`]): the
+//! same per-node round program, but scheduled on a virtual clock through
+//! `jwins_sim`'s discrete-event queue. Each node's local round costs
+//! `compute_s / speed` seconds of simulated compute, outgoing messages are
+//! serialized over its uplink and arrive `latency + bytes/bandwidth` later,
+//! and a node mixes with whatever neighbour messages have *arrived* by its
+//! local clock — possibly stale ones, whose age feeds the staleness metric.
+//! Under a degenerate heterogeneity profile (uniform compute, instantaneous
+//! links) the two substrates produce bit-identical results; the event loop
+//! itself is sequential in virtual time, so `threads` only affects the
+//! barrier phases and evaluation, never the outcome.
 
-use crate::config::TrainConfig;
+use crate::config::{ExecutionMode, TrainConfig};
 use crate::metrics::{RoundRecord, RunResult, TargetHit};
 use crate::participation::{AlwaysOn, ParticipationModel};
 use crate::strategy::{Outbound, ReceivedMessage, ShareStrategy};
@@ -16,6 +28,7 @@ use crate::{JwinsError, Result};
 use jwins_data::batch::BatchSampler;
 use jwins_net::{LossModel, SimNetwork};
 use jwins_nn::model::{EvalMetrics, Model};
+use jwins_sim::{EventQueue, Scheduled, SimTime};
 use jwins_topology::dynamic::{RoundTopology, TopologyProvider};
 use std::sync::Arc;
 
@@ -106,7 +119,9 @@ impl<M: Model> TrainerBuilder<M> {
             .topology
             .ok_or_else(|| JwinsError::InvalidConfig("topology is required".into()))?;
         if self.nodes.is_empty() {
-            return Err(JwinsError::InvalidConfig("at least one node required".into()));
+            return Err(JwinsError::InvalidConfig(
+                "at least one node required".into(),
+            ));
         }
         if topology.nodes() != self.nodes.len() {
             return Err(JwinsError::InvalidConfig(format!(
@@ -178,6 +193,24 @@ struct NodeState<M: Model> {
     out: Option<Outbound>,
     last_train_loss: f32,
     last_alpha: f64,
+}
+
+/// Runs τ local SGD steps on one node — the *identical* instruction sequence
+/// for both execution substrates, so event-driven runs with a degenerate
+/// heterogeneity profile replay bulk-synchronous results bit-for-bit.
+fn train_steps<M: Model>(node: &mut NodeState<M>, tau: usize, batch_size: usize, lr: f32) {
+    node.model.set_params(&node.params);
+    let mut loss = 0.0;
+    for _ in 0..tau {
+        let batch = node.sampler.sample(batch_size);
+        let (l, grad) = node.model.loss_and_grad(&batch);
+        loss = l;
+        for (p, g) in node.params.iter_mut().zip(&grad) {
+            *p -= lr * g;
+        }
+        node.model.set_params(&node.params);
+    }
+    node.last_train_loss = loss;
 }
 
 /// Runs each node's closure in parallel chunks, propagating the first error.
@@ -303,20 +336,12 @@ impl<M: Model> Trainer<M> {
                 node.out = None;
                 return Ok(());
             }
-            node.model.set_params(&node.params);
-            let mut loss = 0.0;
-            for _ in 0..tau {
-                let batch = node.sampler.sample(bs);
-                let (l, grad) = node.model.loss_and_grad(&batch);
-                loss = l;
-                for (p, g) in node.params.iter_mut().zip(&grad) {
-                    *p -= lr * g;
-                }
-                node.model.set_params(&node.params);
-            }
-            node.last_train_loss = loss;
+            train_steps(node, tau, bs, lr);
             let neighbors = Self::active_neighbors(topo, active, i);
-            node.out = Some(node.strategy.make_outbound(round, &node.params, &neighbors)?);
+            node.out = Some(
+                node.strategy
+                    .make_outbound(round, &node.params, &neighbors)?,
+            );
             node.last_alpha = node.strategy.last_alpha();
             Ok(())
         })
@@ -407,9 +432,13 @@ impl<M: Model> Trainer<M> {
     {
         let cap = self.config.eval_test_samples;
         let test = Arc::clone(&self.test);
-        let merged = parking_lot::Mutex::new(EvalMetrics::default());
+        // Per-node slots merged in node order afterwards: float sums must
+        // not depend on which worker thread finished first.
+        let per_node: Vec<parking_lot::Mutex<EvalMetrics>> = (0..self.nodes.len())
+            .map(|_| parking_lot::Mutex::new(EvalMetrics::default()))
+            .collect();
         let threads = self.worker_threads();
-        par_nodes(&mut self.nodes, threads, |_, node| {
+        par_nodes(&mut self.nodes, threads, |i, node| {
             let subset: &[M::Sample] = if cap == 0 || cap >= test.len() {
                 &test
             } else {
@@ -420,13 +449,23 @@ impl<M: Model> Trainer<M> {
             for chunk in subset.chunks(64) {
                 local.merge(&node.model.evaluate(chunk));
             }
-            merged.lock().merge(&local);
+            *per_node[i].lock() = local;
             Ok(())
         })?;
-        Ok(merged.into_inner())
+        let mut merged = EvalMetrics::default();
+        for slot in &per_node {
+            merged.merge(&slot.lock());
+        }
+        Ok(merged)
     }
 
-    fn snapshot(&self, round: usize, metrics: &EvalMetrics, sim_time: f64) -> RoundRecord {
+    fn snapshot(
+        &self,
+        round: usize,
+        metrics: &EvalMetrics,
+        sim_time: f64,
+        mean_staleness_s: f64,
+    ) -> RoundRecord {
         let n = self.nodes.len() as f64;
         let total = self.network.total_stats();
         let train_loss = self
@@ -447,15 +486,29 @@ impl<M: Model> Trainer<M> {
             cum_payload_per_node: total.payload_sent as f64 / n,
             cum_metadata_per_node: total.metadata_sent as f64 / n,
             sim_time_s: sim_time,
+            mean_staleness_s,
         }
     }
 
-    /// Executes the full run.
+    /// Executes the full run on the substrate selected by
+    /// [`TrainConfig::execution`].
     ///
     /// # Errors
     ///
     /// Propagates strategy, codec and topology errors.
-    pub fn run(mut self) -> Result<RunResult>
+    pub fn run(self) -> Result<RunResult>
+    where
+        M: Send,
+        M::Sample: Send + Sync,
+    {
+        match self.config.execution {
+            ExecutionMode::BulkSynchronous => self.run_sync(),
+            ExecutionMode::EventDriven => self.run_event_driven(),
+        }
+    }
+
+    /// The paper's barrier-synchronized round loop.
+    fn run_sync(mut self) -> Result<RunResult>
     where
         M: Send,
         M::Sample: Send + Sync,
@@ -484,7 +537,7 @@ impl<M: Model> Trainer<M> {
                 || (self.config.eval_every > 0 && (round + 1) % self.config.eval_every == 0);
             if eval_due {
                 let metrics = self.evaluate()?;
-                let record = self.snapshot(round, &metrics, sim_time);
+                let record = self.snapshot(round, &metrics, sim_time, 0.0);
                 let hit_target = self
                     .config
                     .target_accuracy
@@ -500,6 +553,324 @@ impl<M: Model> Trainer<M> {
                 }
             }
         }
+        Ok(RunResult {
+            strategy: strategy_name,
+            records,
+            total_traffic: self.network.total_stats(),
+            rounds_run,
+            reached_target,
+            alpha_history,
+        })
+    }
+
+    /// The discrete-event asynchronous-gossip loop.
+    ///
+    /// Each node cycles through three events on the shared virtual clock:
+    ///
+    /// 1. `StartRound` — consult participation; an active node schedules
+    ///    `TrainDone` after `compute_s / speed` seconds, an inactive one
+    ///    idles for the same window;
+    /// 2. `TrainDone` — run τ SGD steps, then serialize this round's
+    ///    messages over the uplink one neighbour at a time (each arrives
+    ///    `latency + bytes/bandwidth` after its transmission starts) and
+    ///    schedule `Mix` once the last byte has left;
+    /// 3. `Mix` — drain every message that has *arrived* by the local
+    ///    clock (possibly stale, possibly from a past round — its age is
+    ///    accumulated into the staleness metric), aggregate, and start the
+    ///    next round.
+    ///
+    /// Simultaneous events are ordered train < mix < start, then by node id,
+    /// so equal-time rounds interleave exactly like the barrier engine —
+    /// which is why a degenerate heterogeneity profile reproduces
+    /// bulk-synchronous results bit-for-bit.
+    fn run_event_driven(mut self) -> Result<RunResult>
+    where
+        M: Send,
+        M::Sample: Send + Sync,
+    {
+        #[derive(Debug, Clone, Copy)]
+        enum Ev {
+            StartRound {
+                node: usize,
+                round: usize,
+            },
+            TrainDone {
+                node: usize,
+                round: usize,
+            },
+            Mix {
+                node: usize,
+                round: usize,
+                trained: bool,
+            },
+        }
+        const RANK_TRAIN: u64 = 0;
+        const RANK_MIX: u64 = 1;
+        const RANK_START: u64 = 2;
+        fn prio(rank: u64, node: usize) -> u64 {
+            (rank << 32) | node as u64
+        }
+
+        let n = self.nodes.len();
+        let rounds = self.config.rounds;
+        let strategy_name = self.nodes[0].strategy.name().to_owned();
+        if !self.config.heterogeneity.is_degenerate() {
+            // Real heterogeneity delivers cross-round messages; refuse
+            // strategies whose per-edge state silently corrupts on them.
+            if let Some(node) = self
+                .nodes
+                .iter()
+                .position(|s| !s.strategy.tolerates_stale_messages())
+            {
+                return Err(JwinsError::InvalidConfig(format!(
+                    "strategy `{}` (node {node}) requires round-aligned exchanges and \
+                     cannot run event-driven under a non-degenerate heterogeneity profile",
+                    self.nodes[node].strategy.name()
+                )));
+            }
+        }
+        let speeds = self
+            .config
+            .heterogeneity
+            .compute
+            .speeds(n, self.config.seed ^ 0xC0_FFEE);
+        let links = self.config.heterogeneity.links.clone();
+        let link_seed = self.config.seed ^ 0x11_4B;
+        let compute_time: Vec<SimTime> = speeds
+            .iter()
+            .map(|s| SimTime::from_secs_f64(self.config.time_model.compute_s / s))
+            .collect();
+
+        let mut queue: EventQueue<Ev> = EventQueue::new(self.config.seed ^ 0xE0E0);
+        for node in 0..n {
+            queue.push(
+                SimTime::ZERO,
+                prio(RANK_START, node),
+                Ev::StartRound { node, round: 0 },
+            );
+        }
+
+        // Per-round topology + participation cache: nodes at the same round
+        // share one construction (dynamic topologies rebuild graph + MH
+        // weights per call — 2n calls per round without this). Entries are
+        // evicted once every node has completed the round, bounding memory
+        // by the fast/slow-node spread.
+        let mut round_ctx: std::collections::HashMap<usize, (RoundTopology, Arc<Vec<bool>>)> =
+            std::collections::HashMap::new();
+        macro_rules! ctx_for {
+            ($round:expr) => {{
+                let round = $round;
+                if !round_ctx.contains_key(&round) {
+                    let topo = self.topology.topology(round);
+                    let active: Vec<bool> = (0..n)
+                        .map(|j| self.participation.is_active(round, j))
+                        .collect();
+                    round_ctx.insert(round, (topo, Arc::new(active)));
+                }
+                let (topo, active) = &round_ctx[&round];
+                (topo.clone(), Arc::clone(active))
+            }};
+        }
+
+        let mut records = Vec::new();
+        let mut reached_target = None;
+        let mut rounds_run = 0usize;
+        let mut completed = vec![0usize; rounds];
+        let mut total_staleness_s = 0.0f64;
+        let mut mixed_messages = 0u64;
+        // Per-(round, node) sharing fractions, filled as TrainDone/idle
+        // events fire; only fully completed rounds are reported.
+        let mut alpha_rows: Vec<Vec<f64>> = if self.config.record_alphas {
+            vec![vec![0.0; n]; rounds]
+        } else {
+            Vec::new()
+        };
+        let mut current_alpha = vec![0.0f64; n];
+
+        while let Some(Scheduled { time, event, .. }) = queue.pop() {
+            match event {
+                Ev::StartRound { node, round } => {
+                    let (_, active_set) = ctx_for!(round);
+                    let active = active_set[node];
+                    let end = time.plus(compute_time[node]);
+                    if active {
+                        queue.push(end, prio(RANK_TRAIN, node), Ev::TrainDone { node, round });
+                    } else {
+                        // Idle through the round window; no train, no I/O.
+                        queue.push(
+                            end,
+                            prio(RANK_MIX, node),
+                            Ev::Mix {
+                                node,
+                                round,
+                                trained: false,
+                            },
+                        );
+                    }
+                }
+                Ev::TrainDone { node, round } => {
+                    let (topo, active) = ctx_for!(round);
+                    let tau = self.config.local_steps;
+                    let bs = self.config.batch_size;
+                    let lr = self.config.lr;
+                    let neighbors = Self::active_neighbors(&topo, &active, node);
+                    let state = &mut self.nodes[node];
+                    train_steps(state, tau, bs, lr);
+                    let outbound =
+                        state
+                            .strategy
+                            .make_outbound(round, &state.params, &neighbors)?;
+                    state.last_alpha = state.strategy.last_alpha();
+                    current_alpha[node] = state.last_alpha;
+                    if self.config.record_alphas {
+                        alpha_rows[round][node] = state.last_alpha;
+                    }
+                    // Serialize over the uplink one message at a time: the
+                    // k-th transmission starts when the (k-1)-th has left,
+                    // and arrives one link latency after its last byte.
+                    let mut departure = time;
+                    let send_one =
+                        |to: usize, msg: crate::strategy::OutMessage, departure: &mut SimTime| {
+                            let link = links.link(node, to, link_seed);
+                            let bytes = msg.bytes.len() as u64;
+                            let tx = link.serialize_secs(bytes);
+                            let arrives = departure.after_secs(tx + link.latency_s);
+                            self.network.send_timed(
+                                node,
+                                to,
+                                msg.bytes,
+                                msg.breakdown,
+                                time,
+                                arrives,
+                                round,
+                            );
+                            *departure = departure.after_secs(tx);
+                        };
+                    match outbound {
+                        Outbound::Broadcast(msg) => {
+                            for &to in &neighbors {
+                                send_one(to, msg.clone(), &mut departure);
+                            }
+                        }
+                        Outbound::PerEdge(messages) => {
+                            if messages.len() != neighbors.len() {
+                                return Err(JwinsError::Protocol(
+                                    "per-edge message count mismatches neighbour count",
+                                ));
+                            }
+                            for (&to, msg) in neighbors.iter().zip(messages) {
+                                if let Some(msg) = msg {
+                                    send_one(to, msg, &mut departure);
+                                }
+                            }
+                        }
+                    }
+                    queue.push(
+                        departure,
+                        prio(RANK_MIX, node),
+                        Ev::Mix {
+                            node,
+                            round,
+                            trained: true,
+                        },
+                    );
+                }
+                Ev::Mix {
+                    node,
+                    round,
+                    trained,
+                } => {
+                    if trained {
+                        let (topo, _) = ctx_for!(round);
+                        let inbox = self.network.drain_until(node, time);
+                        let neighbors = topo.graph.neighbors(node);
+                        let mut received = Vec::with_capacity(inbox.len());
+                        for env in &inbox {
+                            // A message from a node that is no longer a
+                            // neighbour under this round's topology carries
+                            // no mixing weight; drop it (dynamic graphs
+                            // only — static topologies never hit this).
+                            let Ok(pos) = neighbors.binary_search(&env.from) else {
+                                continue;
+                            };
+                            total_staleness_s += time.since(env.sent).as_secs_f64();
+                            mixed_messages += 1;
+                            received.push(ReceivedMessage {
+                                from: env.from,
+                                weight: topo.weights.neighbor_weights(node)[pos],
+                                bytes: &env.payload,
+                            });
+                        }
+                        let state = &mut self.nodes[node];
+                        state.params = state.strategy.aggregate(
+                            round,
+                            &state.params,
+                            topo.weights.self_weight(node),
+                            &received,
+                        )?;
+                        state.model.set_params(&state.params);
+                    } else if self.config.record_alphas {
+                        // Idle rounds carry the node's previous fraction,
+                        // mirroring the barrier engine's snapshot.
+                        alpha_rows[round][node] = current_alpha[node];
+                    }
+                    // Round completion bookkeeping: the last node to finish
+                    // round `round` triggers its evaluation point.
+                    completed[round] += 1;
+                    if completed[round] == n {
+                        round_ctx.remove(&round);
+                        rounds_run = round + 1;
+                        let is_last = round + 1 == rounds;
+                        let eval_due = is_last
+                            || (self.config.eval_every > 0
+                                && (round + 1) % self.config.eval_every == 0);
+                        if eval_due {
+                            let metrics = self.evaluate()?;
+                            let mean_staleness_s = if mixed_messages == 0 {
+                                0.0
+                            } else {
+                                total_staleness_s / mixed_messages as f64
+                            };
+                            let record = self.snapshot(
+                                round,
+                                &metrics,
+                                time.as_secs_f64(),
+                                mean_staleness_s,
+                            );
+                            let hit_target = self
+                                .config
+                                .target_accuracy
+                                .is_some_and(|t| record.test_accuracy >= t);
+                            records.push(record);
+                            if hit_target && reached_target.is_none() {
+                                reached_target = Some(TargetHit {
+                                    round,
+                                    sim_time_s: time.as_secs_f64(),
+                                    bytes_per_node: records
+                                        .last()
+                                        .map_or(0.0, |r| r.cum_bytes_per_node),
+                                });
+                                // Early stop: cancel everything in flight.
+                                queue.clear();
+                                continue;
+                            }
+                        }
+                    }
+                    if round + 1 < rounds {
+                        queue.push(
+                            time,
+                            prio(RANK_START, node),
+                            Ev::StartRound {
+                                node,
+                                round: round + 1,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        let alpha_history: Vec<Vec<f64>> = alpha_rows.into_iter().take(rounds_run).collect();
         Ok(RunResult {
             strategy: strategy_name,
             records,
@@ -577,7 +948,10 @@ mod tests {
         let before_spread = {
             let p0 = trainer.node_params(0).to_vec();
             let p1 = trainer.node_params(1).to_vec();
-            p0.iter().zip(&p1).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
+            p0.iter()
+                .zip(&p1)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max)
         };
         let mut means = vec![0.0f64; d];
         for i in 0..4 {
@@ -629,7 +1003,7 @@ mod tests {
             .map(|i| trainer.node_params(i).to_vec())
             .collect();
         let metrics = trainer.evaluate().unwrap();
-        let record = trainer.snapshot(rounds - 1, &metrics, sim_time);
+        let record = trainer.snapshot(rounds - 1, &metrics, sim_time, 0.0);
         let result = RunResult {
             strategy: "test".into(),
             records: vec![record],
@@ -739,8 +1113,7 @@ mod tests {
         assert!(last.test_accuracy > 0.3, "accuracy {}", last.test_accuracy);
         // Per-edge rank-1 messages are far smaller than the model.
         let model_bytes = (2 * 8 * 8 * 8 + 8 + 8 * 4 + 4) * 4; // rough
-        let per_round_per_edge =
-            result.total_traffic.bytes_sent as f64 / (15.0 * 4.0 * 2.0);
+        let per_round_per_edge = result.total_traffic.bytes_sent as f64 / (15.0 * 4.0 * 2.0);
         assert!(
             per_round_per_edge < model_bytes as f64 / 4.0,
             "per-edge bytes {per_round_per_edge} not small vs model {model_bytes}"
@@ -840,6 +1213,157 @@ mod tests {
     }
 
     #[test]
+    fn event_driven_degenerate_profile_matches_sync_bitwise() {
+        use jwins_sim::HeterogeneityProfile;
+        let build = |execution: ExecutionMode| {
+            let data = cifar_like(&ImageConfig::tiny(), 4, 2, 5);
+            let mut cfg = TrainConfig::quick_test();
+            cfg.rounds = 8;
+            cfg.lr = 0.1;
+            cfg.eval_every = 2;
+            cfg.execution = execution;
+            cfg.heterogeneity = HeterogeneityProfile::default();
+            Trainer::builder(cfg)
+                .topology(StaticTopology::random_regular(4, 2, 3).unwrap())
+                .test_set(data.test)
+                .nodes(data.node_train, |_| {
+                    (
+                        mlp_classifier(2 * 8 * 8, &[8], 4, 7),
+                        Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+                    )
+                })
+                .build()
+                .unwrap()
+        };
+        let sync = build(ExecutionMode::BulkSynchronous).run().unwrap();
+        let event = build(ExecutionMode::EventDriven).run().unwrap();
+        assert_eq!(sync.rounds_run, event.rounds_run);
+        assert_eq!(sync.total_traffic, event.total_traffic);
+        assert_eq!(sync.records.len(), event.records.len());
+        for (s, e) in sync.records.iter().zip(&event.records) {
+            assert_eq!(s.round, e.round);
+            assert_eq!(s.train_loss.to_bits(), e.train_loss.to_bits());
+            assert_eq!(s.test_loss.to_bits(), e.test_loss.to_bits());
+            assert_eq!(s.test_accuracy.to_bits(), e.test_accuracy.to_bits());
+            assert_eq!(s.cum_bytes_per_node, e.cum_bytes_per_node);
+            // Instant links leave nothing in flight, so nothing is stale.
+            assert_eq!(e.mean_staleness_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn stragglers_slow_the_clock_and_create_staleness() {
+        use jwins_sim::HeterogeneityProfile;
+        let data = cifar_like(&ImageConfig::tiny(), 4, 2, 5);
+        let mut cfg = TrainConfig::quick_test();
+        cfg.rounds = 6;
+        cfg.lr = 0.1;
+        cfg.eval_every = 0;
+        cfg.time_model.compute_s = 1.0;
+        cfg.execution = ExecutionMode::EventDriven;
+        // One node 4x slower over thin links: messages now spend real time
+        // in flight and fast nodes mix stale models.
+        cfg.heterogeneity = HeterogeneityProfile::stragglers(0.25, 4.0, 0.01, 64_000.0);
+        let trainer = Trainer::builder(cfg)
+            .topology(StaticTopology::random_regular(4, 2, 3).unwrap())
+            .test_set(data.test)
+            .nodes(data.node_train, |_| {
+                (
+                    mlp_classifier(2 * 8 * 8, &[8], 4, 7),
+                    Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+                )
+            })
+            .build()
+            .unwrap();
+        let result = trainer.run().unwrap();
+        assert_eq!(result.rounds_run, 6);
+        let last = result.final_record().unwrap();
+        // The straggler bounds the run: at least rounds * slowed compute.
+        assert!(last.sim_time_s >= 6.0 * 4.0, "sim time {}", last.sim_time_s);
+        assert!(last.mean_staleness_s > 0.0, "expected stale mixes");
+        assert!(result.total_traffic.bytes_sent > 0);
+    }
+
+    #[test]
+    fn round_aligned_strategies_rejected_under_real_heterogeneity() {
+        use crate::strategies::{PowerGossip, PowerGossipConfig};
+        use jwins_sim::HeterogeneityProfile;
+        let build = |heterogeneity: HeterogeneityProfile| {
+            let data = cifar_like(&ImageConfig::tiny(), 4, 2, 5);
+            let mut cfg = TrainConfig::quick_test();
+            cfg.rounds = 3;
+            cfg.execution = ExecutionMode::EventDriven;
+            cfg.heterogeneity = heterogeneity;
+            Trainer::builder(cfg)
+                .topology(StaticTopology::random_regular(4, 2, 3).unwrap())
+                .test_set(data.test)
+                .nodes(data.node_train, |node| {
+                    (
+                        mlp_classifier(2 * 8 * 8, &[8], 4, 7),
+                        Box::new(PowerGossip::new(PowerGossipConfig::default(), node, 42))
+                            as Box<dyn ShareStrategy>,
+                    )
+                })
+                .build()
+                .unwrap()
+        };
+        // PowerGossip's per-edge warm starts need lockstep rounds: real
+        // heterogeneity must be refused instead of silently corrupting.
+        let err = build(HeterogeneityProfile::stragglers(0.25, 4.0, 0.01, 1e6))
+            .run()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("round-aligned"),
+            "unexpected error: {err}"
+        );
+        // Degenerate profiles stay lockstep, so PowerGossip still runs.
+        let result = build(HeterogeneityProfile::default()).run().unwrap();
+        assert_eq!(result.rounds_run, 3);
+    }
+
+    #[test]
+    fn event_driven_replays_identically_and_ignores_thread_count() {
+        use jwins_sim::HeterogeneityProfile;
+        let run = |threads: usize| {
+            let data = cifar_like(&ImageConfig::tiny(), 4, 2, 5);
+            let mut cfg = TrainConfig::quick_test();
+            cfg.rounds = 5;
+            cfg.lr = 0.1;
+            cfg.threads = threads;
+            cfg.eval_every = 1;
+            cfg.execution = ExecutionMode::EventDriven;
+            cfg.heterogeneity = HeterogeneityProfile::stragglers(0.5, 3.0, 0.002, 1.0e6);
+            Trainer::builder(cfg)
+                .topology(StaticTopology::random_regular(4, 2, 3).unwrap())
+                .test_set(data.test)
+                .nodes(data.node_train, |_| {
+                    (
+                        mlp_classifier(2 * 8 * 8, &[8], 4, 7),
+                        Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+                    )
+                })
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(1);
+        let c = run(4);
+        for other in [&b, &c] {
+            assert_eq!(a.rounds_run, other.rounds_run);
+            assert_eq!(a.total_traffic, other.total_traffic);
+            assert_eq!(a.records.len(), other.records.len());
+            for (x, y) in a.records.iter().zip(&other.records) {
+                assert_eq!(x.test_accuracy.to_bits(), y.test_accuracy.to_bits());
+                assert_eq!(x.train_loss.to_bits(), y.train_loss.to_bits());
+                assert_eq!(x.sim_time_s.to_bits(), y.sim_time_s.to_bits());
+                assert_eq!(x.mean_staleness_s.to_bits(), y.mean_staleness_s.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn early_stop_on_target() {
         let data = cifar_like(&ImageConfig::tiny(), 4, 2, 5);
         let mut cfg = TrainConfig::quick_test();
@@ -859,7 +1383,9 @@ mod tests {
             .build()
             .unwrap();
         let result = trainer.run().unwrap();
-        let hit = result.reached_target.expect("should reach 30% on tiny data");
+        let hit = result
+            .reached_target
+            .expect("should reach 30% on tiny data");
         assert!(result.rounds_run < 50, "stopped at {}", result.rounds_run);
         assert_eq!(hit.round + 1, result.rounds_run);
     }

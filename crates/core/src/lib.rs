@@ -26,11 +26,16 @@
 //! - [`participation`]: node churn models (dropouts, scripted outages).
 //! - [`sparsify`]: TopK selection over importance scores.
 //! - [`average`]: renormalized partial averaging of sparse vectors.
-//! - [`engine::Trainer`]: the bulk-synchronous decentralized training engine
+//! - [`engine::Trainer`]: the decentralized training engine
 //!   (train → communicate → aggregate, Metropolis–Hastings weights,
-//!   byte-metered network, simulated wall-clock).
+//!   byte-metered network, simulated wall-clock) with two execution
+//!   substrates: the paper's bulk-synchronous barrier and a discrete-event
+//!   asynchronous-gossip mode
+//!   ([`config::ExecutionMode::EventDriven`], built on `jwins_sim`) where
+//!   heterogeneous nodes mix whatever neighbour messages have arrived by
+//!   their local virtual clock.
 //! - [`config::TrainConfig`], [`metrics`]: experiment configuration and
-//!   round-by-round records.
+//!   round-by-round records (including mix staleness under async gossip).
 //!
 //! # Example: two sparsification strategies on a toy task
 //!

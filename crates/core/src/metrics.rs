@@ -31,6 +31,13 @@ pub struct RoundRecord {
     pub cum_metadata_per_node: f64,
     /// Simulated wall-clock seconds elapsed since round 0.
     pub sim_time_s: f64,
+    /// Mean age (in simulated seconds) of neighbour information at the
+    /// moment it was mixed, cumulative over the run so far. Always `0` under
+    /// bulk-synchronous execution, where every mixed message is from the
+    /// current round; under event-driven gossip it quantifies how stale the
+    /// consumed models were.
+    #[serde(default)]
+    pub mean_staleness_s: f64,
 }
 
 /// Round and cost at which a target accuracy was first reached.
@@ -82,11 +89,12 @@ impl RunResult {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "round,train_loss,test_loss,test_accuracy,test_rmse,mean_alpha,\
-             cum_bytes_per_node,cum_payload_per_node,cum_metadata_per_node,sim_time_s\n",
+             cum_bytes_per_node,cum_payload_per_node,cum_metadata_per_node,sim_time_s,\
+             mean_staleness_s\n",
         );
         for r in &self.records {
             out.push_str(&format!(
-                "{},{:.6},{:.6},{:.6},{:.6},{:.4},{:.0},{:.0},{:.0},{:.3}\n",
+                "{},{:.6},{:.6},{:.6},{:.6},{:.4},{:.0},{:.0},{:.0},{:.3},{:.4}\n",
                 r.round,
                 r.train_loss,
                 r.test_loss,
@@ -96,7 +104,8 @@ impl RunResult {
                 r.cum_bytes_per_node,
                 r.cum_payload_per_node,
                 r.cum_metadata_per_node,
-                r.sim_time_s
+                r.sim_time_s,
+                r.mean_staleness_s
             ));
         }
         out
@@ -119,6 +128,7 @@ mod tests {
             cum_payload_per_node: 900.0,
             cum_metadata_per_node: 100.0,
             sim_time_s: 12.5,
+            mean_staleness_s: 0.0,
         }
     }
 

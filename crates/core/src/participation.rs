@@ -138,7 +138,10 @@ impl Outage {
     ///
     /// Panics if `from_round >= until_round`.
     pub fn new(node: usize, from_round: usize, until_round: usize) -> Self {
-        assert!(from_round < until_round, "outage interval must be non-empty");
+        assert!(
+            from_round < until_round,
+            "outage interval must be non-empty"
+        );
         Self {
             node,
             from_round,
@@ -232,9 +235,8 @@ mod tests {
         let a = RandomDropout::new(0.5, 1);
         let b = RandomDropout::new(0.5, 1);
         let c = RandomDropout::new(0.5, 2);
-        let pattern = |m: &RandomDropout| -> Vec<bool> {
-            (0..64).map(|r| m.is_active(r, 5)).collect()
-        };
+        let pattern =
+            |m: &RandomDropout| -> Vec<bool> { (0..64).map(|r| m.is_active(r, 5)).collect() };
         assert_eq!(pattern(&a), pattern(&b));
         assert_ne!(pattern(&a), pattern(&c));
     }

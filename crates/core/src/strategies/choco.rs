@@ -215,10 +215,28 @@ mod tests {
             let ma = a.make_message(round, &xa).unwrap();
             let mb = b.make_message(round, &xb).unwrap();
             xa = a
-                .aggregate(round, &xa, 0.5, &[ReceivedMessage { from: 1, weight: 0.5, bytes: &mb.bytes }])
+                .aggregate(
+                    round,
+                    &xa,
+                    0.5,
+                    &[ReceivedMessage {
+                        from: 1,
+                        weight: 0.5,
+                        bytes: &mb.bytes,
+                    }],
+                )
                 .unwrap();
             xb = b
-                .aggregate(round, &xb, 0.5, &[ReceivedMessage { from: 0, weight: 0.5, bytes: &ma.bytes }])
+                .aggregate(
+                    round,
+                    &xb,
+                    0.5,
+                    &[ReceivedMessage {
+                        from: 0,
+                        weight: 0.5,
+                        bytes: &ma.bytes,
+                    }],
+                )
                 .unwrap();
         }
         let gap: f32 = xa
@@ -230,7 +248,11 @@ mod tests {
         // And the consensus preserves the initial mean (doubly stochastic W).
         let mean0 = |i: usize| 0.5 * ((i as f32 * 0.37).sin() + (i as f32 * 0.37).cos());
         for (i, v) in xa.iter().enumerate() {
-            assert!((v - mean0(i)).abs() < 0.05, "coord {i}: {v} vs {}", mean0(i));
+            assert!(
+                (v - mean0(i)).abs() < 0.05,
+                "coord {i}: {v} vs {}",
+                mean0(i)
+            );
         }
     }
 
@@ -241,7 +263,11 @@ mod tests {
         c.init(&params);
         let msg = c.make_message(0, &params).unwrap();
         // 10% of 1000 = 100 coefficients; XOR payload ≤ ~4.2 bytes each.
-        assert!(msg.breakdown.payload <= 440, "payload {}", msg.breakdown.payload);
+        assert!(
+            msg.breakdown.payload <= 440,
+            "payload {}",
+            msg.breakdown.payload
+        );
     }
 
     #[test]
@@ -264,7 +290,10 @@ mod tests {
         let params = vec![1.0f32; 8];
         assert!(c.make_message(0, &params).is_err(), "missing init");
         c.init(&params);
-        assert!(c.aggregate(0, &params, 0.5, &[]).is_err(), "aggregate first");
+        assert!(
+            c.aggregate(0, &params, 0.5, &[]).is_err(),
+            "aggregate first"
+        );
         let _ = c.make_message(0, &params).unwrap();
         assert!(c.make_message(0, &params).is_err(), "double make_message");
     }

@@ -314,8 +314,13 @@ impl ShareStrategy for Jwins {
         let mut avg = crate::average::PartialAverager::new(&pending.own_coeffs, self_weight);
         for msg in received {
             let (indices, values) = self.codec.decode(msg.bytes)?;
-            if indices.last().is_some_and(|&i| i as usize >= self.scores.len()) {
-                return Err(JwinsError::Protocol("received coefficient index out of range"));
+            if indices
+                .last()
+                .is_some_and(|&i| i as usize >= self.scores.len())
+            {
+                return Err(JwinsError::Protocol(
+                    "received coefficient index out of range",
+                ));
             }
             avg.add_sparse(&indices, &values, msg.weight);
         }
@@ -561,7 +566,10 @@ mod tests {
         let mut s = Jwins::new(config, 1);
         let x = vec![0.0f32; 10];
         s.init(&x);
-        assert!(s.make_message(0, &x).is_err(), "7-param scaling on 10-param model");
+        assert!(
+            s.make_message(0, &x).is_err(),
+            "7-param scaling on 10-param model"
+        );
     }
 
     #[test]

@@ -401,6 +401,13 @@ fn orthonormalize_planes(planes: &mut [f32], n: usize, rank: usize) {
 }
 
 impl ShareStrategy for PowerGossip {
+    /// PowerGossip's per-edge P̂/Q̂ warm starts assume both endpoints
+    /// exchange messages for the *same* round; a stale message would be
+    /// paired with the wrong iteration's subspace state.
+    fn tolerates_stale_messages(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         match self.config.layout {
             MatrixLayout::GlobalSquare => "power-gossip-global",
@@ -466,7 +473,9 @@ impl ShareStrategy for PowerGossip {
             return Err(JwinsError::Protocol("init was not called"));
         }
         if self.pending.is_some() {
-            return Err(JwinsError::Protocol("make_outbound called twice in a round"));
+            return Err(JwinsError::Protocol(
+                "make_outbound called twice in a round",
+            ));
         }
         let mats: Vec<Vec<f32>> = self.segs.iter().map(|s| s.extract(params)).collect();
         let mut per_edge = HashMap::with_capacity(neighbors.len());
@@ -657,10 +666,28 @@ mod tests {
             Outbound::Broadcast(_) => panic!("power gossip must be per-edge"),
         };
         let xa2 = a
-            .aggregate(round, xa, 1.0 - w, &[ReceivedMessage { from: 1, weight: w, bytes: &msg_b.bytes }])
+            .aggregate(
+                round,
+                xa,
+                1.0 - w,
+                &[ReceivedMessage {
+                    from: 1,
+                    weight: w,
+                    bytes: &msg_b.bytes,
+                }],
+            )
             .unwrap();
         let xb2 = b
-            .aggregate(round, xb, 1.0 - w, &[ReceivedMessage { from: 0, weight: w, bytes: &msg_a.bytes }])
+            .aggregate(
+                round,
+                xb,
+                1.0 - w,
+                &[ReceivedMessage {
+                    from: 0,
+                    weight: w,
+                    bytes: &msg_a.bytes,
+                }],
+            )
             .unwrap();
         (xa2, xb2)
     }
@@ -837,7 +864,10 @@ mod tests {
         assert!(a.aggregate(0, &xa, 1.0, &[]).is_err(), "aggregate first");
         assert!(a.make_message(0, &xa).is_err(), "broadcast path rejected");
         let _ = a.make_outbound(0, &xa, &[1]).unwrap();
-        assert!(a.make_outbound(0, &xa, &[1]).is_err(), "double make_outbound");
+        assert!(
+            a.make_outbound(0, &xa, &[1]).is_err(),
+            "double make_outbound"
+        );
         let mut fresh = PowerGossip::new(PowerGossipConfig::default(), 0, 1);
         assert!(fresh.make_outbound(0, &xa, &[1]).is_err(), "missing init");
     }
@@ -855,17 +885,44 @@ mod tests {
         let _ = a.make_outbound(0, &xa, &[1]).unwrap();
         let bad_header = [7u8, 0, 0, 0];
         assert!(a
-            .aggregate(0, &xa, 1.0, &[ReceivedMessage { from: 1, weight: 0.5, bytes: &bad_header }])
+            .aggregate(
+                0,
+                &xa,
+                1.0,
+                &[ReceivedMessage {
+                    from: 1,
+                    weight: 0.5,
+                    bytes: &bad_header
+                }]
+            )
             .is_err());
         let _ = a.make_outbound(1, &xa, &[1]).unwrap();
         let truncated = [0u8, 1, 2];
         assert!(a
-            .aggregate(1, &xa, 1.0, &[ReceivedMessage { from: 1, weight: 0.5, bytes: &truncated }])
+            .aggregate(
+                1,
+                &xa,
+                1.0,
+                &[ReceivedMessage {
+                    from: 1,
+                    weight: 0.5,
+                    bytes: &truncated
+                }]
+            )
             .is_err());
         let _ = a.make_outbound(2, &xa, &[1]).unwrap();
         assert!(
-            a.aggregate(2, &xa, 1.0, &[ReceivedMessage { from: 3, weight: 0.5, bytes: &[0u8] }])
-                .is_err(),
+            a.aggregate(
+                2,
+                &xa,
+                1.0,
+                &[ReceivedMessage {
+                    from: 3,
+                    weight: 0.5,
+                    bytes: &[0u8]
+                }]
+            )
+            .is_err(),
             "message from a peer we never addressed"
         );
     }
@@ -888,7 +945,10 @@ mod tests {
         let mut planes: Vec<f32> = (0..2 * n).map(|i| (i as f32 * 0.7).sin() + 0.3).collect();
         orthonormalize_planes(&mut planes, n, 2);
         let dot = |a: &[f32], b: &[f32]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| f64::from(*x) * f64::from(*y)).sum()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| f64::from(*x) * f64::from(*y))
+                .sum()
         };
         let (p0, p1) = planes.split_at(n);
         assert!((dot(p0, p0) - 1.0).abs() < 1e-5);

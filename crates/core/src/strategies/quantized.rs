@@ -143,7 +143,16 @@ mod tests {
         let _ = a.make_message(0, &xa).unwrap();
         let msg = b.make_message(0, &xb).unwrap();
         let out = a
-            .aggregate(0, &xa, 0.5, &[ReceivedMessage { from: 1, weight: 0.5, bytes: &msg.bytes }])
+            .aggregate(
+                0,
+                &xa,
+                0.5,
+                &[ReceivedMessage {
+                    from: 1,
+                    weight: 0.5,
+                    bytes: &msg.bytes,
+                }],
+            )
             .unwrap();
         // Quantization error ≤ ‖x‖/levels per coordinate; halved by the 0.5
         // weight. Generous bound:
@@ -181,10 +190,28 @@ mod tests {
             let ma = a.make_message(round, &xa).unwrap();
             let mb = b.make_message(round, &xb).unwrap();
             let na = a
-                .aggregate(round, &xa, 0.5, &[ReceivedMessage { from: 1, weight: 0.5, bytes: &mb.bytes }])
+                .aggregate(
+                    round,
+                    &xa,
+                    0.5,
+                    &[ReceivedMessage {
+                        from: 1,
+                        weight: 0.5,
+                        bytes: &mb.bytes,
+                    }],
+                )
                 .unwrap();
             let nb = b
-                .aggregate(round, &xb, 0.5, &[ReceivedMessage { from: 0, weight: 0.5, bytes: &ma.bytes }])
+                .aggregate(
+                    round,
+                    &xb,
+                    0.5,
+                    &[ReceivedMessage {
+                        from: 0,
+                        weight: 0.5,
+                        bytes: &ma.bytes,
+                    }],
+                )
                 .unwrap();
             xa = na;
             xb = nb;
@@ -216,7 +243,16 @@ mod tests {
         let _ = s.make_message(0, &xa).unwrap();
         let garbage = [0x7Fu8, 0xFF, 0xFF, 0xFF]; // huge norm, then EOF
         assert!(s
-            .aggregate(0, &xa, 0.5, &[ReceivedMessage { from: 1, weight: 0.5, bytes: &garbage }])
+            .aggregate(
+                0,
+                &xa,
+                0.5,
+                &[ReceivedMessage {
+                    from: 1,
+                    weight: 0.5,
+                    bytes: &garbage
+                }]
+            )
             .is_err());
     }
 

@@ -141,7 +141,10 @@ mod tests {
         assert_eq!(a.round_indices(0), b.round_indices(0));
         assert_ne!(a.round_indices(0), a.round_indices(1));
         assert_eq!(a.round_indices(5).len(), 30);
-        let _ = (a.make_message(0, &vec![0.0; 100]), b.make_message(0, &vec![0.0; 100]));
+        let _ = (
+            a.make_message(0, &vec![0.0; 100]),
+            b.make_message(0, &vec![0.0; 100]),
+        );
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl ShareStrategy for RandomModelWalk {
             return Err(JwinsError::Protocol("init was not called"));
         }
         if self.pending_round.is_some() {
-            return Err(JwinsError::Protocol("make_outbound called twice in a round"));
+            return Err(JwinsError::Protocol(
+                "make_outbound called twice in a round",
+            ));
         }
         self.pending_round = Some(round);
         let mut messages: Vec<Option<OutMessage>> = vec![None; neighbors.len()];
@@ -174,7 +176,10 @@ mod tests {
             hit[pos] = true;
             let _ = s.aggregate(round, &x, 1.0, &[]).unwrap();
         }
-        assert!(hit.iter().all(|&h| h), "some neighbour never chosen: {hit:?}");
+        assert!(
+            hit.iter().all(|&h| h),
+            "some neighbour never chosen: {hit:?}"
+        );
     }
 
     #[test]
@@ -191,7 +196,16 @@ mod tests {
         };
         let msg = msgs.remove(0).unwrap();
         let out = a
-            .aggregate(0, &xa, 0.5, &[ReceivedMessage { from: 1, weight: 0.5, bytes: &msg.bytes }])
+            .aggregate(
+                0,
+                &xa,
+                0.5,
+                &[ReceivedMessage {
+                    from: 1,
+                    weight: 0.5,
+                    bytes: &msg.bytes,
+                }],
+            )
             .unwrap();
         assert_eq!(out, vec![2.0, 1.0], "plain mean of own and received");
     }
@@ -214,7 +228,10 @@ mod tests {
         assert!(s.make_message(0, &x).is_err(), "broadcast path rejected");
         assert!(s.aggregate(0, &x, 1.0, &[]).is_err(), "aggregate first");
         let _ = s.make_outbound(0, &x, &[1]).unwrap();
-        assert!(s.make_outbound(0, &x, &[1]).is_err(), "double make_outbound");
+        assert!(
+            s.make_outbound(0, &x, &[1]).is_err(),
+            "double make_outbound"
+        );
     }
 
     #[test]
@@ -225,7 +242,16 @@ mod tests {
         let _ = s.make_outbound(0, &x, &[1]).unwrap();
         let garbage = [1u8, 2, 3];
         assert!(s
-            .aggregate(0, &x, 1.0, &[ReceivedMessage { from: 1, weight: 1.0, bytes: &garbage }])
+            .aggregate(
+                0,
+                &x,
+                1.0,
+                &[ReceivedMessage {
+                    from: 1,
+                    weight: 1.0,
+                    bytes: &garbage
+                }]
+            )
             .is_err());
     }
 }

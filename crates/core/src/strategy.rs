@@ -29,7 +29,11 @@ impl OutMessage {
     ///
     /// Panics (debug) if the breakdown does not cover the buffer exactly.
     pub fn new(bytes: Vec<u8>, breakdown: ByteBreakdown) -> Self {
-        debug_assert_eq!(breakdown.total(), bytes.len(), "breakdown must cover buffer");
+        debug_assert_eq!(
+            breakdown.total(),
+            bytes.len(),
+            "breakdown must cover buffer"
+        );
         Self {
             bytes: Bytes::from(bytes),
             breakdown,
@@ -127,6 +131,18 @@ pub trait ShareStrategy: Send {
     /// `[0, 1]` (1.0 for full sharing). Drives the Figure-3 plot.
     fn last_alpha(&self) -> f64 {
         1.0
+    }
+
+    /// Whether this strategy's aggregation is sound when messages from
+    /// *other rounds* are mixed in (event-driven asynchronous gossip with
+    /// real heterogeneity delivers such messages). Self-describing broadcast
+    /// strategies tolerate this; strategies whose per-edge state assumes
+    /// round-aligned lockstep exchanges (e.g. PowerGossip's warm-started
+    /// low-rank handshake) must return `false`, and the event-driven engine
+    /// will refuse to run them under a non-degenerate heterogeneity profile
+    /// instead of silently corrupting their state.
+    fn tolerates_stale_messages(&self) -> bool {
+        true
     }
 
     /// Bytes of per-node algorithm state held between rounds (beyond the

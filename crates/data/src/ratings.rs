@@ -91,8 +91,12 @@ pub fn movielens_like(cfg: &RatingConfig, nodes: usize, seed: u64) -> RatingData
     let v: Vec<f64> = (0..cfg.items * cfg.true_rank)
         .map(|_| normal.sample(&mut rng) * scale)
         .collect();
-    let user_bias: Vec<f64> = (0..cfg.users).map(|_| normal.sample(&mut rng) * 0.3).collect();
-    let item_bias: Vec<f64> = (0..cfg.items).map(|_| normal.sample(&mut rng) * 0.3).collect();
+    let user_bias: Vec<f64> = (0..cfg.users)
+        .map(|_| normal.sample(&mut rng) * 0.3)
+        .collect();
+    let item_bias: Vec<f64> = (0..cfg.items)
+        .map(|_| normal.sample(&mut rng) * 0.3)
+        .collect();
     let noise = Normal::new(0.0, f64::from(cfg.noise)).expect("noise is finite");
     let mut clients: Vec<Vec<RatingSample>> = Vec::with_capacity(cfg.users);
     let mut test = Vec::with_capacity(cfg.users * cfg.test_per_user);

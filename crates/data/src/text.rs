@@ -129,7 +129,12 @@ fn windows(stream: &[usize], seq_len: usize, count: usize) -> Vec<SeqSample> {
 /// # Panics
 ///
 /// Panics if `nodes == 0` or `clients < nodes`.
-pub fn shakespeare_like(cfg: &TextConfig, nodes: usize, clients: usize, seed: u64) -> Partitioned<SeqSample> {
+pub fn shakespeare_like(
+    cfg: &TextConfig,
+    nodes: usize,
+    clients: usize,
+    seed: u64,
+) -> Partitioned<SeqSample> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let global = random_transitions(cfg.vocab, cfg.branching, &mut rng);
     let mut client_data: Vec<Vec<SeqSample>> = Vec::with_capacity(clients);

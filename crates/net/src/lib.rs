@@ -10,6 +10,12 @@
 //! [`TimeModel`] converts measured bytes into simulated wall-clock time
 //! (compute + latency + bandwidth), preserving the *relative* time-to-accuracy
 //! comparisons of Figures 5–6.
+//!
+//! For the event-driven runtime, every [`Envelope`] additionally carries
+//! virtual send/arrival timestamps and mailboxes can be drained *up to a
+//! deadline* ([`SimNetwork::drain_until`]): a message travelling a slow link
+//! is simply not visible to its receiver until `latency + bytes/bandwidth`
+//! have elapsed on the virtual clock.
 
 pub mod meter;
 pub mod time;

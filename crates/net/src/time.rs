@@ -8,8 +8,10 @@
 //! barrier-synchronized, so the stragglers dominate — the same reason the
 //! paper's low-budget experiments win on time).
 
+use serde::{Deserialize, Serialize};
+
 /// Parameters of the per-round time model.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TimeModel {
     /// Seconds of local compute per training round (τ SGD steps).
     pub compute_s: f64,
@@ -67,5 +69,17 @@ mod tests {
     fn fewer_bytes_is_faster() {
         let m = TimeModel::default();
         assert!(m.round_seconds(1_000) < m.round_seconds(1_000_000));
+    }
+
+    #[test]
+    fn serde_round_trip_is_lossless() {
+        let m = TimeModel {
+            compute_s: 0.125,
+            bandwidth_bps: 12.5e6,
+            latency_s: 0.005,
+        };
+        let text = serde::json::to_string(&m);
+        let back: TimeModel = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, m);
     }
 }

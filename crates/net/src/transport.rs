@@ -9,6 +9,7 @@
 
 use crate::meter::{ByteBreakdown, TrafficStats};
 use bytes::Bytes;
+use jwins_sim::SimTime;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -74,12 +75,27 @@ impl LossModel {
 }
 
 /// A delivered message.
+///
+/// Envelopes carry virtual-time stamps so the event-driven runtime can model
+/// in-flight messages: `sent` is when the sender handed the message to the
+/// network, `arrives` is when the last byte lands in the receiver's mailbox
+/// (`latency + bytes / bandwidth` on the sending link). The barrier-driven
+/// engine leaves both at [`SimTime::ZERO`], making every message immediately
+/// drainable — exactly the old semantics.
 #[derive(Debug, Clone)]
 pub struct Envelope {
     /// Sending node.
     pub from: usize,
     /// Serialized message body.
     pub payload: Bytes,
+    /// Virtual send time.
+    pub sent: SimTime,
+    /// Virtual arrival time; until then the message is invisible to
+    /// [`SimNetwork::drain_until`].
+    pub arrives: SimTime,
+    /// The sender's local round when it sent this message (staleness
+    /// accounting in asynchronous gossip; 0 in barrier mode).
+    pub sent_round: usize,
 }
 
 /// An in-process network between `n` nodes.
@@ -97,7 +113,9 @@ impl SimNetwork {
     pub fn new(n: usize) -> Self {
         Self {
             mailboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
-            stats: (0..n).map(|_| Mutex::new(TrafficStats::default())).collect(),
+            stats: (0..n)
+                .map(|_| Mutex::new(TrafficStats::default()))
+                .collect(),
             loss: None,
             sequences: Mutex::new(HashMap::new()),
         }
@@ -129,12 +147,47 @@ impl SimNetwork {
     }
 
     /// Sends `payload` from `from` to `to`, metering `breakdown` bytes.
+    /// The message is stamped at time zero, i.e. immediately drainable —
+    /// the bulk-synchronous transport semantics.
     ///
     /// # Panics
     ///
     /// Panics if either endpoint is out of range.
     pub fn send(&self, from: usize, to: usize, payload: Bytes, breakdown: ByteBreakdown) {
-        assert!(from < self.len() && to < self.len(), "endpoint out of range");
+        self.send_timed(
+            from,
+            to,
+            payload,
+            breakdown,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            0,
+        );
+    }
+
+    /// Sends `payload` with explicit virtual timestamps: handed to the
+    /// network at `sent`, landing in the receiver's mailbox at `arrives`.
+    /// `sent_round` is the sender's local round (staleness accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `arrives < sent`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_timed(
+        &self,
+        from: usize,
+        to: usize,
+        payload: Bytes,
+        breakdown: ByteBreakdown,
+        sent: SimTime,
+        arrives: SimTime,
+        sent_round: usize,
+    ) {
+        assert!(
+            from < self.len() && to < self.len(),
+            "endpoint out of range"
+        );
+        assert!(arrives >= sent, "message cannot arrive before it was sent");
         debug_assert_eq!(
             breakdown.total(),
             payload.len(),
@@ -155,7 +208,13 @@ impl SimNetwork {
             }
         }
         self.stats[to].lock().record_receive(payload.len());
-        self.mailboxes[to].lock().push(Envelope { from, payload });
+        self.mailboxes[to].lock().push(Envelope {
+            from,
+            payload,
+            sent,
+            arrives,
+            sent_round,
+        });
     }
 
     /// Broadcasts `payload` from `from` to every node in `to`.
@@ -169,13 +228,49 @@ impl SimNetwork {
         }
     }
 
-    /// Drains and returns the mailbox of `node` (delivery order preserved).
+    /// Drains and returns the mailbox of `node` (delivery order preserved),
+    /// ignoring arrival timestamps — the barrier-mode drain.
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
     pub fn drain(&self, node: usize) -> Vec<Envelope> {
         std::mem::take(&mut *self.mailboxes[node].lock())
+    }
+
+    /// Drains only the messages that have *arrived* by `deadline`
+    /// (`arrives <= deadline`), ordered by arrival time (ties keep delivery
+    /// order). Later-arriving messages stay queued for a future drain — the
+    /// event-driven runtime calls this with a node's local clock, so a slow
+    /// link's message is simply not there yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn drain_until(&self, node: usize, deadline: SimTime) -> Vec<Envelope> {
+        let mut mailbox = self.mailboxes[node].lock();
+        let mut arrived = Vec::new();
+        let mut pending = Vec::with_capacity(mailbox.len());
+        for env in mailbox.drain(..) {
+            if env.arrives <= deadline {
+                arrived.push(env);
+            } else {
+                pending.push(env);
+            }
+        }
+        *mailbox = pending;
+        drop(mailbox);
+        arrived.sort_by_key(|e| e.arrives); // stable: equal arrivals keep push order
+        arrived
+    }
+
+    /// Number of messages still queued (arrived or in flight) for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn pending(&self, node: usize) -> usize {
+        self.mailboxes[node].lock().len()
     }
 
     /// Snapshot of a node's traffic counters.
@@ -320,5 +415,65 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn full_loss_rejected() {
         let _ = LossModel::new(1.0, 0);
+    }
+
+    #[test]
+    fn drain_until_respects_arrival_times() {
+        let net = SimNetwork::new(2);
+        let send_at = |sent: u64, arrives: u64, round: usize| {
+            net.send_timed(
+                0,
+                1,
+                Bytes::from(vec![round as u8]),
+                breakdown(1, 0),
+                SimTime(sent),
+                SimTime(arrives),
+                round,
+            );
+        };
+        send_at(0, 50, 0); // slow link: pushed first, arrives last
+        send_at(10, 20, 1);
+        send_at(10, 10, 2);
+        // Nothing has arrived before t=10.
+        assert!(net.drain_until(1, SimTime(9)).is_empty());
+        assert_eq!(net.pending(1), 3);
+        // By t=30 two messages are in, ordered by arrival, not by push.
+        let first = net.drain_until(1, SimTime(30));
+        assert_eq!(
+            first.iter().map(|e| e.sent_round).collect::<Vec<_>>(),
+            vec![2, 1]
+        );
+        // The slow message is still in flight, then lands.
+        assert_eq!(net.pending(1), 1);
+        let late = net.drain_until(1, SimTime(50));
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].sent_round, 0);
+        assert_eq!(late[0].sent, SimTime(0));
+        assert_eq!(late[0].arrives, SimTime(50));
+        assert_eq!(net.pending(1), 0);
+    }
+
+    #[test]
+    fn plain_send_is_immediately_drainable() {
+        let net = SimNetwork::new(2);
+        net.send(0, 1, Bytes::from(vec![7u8]), breakdown(1, 0));
+        let inbox = net.drain_until(1, SimTime::ZERO);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].arrives, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrive before")]
+    fn arrival_before_send_rejected() {
+        let net = SimNetwork::new(2);
+        net.send_timed(
+            0,
+            1,
+            Bytes::new(),
+            breakdown(0, 0),
+            SimTime(10),
+            SimTime(5),
+            0,
+        );
     }
 }

@@ -69,11 +69,12 @@ impl Layer for Conv2d {
         let pad = self.pad as isize;
         for bi in 0..b {
             for oc in 0..self.out_ch {
-                let dst =
-                    &mut out[(bi * self.out_ch + oc) * oh * ow..(bi * self.out_ch + oc + 1) * oh * ow];
+                let dst = &mut out
+                    [(bi * self.out_ch + oc) * oh * ow..(bi * self.out_ch + oc + 1) * oh * ow];
                 for ic in 0..self.in_ch {
                     let plane = &x[(bi * c + ic) * h * w..(bi * c + ic + 1) * h * w];
-                    let kern = &weight[(oc * self.in_ch + ic) * k * k..(oc * self.in_ch + ic + 1) * k * k];
+                    let kern =
+                        &weight[(oc * self.in_ch + ic) * k * k..(oc * self.in_ch + ic + 1) * k * k];
                     for oy in 0..oh {
                         for ox in 0..ow {
                             let mut acc = 0.0;
@@ -104,10 +105,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let input = self.cached_input.as_ref().expect("backward before forward");
         let [b, c, h, w]: [usize; 4] = input.shape().try_into().expect("cached shape");
         let (oh, ow) = (self.out_dim(h), self.out_dim(w));
         assert_eq!(grad_out.len(), b * self.out_ch * oh * ow);
@@ -121,12 +119,15 @@ impl Layer for Conv2d {
         let mut gx = vec![0.0f32; b * c * h * w];
         for bi in 0..b {
             for oc in 0..self.out_ch {
-                let gys = &gy[(bi * self.out_ch + oc) * oh * ow..(bi * self.out_ch + oc + 1) * oh * ow];
+                let gys =
+                    &gy[(bi * self.out_ch + oc) * oh * ow..(bi * self.out_ch + oc + 1) * oh * ow];
                 gb[oc] += gys.iter().sum::<f32>();
                 for ic in 0..self.in_ch {
                     let plane = &x[(bi * c + ic) * h * w..(bi * c + ic + 1) * h * w];
-                    let kern = &weight[(oc * self.in_ch + ic) * k * k..(oc * self.in_ch + ic + 1) * k * k];
-                    let gkern = &mut gw[(oc * self.in_ch + ic) * k * k..(oc * self.in_ch + ic + 1) * k * k];
+                    let kern =
+                        &weight[(oc * self.in_ch + ic) * k * k..(oc * self.in_ch + ic + 1) * k * k];
+                    let gkern =
+                        &mut gw[(oc * self.in_ch + ic) * k * k..(oc * self.in_ch + ic + 1) * k * k];
                     let gplane_base = (bi * c + ic) * h * w;
                     for oy in 0..oh {
                         for ox in 0..ow {

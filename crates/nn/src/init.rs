@@ -60,14 +60,8 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        assert_eq!(
-            xavier_uniform(10, 10, 32, 7),
-            xavier_uniform(10, 10, 32, 7)
-        );
-        assert_ne!(
-            xavier_uniform(10, 10, 32, 7),
-            xavier_uniform(10, 10, 32, 8)
-        );
+        assert_eq!(xavier_uniform(10, 10, 32, 7), xavier_uniform(10, 10, 32, 7));
+        assert_ne!(xavier_uniform(10, 10, 32, 7), xavier_uniform(10, 10, 32, 8));
     }
 
     #[test]
@@ -82,8 +76,11 @@ mod tests {
     fn kaiming_has_expected_scale() {
         let vals = kaiming_normal(50, 20_000, 11);
         let mean: f64 = vals.iter().map(|&v| f64::from(v)).sum::<f64>() / vals.len() as f64;
-        let var: f64 =
-            vals.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        let var: f64 = vals
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
+            / vals.len() as f64;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - 2.0 / 50.0).abs() < 0.005, "var {var}");
     }

@@ -77,12 +77,8 @@ pub struct Linear {
 impl Linear {
     /// Creates a Xavier-initialized linear layer.
     pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
-        let mut params = init::xavier_uniform(
-            in_features,
-            out_features,
-            in_features * out_features,
-            seed,
-        );
+        let mut params =
+            init::xavier_uniform(in_features, out_features, in_features * out_features, seed);
         params.extend(std::iter::repeat_n(0.0f32, out_features)); // bias
         let len = params.len();
         Self {
@@ -133,10 +129,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let input = self.cached_input.as_ref().expect("backward before forward");
         let b = input.shape()[0];
         assert_eq!(grad_out.len(), b * self.out_features);
         let x = input.data();
@@ -449,7 +442,8 @@ mod tests {
     #[test]
     fn linear_forward_known() {
         let mut l = Linear::new(2, 2, 0);
-        l.params_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 0.5, -0.5]);
+        l.params_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 0.5, -0.5]);
         // W = [[1,2],[3,4]], b = [0.5,-0.5]; x = [1, -1]
         let x = Tensor::from_vec(&[1, 2], vec![1.0, -1.0]);
         let y = l.forward(&x);

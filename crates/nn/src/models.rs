@@ -74,7 +74,12 @@ impl ImageClassifier {
         let mut data = Vec::with_capacity(batch.len() * per);
         let mut targets = Vec::with_capacity(batch.len());
         for (x, y) in batch {
-            assert_eq!(x.len(), per, "sample has {} features, expected {per}", x.len());
+            assert_eq!(
+                x.len(),
+                per,
+                "sample has {} features, expected {per}",
+                x.len()
+            );
             data.extend_from_slice(x);
             targets.push(*y);
         }
@@ -160,7 +165,10 @@ pub fn gn_lenet(
     width: usize,
     seed: u64,
 ) -> ImageClassifier {
-    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "spatial dims must be divisible by 4");
+    assert!(
+        h.is_multiple_of(4) && w.is_multiple_of(4),
+        "spatial dims must be divisible by 4"
+    );
     let groups = if width.is_multiple_of(4) { 4 } else { 1 };
     let net = Sequential::new()
         .with(Conv2d::new(in_ch, width, 3, 1, init::sub_seed(seed, 0)))
@@ -172,7 +180,11 @@ pub fn gn_lenet(
         .with(Relu::new())
         .with(AvgPool2d::new(2))
         .with(Flatten::new())
-        .with(Linear::new(width * (h / 4) * (w / 4), classes, init::sub_seed(seed, 2)));
+        .with(Linear::new(
+            width * (h / 4) * (w / 4),
+            classes,
+            init::sub_seed(seed, 2),
+        ));
     ImageClassifier::new(net, vec![in_ch, h, w], classes)
 }
 
@@ -191,7 +203,10 @@ pub fn leaf_cnn(
     hidden: usize,
     seed: u64,
 ) -> ImageClassifier {
-    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "spatial dims must be divisible by 4");
+    assert!(
+        h.is_multiple_of(4) && w.is_multiple_of(4),
+        "spatial dims must be divisible by 4"
+    );
     let net = Sequential::new()
         .with(Conv2d::new(in_ch, width, 3, 1, init::sub_seed(seed, 0)))
         .with(Relu::new())
@@ -200,7 +215,11 @@ pub fn leaf_cnn(
         .with(Relu::new())
         .with(MaxPool2d::new(2))
         .with(Flatten::new())
-        .with(Linear::new(2 * width * (h / 4) * (w / 4), hidden, init::sub_seed(seed, 2)))
+        .with(Linear::new(
+            2 * width * (h / 4) * (w / 4),
+            hidden,
+            init::sub_seed(seed, 2),
+        ))
         .with(Relu::new())
         .with(Linear::new(hidden, classes, init::sub_seed(seed, 3)));
     ImageClassifier::new(net, vec![in_ch, h, w], classes)
@@ -481,17 +500,26 @@ mod tests {
         use crate::model::Model;
         let ic = gn_lenet(3, 16, 16, 10, 8, 1);
         assert_eq!(
-            ic.param_segments().iter().map(|(r, c)| r * c).sum::<usize>(),
+            ic.param_segments()
+                .iter()
+                .map(|(r, c)| r * c)
+                .sum::<usize>(),
             ic.param_count()
         );
         let mf = MatrixFactorization::new(12, 20, 4, 1);
         assert_eq!(
-            mf.param_segments().iter().map(|(r, c)| r * c).sum::<usize>(),
+            mf.param_segments()
+                .iter()
+                .map(|(r, c)| r * c)
+                .sum::<usize>(),
             mf.param_count()
         );
         let lstm = CharLstm::new(30, 8, 16, 1);
         assert_eq!(
-            lstm.param_segments().iter().map(|(r, c)| r * c).sum::<usize>(),
+            lstm.param_segments()
+                .iter()
+                .map(|(r, c)| r * c)
+                .sum::<usize>(),
             lstm.param_count()
         );
     }

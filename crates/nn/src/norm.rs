@@ -38,7 +38,10 @@ impl GroupNorm {
     ///
     /// Panics unless `groups` divides `channels`.
     pub fn new(groups: usize, channels: usize) -> Self {
-        assert!(groups > 0 && channels.is_multiple_of(groups), "groups must divide channels");
+        assert!(
+            groups > 0 && channels.is_multiple_of(groups),
+            "groups must divide channels"
+        );
         let mut params = vec![1.0f32; channels];
         params.extend(std::iter::repeat_n(0.0f32, channels));
         Self {
@@ -121,8 +124,7 @@ impl Layer for GroupNorm {
                     let ch = g * ch_per_group + k / (h * w);
                     let gxh = f64::from(gy[start + k]) * f64::from(gamma[ch]);
                     let xh = f64::from(cache.xhat[start + k]);
-                    gx[start + k] =
-                        ((istd / m) * (m * gxh - sum_gxh - xh * sum_gxh_xh)) as f32;
+                    gx[start + k] = ((istd / m) * (m * gxh - sum_gxh - xh * sum_gxh_xh)) as f32;
                 }
             }
         }
@@ -157,10 +159,7 @@ mod tests {
     #[test]
     fn normalizes_to_zero_mean_unit_var() {
         let mut gn = GroupNorm::new(2, 4);
-        let x = Tensor::from_vec(
-            &[1, 4, 1, 2],
-            vec![1.0, 3.0, 5.0, 7.0, -2.0, 0.0, 2.0, 4.0],
-        );
+        let x = Tensor::from_vec(&[1, 4, 1, 2], vec![1.0, 3.0, 5.0, 7.0, -2.0, 0.0, 2.0, 4.0]);
         let y = gn.forward(&x);
         // Group 0 covers channels 0-1 (first 4 values), group 1 the rest.
         for group in y.data().chunks(4) {

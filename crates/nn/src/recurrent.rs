@@ -51,7 +51,11 @@ impl Embedding {
     pub fn forward(&mut self, ids: &[usize]) -> Tensor {
         let mut out = vec![0.0f32; ids.len() * self.dim];
         for (row, &id) in ids.iter().enumerate() {
-            assert!(id < self.vocab, "token id {id} out of vocabulary {}", self.vocab);
+            assert!(
+                id < self.vocab,
+                "token id {id} out of vocabulary {}",
+                self.vocab
+            );
             out[row * self.dim..(row + 1) * self.dim]
                 .copy_from_slice(&self.params[id * self.dim..(id + 1) * self.dim]);
         }
@@ -128,12 +132,8 @@ impl Lstm {
     /// Creates a Xavier-initialized LSTM.
     pub fn new(input_size: usize, hidden: usize, seed: u64) -> Self {
         let wih = init::xavier_uniform(input_size, hidden, 4 * hidden * input_size, seed);
-        let whh = init::xavier_uniform(
-            hidden,
-            hidden,
-            4 * hidden * hidden,
-            init::sub_seed(seed, 1),
-        );
+        let whh =
+            init::xavier_uniform(hidden, hidden, 4 * hidden * hidden, init::sub_seed(seed, 1));
         let mut params = wih;
         params.extend(whh);
         // Bias: forget gate initialized to 1 (standard trick for gradient flow).
@@ -183,8 +183,10 @@ impl Lstm {
         for bi in 0..b {
             for step in 0..t {
                 let xt = &xv[(bi * t + step) * i..(bi * t + step + 1) * i];
-                let hprev = h[(bi * (t + 1) + step) * hsz..(bi * (t + 1) + step + 1) * hsz].to_vec();
-                let cprev = c[(bi * (t + 1) + step) * hsz..(bi * (t + 1) + step + 1) * hsz].to_vec();
+                let hprev =
+                    h[(bi * (t + 1) + step) * hsz..(bi * (t + 1) + step + 1) * hsz].to_vec();
+                let cprev =
+                    c[(bi * (t + 1) + step) * hsz..(bi * (t + 1) + step + 1) * hsz].to_vec();
                 let gt = &mut gates[(bi * t + step) * 4 * hsz..(bi * t + step + 1) * 4 * hsz];
                 // z = W_ih x + W_hh h_prev + b
                 for (row, g) in gt.iter_mut().enumerate() {
@@ -259,8 +261,7 @@ impl Lstm {
                 let mut dh_next = vec![0.0f32; hsz];
                 let mut dc_next = vec![0.0f32; hsz];
                 for step in (0..t).rev() {
-                    let gt =
-                        &cache.gates[(bi * t + step) * 4 * hsz..(bi * t + step + 1) * 4 * hsz];
+                    let gt = &cache.gates[(bi * t + step) * 4 * hsz..(bi * t + step + 1) * 4 * hsz];
                     let c_t =
                         &cache.c[(bi * (t + 1) + step + 1) * hsz..(bi * (t + 1) + step + 2) * hsz];
                     let c_prev =
@@ -271,7 +272,8 @@ impl Lstm {
                     let mut dz = vec![0.0f32; 4 * hsz];
                     for k in 0..hsz {
                         let dh = gy[(bi * t + step) * hsz + k] + dh_next[k];
-                        let (ig, fg, gg, og) = (gt[k], gt[hsz + k], gt[2 * hsz + k], gt[3 * hsz + k]);
+                        let (ig, fg, gg, og) =
+                            (gt[k], gt[hsz + k], gt[2 * hsz + k], gt[3 * hsz + k]);
                         let tc = c_t[k].tanh();
                         let dc = dc_next[k] + dh * og * (1.0 - tc * tc);
                         dz[k] = dc * gg * ig * (1.0 - ig); // input gate
@@ -325,6 +327,26 @@ impl Lstm {
     /// Clears gradients.
     pub fn zero_grads(&mut self) {
         self.grads.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+impl Embedding {
+    /// Matrix shape of the embedding table, `(vocab, dim)` — feeds
+    /// per-layer low-rank compressors.
+    pub fn param_segments(&self) -> Vec<(usize, usize)> {
+        vec![(self.vocab, self.dim)]
+    }
+}
+
+impl Lstm {
+    /// Matrix shapes of the parameter blocks: `[W_ih: 4H×I][W_hh: 4H×H]
+    /// [bias: 4H×1]` — feeds per-layer low-rank compressors.
+    pub fn param_segments(&self) -> Vec<(usize, usize)> {
+        vec![
+            (4 * self.hidden, self.input_size),
+            (4 * self.hidden, self.hidden),
+            (4 * self.hidden, 1),
+        ]
     }
 }
 
@@ -394,31 +416,14 @@ mod tests {
     #[test]
     fn lstm_backward_produces_full_grads() {
         let mut lstm = Lstm::new(3, 4, 1);
-        let x = Tensor::from_vec(&[2, 2, 3], (0..12).map(|i| (i as f32 - 6.0) * 0.2).collect());
+        let x = Tensor::from_vec(
+            &[2, 2, 3],
+            (0..12).map(|i| (i as f32 - 6.0) * 0.2).collect(),
+        );
         let y = lstm.forward(&x);
         let gx = lstm.backward(&Tensor::from_vec(y.shape(), vec![1.0; y.len()]));
         assert_eq!(gx.shape(), &[2, 2, 3]);
         let nonzero = lstm.grads().iter().filter(|g| **g != 0.0).count();
         assert!(nonzero > lstm.grads().len() / 2, "too many zero grads");
-    }
-}
-
-impl Embedding {
-    /// Matrix shape of the embedding table, `(vocab, dim)` — feeds
-    /// per-layer low-rank compressors.
-    pub fn param_segments(&self) -> Vec<(usize, usize)> {
-        vec![(self.vocab, self.dim)]
-    }
-}
-
-impl Lstm {
-    /// Matrix shapes of the parameter blocks: `[W_ih: 4H×I][W_hh: 4H×H]
-    /// [bias: 4H×1]` — feeds per-layer low-rank compressors.
-    pub fn param_segments(&self) -> Vec<(usize, usize)> {
-        vec![
-            (4 * self.hidden, self.input_size),
-            (4 * self.hidden, self.hidden),
-            (4 * self.hidden, 1),
-        ]
     }
 }

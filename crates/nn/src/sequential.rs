@@ -72,7 +72,10 @@ impl Sequential {
     /// order (see [`Layer::param_segments`]); products sum to
     /// [`Self::param_count`]. Feeds low-rank per-layer compressors.
     pub fn param_segments(&self) -> Vec<(usize, usize)> {
-        self.layers.iter().flat_map(|l| l.param_segments()).collect()
+        self.layers
+            .iter()
+            .flat_map(|l| l.param_segments())
+            .collect()
     }
 
     /// Copies all parameters into a fresh flat vector (layer order).
@@ -94,7 +97,9 @@ impl Sequential {
         let mut offset = 0;
         for layer in &mut self.layers {
             let n = layer.param_count();
-            layer.params_mut().copy_from_slice(&flat[offset..offset + n]);
+            layer
+                .params_mut()
+                .copy_from_slice(&flat[offset..offset + n]);
             offset += n;
         }
     }

@@ -1,0 +1,129 @@
+//! Integer-nanosecond virtual time.
+//!
+//! Discrete-event determinism demands a totally ordered, exactly
+//! representable time axis. Floating-point accumulation (`t += dt`) makes
+//! event order depend on summation order; nanosecond integers do not.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Converts seconds to virtual time, saturating at the axis end and
+    /// clamping negatives to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 {
+            return SimTime(0);
+        }
+        let nanos = secs * 1e9;
+        if nanos >= u64::MAX as f64 {
+            SimTime(u64::MAX)
+        } else {
+            SimTime(nanos.round() as u64)
+        }
+    }
+
+    /// This instant as (possibly lossy) floating seconds, for reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition of a duration in seconds.
+    #[must_use]
+    pub fn after_secs(self, secs: f64) -> Self {
+        SimTime(self.0.saturating_add(SimTime::from_secs_f64(secs).0))
+    }
+
+    /// Saturating addition of another time treated as a duration.
+    #[must_use]
+    pub fn plus(self, duration: SimTime) -> Self {
+        SimTime(self.0.saturating_add(duration.0))
+    }
+
+    /// Saturating difference (`self - earlier`), useful for staleness.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+/// A monotone virtual clock: the "now" of one simulation actor or of the
+/// global event loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: SimTime,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past — the discrete-event invariant that time
+    /// never runs backwards is a correctness property, not a recoverable
+    /// error.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "virtual clock cannot run backwards");
+        self.now = t;
+    }
+
+    /// Advances by `secs` seconds and returns the new now.
+    pub fn advance_by_secs(&mut self, secs: f64) -> SimTime {
+        self.now = self.now.after_secs(secs);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip_to_nanosecond() {
+        assert_eq!(SimTime::from_secs_f64(1.5).0, 1_500_000_000);
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+        let t = SimTime::from_secs_f64(0.05);
+        assert!((t.as_secs_f64() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let t = SimTime(u64::MAX - 1);
+        assert_eq!(t.after_secs(5.0), SimTime(u64::MAX));
+        assert_eq!(SimTime(3).since(SimTime(10)), SimTime(0));
+        assert_eq!(SimTime(10).since(SimTime(3)), SimTime(7));
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut c = VirtualClock::new();
+        c.advance_to(SimTime(5));
+        c.advance_by_secs(1.0);
+        assert_eq!(c.now(), SimTime(1_000_000_005));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn clock_rejects_time_travel() {
+        let mut c = VirtualClock::new();
+        c.advance_to(SimTime(5));
+        c.advance_to(SimTime(4));
+    }
+}

@@ -29,7 +29,10 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, TopologyEr
         return Graph::from_edges(0, &[]);
     }
     if d >= n || !(n * d).is_multiple_of(2) || (d == 0 && n > 1) {
-        return Err(TopologyError::InfeasibleRegular { nodes: n, degree: d });
+        return Err(TopologyError::InfeasibleRegular {
+            nodes: n,
+            degree: d,
+        });
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     'attempt: for _ in 0..MAX_ATTEMPTS {

@@ -98,10 +98,16 @@ impl Graph {
         let mut adj = vec![Vec::new(); n];
         for &(a, b) in edges {
             if a >= n {
-                return Err(TopologyError::VertexOutOfRange { vertex: a, nodes: n });
+                return Err(TopologyError::VertexOutOfRange {
+                    vertex: a,
+                    nodes: n,
+                });
             }
             if b >= n {
-                return Err(TopologyError::VertexOutOfRange { vertex: b, nodes: n });
+                return Err(TopologyError::VertexOutOfRange {
+                    vertex: b,
+                    nodes: n,
+                });
             }
             if a == b {
                 return Err(TopologyError::SelfLoop(a));
@@ -204,7 +210,10 @@ mod tests {
     fn invalid_edges_rejected() {
         assert_eq!(
             Graph::from_edges(2, &[(0, 2)]),
-            Err(TopologyError::VertexOutOfRange { vertex: 2, nodes: 2 })
+            Err(TopologyError::VertexOutOfRange {
+                vertex: 2,
+                nodes: 2
+            })
         );
         assert_eq!(
             Graph::from_edges(2, &[(1, 1)]),

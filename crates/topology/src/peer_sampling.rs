@@ -174,8 +174,7 @@ impl PeerSampling {
                 edges.push((i, p));
             }
         }
-        Graph::from_edges(self.nodes, &edges)
-            .expect("views contain only valid, non-self peers")
+        Graph::from_edges(self.nodes, &edges).expect("views contain only valid, non-self peers")
     }
 
     /// One synchronous Cyclon shuffle across all nodes.
@@ -339,7 +338,10 @@ mod tests {
         let p2 = provider(20, 9);
         let a = p1.topology(7);
         let b = p2.topology(7);
-        assert_eq!(a.graph.edges().collect::<Vec<_>>(), b.graph.edges().collect::<Vec<_>>());
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
         // Out-of-order query replays deterministically.
         let _ = p1.topology(2);
         let again = p1.topology(7);

@@ -21,7 +21,10 @@ use crate::WaveletError;
 /// Daubechies scaling filters `db1..db8` (reconstruction lowpass).
 const DB: [&[f64]; 8] = [
     // db1 / Haar
-    &[std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2],
+    &[
+        std::f64::consts::FRAC_1_SQRT_2,
+        std::f64::consts::FRAC_1_SQRT_2,
+    ],
     // db2 (== sym2)
     &[
         0.48296291314469025,
@@ -344,8 +347,12 @@ impl Wavelet {
     /// All built-in wavelet names, for sweeps/ablations.
     pub fn all_names() -> Vec<&'static str> {
         let mut names = vec!["haar"];
-        names.extend((1..=8).map(|o| ["db1", "db2", "db3", "db4", "db5", "db6", "db7", "db8"][o - 1]));
-        names.extend((2..=8).map(|o| ["sym2", "sym3", "sym4", "sym5", "sym6", "sym7", "sym8"][o - 2]));
+        names.extend(
+            (1..=8).map(|o| ["db1", "db2", "db3", "db4", "db5", "db6", "db7", "db8"][o - 1]),
+        );
+        names.extend(
+            (2..=8).map(|o| ["sym2", "sym3", "sym4", "sym5", "sym6", "sym7", "sym8"][o - 2]),
+        );
         names.extend(["coif1", "coif2"]);
         names
     }
@@ -433,15 +440,31 @@ mod tests {
             for j in 1..len / 2 {
                 let dot_h: f64 = (0..len - 2 * j).map(|m| h[m] * h[m + 2 * j]).sum();
                 let dot_g: f64 = (0..len - 2 * j).map(|m| g[m] * g[m + 2 * j]).sum();
-                assert!(dot_h.abs() < TOL, "{}: <h, h shift {j}> = {dot_h}", w.name());
-                assert!(dot_g.abs() < TOL, "{}: <g, g shift {j}> = {dot_g}", w.name());
+                assert!(
+                    dot_h.abs() < TOL,
+                    "{}: <h, h shift {j}> = {dot_h}",
+                    w.name()
+                );
+                assert!(
+                    dot_g.abs() < TOL,
+                    "{}: <g, g shift {j}> = {dot_g}",
+                    w.name()
+                );
             }
             // Cross-orthogonality at every even shift (both directions).
             for j in 0..len / 2 {
                 let cross: f64 = (0..len - 2 * j).map(|m| h[m + 2 * j] * g[m]).sum();
                 let cross2: f64 = (0..len - 2 * j).map(|m| h[m] * g[m + 2 * j]).sum();
-                assert!(cross.abs() < TOL, "{}: <h shift {j}, g> = {cross}", w.name());
-                assert!(cross2.abs() < TOL, "{}: <h, g shift {j}> = {cross2}", w.name());
+                assert!(
+                    cross.abs() < TOL,
+                    "{}: <h shift {j}, g> = {cross}",
+                    w.name()
+                );
+                assert!(
+                    cross2.abs() < TOL,
+                    "{}: <h, g shift {j}> = {cross2}",
+                    w.name()
+                );
             }
         }
     }

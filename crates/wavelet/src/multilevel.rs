@@ -238,7 +238,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn ramp(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (i as f32 * 0.37).sin() * 3.0 + i as f32 * 0.01).collect()
+        (0..n)
+            .map(|i| (i as f32 * 0.37).sin() * 3.0 + i as f32 * 0.01)
+            .collect()
     }
 
     #[test]
@@ -360,7 +362,11 @@ mod tests {
         let x = ramp(256);
         let coeffs = dwt.forward(&x);
         let ex: f64 = x.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
-        let ec: f64 = coeffs.data.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        let ec: f64 = coeffs
+            .data
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum();
         assert!((ex - ec).abs() < ex * 1e-5, "{ex} vs {ec}");
     }
 

@@ -19,7 +19,10 @@ use crate::family::Wavelet;
 /// [`crate::multilevel`]).
 pub fn analyze(wavelet: &Wavelet, signal: &[f64]) -> (Vec<f64>, Vec<f64>) {
     let n = signal.len();
-    assert!(n > 0 && n.is_multiple_of(2), "analysis needs a nonzero even length");
+    assert!(
+        n > 0 && n.is_multiple_of(2),
+        "analysis needs a nonzero even length"
+    );
     let h = wavelet.dec_lo();
     let g = wavelet.dec_hi();
     let taps = h.len();

@@ -28,8 +28,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.eval_every = 40;
 
     for (label, alpha, choco) in [
-        ("20% budget", AlphaDistribution::budget_20(), ChocoConfig::budget_20()),
-        ("10% budget", AlphaDistribution::budget_10(), ChocoConfig::budget_10()),
+        (
+            "20% budget",
+            AlphaDistribution::budget_20(),
+            ChocoConfig::budget_20(),
+        ),
+        (
+            "10% budget",
+            AlphaDistribution::budget_10(),
+            ChocoConfig::budget_10(),
+        ),
     ] {
         println!("\n=== {label} ===");
         for which in ["choco", "jwins"] {

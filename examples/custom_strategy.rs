@@ -61,8 +61,7 @@ impl ShareStrategy for SignSharing {
             return Err(JwinsError::Protocol("init was not called"));
         }
         // Magnitude scalar: mean absolute parameter value.
-        let scale =
-            params.iter().map(|v| f64::from(v.abs())).sum::<f64>() / self.dim.max(1) as f64;
+        let scale = params.iter().map(|v| f64::from(v.abs())).sum::<f64>() / self.dim.max(1) as f64;
         let mut bytes = Vec::with_capacity(4 + self.dim.div_ceil(8));
         bytes.extend_from_slice(&(scale as f32).to_le_bytes());
         let mut acc = 0u8;
@@ -102,12 +101,8 @@ impl ShareStrategy for SignSharing {
             if msg.bytes.len() < 4 + self.dim.div_ceil(8) {
                 return Err(JwinsError::Protocol("truncated sign message"));
             }
-            let scale = f32::from_le_bytes([
-                msg.bytes[0],
-                msg.bytes[1],
-                msg.bytes[2],
-                msg.bytes[3],
-            ]);
+            let scale =
+                f32::from_le_bytes([msg.bytes[0], msg.bytes[1], msg.bytes[2], msg.bytes[3]]);
             if !scale.is_finite() || scale < 0.0 {
                 return Err(JwinsError::Protocol("invalid magnitude scalar"));
             }
@@ -142,10 +137,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.lr = 0.1;
     config.eval_every = 0;
 
-    println!(
-        "{:<14} {:>10} {:>14}",
-        "strategy", "accuracy", "bytes sent"
-    );
+    println!("{:<14} {:>10} {:>14}", "strategy", "accuracy", "bytes sent");
     for which in ["full-sharing", "jwins", "sign-1bit"] {
         let trainer = Trainer::builder(config.clone())
             .topology(StaticTopology::random_regular(nodes, 4, 7)?)
@@ -154,10 +146,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let model = mlp_classifier(features, &[32], classes, 42);
                 let strategy: Box<dyn ShareStrategy> = match which {
                     "full-sharing" => Box::new(FullSharing::new()),
-                    "jwins" => Box::new(Jwins::new(
-                        JwinsConfig::paper_default(),
-                        1000 + node as u64,
-                    )),
+                    "jwins" => {
+                        Box::new(Jwins::new(JwinsConfig::paper_default(), 1000 + node as u64))
+                    }
                     _ => Box::new(SignSharing::new()),
                 };
                 (model, strategy)

@@ -65,11 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "participation", "jwins@20%", "choco@20%"
     );
     for (name, jwins_acc, choco_acc) in [
-        (
-            "always-on",
-            run(AlwaysOn, true)?,
-            run(AlwaysOn, false)?,
-        ),
+        ("always-on", run(AlwaysOn, true)?, run(AlwaysOn, false)?),
         (
             "30% random dropout",
             run(RandomDropout::new(0.3, 9), true)?,

@@ -32,10 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .nodes(data.node_train.clone(), |node| {
                 let model = mlp_classifier(features, &[32], classes, 42);
                 let strategy: Box<dyn ShareStrategy> = if use_jwins {
-                    Box::new(Jwins::new(
-                        JwinsConfig::paper_default(),
-                        1000 + node as u64,
-                    ))
+                    Box::new(Jwins::new(JwinsConfig::paper_default(), 1000 + node as u64))
                 } else {
                     Box::new(FullSharing::new())
                 };

@@ -6,5 +6,6 @@ pub use jwins_data as data;
 pub use jwins_fourier as fourier;
 pub use jwins_net as net;
 pub use jwins_nn as nn;
+pub use jwins_sim as sim;
 pub use jwins_topology as topology;
 pub use jwins_wavelet as wavelet;

@@ -9,7 +9,7 @@ use jwins::engine::Trainer;
 use jwins::metrics::RunResult;
 use jwins::strategies::{FullSharing, Jwins, JwinsConfig};
 use jwins::strategy::ShareStrategy;
-use jwins_data::images::{cifar_like, celeba_like, femnist_like, ImageConfig};
+use jwins_data::images::{celeba_like, cifar_like, femnist_like, ImageConfig};
 use jwins_data::ratings::{movielens_like, RatingConfig};
 use jwins_data::text::{shakespeare_like, TextConfig};
 use jwins_nn::models::{gn_lenet, leaf_cnn, CharLstm, MatrixFactorization};
@@ -170,7 +170,10 @@ fn assert_byte_accounting(result: &RunResult) {
         t.metadata_sent,
         t.bytes_sent
     );
-    assert_eq!(t.bytes_sent, t.bytes_received, "every sent byte is received");
+    assert_eq!(
+        t.bytes_sent, t.bytes_received,
+        "every sent byte is received"
+    );
     let last = result.final_record().unwrap();
     assert!(last.cum_bytes_per_node > 0.0);
 }

@@ -13,8 +13,8 @@ use jwins::strategies::{
 };
 use jwins::strategy::ShareStrategy;
 use jwins_data::images::{cifar_like, ImageConfig};
-use jwins_nn::models::{gn_lenet, mlp_classifier, ImageClassifier};
 use jwins_nn::model::Model;
+use jwins_nn::models::{gn_lenet, mlp_classifier, ImageClassifier};
 use jwins_topology::dynamic::StaticTopology;
 use jwins_topology::peer_sampling::{PeerSampling, PeerSamplingConfig};
 
@@ -85,7 +85,10 @@ fn power_gossip_per_layer_learns_end_to_end() {
 #[test]
 fn quantized_sharing_tracks_full_sharing() {
     let full = build_and_run(25, |_| {
-        (tiny_model(3), Box::new(FullSharing::new()) as Box<dyn ShareStrategy>)
+        (
+            tiny_model(3),
+            Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+        )
     });
     let quant = build_and_run(25, |node| {
         (
@@ -112,7 +115,10 @@ fn quantized_sharing_tracks_full_sharing() {
 #[test]
 fn random_model_walk_spends_one_edge_per_round() {
     let full = build_and_run(20, |_| {
-        (tiny_model(3), Box::new(FullSharing::new()) as Box<dyn ShareStrategy>)
+        (
+            tiny_model(3),
+            Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+        )
     });
     let rmw = build_and_run(20, |node| {
         (
@@ -239,9 +245,7 @@ fn adaptive_scaling_matches_uniform_at_matched_budget() {
     ));
     // Same bytes (α is fixed), comparable accuracy.
     assert!(
-        (adaptive.total_traffic.bytes_sent as f64
-            - uniform.total_traffic.bytes_sent as f64)
-            .abs()
+        (adaptive.total_traffic.bytes_sent as f64 - uniform.total_traffic.bytes_sent as f64).abs()
             < 0.05 * uniform.total_traffic.bytes_sent as f64,
         "scaling changed the byte budget"
     );
@@ -272,7 +276,10 @@ fn jwins_tolerates_lossy_links() {
         .expect("valid experiment")
         .run()
         .expect("run completes");
-    assert!(result.total_traffic.messages_dropped > 0, "loss never triggered");
+    assert!(
+        result.total_traffic.messages_dropped > 0,
+        "loss never triggered"
+    );
     assert!(
         result.final_accuracy() > 0.4,
         "JWINS collapsed under 15% message loss: {}",

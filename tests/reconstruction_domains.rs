@@ -66,7 +66,9 @@ fn trained_model_vector(seed: u64) -> Vec<f32> {
     let mut model = mlp_classifier(16, &[32, 16], 4, seed);
     let batch: Vec<(Vec<f32>, usize)> = (0..32)
         .map(|i| {
-            let x: Vec<f32> = (0..16).map(|k| ((i * 16 + k) as f32 * 0.13).sin()).collect();
+            let x: Vec<f32> = (0..16)
+                .map(|k| ((i * 16 + k) as f32 * 0.13).sin())
+                .collect();
             (x, i % 4)
         })
         .collect();

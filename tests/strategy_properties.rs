@@ -38,7 +38,10 @@ fn run_with(
     let builder = Trainer::builder(config(rounds))
         .test_set(data.test.clone())
         .nodes(data.node_train.clone(), |node| {
-            (mlp_classifier(img.pixels(), &[24], img.classes, 11), factory(node))
+            (
+                mlp_classifier(img.pixels(), &[24], img.classes, 11),
+                factory(node),
+            )
         });
     let builder = if dynamic {
         builder.topology(DynamicRegular::new(NODES, 4, 13).unwrap())
@@ -119,7 +122,10 @@ fn sparse_strategies_save_bytes_in_budget_order() {
     let b20 = jwins20.total_traffic.bytes_sent;
     let b10 = jwins10.total_traffic.bytes_sent;
     assert!(b10 < b20, "10% ({b10}) should send less than 20% ({b20})");
-    assert!(b20 < b_full, "20% ({b20}) should send less than full ({b_full})");
+    assert!(
+        b20 < b_full,
+        "20% ({b20}) should send less than full ({b_full})"
+    );
 }
 
 #[test]
@@ -190,7 +196,10 @@ fn dynamic_topology_works_for_jwins_but_not_choco() {
             .topology(DynamicRegular::new(NODES, 4, 13).unwrap())
             .test_set(data.test.clone())
             .nodes(data.node_train.clone(), |node| {
-                (mlp_classifier(img.pixels(), &[24], img.classes, 11), factory(node))
+                (
+                    mlp_classifier(img.pixels(), &[24], img.classes, 11),
+                    factory(node),
+                )
             })
             .build()
             .unwrap()
@@ -255,7 +264,10 @@ fn mean_alpha_matches_distribution_mean() {
         .iter()
         .filter(|row| row.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9))
         .count();
-    assert!(varied > 15, "only {varied}/30 rounds had per-node variation");
+    assert!(
+        varied > 15,
+        "only {varied}/30 rounds had per-node variation"
+    );
 }
 
 #[test]

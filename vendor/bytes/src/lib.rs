@@ -1,0 +1,131 @@
+//! Offline shim for the `bytes` crate: a cheaply-cloneable, immutable,
+//! reference-counted byte buffer. Cloning shares the allocation, which is
+//! what the network layer relies on for broadcast fan-out.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A sub-buffer of `range` (copies the range).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::copy_from_slice(&self.data[range])
+    }
+
+    /// The bytes as a vector (copies).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: v.into() }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Self { data: v.into() }
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Self {
+        Self {
+            data: v.as_bytes().into(),
+        }
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter().take(32) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.data.len() > 32 {
+            write!(f, "…({} bytes)", self.data.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(&b[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_slice() {
+        assert!(Bytes::new().is_empty());
+        let a = Bytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(&a.slice(1..3)[..], &[2, 3]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline shim for `criterion`: a minimal wall-clock microbenchmark harness
+//! with the upstream surface this repository's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, `BenchmarkId`,
+//! [`black_box`]). It runs each closure for a fixed sample budget and prints
+//! median per-iteration time — no statistics engine, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+/// Times one closure, returning per-iteration nanoseconds over `samples`
+/// timed samples (median).
+fn time_samples(samples: usize, mut routine: impl FnMut()) -> f64 {
+    // Warm-up + calibration: find an iteration count giving >= ~1ms samples.
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut per_iter: Vec<f64> = (0..samples.max(3))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                routine();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    per_iter[per_iter.len() / 2]
+}
+
+fn print_result(name: &str, nanos: f64) {
+    let (value, unit) = if nanos >= 1e9 {
+        (nanos / 1e9, "s")
+    } else if nanos >= 1e6 {
+        (nanos / 1e6, "ms")
+    } else if nanos >= 1e3 {
+        (nanos / 1e3, "µs")
+    } else {
+        (nanos, "ns")
+    };
+    println!("{name:<50} {value:>10.3} {unit}/iter");
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure under `id` within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(&full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure with an explicit input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (printing is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        nanos: None,
+        sample_size,
+    };
+    f(&mut bencher);
+    if let Some(nanos) = bencher.nanos {
+        print_result(name, nanos);
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    nanos: Option<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let nanos = time_samples(self.sample_size, || {
+            black_box(routine());
+        });
+        self.nanos = Some(nanos);
+    }
+}
+
+/// A benchmark identifier carrying a function name and a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Only a parameter label.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark id.
+pub trait IntoBenchmarkId {
+    /// The printable id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

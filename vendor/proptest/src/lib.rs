@@ -1,0 +1,283 @@
+//! Offline shim for `proptest`.
+//!
+//! Supports the subset this repository's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]` header),
+//! [`any`], range strategies, tuple strategies, `collection::vec`, and the
+//! `prop_assert*` / `prop_assume!` macros. Cases are generated from a
+//! deterministic per-test seed; there is **no shrinking** — a failing case
+//! panics with the sampled inputs' debug representation.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+}
+
+/// The full/natural distribution of a primitive type — `any::<T>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Builds the `any` strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+    fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Mix of ordinary magnitudes and raw bit patterns (subnormals,
+        // infinities, NaNs), mirroring proptest's special-value bias.
+        match rng.next_u64() % 8 {
+            0 => f32::from_bits(rng.next_u32()),
+            1 => 0.0,
+            2 => -0.0,
+            _ => {
+                let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+                let scale = 10f32.powi((rng.next_u64() % 21) as i32 - 10);
+                let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+                sign * unit * scale
+            }
+        }
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        match rng.next_u64() % 8 {
+            0 => f64::from_bits(rng.next_u64()),
+            1 => 0.0,
+            2 => -0.0,
+            _ => {
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let scale = 10f64.powi((rng.next_u64() % 41) as i32 - 20);
+                let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+                sign * unit * scale
+            }
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A constant strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value<R: RngCore + ?Sized>(&self, _rng: &mut R) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::{Rng, RngCore};
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Runs `body` over `cases` sampled inputs — the engine behind [`proptest!`].
+pub fn run_cases<F: FnMut(&mut ChaCha8Rng)>(config: &ProptestConfig, test_name: &str, mut body: F) {
+    // Deterministic per-test stream: FNV-1a over the test path.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for _ in 0..config.cases {
+        body(&mut rng);
+    }
+}
+
+/// The prelude mirrored from upstream proptest.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests (see crate docs for the supported subset).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$attr:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(&config, concat!(module_path!(), "::", stringify!($name)), |__rng| {
+                    $(let $pat = $crate::Strategy::sample_value(&$strat, __rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a property (panics with context on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respect_bounds(x in 10u32..20, v in collection::vec(any::<u8>(), 0..5)) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn tuples_and_assume((a, b) in (0u8..10, 0u8..10)) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+}

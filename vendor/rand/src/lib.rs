@@ -1,0 +1,248 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal, API-compatible subset of `rand` 0.8: the [`RngCore`],
+//! [`SeedableRng`] and [`Rng`] traits, uniform range sampling, slice
+//! shuffling and index sampling. Generators are *not* bit-compatible with
+//! upstream `rand` — determinism is guaranteed only within this workspace,
+//! which is all the experiments require (every run is a pure function of its
+//! seed under *some* fixed PRNG).
+
+pub mod distributions;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// Core of every generator: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Fixed-size seed material.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// (the same expansion upstream `rand` documents).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open or inclusive range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift rejection-free mapping (bias < 2^-64, fine
+                // for simulation workloads).
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + v) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                // Compute in f64 so the f32 path doesn't round a 53-bit
+                // integer up to 2^53 (unit == 1.0); even then, the final
+                // rounding (f64 product, or the cast back to f32) can land
+                // exactly on `hi`, so clamp to the largest value below it
+                // to honour the half-open contract.
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = (lo as f64 + unit * (hi as f64 - lo as f64)) as $t;
+                if v >= hi {
+                    hi.next_down().max(lo)
+                } else {
+                    v.max(lo)
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in gen_range");
+                let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                let v = (lo as f64 + unit * (hi as f64 - lo as f64)) as $t;
+                v.clamp(lo, hi)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// User-facing convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A value of `T` drawn from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Uniform draw from a range.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Step(u64);
+    impl RngCore for Step {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Step(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(0..=4u32);
+            assert!(i <= 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Step(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    /// Regression: the f32 path used to build `unit` from a 53-bit integer
+    /// cast to f32, which rounds up to 1.0 with probability ~2^-25 and
+    /// returned the excluded endpoint `hi`.
+    #[test]
+    fn half_open_floats_exclude_the_endpoint() {
+        // An rng pinned at the maximum word forces unit to its largest
+        // value — the worst case for endpoint leakage.
+        struct MaxRng;
+        impl RngCore for MaxRng {
+            fn next_u32(&mut self) -> u32 {
+                u32::MAX
+            }
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let v32: f32 = MaxRng.gen_range(0.0f32..1.0);
+        assert!(v32 < 1.0, "f32 endpoint leaked: {v32}");
+        let v64: f64 = MaxRng.gen_range(0.0f64..1.0);
+        assert!(v64 < 1.0, "f64 endpoint leaked: {v64}");
+        let narrow: f32 = MaxRng.gen_range(1.0f32..1.0000001);
+        assert!(narrow < 1.0000001, "narrow-range endpoint leaked: {narrow}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Sequence helpers: shuffling, choosing and index sampling.
+
+use crate::{Rng, RngCore};
+
+/// Shuffle/choose extension methods on slices, mirroring
+/// `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements in selection order (all of them when the
+    /// slice is shorter).
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let picked = index::sample(rng, self.len(), amount.min(self.len()));
+        picked
+            .into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+/// Index sampling without replacement.
+pub mod index {
+    use crate::{Rng, RngCore};
+
+    /// A set of sampled indices.
+    #[derive(Debug, Clone)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// The indices as a vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates over the indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length` uniformly, in
+    /// selection order (partial Fisher–Yates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(amount <= length, "cannot sample {amount} from {length}");
+        let mut pool: Vec<usize> = (0..length).collect();
+        let mut out = Vec::with_capacity(amount);
+        for i in 0..amount {
+            let j = rng.gen_range(i..length);
+            pool.swap(i, j);
+            out.push(pool[i]);
+        }
+        IndexVec(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Lcg(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut Lcg::seed_from_u64(1));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_is_distinct_and_in_range() {
+        let mut rng = Lcg::seed_from_u64(2);
+        let idx = index::sample(&mut rng, 100, 10).into_vec();
+        assert_eq!(idx.len(), 10);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+}

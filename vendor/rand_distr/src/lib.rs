@@ -1,0 +1,145 @@
+//! Offline shim for `rand_distr`: the [`Normal`] and [`Uniform`]
+//! distributions over the [`Distribution`] trait re-exported from the
+//! vendored `rand`.
+
+pub use rand::distributions::{Distribution, Standard};
+
+use rand::{RngCore, SampleUniform};
+
+/// Error building a normal distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The mean was not finite.
+    MeanTooSmall,
+    /// The standard deviation was negative or not finite.
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => write!(f, "normal mean must be finite"),
+            NormalError::BadVariance => write!(f, "normal std dev must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal distribution `N(mean, std^2)`, sampled via Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev^2)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `mean` is not finite or `std_dev` is negative/not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller, one variate per call (the sine twin is discarded so
+        // sampling stays a pure stream function).
+        let u1 = ((rng.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+        let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// The uniform distribution over a range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        Self {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over `[lo, hi]`.
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        Self {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        if self.inclusive {
+            T::sample_inclusive(rng, self.lo, self.hi)
+        } else {
+            T::sample_half_open(rng, self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn normal_moments() {
+        let dist = Normal::new(2.0, 3.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let dist = Uniform::new_inclusive(-0.5f64, 0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

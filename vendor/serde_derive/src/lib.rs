@@ -1,0 +1,487 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` shim's value-tree model without `syn`/`quote` (neither is
+//! available offline): the input token stream is walked by hand. Supported
+//! shapes — everything this repository derives on:
+//!
+//! - structs with named fields,
+//! - enums with unit, tuple and struct variants (externally tagged),
+//! - field attributes `#[serde(skip)]` and `#[serde(default)]`.
+//!
+//! Generics are intentionally unsupported; deriving on a generic type is a
+//! compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree `to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(fields)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{ty}::{n} => ::serde::Value::Str(\"{n}\".to_string()),\n",
+                        ty = item.name,
+                        n = v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let pat = binders.join(", ");
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{ty}::{n}({pat}) => ::serde::Value::Map(vec![(\"{n}\".to_string(), {inner})]),\n",
+                            ty = item.name,
+                            n = v.name
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pat = names.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{ty}::{n} {{ {pat} }} => ::serde::Value::Map(vec![(\"{n}\".to_string(), \
+                             ::serde::Value::Map(vec![{entries}]))]),\n",
+                            ty = item.name,
+                            n = v.name,
+                            entries = entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        name = item.name
+    );
+    out.parse().expect("derived Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (value-tree `from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{n}: ::core::default::Default::default(),\n",
+                        n = f.name
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{n}: match ::serde::find_field(map, \"{n}\") {{\n\
+                         Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                         None => ::core::default::Default::default(),\n}},\n",
+                        n = f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::Deserialize::from_value(::serde::find_field(map, \"{n}\")\
+                         .ok_or_else(|| ::serde::Error::missing_field(\"{n}\", \"{ty}\"))?)?,\n",
+                        n = f.name,
+                        ty = name
+                    ));
+                }
+            }
+            format!(
+                "let map = v.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = v.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{name}\"))?;\n\
+                 if seq.len() != {arity} {{ return Err(::serde::Error::custom(format!(\"{name} wants {arity} items, got {{}}\", seq.len()))); }}\n\
+                 Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms
+                        .push_str(&format!("\"{n}\" => return Ok({name}::{n}),\n", n = v.name)),
+                    VariantKind::Tuple(arity) => {
+                        if *arity == 1 {
+                            tagged_arms.push_str(&format!(
+                                "\"{n}\" => return Ok({name}::{n}(::serde::Deserialize::from_value(inner)?)),\n",
+                                n = v.name
+                            ));
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{n}\" => {{\n\
+                                 let seq = inner.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{name}::{n}\"))?;\n\
+                                 if seq.len() != {arity} {{ return Err(::serde::Error::custom(format!(\"{name}::{n} wants {arity} items, got {{}}\", seq.len()))); }}\n\
+                                 return Ok({name}::{n}({elems}));\n}}\n",
+                                n = v.name,
+                                elems = elems.join(", ")
+                            ));
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{n}: ::core::default::Default::default(),\n",
+                                    n = f.name
+                                ));
+                            } else if f.default {
+                                inits.push_str(&format!(
+                                    "{n}: match ::serde::find_field(vmap, \"{n}\") {{\n\
+                                     Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                                     None => ::core::default::Default::default(),\n}},\n",
+                                    n = f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{n}: ::serde::Deserialize::from_value(::serde::find_field(vmap, \"{n}\")\
+                                     .ok_or_else(|| ::serde::Error::missing_field(\"{n}\", \"{name}::{vn}\"))?)?,\n",
+                                    n = f.name,
+                                    vn = v.name
+                                ));
+                            }
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{n}\" => {{\n\
+                             let vmap = inner.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}::{n}\"))?;\n\
+                             return Ok({name}::{n} {{\n{inits}}});\n}}\n",
+                            n = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(tag) = v {{\n\
+                 match tag.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                 return Err(::serde::Error::custom(format!(\"unknown {name} variant `{{tag}}`\")));\n}}\n\
+                 if let Some(map) = v.as_map() {{\n\
+                 if map.len() == 1 {{\n\
+                 let (tag, inner) = &map[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}_ => {{}}\n}}\n\
+                 return Err(::serde::Error::custom(format!(\"unknown {name} variant `{{tag}}`\")));\n}}\n}}\n\
+                 Err(::serde::Error::expected(\"variant tag\", \"{name}\"))"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n",
+        name = item.name
+    );
+    out.parse().expect("derived Deserialize impl must parse")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    /// Tuple struct with this arity (arity 1 = transparent newtype).
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Flags found in `#[serde(...)]` attributes.
+#[derive(Default)]
+struct SerdeFlags {
+    skip: bool,
+    default: bool,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic types (deriving on `{name}`)");
+        }
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break Some(g.stream())
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+            {
+                // Tuple struct: count comma-separated elements.
+                let mut arity = 0usize;
+                let mut depth = 0i32;
+                let mut saw = false;
+                let mut last_comma = false;
+                for t in g.stream() {
+                    saw = true;
+                    last_comma = false;
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            arity += 1;
+                            last_comma = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if saw && !last_comma {
+                    arity += 1;
+                }
+                return Item {
+                    name,
+                    shape: Shape::Tuple(arity),
+                };
+            }
+            Some(_) => i += 1, // where clauses etc. (unused here)
+            None => panic!("serde shim derive: `{name}` has no body"),
+        }
+    };
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_fields(body.expect("struct body")))
+    } else {
+        Shape::Enum(parse_variants(body.expect("enum body")))
+    };
+    Item { name, shape }
+}
+
+/// Parses `#[serde(...)]`-style attributes at `*i`, returning accumulated
+/// flags and advancing past every attribute.
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeFlags {
+    let mut flags = SerdeFlags::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for t in args.stream() {
+                            if let TokenTree::Ident(flag) = t {
+                                match flag.to_string().as_str() {
+                                    "skip" => flags.skip = true,
+                                    "default" => flags.default = true,
+                                    other => {
+                                        panic!("serde shim derive: unsupported #[serde({other})]")
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    flags
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let flags = parse_attrs(&tokens, &mut i);
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(field_name)) = tokens.get(i) else {
+            panic!(
+                "serde shim derive: expected field name, got {:?}",
+                tokens.get(i)
+            );
+        };
+        let name = field_name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field {
+            name,
+            skip: flags.skip,
+            default: flags.default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _flags = parse_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(variant_name)) = tokens.get(i) else {
+            panic!(
+                "serde shim derive: expected variant name, got {:?}",
+                tokens.get(i)
+            );
+        };
+        let name = variant_name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                // Count comma-separated elements at angle depth 0.
+                let mut arity = 0usize;
+                let mut depth = 0i32;
+                let mut saw_tokens = false;
+                for t in g.stream() {
+                    saw_tokens = true;
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => arity += 1,
+                        _ => {}
+                    }
+                }
+                if saw_tokens {
+                    arity += 1; // n separators => n+1 elements (no trailing comma in variants here)
+                }
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
