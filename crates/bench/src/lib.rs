@@ -250,6 +250,11 @@ pub struct RunCfg {
     pub execution: ExecutionMode,
     /// Hardware heterogeneity for event-driven runs.
     pub heterogeneity: HeterogeneityProfile,
+    /// Fault injection and staleness policy for event-driven runs
+    /// (extension: chaos and bounded-staleness experiments).
+    pub faults: jwins_fault::FaultConfig,
+    /// Virtual-time evaluation checkpoint cadence for event-driven runs.
+    pub eval_interval_s: Option<f64>,
     /// Override the simulated wall-clock model (None = engine default).
     pub time_model: Option<jwins_net::TimeModel>,
 }
@@ -269,6 +274,8 @@ impl RunCfg {
             peer_sampling: false,
             execution: ExecutionMode::default(),
             heterogeneity: HeterogeneityProfile::default(),
+            faults: jwins_fault::FaultConfig::default(),
+            eval_interval_s: None,
             time_model: None,
         }
     }
@@ -286,6 +293,8 @@ fn train_config(cfg: &RunCfg, lr: f32) -> TrainConfig {
     c.record_alphas = cfg.record_alphas;
     c.execution = cfg.execution;
     c.heterogeneity = cfg.heterogeneity.clone();
+    c.faults = cfg.faults.clone();
+    c.eval_interval_s = cfg.eval_interval_s;
     if let Some(tm) = cfg.time_model {
         c.time_model = tm;
     }

@@ -1,6 +1,7 @@
 //! Experiment configuration.
 
 use crate::{JwinsError, Result};
+use jwins_fault::FaultConfig;
 use jwins_net::TimeModel;
 use jwins_sim::HeterogeneityProfile;
 use serde::{Deserialize, Serialize};
@@ -57,6 +58,24 @@ pub struct TrainConfig {
     /// uniform compute, instantaneous links.
     #[serde(default)]
     pub heterogeneity: HeterogeneityProfile,
+    /// Fault injection and bounded staleness for
+    /// [`ExecutionMode::EventDriven`]: a crash/recovery plan plus message
+    /// TTL/staleness caps. The default is a strict no-op — event-driven
+    /// runs reproduce their fault-free results bit-for-bit. Non-degenerate
+    /// values are rejected under [`ExecutionMode::BulkSynchronous`]; project
+    /// a fault timeline onto barrier rounds with
+    /// [`crate::participation::FaultParticipation`] instead.
+    #[serde(default)]
+    pub faults: FaultConfig,
+    /// Evaluate every this many *virtual seconds* in event-driven runs
+    /// (heterogeneity-aware cadence): checkpoints fire on the simulated
+    /// clock, so fast nodes' progress is visible even while a straggler is
+    /// still mid-round. Checkpoint records carry
+    /// [`crate::metrics::RoundRecord::checkpoint`] `= true` and never
+    /// trigger early stop. `None` keeps the round-boundary cadence only;
+    /// ignored under [`ExecutionMode::BulkSynchronous`].
+    #[serde(default)]
+    pub eval_interval_s: Option<f64>,
     /// Stop as soon as mean test accuracy reaches this value (Figures 5–6
     /// "run to target accuracy").
     pub target_accuracy: Option<f64>,
@@ -84,6 +103,8 @@ impl TrainConfig {
             time_model: TimeModel::default(),
             execution: ExecutionMode::default(),
             heterogeneity: HeterogeneityProfile::default(),
+            faults: FaultConfig::default(),
+            eval_interval_s: None,
             target_accuracy: None,
             message_loss: 0.0,
             record_alphas: false,
@@ -109,6 +130,13 @@ impl TrainConfig {
             threads: 1,
             ..Self::new(3)
         }
+    }
+
+    /// Fluent fault/staleness override (event-driven runs only).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Fluent seed override.
@@ -165,6 +193,23 @@ impl TrainConfig {
         self.heterogeneity
             .validate()
             .map_err(JwinsError::InvalidConfig)?;
+        self.faults.validate().map_err(JwinsError::InvalidConfig)?;
+        if self.execution == ExecutionMode::BulkSynchronous && !self.faults.is_noop() {
+            return Err(JwinsError::InvalidConfig(
+                "fault plans and staleness caps require event-driven execution; project \
+                 the timeline onto barrier rounds with FaultParticipation instead"
+                    .into(),
+            ));
+        }
+        if let Some(interval) = self.eval_interval_s {
+            if interval.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+                || !interval.is_finite()
+            {
+                return Err(JwinsError::InvalidConfig(
+                    "eval_interval_s must be positive and finite".into(),
+                ));
+            }
+        }
         if self.execution == ExecutionMode::EventDriven {
             // The event clock derives every node's round length from
             // compute_s; zero (or NaN/negative, which SimTime would clamp
@@ -245,6 +290,47 @@ mod tests {
     }
 
     #[test]
+    fn faults_require_event_driven_execution() {
+        use jwins_fault::{FaultOutage, FaultPlan, StalenessPolicy};
+        let faults = FaultConfig {
+            plan: FaultPlan::Scripted(vec![FaultOutage::new(0, 1.0, 1.0)]),
+            staleness: StalenessPolicy::default(),
+        };
+        let c = TrainConfig::new(3).with_faults(faults.clone());
+        assert!(c.validate().is_err(), "faults under the barrier rejected");
+        let c = TrainConfig::new(3)
+            .with_event_driven(HeterogeneityProfile::default())
+            .with_faults(faults);
+        assert!(c.validate().is_ok());
+        // A staleness cap alone is also event-driven-only.
+        let mut c = TrainConfig::new(3);
+        c.faults.staleness = StalenessPolicy::drop_after_rounds(2);
+        assert!(c.validate().is_err());
+        // Degenerate fault configs are fine anywhere.
+        assert!(TrainConfig::new(3).validate().is_ok());
+    }
+
+    #[test]
+    fn bad_fault_and_eval_interval_values_rejected() {
+        use jwins_fault::FaultPlan;
+        let mut c = TrainConfig::new(3).with_event_driven(HeterogeneityProfile::default());
+        c.faults.plan = FaultPlan::CorrelatedOutage {
+            fraction: 2.0,
+            at_s: 0.0,
+            down_s: 1.0,
+            rejoin: jwins_fault::RejoinMode::Warm,
+        };
+        assert!(c.validate().is_err());
+        let mut c = TrainConfig::new(3);
+        c.eval_interval_s = Some(0.0);
+        assert!(c.validate().is_err());
+        c.eval_interval_s = Some(f64::NAN);
+        assert!(c.validate().is_err());
+        c.eval_interval_s = Some(2.5);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
     fn config_round_trips_through_serde_losslessly() {
         // Regression: time_model used to be #[serde(skip)], so configs came
         // back with a default time model and any tuned bandwidth silently
@@ -257,6 +343,16 @@ mod tests {
         };
         config.execution = ExecutionMode::EventDriven;
         config.heterogeneity = HeterogeneityProfile::stragglers(0.125, 8.0, 0.001, 2.5e7);
+        config.faults = FaultConfig {
+            plan: jwins_fault::FaultPlan::RandomChurn {
+                mean_up_s: 30.0,
+                mean_down_s: 5.0,
+                horizon_s: 120.0,
+                rejoin: jwins_fault::RejoinMode::Resync,
+            },
+            staleness: jwins_fault::StalenessPolicy::decay_after_rounds(2, 0.5),
+        };
+        config.eval_interval_s = Some(7.5);
         config.target_accuracy = Some(0.5);
         config.message_loss = 0.125;
         let text = serde::json::to_string(&config);
@@ -264,6 +360,8 @@ mod tests {
         assert_eq!(back.time_model, config.time_model);
         assert_eq!(back.execution, config.execution);
         assert_eq!(back.heterogeneity, config.heterogeneity);
+        assert_eq!(back.faults, config.faults);
+        assert_eq!(back.eval_interval_s, config.eval_interval_s);
         assert_eq!(back.rounds, config.rounds);
         assert_eq!(back.lr, config.lr);
         assert_eq!(back.seed, config.seed);
@@ -282,6 +380,8 @@ mod tests {
         assert_eq!(config.execution, ExecutionMode::BulkSynchronous);
         assert!(config.heterogeneity.is_degenerate());
         assert_eq!(config.time_model, jwins_net::TimeModel::default());
+        assert!(config.faults.is_noop());
+        assert_eq!(config.eval_interval_s, None);
         assert!(config.validate().is_ok());
     }
 }

@@ -26,9 +26,10 @@ use crate::participation::{AlwaysOn, ParticipationModel};
 use crate::strategy::{Outbound, ReceivedMessage, ShareStrategy};
 use crate::{JwinsError, Result};
 use jwins_data::batch::BatchSampler;
+use jwins_fault::RejoinMode;
 use jwins_net::{LossModel, SimNetwork};
 use jwins_nn::model::{EvalMetrics, Model};
-use jwins_sim::{EventQueue, Scheduled, SimTime};
+use jwins_sim::{EventQueue, LifecycleEvent, LifecycleTracker, Scheduled, SimTime};
 use jwins_topology::dynamic::{RoundTopology, TopologyProvider};
 use std::sync::Arc;
 
@@ -183,6 +184,14 @@ impl<M: Model> TrainerBuilder<M> {
             nodes,
         })
     }
+}
+
+/// Running fault/staleness counters surfaced in every [`RoundRecord`].
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultTelemetry {
+    crashes: u64,
+    rejoins: u64,
+    downweight_mass: f64,
 }
 
 struct NodeState<M: Model> {
@@ -465,6 +474,8 @@ impl<M: Model> Trainer<M> {
         metrics: &EvalMetrics,
         sim_time: f64,
         mean_staleness_s: f64,
+        faults: FaultTelemetry,
+        checkpoint: bool,
     ) -> RoundRecord {
         let n = self.nodes.len() as f64;
         let total = self.network.total_stats();
@@ -487,6 +498,11 @@ impl<M: Model> Trainer<M> {
             cum_metadata_per_node: total.metadata_sent as f64 / n,
             sim_time_s: sim_time,
             mean_staleness_s,
+            crashes: faults.crashes,
+            rejoins: faults.rejoins,
+            messages_expired: total.messages_expired,
+            downweight_mass: faults.downweight_mass,
+            checkpoint,
         }
     }
 
@@ -537,7 +553,14 @@ impl<M: Model> Trainer<M> {
                 || (self.config.eval_every > 0 && (round + 1) % self.config.eval_every == 0);
             if eval_due {
                 let metrics = self.evaluate()?;
-                let record = self.snapshot(round, &metrics, sim_time, 0.0);
+                let record = self.snapshot(
+                    round,
+                    &metrics,
+                    sim_time,
+                    0.0,
+                    FaultTelemetry::default(),
+                    false,
+                );
                 let hit_target = self
                     .config
                     .target_accuracy
@@ -575,14 +598,24 @@ impl<M: Model> Trainer<M> {
     ///    `latency + bytes/bandwidth` after its transmission starts) and
     ///    schedule `Mix` once the last byte has left;
     /// 3. `Mix` — drain every message that has *arrived* by the local
-    ///    clock (possibly stale, possibly from a past round — its age is
-    ///    accumulated into the staleness metric), aggregate, and start the
-    ///    next round.
+    ///    clock and survived the staleness policy (TTL expiry at drain,
+    ///    over-cap drop or down-weighting at mix — down-weighted mass moves
+    ///    to the self-weight so mixing stays row-stochastic), aggregate,
+    ///    and start the next round.
     ///
-    /// Simultaneous events are ordered train < mix < start, then by node id,
-    /// so equal-time rounds interleave exactly like the barrier engine —
-    /// which is why a degenerate heterogeneity profile reproduces
-    /// bulk-synchronous results bit-for-bit.
+    /// The fault plan (see `jwins_fault`) is replayed as `Crash`/`Recover`
+    /// events: a crash abandons the node's round in progress, destroys its
+    /// inbox and its in-flight outgoing messages, and invalidates its
+    /// scheduled events via lifecycle epochs; a recovery rejoins warm or
+    /// re-synced from the lowest-indexed live peer and resumes with the
+    /// node's next round. `TrainConfig::eval_interval_s` adds virtual-time
+    /// evaluation checkpoints so fast nodes' progress is visible mid-round.
+    ///
+    /// Simultaneous events are ordered fault < train < mix < start < eval,
+    /// then by node id, so equal-time rounds interleave exactly like the
+    /// barrier engine — which is why a degenerate heterogeneity profile
+    /// (with a no-op fault config) reproduces bulk-synchronous results
+    /// bit-for-bit.
     fn run_event_driven(mut self) -> Result<RunResult>
     where
         M: Send,
@@ -593,20 +626,30 @@ impl<M: Model> Trainer<M> {
             StartRound {
                 node: usize,
                 round: usize,
+                epoch: u64,
             },
             TrainDone {
                 node: usize,
                 round: usize,
+                epoch: u64,
             },
             Mix {
                 node: usize,
                 round: usize,
                 trained: bool,
+                epoch: u64,
             },
+            Fault {
+                event: LifecycleEvent,
+                rejoin: RejoinMode,
+            },
+            EvalTick,
         }
-        const RANK_TRAIN: u64 = 0;
-        const RANK_MIX: u64 = 1;
-        const RANK_START: u64 = 2;
+        const RANK_FAULT: u64 = 0;
+        const RANK_TRAIN: u64 = 1;
+        const RANK_MIX: u64 = 2;
+        const RANK_START: u64 = 3;
+        const RANK_EVAL: u64 = 4;
         fn prio(rank: u64, node: usize) -> u64 {
             (rank << 32) | node as u64
         }
@@ -614,9 +657,19 @@ impl<M: Model> Trainer<M> {
         let n = self.nodes.len();
         let rounds = self.config.rounds;
         let strategy_name = self.nodes[0].strategy.name().to_owned();
-        if !self.config.heterogeneity.is_degenerate() {
-            // Real heterogeneity delivers cross-round messages; refuse
-            // strategies whose per-edge state silently corrupts on them.
+        let fault_timeline = jwins_fault::FaultTimeline::expand(
+            &self.config.faults.plan,
+            n,
+            self.config.seed ^ 0xFA_17,
+        )
+        .map_err(JwinsError::InvalidConfig)?;
+        let staleness = self.config.faults.staleness;
+        let ttl = staleness.ttl().map(SimTime::from_secs_f64);
+        let has_cap = staleness.has_cap();
+        if !self.config.heterogeneity.is_degenerate() || !fault_timeline.is_empty() {
+            // Real heterogeneity (and any fault plan, which desynchronizes
+            // rounds even on instant links) delivers cross-round messages;
+            // refuse strategies whose per-edge state silently corrupts.
             if let Some(node) = self
                 .nodes
                 .iter()
@@ -624,7 +677,8 @@ impl<M: Model> Trainer<M> {
             {
                 return Err(JwinsError::InvalidConfig(format!(
                     "strategy `{}` (node {node}) requires round-aligned exchanges and \
-                     cannot run event-driven under a non-degenerate heterogeneity profile",
+                     cannot run event-driven under a non-degenerate heterogeneity \
+                     profile or fault plan",
                     self.nodes[node].strategy.name()
                 )));
             }
@@ -646,7 +700,32 @@ impl<M: Model> Trainer<M> {
             queue.push(
                 SimTime::ZERO,
                 prio(RANK_START, node),
-                Ev::StartRound { node, round: 0 },
+                Ev::StartRound {
+                    node,
+                    round: 0,
+                    epoch: 0,
+                },
+            );
+        }
+        // Fault and checkpoint events are scheduled *after* the initial
+        // StartRounds so a no-op fault config leaves every insertion
+        // sequence number — and with it the queue's seeded tie-breaks —
+        // exactly as before, preserving the bit-for-bit contract.
+        for tf in fault_timeline.events() {
+            queue.push(
+                tf.at,
+                prio(RANK_FAULT, tf.event.node()),
+                Ev::Fault {
+                    event: tf.event,
+                    rejoin: tf.rejoin,
+                },
+            );
+        }
+        if let Some(interval) = self.config.eval_interval_s {
+            queue.push(
+                SimTime::from_secs_f64(interval),
+                prio(RANK_EVAL, 0),
+                Ev::EvalTick,
             );
         }
 
@@ -686,15 +765,107 @@ impl<M: Model> Trainer<M> {
             Vec::new()
         };
         let mut current_alpha = vec![0.0f64; n];
+        let mut lifecycle = LifecycleTracker::new(n);
+        let mut downweight_mass = 0.0f64;
+        // Rounds each node has passed — by mixing or by crash-abandonment.
+        // A node's pending events always concern round `rounds_passed[i]`,
+        // so every node contributes to every round's completion exactly
+        // once and `completed` still counts to `n` under churn.
+        let mut rounds_passed = vec![0usize; n];
+        let mut last_time = SimTime::ZERO;
+        // Queued StartRound/TrainDone/Mix events (the initial StartRounds
+        // count). Fault events scheduled far past the end of training must
+        // not keep evaluation checkpoints ticking, so EvalTick re-arms only
+        // while training events remain — not while the queue is non-empty.
+        let mut pending_work = n;
+        // Scheduled recoveries per node, and how many of the currently-down
+        // nodes will resume actual training when they fire: a down node with
+        // rounds left re-adds work on recovery, so the checkpoint cadence
+        // must keep ticking through its outage even when every live node has
+        // drained its queue.
+        let mut recoveries_scheduled = vec![0usize; n];
+        for tf in fault_timeline.events() {
+            if !tf.event.is_crash() {
+                recoveries_scheduled[tf.event.node()] += 1;
+            }
+        }
+        let mut productive_recoveries = 0usize;
+
+        // Round-completion bookkeeping, entered when a node *passes* a
+        // round (its Mix fired, or a crash abandoned its round in
+        // progress): the last of the `n` passes triggers the round's
+        // evaluation point and, on target hit, the early stop.
+        macro_rules! pass_round {
+            ($round:expr, $time:expr) => {{
+                let round = $round;
+                let time: SimTime = $time;
+                completed[round] += 1;
+                if completed[round] == n {
+                    round_ctx.remove(&round);
+                    rounds_run = round + 1;
+                    let is_last = round + 1 == rounds;
+                    let eval_due = is_last
+                        || (self.config.eval_every > 0
+                            && (round + 1) % self.config.eval_every == 0);
+                    if eval_due {
+                        let metrics = self.evaluate()?;
+                        let mean_staleness_s = if mixed_messages == 0 {
+                            0.0
+                        } else {
+                            total_staleness_s / mixed_messages as f64
+                        };
+                        let record = self.snapshot(
+                            round,
+                            &metrics,
+                            time.as_secs_f64(),
+                            mean_staleness_s,
+                            FaultTelemetry {
+                                crashes: lifecycle.crashes(),
+                                rejoins: lifecycle.recoveries(),
+                                downweight_mass,
+                            },
+                            false,
+                        );
+                        let hit_target = self
+                            .config
+                            .target_accuracy
+                            .is_some_and(|t| record.test_accuracy >= t);
+                        records.push(record);
+                        if hit_target && reached_target.is_none() {
+                            reached_target = Some(TargetHit {
+                                round,
+                                sim_time_s: time.as_secs_f64(),
+                                bytes_per_node: records
+                                    .last()
+                                    .map_or(0.0, |r| r.cum_bytes_per_node),
+                            });
+                            // Early stop: cancel everything in flight.
+                            queue.clear();
+                            continue;
+                        }
+                    }
+                }
+            }};
+        }
 
         while let Some(Scheduled { time, event, .. }) = queue.pop() {
+            last_time = time;
             match event {
-                Ev::StartRound { node, round } => {
+                Ev::StartRound { node, round, epoch } => {
+                    pending_work -= 1;
+                    if !lifecycle.is_current(node, epoch) {
+                        continue;
+                    }
                     let (_, active_set) = ctx_for!(round);
                     let active = active_set[node];
                     let end = time.plus(compute_time[node]);
+                    pending_work += 1;
                     if active {
-                        queue.push(end, prio(RANK_TRAIN, node), Ev::TrainDone { node, round });
+                        queue.push(
+                            end,
+                            prio(RANK_TRAIN, node),
+                            Ev::TrainDone { node, round, epoch },
+                        );
                     } else {
                         // Idle through the round window; no train, no I/O.
                         queue.push(
@@ -704,11 +875,16 @@ impl<M: Model> Trainer<M> {
                                 node,
                                 round,
                                 trained: false,
+                                epoch,
                             },
                         );
                     }
                 }
-                Ev::TrainDone { node, round } => {
+                Ev::TrainDone { node, round, epoch } => {
+                    pending_work -= 1;
+                    if !lifecycle.is_current(node, epoch) {
+                        continue;
+                    }
                     let (topo, active) = ctx_for!(round);
                     let tau = self.config.local_steps;
                     let bs = self.config.batch_size;
@@ -765,6 +941,7 @@ impl<M: Model> Trainer<M> {
                             }
                         }
                     }
+                    pending_work += 1;
                     queue.push(
                         departure,
                         prio(RANK_MIX, node),
@@ -772,6 +949,7 @@ impl<M: Model> Trainer<M> {
                             node,
                             round,
                             trained: true,
+                            epoch,
                         },
                     );
                 }
@@ -779,12 +957,18 @@ impl<M: Model> Trainer<M> {
                     node,
                     round,
                     trained,
+                    epoch,
                 } => {
+                    pending_work -= 1;
+                    if !lifecycle.is_current(node, epoch) {
+                        continue;
+                    }
                     if trained {
                         let (topo, _) = ctx_for!(round);
-                        let inbox = self.network.drain_until(node, time);
+                        let inbox = self.network.drain_until_expiring(node, time, ttl);
                         let neighbors = topo.graph.neighbors(node);
                         let mut received = Vec::with_capacity(inbox.len());
+                        let mut absorbed = 0.0f64;
                         for env in &inbox {
                             // A message from a node that is no longer a
                             // neighbour under this round's topology carries
@@ -793,19 +977,53 @@ impl<M: Model> Trainer<M> {
                             let Ok(pos) = neighbors.binary_search(&env.from) else {
                                 continue;
                             };
+                            let base = topo.weights.neighbor_weights(node)[pos];
+                            let factor = if has_cap {
+                                staleness.weight_factor(
+                                    env.age_rounds(round),
+                                    env.age_at(time).as_secs_f64(),
+                                )
+                            } else {
+                                1.0
+                            };
+                            if factor == 0.0
+                                && matches!(staleness.over_cap, jwins_fault::CapAction::Drop)
+                            {
+                                // Over the staleness cap with a Drop action:
+                                // never decoded, counted as expired. The
+                                // absent weight renormalizes inside the
+                                // strategy's partial averaging, exactly like
+                                // a lost message. (A Decay factor that
+                                // *underflows* to zero is not a drop: the
+                                // message stays in the mix at weight zero
+                                // and its whole mass moves to the
+                                // self-weight below.)
+                                self.network.record_expired(node);
+                                continue;
+                            }
+                            // Down-weighted mass moves to the self-weight so
+                            // the effective mixing row stays stochastic
+                            // (factor 1.0 keeps the weight bit-unchanged).
+                            let (weight, moved) = jwins_fault::apply_factor(base, factor);
+                            absorbed += moved;
                             total_staleness_s += time.since(env.sent).as_secs_f64();
                             mixed_messages += 1;
                             received.push(ReceivedMessage {
                                 from: env.from,
-                                weight: topo.weights.neighbor_weights(node)[pos],
+                                weight,
                                 bytes: &env.payload,
                             });
+                        }
+                        let mut self_weight = topo.weights.self_weight(node);
+                        if absorbed > 0.0 {
+                            self_weight += absorbed;
+                            downweight_mass += absorbed;
                         }
                         let state = &mut self.nodes[node];
                         state.params = state.strategy.aggregate(
                             round,
                             &state.params,
-                            topo.weights.self_weight(node),
+                            self_weight,
                             &received,
                         )?;
                         state.model.set_params(&state.params);
@@ -814,60 +1032,169 @@ impl<M: Model> Trainer<M> {
                         // mirroring the barrier engine's snapshot.
                         alpha_rows[round][node] = current_alpha[node];
                     }
-                    // Round completion bookkeeping: the last node to finish
-                    // round `round` triggers its evaluation point.
-                    completed[round] += 1;
-                    if completed[round] == n {
-                        round_ctx.remove(&round);
-                        rounds_run = round + 1;
-                        let is_last = round + 1 == rounds;
-                        let eval_due = is_last
-                            || (self.config.eval_every > 0
-                                && (round + 1) % self.config.eval_every == 0);
-                        if eval_due {
-                            let metrics = self.evaluate()?;
-                            let mean_staleness_s = if mixed_messages == 0 {
-                                0.0
-                            } else {
-                                total_staleness_s / mixed_messages as f64
-                            };
-                            let record = self.snapshot(
-                                round,
-                                &metrics,
-                                time.as_secs_f64(),
-                                mean_staleness_s,
-                            );
-                            let hit_target = self
-                                .config
-                                .target_accuracy
-                                .is_some_and(|t| record.test_accuracy >= t);
-                            records.push(record);
-                            if hit_target && reached_target.is_none() {
-                                reached_target = Some(TargetHit {
-                                    round,
-                                    sim_time_s: time.as_secs_f64(),
-                                    bytes_per_node: records
-                                        .last()
-                                        .map_or(0.0, |r| r.cum_bytes_per_node),
-                                });
-                                // Early stop: cancel everything in flight.
-                                queue.clear();
-                                continue;
-                            }
-                        }
-                    }
+                    rounds_passed[node] = round + 1;
+                    pass_round!(round, time);
                     if round + 1 < rounds {
+                        pending_work += 1;
                         queue.push(
                             time,
                             prio(RANK_START, node),
                             Ev::StartRound {
                                 node,
                                 round: round + 1,
+                                epoch,
                             },
                         );
                     }
                 }
+                Ev::Fault { event, rejoin } => match event {
+                    LifecycleEvent::Crash { node } => {
+                        if !lifecycle.crash(node) {
+                            continue;
+                        }
+                        // The host dies with its inbox and open connections:
+                        // everything queued for it and everything it still
+                        // has in flight is destroyed.
+                        self.network.purge_inbox(node);
+                        self.network.purge_in_flight_from(node, time);
+                        // Abandon the round in progress (its scheduled
+                        // events are now stale via the epoch bump) so the
+                        // cluster-wide round completion still counts to n.
+                        let round = rounds_passed[node];
+                        if round < rounds {
+                            rounds_passed[node] = round + 1;
+                        }
+                        // A scheduled recovery that will resume training
+                        // keeps the checkpoint cadence alive through the
+                        // outage.
+                        if recoveries_scheduled[node] > 0 && rounds_passed[node] < rounds {
+                            productive_recoveries += 1;
+                        }
+                        if round < rounds {
+                            pass_round!(round, time);
+                        }
+                    }
+                    LifecycleEvent::Recover { node } => {
+                        recoveries_scheduled[node] -= 1;
+                        if lifecycle.is_alive(node) {
+                            continue;
+                        }
+                        // Pick the re-sync donor *before* marking the node
+                        // alive, so the tracker's lowest-indexed-live query
+                        // cannot hand the rejoiner its own stale model.
+                        let donor = if rejoin == RejoinMode::Resync {
+                            lifecycle.first_alive()
+                        } else {
+                            None
+                        };
+                        lifecycle.recover(node);
+                        if rounds_passed[node] < rounds {
+                            productive_recoveries -= 1;
+                        }
+                        // Deliveries that completed while the host was down
+                        // hit a dead machine; still-in-flight tails land on
+                        // the recovered host and survive.
+                        self.network.purge_arrived(node, time);
+                        // Re-synced rejoin: adopt the current model of the
+                        // lowest-indexed live peer (deterministic); fall
+                        // back to a warm restart if fully alone.
+                        if let Some(donor) = donor {
+                            let params = self.nodes[donor].params.clone();
+                            let state = &mut self.nodes[node];
+                            state.params = params;
+                            state.model.set_params(&state.params);
+                            state.strategy.init(&state.params);
+                        }
+                        let round = rounds_passed[node];
+                        if round < rounds {
+                            pending_work += 1;
+                            queue.push(
+                                time,
+                                prio(RANK_START, node),
+                                Ev::StartRound {
+                                    node,
+                                    round,
+                                    epoch: lifecycle.epoch(node),
+                                },
+                            );
+                        }
+                    }
+                },
+                Ev::EvalTick => {
+                    // Training is over and no down node will resume it:
+                    // swallow the trailing tick instead of emitting a
+                    // checkpoint dated after the run's real end.
+                    if pending_work == 0 && productive_recoveries == 0 {
+                        continue;
+                    }
+                    let interval = self
+                        .config
+                        .eval_interval_s
+                        .expect("EvalTick only scheduled with an interval");
+                    let metrics = self.evaluate()?;
+                    let mean_staleness_s = if mixed_messages == 0 {
+                        0.0
+                    } else {
+                        total_staleness_s / mixed_messages as f64
+                    };
+                    let record = self.snapshot(
+                        rounds_run.saturating_sub(1),
+                        &metrics,
+                        time.as_secs_f64(),
+                        mean_staleness_s,
+                        FaultTelemetry {
+                            crashes: lifecycle.crashes(),
+                            rejoins: lifecycle.recoveries(),
+                            downweight_mass,
+                        },
+                        true,
+                    );
+                    records.push(record);
+                    // Keep ticking while training events remain or a down
+                    // node will resume training on recovery — fault events
+                    // scheduled past the end of training must not prolong
+                    // the cadence. Checkpoints never trigger early stop.
+                    if pending_work > 0 || productive_recoveries > 0 {
+                        queue.push(time.after_secs(interval), prio(RANK_EVAL, 0), Ev::EvalTick);
+                    }
+                }
             }
+        }
+
+        // Nodes still down at the end never recovered to purge the
+        // deliveries that piled up at their dead hosts; destroy them now so
+        // the traffic accounting honours the crash semantics (no-fault runs
+        // have every node alive, so this cannot disturb their totals).
+        for node in 0..n {
+            if !lifecycle.is_alive(node) {
+                self.network.purge_inbox(node);
+            }
+        }
+
+        if reached_target.is_none() && rounds_run < rounds {
+            // A node stayed crashed to the end, so later rounds never
+            // completed cluster-wide and their evaluation points never
+            // fired. Close the run with a final checkpoint at the last
+            // event time so the result still reflects the trained models.
+            let metrics = self.evaluate()?;
+            let mean_staleness_s = if mixed_messages == 0 {
+                0.0
+            } else {
+                total_staleness_s / mixed_messages as f64
+            };
+            let record = self.snapshot(
+                rounds_run.saturating_sub(1),
+                &metrics,
+                last_time.as_secs_f64(),
+                mean_staleness_s,
+                FaultTelemetry {
+                    crashes: lifecycle.crashes(),
+                    rejoins: lifecycle.recoveries(),
+                    downweight_mass,
+                },
+                true,
+            );
+            records.push(record);
         }
 
         let alpha_history: Vec<Vec<f64>> = alpha_rows.into_iter().take(rounds_run).collect();
@@ -1003,7 +1330,14 @@ mod tests {
             .map(|i| trainer.node_params(i).to_vec())
             .collect();
         let metrics = trainer.evaluate().unwrap();
-        let record = trainer.snapshot(rounds - 1, &metrics, sim_time, 0.0);
+        let record = trainer.snapshot(
+            rounds - 1,
+            &metrics,
+            sim_time,
+            0.0,
+            FaultTelemetry::default(),
+            false,
+        );
         let result = RunResult {
             strategy: "test".into(),
             records: vec![record],

@@ -38,6 +38,28 @@ pub struct RoundRecord {
     /// consumed models were.
     #[serde(default)]
     pub mean_staleness_s: f64,
+    /// Node crashes injected so far (cumulative; fault-injection runs only).
+    #[serde(default)]
+    pub crashes: u64,
+    /// Node rejoins so far (cumulative; fault-injection runs only).
+    #[serde(default)]
+    pub rejoins: u64,
+    /// Messages discarded by the staleness policy so far — TTL expiry at
+    /// mailbox drain plus over-cap drops at mix time (cumulative).
+    #[serde(default)]
+    pub messages_expired: u64,
+    /// Total mixing-weight mass shifted from stale neighbours to
+    /// self-weights by the down-weighting policy so far (cumulative).
+    #[serde(default)]
+    pub downweight_mass: f64,
+    /// Whether this record is a virtual-time evaluation checkpoint
+    /// (`TrainConfig::eval_interval_s`) rather than a round-boundary
+    /// evaluation. Checkpoints report `round` as the latest fully completed
+    /// round at that instant (0 also when no round has completed yet —
+    /// compare `sim_time_s` against the round-boundary records to
+    /// disambiguate the earliest checkpoints).
+    #[serde(default)]
+    pub checkpoint: bool,
 }
 
 /// Round and cost at which a target accuracy was first reached.
@@ -80,6 +102,18 @@ impl RunResult {
         self.final_record().map_or(0.0, |r| r.test_accuracy)
     }
 
+    /// Round-boundary evaluation records only (virtual-time checkpoints
+    /// filtered out).
+    pub fn round_records(&self) -> impl Iterator<Item = &RoundRecord> {
+        self.records.iter().filter(|r| !r.checkpoint)
+    }
+
+    /// Virtual-time evaluation checkpoints only
+    /// (`TrainConfig::eval_interval_s`).
+    pub fn checkpoints(&self) -> impl Iterator<Item = &RoundRecord> {
+        self.records.iter().filter(|r| r.checkpoint)
+    }
+
     /// Total bytes sent by the whole cluster, in GiB.
     pub fn total_gib_sent(&self) -> f64 {
         self.total_traffic.bytes_sent as f64 / (1024.0 * 1024.0 * 1024.0)
@@ -90,11 +124,11 @@ impl RunResult {
         let mut out = String::from(
             "round,train_loss,test_loss,test_accuracy,test_rmse,mean_alpha,\
              cum_bytes_per_node,cum_payload_per_node,cum_metadata_per_node,sim_time_s,\
-             mean_staleness_s\n",
+             mean_staleness_s,crashes,rejoins,messages_expired,downweight_mass,checkpoint\n",
         );
         for r in &self.records {
             out.push_str(&format!(
-                "{},{:.6},{:.6},{:.6},{:.6},{:.4},{:.0},{:.0},{:.0},{:.3},{:.4}\n",
+                "{},{:.6},{:.6},{:.6},{:.6},{:.4},{:.0},{:.0},{:.0},{:.3},{:.4},{},{},{},{:.4},{}\n",
                 r.round,
                 r.train_loss,
                 r.test_loss,
@@ -105,7 +139,12 @@ impl RunResult {
                 r.cum_payload_per_node,
                 r.cum_metadata_per_node,
                 r.sim_time_s,
-                r.mean_staleness_s
+                r.mean_staleness_s,
+                r.crashes,
+                r.rejoins,
+                r.messages_expired,
+                r.downweight_mass,
+                u8::from(r.checkpoint)
             ));
         }
         out
@@ -129,6 +168,11 @@ mod tests {
             cum_metadata_per_node: 100.0,
             sim_time_s: 12.5,
             mean_staleness_s: 0.0,
+            crashes: 0,
+            rejoins: 0,
+            messages_expired: 0,
+            downweight_mass: 0.0,
+            checkpoint: false,
         }
     }
 

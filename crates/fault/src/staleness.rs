@@ -1,0 +1,361 @@
+//! Bounded-staleness policies: TTLs, staleness caps and row-stochastic
+//! down-weighting.
+//!
+//! Asynchronous gossip mixes whatever has arrived — including messages from
+//! several rounds ago. Zhao et al. (2019) show staleness control is the key
+//! accuracy knob under asynchrony; a [`StalenessPolicy`] provides the two
+//! standard mechanisms:
+//!
+//! - a **TTL**: messages older than `ttl_s` (virtual seconds since they were
+//!   sent) expire at mailbox drain and are never decoded;
+//! - a **cap** in rounds and/or seconds: messages over the cap are either
+//!   dropped outright or down-weighted with exponential decay in the excess
+//!   age ([`CapAction`]).
+//!
+//! Down-weighting multiplies the message's Metropolis–Hastings weight by a
+//! factor in `(0, 1]`; the removed mass is absorbed into the mixer's
+//! self-weight ([`apply_factor`], [`downweight_row`]), so each row of the
+//! effective mixing matrix still sums to one — stale neighbours pull less,
+//! nobody's mass is silently lost.
+
+use serde::{Deserialize, Serialize};
+
+/// What happens to a message older than the staleness cap.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CapAction {
+    /// Exclude the message from mixing entirely.
+    #[default]
+    Drop,
+    /// Keep the message but multiply its mixing weight by
+    /// `exp(-rate · excess)`, where `excess` is how far beyond the cap the
+    /// message is (in rounds for the round cap, seconds for the time cap;
+    /// if both caps are exceeded the smaller factor wins).
+    Decay {
+        /// Decay rate per excess round / second (`> 0`).
+        rate: f64,
+    },
+}
+
+/// A message TTL plus a staleness cap.
+///
+/// [`Default`] is unbounded: no TTL, no cap — the policy under which the
+/// engine behaves bit-for-bit as before this subsystem existed.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StalenessPolicy {
+    /// Messages older than this many virtual seconds expire at mailbox
+    /// drain (`None` or infinite = never).
+    #[serde(default)]
+    pub ttl_s: Option<f64>,
+    /// Cap in rounds: a message sent at round `s` and mixed at round `r` is
+    /// over the cap when `r - s > k` (`None` = no round cap).
+    #[serde(default)]
+    pub max_age_rounds: Option<usize>,
+    /// Cap in virtual seconds of message age at mix time (`None` or
+    /// infinite = no time cap).
+    #[serde(default)]
+    pub max_age_s: Option<f64>,
+    /// What happens beyond the cap.
+    #[serde(default)]
+    pub over_cap: CapAction,
+}
+
+impl StalenessPolicy {
+    /// The unbounded policy (same as [`Default`]).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Drop messages older than `k` rounds.
+    pub fn drop_after_rounds(k: usize) -> Self {
+        Self {
+            max_age_rounds: Some(k),
+            ..Self::default()
+        }
+    }
+
+    /// Exponentially down-weight messages older than `k` rounds.
+    pub fn decay_after_rounds(k: usize, rate: f64) -> Self {
+        Self {
+            max_age_rounds: Some(k),
+            over_cap: CapAction::Decay { rate },
+            ..Self::default()
+        }
+    }
+
+    /// The TTL with infinities normalized away.
+    pub fn ttl(&self) -> Option<f64> {
+        self.ttl_s.filter(|t| t.is_finite())
+    }
+
+    /// Whether any cap (rounds or seconds) is in effect.
+    pub fn has_cap(&self) -> bool {
+        self.max_age_rounds.is_some() || self.max_age_s.filter(|t| t.is_finite()).is_some()
+    }
+
+    /// Whether the policy changes nothing (no TTL, no cap).
+    pub fn is_unbounded(&self) -> bool {
+        self.ttl().is_none() && !self.has_cap()
+    }
+
+    /// Whether a message of age `age_s` (seconds since it was sent) has
+    /// outlived its TTL.
+    pub fn expires(&self, age_s: f64) -> bool {
+        self.ttl().is_some_and(|t| age_s > t)
+    }
+
+    /// The mixing-weight factor for a message `age_rounds` rounds /
+    /// `age_s` seconds old: `1.0` within the cap, `0.0` to drop, a value in
+    /// `(0, 1)` to down-weight.
+    pub fn weight_factor(&self, age_rounds: usize, age_s: f64) -> f64 {
+        let excess_rounds = self
+            .max_age_rounds
+            .map(|k| age_rounds.saturating_sub(k) as f64)
+            .unwrap_or(0.0);
+        let excess_secs = self
+            .max_age_s
+            .filter(|t| t.is_finite())
+            .map(|t| (age_s - t).max(0.0))
+            .unwrap_or(0.0);
+        if excess_rounds == 0.0 && excess_secs == 0.0 {
+            return 1.0;
+        }
+        match self.over_cap {
+            CapAction::Drop => 0.0,
+            CapAction::Decay { rate } => {
+                let mut factor = 1.0f64;
+                if excess_rounds > 0.0 {
+                    factor = factor.min((-rate * excess_rounds).exp());
+                }
+                if excess_secs > 0.0 {
+                    factor = factor.min((-rate * excess_secs).exp());
+                }
+                factor
+            }
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        // Written via partial_cmp so NaN is also rejected.
+        let positive = |v: f64| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if let Some(t) = self.ttl_s {
+            if !positive(t) {
+                return Err(format!("message TTL {t} must be positive"));
+            }
+        }
+        if let Some(t) = self.max_age_s {
+            if !positive(t) {
+                return Err(format!("staleness age cap {t} must be positive"));
+            }
+        }
+        if let CapAction::Decay { rate } = self.over_cap {
+            if !(positive(rate) && rate.is_finite()) {
+                return Err(format!("decay rate {rate} must be positive and finite"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Applies a staleness factor to one mixing weight, returning the reduced
+/// weight and the mass to absorb into the self-weight. A factor of `1.0`
+/// returns the weight bit-unchanged (no float multiply), preserving the
+/// engine's degenerate-config bit-for-bit contract.
+pub fn apply_factor(weight: f64, factor: f64) -> (f64, f64) {
+    if factor >= 1.0 {
+        (weight, 0.0)
+    } else {
+        (weight * factor, weight * (1.0 - factor))
+    }
+}
+
+/// Down-weights a whole row of mixing weights: each `(weight, factor)`
+/// entry becomes `weight · factor`, and the removed mass is added to
+/// `self_weight`. If the inputs form a stochastic row
+/// (`self_weight + Σ weight = 1`) and every factor lies in `[0, 1]`, the
+/// output row is stochastic too.
+pub fn downweight_row(self_weight: f64, entries: &[(f64, f64)]) -> (f64, Vec<f64>) {
+    let mut new_self = self_weight;
+    let mut weights = Vec::with_capacity(entries.len());
+    for &(weight, factor) in entries {
+        let (w, absorbed) = apply_factor(weight, factor);
+        new_self += absorbed;
+        weights.push(w);
+    }
+    (new_self, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unbounded_policy_keeps_everything() {
+        let p = StalenessPolicy::unbounded();
+        assert!(p.is_unbounded());
+        assert!(!p.has_cap());
+        assert!(!p.expires(1e12));
+        assert_eq!(p.weight_factor(1_000_000, 1e12), 1.0);
+    }
+
+    #[test]
+    fn infinite_ttl_normalizes_to_none() {
+        let p = StalenessPolicy {
+            ttl_s: Some(f64::INFINITY),
+            ..StalenessPolicy::default()
+        };
+        assert!(p.is_unbounded());
+        assert_eq!(p.ttl(), None);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn ttl_expires_strictly_older_messages() {
+        let p = StalenessPolicy {
+            ttl_s: Some(2.0),
+            ..StalenessPolicy::default()
+        };
+        assert!(!p.expires(2.0));
+        assert!(p.expires(2.0 + 1e-9));
+    }
+
+    #[test]
+    fn round_cap_drops_beyond_k() {
+        let p = StalenessPolicy::drop_after_rounds(2);
+        assert_eq!(p.weight_factor(0, 0.0), 1.0);
+        assert_eq!(p.weight_factor(2, 0.0), 1.0, "k itself is within the cap");
+        assert_eq!(p.weight_factor(3, 0.0), 0.0);
+    }
+
+    #[test]
+    fn decay_shrinks_with_excess_age() {
+        let p = StalenessPolicy::decay_after_rounds(1, 0.5);
+        assert_eq!(p.weight_factor(1, 0.0), 1.0);
+        let f2 = p.weight_factor(2, 0.0);
+        let f4 = p.weight_factor(4, 0.0);
+        assert!((f2 - (-0.5f64).exp()).abs() < 1e-12);
+        assert!(f4 < f2 && f4 > 0.0);
+    }
+
+    #[test]
+    fn seconds_cap_composes_with_round_cap() {
+        let p = StalenessPolicy {
+            max_age_rounds: Some(10),
+            max_age_s: Some(1.0),
+            over_cap: CapAction::Decay { rate: 1.0 },
+            ..StalenessPolicy::default()
+        };
+        // Only the seconds cap is exceeded.
+        let f = p.weight_factor(0, 3.0);
+        assert!((f - (-2.0f64).exp()).abs() < 1e-12);
+        // Both exceeded: the smaller factor wins.
+        let f = p.weight_factor(15, 3.0);
+        assert!((f - (-5.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_numbers() {
+        assert!(StalenessPolicy {
+            ttl_s: Some(0.0),
+            ..StalenessPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(StalenessPolicy {
+            max_age_s: Some(-1.0),
+            ..StalenessPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(StalenessPolicy::decay_after_rounds(1, 0.0)
+            .validate()
+            .is_err());
+        assert!(StalenessPolicy::decay_after_rounds(1, f64::NAN)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn apply_factor_is_exact_at_one() {
+        let w = 0.123_456_789_f64;
+        let (kept, absorbed) = apply_factor(w, 1.0);
+        assert_eq!(kept.to_bits(), w.to_bits());
+        assert_eq!(absorbed, 0.0);
+    }
+
+    #[test]
+    fn apply_factor_at_zero_moves_all_mass() {
+        // A decay factor that underflows to zero keeps the message in the
+        // mix at weight zero — the whole mass goes to the self-weight, it
+        // is not lost.
+        let w = 0.25f64;
+        let (kept, absorbed) = apply_factor(w, 0.0);
+        assert_eq!(kept, 0.0);
+        assert_eq!(absorbed, w);
+    }
+
+    proptest! {
+        /// Satellite property: a Drop policy never lets an over-cap message
+        /// carry mixing weight.
+        #[test]
+        fn no_over_cap_message_is_ever_mixed(
+            k in 0usize..64,
+            age in 0usize..256,
+            age_s in 0.0f64..1e6,
+        ) {
+            let p = StalenessPolicy::drop_after_rounds(k);
+            let f = p.weight_factor(age, age_s);
+            if age > k {
+                prop_assert_eq!(f, 0.0);
+            } else {
+                prop_assert_eq!(f, 1.0);
+            }
+        }
+
+        /// Factors always lie in [0, 1] for valid policies.
+        #[test]
+        fn factors_are_probabilities(
+            k in 0usize..32,
+            rate in 0.01f64..10.0,
+            age in 0usize..256,
+            age_s in 0.0f64..1e6,
+            drop in proptest::any::<bool>(),
+        ) {
+            let p = if drop {
+                StalenessPolicy::drop_after_rounds(k)
+            } else {
+                StalenessPolicy::decay_after_rounds(k, rate)
+            };
+            let f = p.weight_factor(age, age_s);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        /// Satellite property: down-weighting keeps the mixing row
+        /// stochastic — mass moves to the self-weight, never vanishes.
+        #[test]
+        fn downweight_preserves_row_sum(
+            raw in proptest::collection::vec((1e-3f64..1.0, 0.0f64..=1.0), 1..12),
+        ) {
+            // Normalize the raw weights into a stochastic row with a
+            // positive self-weight.
+            let total: f64 = raw.iter().map(|(w, _)| w).sum::<f64>() + 1.0;
+            let self_weight = 1.0 / total;
+            let entries: Vec<(f64, f64)> =
+                raw.iter().map(|&(w, f)| (w / total, f)).collect();
+            let before: f64 = self_weight + entries.iter().map(|(w, _)| w).sum::<f64>();
+            let (new_self, weights) = downweight_row(self_weight, &entries);
+            let after: f64 = new_self + weights.iter().sum::<f64>();
+            prop_assert!((after - before).abs() < 1e-12, "{before} -> {after}");
+            prop_assert!(new_self >= self_weight - 1e-15);
+            for (w, &(orig, _)) in weights.iter().zip(&entries) {
+                prop_assert!(*w >= 0.0 && *w <= orig + 1e-15);
+            }
+        }
+    }
+}

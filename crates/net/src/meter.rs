@@ -30,8 +30,15 @@ pub struct TrafficStats {
     pub metadata_sent: u64,
     /// Number of messages sent.
     pub messages_sent: u64,
-    /// Messages the network dropped in flight (lossy links only).
+    /// Messages lost in the network: lossy-link drops plus deliveries
+    /// destroyed by node crashes (the connection died mid-transfer or the
+    /// receiving host was down).
     pub messages_dropped: u64,
+    /// Messages discarded by the staleness policy: TTL expiry at mailbox
+    /// drain or an over-cap drop at mix time. Kept separate from
+    /// [`Self::messages_dropped`] so staleness losses are distinguishable
+    /// from link/host losses.
+    pub messages_expired: u64,
 }
 
 impl TrafficStats {
@@ -53,6 +60,25 @@ impl TrafficStats {
         self.messages_dropped += 1;
     }
 
+    /// Records a message destroyed *after* delivery metering (a crash killed
+    /// the connection or the receiving host): reverses the receive
+    /// accounting and counts the loss as a drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if more bytes are reversed than were ever received.
+    pub fn record_kill(&mut self, bytes: usize) {
+        debug_assert!(self.bytes_received >= bytes as u64);
+        self.bytes_received -= bytes as u64;
+        self.messages_dropped += 1;
+    }
+
+    /// Records a message discarded by the staleness policy (TTL lapse or
+    /// over-cap drop). The bytes did arrive, so receive accounting stands.
+    pub fn record_expired(&mut self) {
+        self.messages_expired += 1;
+    }
+
     /// Merges counters from another node (for cluster-wide totals).
     pub fn merge(&mut self, other: &TrafficStats) {
         self.bytes_sent += other.bytes_sent;
@@ -61,6 +87,7 @@ impl TrafficStats {
         self.metadata_sent += other.metadata_sent;
         self.messages_sent += other.messages_sent;
         self.messages_dropped += other.messages_dropped;
+        self.messages_expired += other.messages_expired;
     }
 }
 
@@ -75,6 +102,25 @@ mod tests {
             metadata: 28,
         };
         assert_eq!(b.total(), 128);
+    }
+
+    #[test]
+    fn expiry_and_kill_accounting() {
+        let mut s = TrafficStats::default();
+        s.record_receive(10);
+        s.record_receive(6);
+        s.record_expired();
+        assert_eq!(s.messages_expired, 1);
+        assert_eq!(s.messages_dropped, 0, "expiry is not a network drop");
+        assert_eq!(s.bytes_received, 16, "expired bytes did arrive");
+        s.record_kill(6);
+        assert_eq!(s.messages_dropped, 1);
+        assert_eq!(s.bytes_received, 10, "killed bytes never arrived");
+        let mut merged = TrafficStats::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.messages_expired, 2);
+        assert_eq!(merged.messages_dropped, 2);
     }
 
     #[test]

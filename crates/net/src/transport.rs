@@ -98,6 +98,20 @@ pub struct Envelope {
     pub sent_round: usize,
 }
 
+impl Envelope {
+    /// The message's age at `now`: virtual time since the sender handed it
+    /// to the network (saturating at zero for barrier-mode stamps).
+    pub fn age_at(&self, now: SimTime) -> SimTime {
+        now.since(self.sent)
+    }
+
+    /// The message's age in rounds when mixed at `round` (saturating: a
+    /// message from a *future* local round has age zero).
+    pub fn age_rounds(&self, round: usize) -> usize {
+        round.saturating_sub(self.sent_round)
+    }
+}
+
 /// An in-process network between `n` nodes.
 #[derive(Debug)]
 pub struct SimNetwork {
@@ -248,20 +262,142 @@ impl SimNetwork {
     ///
     /// Panics if `node` is out of range.
     pub fn drain_until(&self, node: usize, deadline: SimTime) -> Vec<Envelope> {
+        self.drain_until_expiring(node, deadline, None)
+    }
+
+    /// [`Self::drain_until`] with a message TTL: arrived messages whose age
+    /// at `deadline` exceeds `ttl` are discarded instead of returned,
+    /// counted in the receiver's [`TrafficStats::messages_expired`]. A
+    /// `None` TTL behaves exactly like [`Self::drain_until`]. Messages still
+    /// in flight stay queued and are TTL-checked when they are drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn drain_until_expiring(
+        &self,
+        node: usize,
+        deadline: SimTime,
+        ttl: Option<SimTime>,
+    ) -> Vec<Envelope> {
+        let mut expired = 0u64;
         let mut mailbox = self.mailboxes[node].lock();
         let mut arrived = Vec::new();
         let mut pending = Vec::with_capacity(mailbox.len());
         for env in mailbox.drain(..) {
             if env.arrives <= deadline {
-                arrived.push(env);
+                if ttl.is_some_and(|t| env.age_at(deadline) > t) {
+                    expired += 1;
+                } else {
+                    arrived.push(env);
+                }
             } else {
                 pending.push(env);
             }
         }
         *mailbox = pending;
         drop(mailbox);
+        if expired > 0 {
+            let mut stats = self.stats[node].lock();
+            for _ in 0..expired {
+                stats.record_expired();
+            }
+        }
         arrived.sort_by_key(|e| e.arrives); // stable: equal arrivals keep push order
         arrived
+    }
+
+    /// Records an over-cap staleness drop decided by the caller (the mix
+    /// loop applies round-based caps the transport cannot see).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn record_expired(&self, node: usize) {
+        self.stats[node].lock().record_expired();
+    }
+
+    /// Destroys every message queued for `node` — arrived or in flight —
+    /// as when the node crashes and all its connections die. Returns the
+    /// number of messages destroyed; their receive accounting is reversed
+    /// via [`TrafficStats::record_kill`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn purge_inbox(&self, node: usize) -> u64 {
+        let envelopes = { std::mem::take(&mut *self.mailboxes[node].lock()) };
+        let mut stats = self.stats[node].lock();
+        for env in &envelopes {
+            stats.record_kill(env.payload.len());
+        }
+        envelopes.len() as u64
+    }
+
+    /// Destroys messages for `node` whose delivery completed by `deadline`
+    /// — they landed on a dead host (called when the node recovers, with
+    /// the recovery time). Messages still in flight at `deadline` survive:
+    /// the tail of the transfer lands on the recovered host. Returns the
+    /// number destroyed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn purge_arrived(&self, node: usize, deadline: SimTime) -> u64 {
+        let mut killed = 0u64;
+        let mut killed_bytes: Vec<usize> = Vec::new();
+        {
+            let mut mailbox = self.mailboxes[node].lock();
+            mailbox.retain(|env| {
+                if env.arrives <= deadline {
+                    killed += 1;
+                    killed_bytes.push(env.payload.len());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let mut stats = self.stats[node].lock();
+        for bytes in killed_bytes {
+            stats.record_kill(bytes);
+        }
+        killed
+    }
+
+    /// Destroys `from`'s messages still in flight at `cutoff` (delivery not
+    /// yet complete) — a crashed sender's half-open transfers. Messages
+    /// whose last byte already landed are past saving by the sender's death
+    /// and survive. Returns the number destroyed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn purge_in_flight_from(&self, from: usize, cutoff: SimTime) -> u64 {
+        assert!(from < self.len(), "endpoint out of range");
+        let mut killed = 0u64;
+        for (to, mailbox) in self.mailboxes.iter().enumerate() {
+            let mut killed_bytes: Vec<usize> = Vec::new();
+            {
+                let mut mailbox = mailbox.lock();
+                mailbox.retain(|env| {
+                    if env.from == from && env.arrives > cutoff {
+                        killed_bytes.push(env.payload.len());
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            if !killed_bytes.is_empty() {
+                let mut stats = self.stats[to].lock();
+                killed += killed_bytes.len() as u64;
+                for bytes in killed_bytes {
+                    stats.record_kill(bytes);
+                }
+            }
+        }
+        killed
     }
 
     /// Number of messages still queued (arrived or in flight) for `node`.
@@ -451,6 +587,125 @@ mod tests {
         assert_eq!(late[0].sent, SimTime(0));
         assert_eq!(late[0].arrives, SimTime(50));
         assert_eq!(net.pending(1), 0);
+    }
+
+    #[test]
+    fn ttl_expires_old_messages_at_drain() {
+        let net = SimNetwork::new(2);
+        let send_at = |sent: f64, arrives: f64| {
+            net.send_timed(
+                0,
+                1,
+                Bytes::from(vec![1u8]),
+                breakdown(1, 0),
+                SimTime::from_secs_f64(sent),
+                SimTime::from_secs_f64(arrives),
+                0,
+            );
+        };
+        send_at(0.0, 1.0); // age 10 s at drain: expired
+        send_at(8.0, 9.0); // age 2 s at drain: fresh
+        send_at(0.0, 20.0); // still in flight: untouched
+        let ttl = Some(SimTime::from_secs_f64(5.0));
+        let inbox = net.drain_until_expiring(1, SimTime::from_secs_f64(10.0), ttl);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].sent, SimTime::from_secs_f64(8.0));
+        assert_eq!(net.stats(1).messages_expired, 1);
+        assert_eq!(net.stats(1).messages_dropped, 0, "distinct from drops");
+        assert_eq!(net.pending(1), 1, "in-flight message still queued");
+        // The expired bytes did arrive at the host.
+        assert_eq!(net.stats(1).bytes_received, 3);
+        // No TTL behaves exactly like drain_until.
+        let late = net.drain_until_expiring(1, SimTime::from_secs_f64(30.0), None);
+        assert_eq!(late.len(), 1);
+    }
+
+    #[test]
+    fn envelope_age_helpers() {
+        let env = Envelope {
+            from: 0,
+            payload: Bytes::new(),
+            sent: SimTime::from_secs_f64(2.0),
+            arrives: SimTime::from_secs_f64(3.0),
+            sent_round: 4,
+        };
+        assert_eq!(env.age_at(SimTime::from_secs_f64(5.0)).as_secs_f64(), 3.0);
+        assert_eq!(env.age_at(SimTime::from_secs_f64(1.0)), SimTime::ZERO);
+        assert_eq!(env.age_rounds(7), 3);
+        assert_eq!(env.age_rounds(2), 0, "future rounds saturate to fresh");
+    }
+
+    #[test]
+    fn purge_inbox_destroys_everything_and_reverses_receives() {
+        let net = SimNetwork::new(2);
+        net.send(0, 1, Bytes::from(vec![0u8; 4]), breakdown(4, 0));
+        net.send_timed(
+            0,
+            1,
+            Bytes::from(vec![0u8; 6]),
+            breakdown(6, 0),
+            SimTime(5),
+            SimTime(50),
+            1,
+        );
+        assert_eq!(net.stats(1).bytes_received, 10);
+        assert_eq!(net.purge_inbox(1), 2);
+        assert_eq!(net.pending(1), 0);
+        let s = net.stats(1);
+        assert_eq!(s.bytes_received, 0);
+        assert_eq!(s.messages_dropped, 2);
+        // The sender still paid for every byte.
+        assert_eq!(net.stats(0).bytes_sent, 10);
+    }
+
+    #[test]
+    fn purge_arrived_spares_in_flight_messages() {
+        let net = SimNetwork::new(2);
+        let send_arriving = |arrives: u64| {
+            net.send_timed(
+                0,
+                1,
+                Bytes::from(vec![0u8]),
+                breakdown(1, 0),
+                SimTime(0),
+                SimTime(arrives),
+                0,
+            );
+        };
+        send_arriving(10);
+        send_arriving(20);
+        send_arriving(30);
+        assert_eq!(net.purge_arrived(1, SimTime(20)), 2);
+        assert_eq!(net.pending(1), 1);
+        assert_eq!(net.stats(1).messages_dropped, 2);
+        let survivor = net.drain_until(1, SimTime(30));
+        assert_eq!(survivor.len(), 1);
+        assert_eq!(survivor[0].arrives, SimTime(30));
+    }
+
+    #[test]
+    fn purge_in_flight_from_kills_only_that_senders_undelivered() {
+        let net = SimNetwork::new(3);
+        let send = |from: usize, arrives: u64| {
+            net.send_timed(
+                from,
+                2,
+                Bytes::from(vec![from as u8]),
+                breakdown(1, 0),
+                SimTime(0),
+                SimTime(arrives),
+                0,
+            );
+        };
+        send(0, 5); // already delivered at cutoff: survives
+        send(0, 15); // in flight from the crashing sender: killed
+        send(1, 15); // in flight from a healthy sender: survives
+        assert_eq!(net.purge_in_flight_from(0, SimTime(10)), 1);
+        assert_eq!(net.pending(2), 2);
+        assert_eq!(net.stats(2).messages_dropped, 1);
+        let inbox = net.drain_until(2, SimTime(20));
+        let froms: Vec<usize> = inbox.iter().map(|e| e.from).collect();
+        assert_eq!(froms, vec![0, 1]);
     }
 
     #[test]

@@ -18,15 +18,20 @@
 //!   `latency + bytes / bandwidth` on *its* link and a straggler's round
 //!   takes proportionally longer;
 //! - [`HeterogeneityProfile`]: the pair of them, as carried by training
-//!   configurations.
+//!   configurations;
+//! - [`LifecycleEvent`]/[`LifecycleTracker`]: crash/recover event kinds with
+//!   epoch-based invalidation of a crashed node's scheduled events, the
+//!   substrate under `jwins_fault`'s fault-injection schedules.
 //!
 //! The training engine in `jwins::engine` drives these primitives in its
 //! event-driven execution mode; this crate knows nothing about learning.
 
 pub mod clock;
 pub mod hetero;
+pub mod lifecycle;
 pub mod queue;
 
 pub use clock::{SimTime, VirtualClock};
 pub use hetero::{ComputeProfile, HeterogeneityProfile, LinkParams, LinkProfile};
+pub use lifecycle::{LifecycleEvent, LifecycleTracker};
 pub use queue::{EventQueue, Scheduled};

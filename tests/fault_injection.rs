@@ -1,0 +1,480 @@
+//! Integration tests for the fault-injection & bounded-staleness subsystem.
+//!
+//! The hard guarantees:
+//!
+//! 1. a **degenerate fault config** (no faults, infinite TTL, no cap) is a
+//!    strict no-op: event-driven runs reproduce the pre-fault-engine results
+//!    **bit-for-bit**, both against a default config under real
+//!    heterogeneity and against the bulk-synchronous engine under a
+//!    degenerate profile (the `tests/event_driven.rs` contract);
+//! 2. mid-round crashes kill in-flight messages, recoveries rejoin (warm or
+//!    re-synced), and the whole thing stays deterministic;
+//! 3. the staleness policy is airtight: no message older than the cap is
+//!    ever mixed (verified by a round-stamping probe strategy), TTL drops
+//!    are metered separately from link-loss drops, and down-weighting moves
+//!    mass to the self-weight instead of losing it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use jwins::config::{ExecutionMode, TrainConfig};
+use jwins::engine::Trainer;
+use jwins::metrics::RunResult;
+use jwins::strategies::FullSharing;
+use jwins::strategy::{OutMessage, ReceivedMessage, ShareStrategy};
+use jwins_data::images::{cifar_like, ImageConfig};
+use jwins_fault::{CapAction, FaultConfig, FaultOutage, FaultPlan, RejoinMode, StalenessPolicy};
+use jwins_net::ByteBreakdown;
+use jwins_nn::models::mlp_classifier;
+use jwins_sim::{ComputeProfile, HeterogeneityProfile, LinkProfile};
+use jwins_topology::dynamic::StaticTopology;
+
+fn straggler_profile() -> HeterogeneityProfile {
+    HeterogeneityProfile::stragglers(0.25, 4.0, 0.002, 1.0e6)
+}
+
+fn base_config(heterogeneity: HeterogeneityProfile, faults: FaultConfig) -> TrainConfig {
+    let mut cfg = TrainConfig::quick_test();
+    cfg.rounds = 8;
+    cfg.lr = 0.1;
+    cfg.eval_every = 2;
+    cfg.time_model.compute_s = 1.0;
+    cfg.execution = ExecutionMode::EventDriven;
+    cfg.heterogeneity = heterogeneity;
+    cfg.faults = faults;
+    cfg
+}
+
+fn run_full_sharing(cfg: TrainConfig, nodes: usize) -> RunResult {
+    let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 11);
+    Trainer::builder(cfg)
+        .topology(StaticTopology::random_regular(nodes, 2, 13).unwrap())
+        .test_set(data.test)
+        .nodes(data.node_train, |_| {
+            (
+                mlp_classifier(2 * 8 * 8, &[8], 4, 7),
+                Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+            )
+        })
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+fn assert_bitwise_equal(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.rounds_run, b.rounds_run);
+    assert_eq!(a.total_traffic, b.total_traffic);
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.round, y.round);
+        assert_eq!(x.checkpoint, y.checkpoint);
+        assert_eq!(x.train_loss.to_bits(), y.train_loss.to_bits(), "train loss");
+        assert_eq!(x.test_loss.to_bits(), y.test_loss.to_bits(), "test loss");
+        assert_eq!(
+            x.test_accuracy.to_bits(),
+            y.test_accuracy.to_bits(),
+            "accuracy"
+        );
+        assert_eq!(x.sim_time_s.to_bits(), y.sim_time_s.to_bits(), "sim time");
+        assert_eq!(
+            x.mean_staleness_s.to_bits(),
+            y.mean_staleness_s.to_bits(),
+            "staleness"
+        );
+        assert_eq!(x.cum_bytes_per_node, y.cum_bytes_per_node);
+        assert_eq!(x.crashes, y.crashes);
+        assert_eq!(x.rejoins, y.rejoins);
+        assert_eq!(x.messages_expired, y.messages_expired);
+        assert_eq!(
+            x.downweight_mass.to_bits(),
+            y.downweight_mass.to_bits(),
+            "downweight mass"
+        );
+    }
+}
+
+/// An explicitly-spelled-out no-op: empty script, infinite TTL, no cap.
+fn degenerate_faults() -> FaultConfig {
+    FaultConfig {
+        plan: FaultPlan::Scripted(Vec::new()),
+        staleness: StalenessPolicy {
+            ttl_s: Some(f64::INFINITY),
+            max_age_rounds: None,
+            max_age_s: Some(f64::INFINITY),
+            over_cap: CapAction::Drop,
+        },
+    }
+}
+
+/// Acceptance criterion: the degenerate fault config reproduces the
+/// fault-engine-free event-driven results bit-for-bit, under real
+/// heterogeneity.
+#[test]
+fn degenerate_fault_config_is_a_bitwise_noop() {
+    let plain = run_full_sharing(base_config(straggler_profile(), FaultConfig::default()), 8);
+    let spelled = run_full_sharing(base_config(straggler_profile(), degenerate_faults()), 8);
+    assert!(
+        plain.final_record().unwrap().mean_staleness_s > 0.0,
+        "profile must actually create staleness for the comparison to bite"
+    );
+    assert_bitwise_equal(&plain, &spelled);
+}
+
+/// The `tests/event_driven.rs` contract still holds through the fault
+/// engine: degenerate profile + degenerate fault config == bulk-synchronous,
+/// bit for bit.
+#[test]
+fn degenerate_fault_config_still_matches_sync_bitwise() {
+    let mut sync_cfg = base_config(HeterogeneityProfile::default(), FaultConfig::default());
+    sync_cfg.execution = ExecutionMode::BulkSynchronous;
+    let sync = run_full_sharing(sync_cfg, 6);
+    let event = run_full_sharing(
+        base_config(HeterogeneityProfile::default(), degenerate_faults()),
+        6,
+    );
+    assert_eq!(sync.rounds_run, event.rounds_run);
+    assert_eq!(sync.total_traffic, event.total_traffic);
+    assert_eq!(sync.records.len(), event.records.len());
+    for (s, e) in sync.records.iter().zip(&event.records) {
+        assert_eq!(s.round, e.round);
+        assert_eq!(s.train_loss.to_bits(), e.train_loss.to_bits());
+        assert_eq!(s.test_loss.to_bits(), e.test_loss.to_bits());
+        assert_eq!(s.test_accuracy.to_bits(), e.test_accuracy.to_bits());
+        assert_eq!(s.cum_bytes_per_node, e.cum_bytes_per_node);
+        assert_eq!(e.mean_staleness_s, 0.0);
+        assert_eq!(e.crashes, 0);
+        assert_eq!(e.messages_expired, 0);
+        assert_eq!(e.downweight_mass, 0.0);
+    }
+}
+
+#[test]
+fn correlated_mid_round_crashes_kill_messages_and_rejoin() {
+    let faults = FaultConfig {
+        plan: FaultPlan::CorrelatedOutage {
+            fraction: 0.25,
+            at_s: 2.5, // mid-round for both fast (1 s) and slow (4 s) nodes
+            down_s: 3.0,
+            rejoin: RejoinMode::Warm,
+        },
+        staleness: StalenessPolicy::default(),
+    };
+    let run = || run_full_sharing(base_config(straggler_profile(), faults.clone()), 8);
+    let a = run();
+    // All rounds still complete: crashed nodes abandon their round in
+    // progress and resume after recovery.
+    assert_eq!(a.rounds_run, 8);
+    let last = a.final_record().unwrap();
+    assert_eq!(last.crashes, 2, "a quarter of 8 nodes crash");
+    assert_eq!(last.rejoins, 2);
+    // Deliveries to (or from) dead nodes are destroyed and metered as drops.
+    assert!(
+        a.total_traffic.messages_dropped > 0,
+        "crashes must kill in-flight messages"
+    );
+    assert!(
+        a.total_traffic.bytes_received < a.total_traffic.bytes_sent,
+        "kills must show up as a sent/received gap"
+    );
+    // The cluster still trains through the outage.
+    assert!(last.test_accuracy > 0.25, "accuracy {}", last.test_accuracy);
+    // Fault injection is a pure function of the seed.
+    let b = run();
+    assert_bitwise_equal(&a, &b);
+}
+
+#[test]
+fn warm_and_resync_rejoins_diverge() {
+    let faults = |rejoin: RejoinMode| FaultConfig {
+        plan: FaultPlan::Scripted(vec![FaultOutage {
+            node: 3,
+            at_s: 2.2,
+            down_s: 2.0,
+            rejoin,
+        }]),
+        staleness: StalenessPolicy::default(),
+    };
+    let warm = run_full_sharing(
+        base_config(straggler_profile(), faults(RejoinMode::Warm)),
+        8,
+    );
+    let resync = run_full_sharing(
+        base_config(straggler_profile(), faults(RejoinMode::Resync)),
+        8,
+    );
+    assert_eq!(warm.rounds_run, 8);
+    assert_eq!(resync.rounds_run, 8);
+    assert_eq!(warm.final_record().unwrap().rejoins, 1);
+    // A re-synced node restarts from a peer's model instead of its own, so
+    // the trajectories must differ.
+    let diverged = warm
+        .records
+        .iter()
+        .zip(&resync.records)
+        .any(|(w, r)| w.test_loss.to_bits() != r.test_loss.to_bits());
+    assert!(diverged, "rejoin mode must affect the trajectory");
+}
+
+#[test]
+fn permanent_crash_ends_with_a_final_checkpoint() {
+    let faults = FaultConfig {
+        plan: FaultPlan::Scripted(vec![FaultOutage::new(2, 1.5, f64::INFINITY)]),
+        staleness: StalenessPolicy::default(),
+    };
+    let result = run_full_sharing(base_config(straggler_profile(), faults), 6);
+    // Rounds beyond the dead node's abandonment never complete
+    // cluster-wide...
+    assert!(result.rounds_run < 6, "rounds_run {}", result.rounds_run);
+    // ...but the run still terminates and closes with a checkpoint record
+    // reflecting the surviving nodes' trained models.
+    let last = result.records.last().expect("a final record");
+    assert!(last.checkpoint, "tail record must be a checkpoint");
+    assert_eq!(last.crashes, 1);
+    assert_eq!(last.rejoins, 0);
+    assert!(last.sim_time_s > 0.0);
+    // Peers kept transmitting to the dead host; those deliveries are
+    // destroyed (there is no recovery to purge them, so the engine does it
+    // at the end of the run) and the accounting must show it.
+    assert!(
+        result.total_traffic.messages_dropped > 0,
+        "deliveries to a permanently dead host must be metered as drops"
+    );
+    assert!(
+        result.total_traffic.bytes_received < result.total_traffic.bytes_sent,
+        "kills must show up as a sent/received gap"
+    );
+}
+
+#[test]
+fn eval_checkpoints_stop_when_training_ends() {
+    // A fault event far beyond the end of training keeps the event queue
+    // non-empty for 1000 virtual seconds; the checkpoint cadence must stop
+    // with the last training event instead of ticking into that void.
+    let faults = FaultConfig {
+        plan: FaultPlan::Scripted(vec![FaultOutage::new(1, 1000.0, 5.0)]),
+        staleness: StalenessPolicy::default(),
+    };
+    let mut cfg = base_config(straggler_profile(), faults);
+    cfg.eval_interval_s = Some(1.0);
+    let result = run_full_sharing(cfg, 6);
+    assert_eq!(result.rounds_run, 8);
+    let last_round_eval_time = result
+        .round_records()
+        .last()
+        .expect("round evaluations exist")
+        .sim_time_s;
+    // Training ends around 8 straggler rounds (~32 s + transfers); every
+    // checkpoint must sit within one interval of it, not at t≈1000.
+    for cp in result.checkpoints() {
+        assert!(
+            cp.sim_time_s <= last_round_eval_time + 1.0,
+            "checkpoint at {} s outlived training ({} s)",
+            cp.sim_time_s,
+            last_round_eval_time
+        );
+    }
+    assert!(
+        result.checkpoints().count() < 60,
+        "cadence must not tick until the stray fault event"
+    );
+}
+
+#[test]
+fn ttl_expiry_is_metered_separately_from_drops() {
+    // Thin links leave messages in flight long enough to outlive a tight
+    // TTL; no lossy links and no faults, so every loss is a staleness loss.
+    let slow_links = HeterogeneityProfile {
+        compute: ComputeProfile::Uniform,
+        links: LinkProfile::Uniform {
+            latency_s: 0.02,
+            bandwidth_bps: 64_000.0,
+        },
+    };
+    let faults = FaultConfig {
+        plan: FaultPlan::None,
+        staleness: StalenessPolicy {
+            ttl_s: Some(0.5),
+            ..StalenessPolicy::default()
+        },
+    };
+    let result = run_full_sharing(base_config(slow_links, faults), 6);
+    assert_eq!(result.rounds_run, 8);
+    assert!(
+        result.total_traffic.messages_expired > 0,
+        "tight TTL must expire in-flight messages"
+    );
+    assert_eq!(
+        result.total_traffic.messages_dropped, 0,
+        "TTL losses must not masquerade as link drops"
+    );
+    let last = result.final_record().unwrap();
+    assert_eq!(last.messages_expired, result.total_traffic.messages_expired);
+}
+
+#[test]
+fn decay_downweighting_moves_mass_to_self_weight() {
+    let faults = FaultConfig {
+        plan: FaultPlan::None,
+        staleness: StalenessPolicy::decay_after_rounds(0, 0.7),
+    };
+    let result = run_full_sharing(base_config(straggler_profile(), faults), 8);
+    assert_eq!(result.rounds_run, 8);
+    let last = result.final_record().unwrap();
+    assert!(
+        last.downweight_mass > 0.0,
+        "stragglers' stale messages must be down-weighted"
+    );
+    assert_eq!(
+        last.messages_expired, 0,
+        "decay keeps messages, it does not drop them"
+    );
+    assert!(last.test_accuracy > 0.25, "accuracy {}", last.test_accuracy);
+}
+
+/// A probe strategy that stamps every message with its round and records the
+/// maximum round-age it was ever asked to mix.
+#[derive(Debug)]
+struct RoundStamp {
+    max_mixed_age: Arc<AtomicUsize>,
+}
+
+impl ShareStrategy for RoundStamp {
+    fn name(&self) -> &'static str {
+        "round-stamp"
+    }
+
+    fn make_message(&mut self, round: usize, _params: &[f32]) -> jwins::Result<OutMessage> {
+        Ok(OutMessage::new(
+            (round as u64).to_le_bytes().to_vec(),
+            ByteBreakdown {
+                payload: 8,
+                metadata: 0,
+            },
+        ))
+    }
+
+    fn aggregate(
+        &mut self,
+        round: usize,
+        params: &[f32],
+        _self_weight: f64,
+        received: &[ReceivedMessage<'_>],
+    ) -> jwins::Result<Vec<f32>> {
+        for msg in received {
+            let sent_round = u64::from_le_bytes(msg.bytes.try_into().expect("8-byte stamp"));
+            let age = round.saturating_sub(sent_round as usize);
+            self.max_mixed_age.fetch_max(age, Ordering::Relaxed);
+        }
+        Ok(params.to_vec())
+    }
+}
+
+fn run_round_stamp(staleness: StalenessPolicy, rounds: usize) -> (RunResult, usize) {
+    let nodes = 8;
+    let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 11);
+    let mut cfg = base_config(
+        straggler_profile(),
+        FaultConfig {
+            plan: FaultPlan::None,
+            staleness,
+        },
+    );
+    cfg.rounds = rounds;
+    cfg.eval_every = 0;
+    let max_mixed_age = Arc::new(AtomicUsize::new(0));
+    let result = Trainer::builder(cfg)
+        .topology(StaticTopology::random_regular(nodes, 2, 13).unwrap())
+        .test_set(data.test)
+        .nodes(data.node_train, |_| {
+            (
+                mlp_classifier(2 * 8 * 8, &[8], 4, 7),
+                Box::new(RoundStamp {
+                    max_mixed_age: Arc::clone(&max_mixed_age),
+                }) as Box<dyn ShareStrategy>,
+            )
+        })
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    (result, max_mixed_age.load(Ordering::Relaxed))
+}
+
+/// Satellite property, engine-level: with a cap of k rounds, *no* message
+/// older than k rounds ever reaches a strategy's aggregate — while the same
+/// cluster without the cap provably mixes much older ones.
+#[test]
+fn no_message_older_than_the_cap_is_ever_mixed() {
+    const CAP: usize = 1;
+    let (uncapped, max_age_uncapped) = run_round_stamp(StalenessPolicy::unbounded(), 12);
+    assert!(
+        max_age_uncapped > CAP,
+        "stragglers must produce round-staleness beyond the cap \
+         (saw max age {max_age_uncapped})"
+    );
+    assert_eq!(uncapped.total_traffic.messages_expired, 0);
+    let (capped, max_age_capped) = run_round_stamp(StalenessPolicy::drop_after_rounds(CAP), 12);
+    assert!(
+        max_age_capped <= CAP,
+        "cap violated: a message {max_age_capped} rounds old was mixed"
+    );
+    assert!(
+        capped.total_traffic.messages_expired > 0,
+        "the cap must actually have dropped something"
+    );
+}
+
+#[test]
+fn eval_checkpoints_fire_on_virtual_time() {
+    let mut cfg = base_config(straggler_profile(), FaultConfig::default());
+    cfg.eval_interval_s = Some(3.0);
+    let result = run_full_sharing(cfg, 8);
+    let checkpoints: Vec<_> = result.checkpoints().collect();
+    assert!(!checkpoints.is_empty(), "interval must produce checkpoints");
+    // Checkpoints land on the virtual clock, strictly increasing.
+    for pair in checkpoints.windows(2) {
+        assert!(pair[0].sim_time_s < pair[1].sim_time_s);
+    }
+    // Round-boundary evaluations still exist alongside them and the final
+    // record is the last round's (checkpoints never outlive training).
+    assert!(result.round_records().count() > 0);
+    assert_eq!(result.rounds_run, 8);
+    // Checkpoint cadence is heterogeneity-aware: the first checkpoint fires
+    // before the 4x straggler's first round (4 s) completes the cluster
+    // round, making fast nodes' progress visible mid-round.
+    let first_round_eval = result
+        .round_records()
+        .next()
+        .expect("at least one round eval");
+    let first_checkpoint = checkpoints.first().unwrap();
+    assert!(first_checkpoint.sim_time_s < first_round_eval.sim_time_s);
+    // The run closes on the final round's record, not on a trailing tick
+    // dated after training ended.
+    let last = result.final_record().unwrap();
+    assert!(!last.checkpoint, "final record must be the last round's");
+    // Without an interval there are no checkpoints.
+    let plain = run_full_sharing(base_config(straggler_profile(), FaultConfig::default()), 8);
+    assert_eq!(plain.checkpoints().count(), 0);
+}
+
+#[test]
+fn eval_checkpoints_survive_a_long_outage() {
+    // Node 1 is down over [2, 42) s — long enough that every other node
+    // drains its entire round budget first. The cadence must keep ticking
+    // through the outage and cover the post-recovery phase where node 1
+    // trains its remaining rounds alone.
+    let faults = FaultConfig {
+        plan: FaultPlan::Scripted(vec![FaultOutage::new(1, 2.0, 40.0)]),
+        staleness: StalenessPolicy::default(),
+    };
+    let mut cfg = base_config(straggler_profile(), faults);
+    cfg.eval_interval_s = Some(3.0);
+    let result = run_full_sharing(cfg, 6);
+    assert_eq!(result.rounds_run, 8, "training resumes after the outage");
+    assert!(
+        result.checkpoints().any(|cp| cp.sim_time_s > 40.0),
+        "checkpoints must cover the post-recovery phase"
+    );
+    assert!(!result.final_record().unwrap().checkpoint);
+}

@@ -1,4 +1,4 @@
-//! A small JSON text format over the [`Value`](crate::Value) tree — enough
+//! A small JSON text format over the [`crate::Value`] tree — enough
 //! for configuration round-trips and human-readable experiment dumps.
 
 use crate::{Deserialize, Error, Serialize, Value};
