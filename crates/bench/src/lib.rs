@@ -257,6 +257,9 @@ pub struct RunCfg {
     pub eval_interval_s: Option<f64>,
     /// Override the simulated wall-clock model (None = engine default).
     pub time_model: Option<jwins_net::TimeModel>,
+    /// Worker threads (`0` = all available cores). Thread count never
+    /// changes results — see the `ext_parallel` speedup bench.
+    pub threads: usize,
 }
 
 impl RunCfg {
@@ -277,6 +280,7 @@ impl RunCfg {
             faults: jwins_fault::FaultConfig::default(),
             eval_interval_s: None,
             time_model: None,
+            threads: 0,
         }
     }
 }
@@ -295,6 +299,7 @@ fn train_config(cfg: &RunCfg, lr: f32) -> TrainConfig {
     c.heterogeneity = cfg.heterogeneity.clone();
     c.faults = cfg.faults.clone();
     c.eval_interval_s = cfg.eval_interval_s;
+    c.threads = cfg.threads;
     if let Some(tm) = cfg.time_model {
         c.time_model = tm;
     }

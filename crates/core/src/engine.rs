@@ -16,9 +16,59 @@
 //! and a node mixes with whatever neighbour messages have *arrived* by its
 //! local clock — possibly stale ones, whose age feeds the staleness metric.
 //! Under a degenerate heterogeneity profile (uniform compute, instantaneous
-//! links) the two substrates produce bit-identical results; the event loop
-//! itself is sequential in virtual time, so `threads` only affects the
-//! barrier phases and evaluation, never the outcome.
+//! links) the two substrates produce bit-identical results.
+//!
+//! # Parallel event execution and the determinism contract
+//!
+//! The event loop executes *batches*: at each step it pops the maximal run
+//! of simultaneous same-kind events on pairwise-distinct nodes
+//! ([`jwins_sim::EventQueue::pop_independent_batch`]; mix batches are
+//! additionally same-*round*, so a round-completion evaluation can never
+//! observe an aggregate of a different round that the one-at-a-time
+//! schedule would have run later) and drives each batch through three
+//! phases —
+//!
+//! 1. **propose** (sequential): charge the pops, drop stale-epoch events
+//!    (see [`jwins_sim::LifecycleTracker`]), resolve per-round topology and
+//!    participation;
+//! 2. **execute** (parallel): run the expensive per-node work — τ SGD steps
+//!    and message building for `TrainDone`, mailbox drain plus aggregation
+//!    for `Mix` — on the crossbeam worker pool, with every shared-state
+//!    side effect buffered (outgoing messages as [`jwins_net::PendingSend`],
+//!    expiry/staleness counters in per-event proposals);
+//! 3. **commit** (sequential, in the queue's pop order): apply the buffered
+//!    sends, fold the float accumulators, schedule follow-up events, and
+//!    take round-completion evaluation points.
+//!
+//! Because a batch is a contiguous prefix of the queue's seeded total order
+//! and commits replay that order exactly, the observable run is a pure
+//! function of the configuration. Concretely, these knobs **may not**
+//! change any result, bit for bit:
+//!
+//! - [`crate::config::TrainConfig::threads`] (1, 2, 8, or 0 = all cores) —
+//!   worker threads only split the execute phase of already-independent
+//!   events;
+//! - host core count / scheduler timing, for the same reason.
+//!
+//! These knobs **do** change results, deterministically:
+//!
+//! - [`crate::config::TrainConfig::seed`] — drives initial weights, batch
+//!   order, queue tie-breaks, loss draws and fault expansion;
+//! - the heterogeneity profile, fault plan, staleness policy, topology and
+//!   every learning hyperparameter.
+//!
+//! The contract is enforced by tests: `tests/parallel_determinism.rs`
+//! replays a fault + staleness workload at `threads` ∈ {1, 2, 8} and
+//! asserts identical [`RoundRecord`] streams; `engine::tests::`
+//! `event_driven_replays_identically_and_ignores_thread_count` covers the
+//! straggler path, `tests/event_driven.rs` pins event-vs-barrier
+//! bit-equality on degenerate profiles, and the `jwins_sim` proptests pin
+//! the batch/pop equivalence itself. The batch width also bounds the
+//! attainable speedup: nodes whose clocks drift apart (fully random
+//! per-node speeds) yield singleton batches, while class-structured
+//! profiles (e.g. [`jwins_sim::HeterogeneityProfile::stragglers`]) keep
+//! same-speed cohorts aligned and batch wide — see the `ext_parallel`
+//! bench.
 
 use crate::config::{ExecutionMode, TrainConfig};
 use crate::metrics::{RoundRecord, RunResult, TargetHit};
@@ -27,9 +77,9 @@ use crate::strategy::{Outbound, ReceivedMessage, ShareStrategy};
 use crate::{JwinsError, Result};
 use jwins_data::batch::BatchSampler;
 use jwins_fault::RejoinMode;
-use jwins_net::{LossModel, SimNetwork};
+use jwins_net::{LossModel, PendingSend, SimNetwork};
 use jwins_nn::model::{EvalMetrics, Model};
-use jwins_sim::{EventQueue, LifecycleEvent, LifecycleTracker, Scheduled, SimTime};
+use jwins_sim::{Conflict, EventQueue, LifecycleEvent, LifecycleTracker, SimTime};
 use jwins_topology::dynamic::{RoundTopology, TopologyProvider};
 use std::sync::Arc;
 
@@ -259,6 +309,74 @@ where
     })
     .expect("scope does not panic");
     results.into_iter().collect()
+}
+
+/// Executes one closure per `(node, item)` pair on the worker pool — the
+/// event-driven engine's *execute* phase. Items carry distinct node ids
+/// (the queue's independent-batch contract), whose states are selected as
+/// disjoint `&mut` borrows. Outputs come back in item order and the first
+/// error *in item order* wins regardless of thread timing, so both results
+/// and failures are independent of thread count.
+fn par_batch<M, T, P, F>(
+    nodes: &mut [NodeState<M>],
+    items: Vec<(usize, T)>,
+    threads: usize,
+    f: F,
+) -> Result<Vec<P>>
+where
+    M: Model + Send,
+    M::Sample: Send + Sync,
+    T: Send,
+    P: Send,
+    F: Fn(usize, &mut NodeState<M>, T) -> Result<P> + Sync,
+{
+    let mut slots: Vec<Option<&mut NodeState<M>>> = nodes.iter_mut().map(Some).collect();
+    let mut work: Vec<(usize, &mut NodeState<M>, T)> = items
+        .into_iter()
+        .map(|(id, item)| {
+            let state = slots[id]
+                .take()
+                .expect("batch nodes must be pairwise distinct");
+            (id, state, item)
+        })
+        .collect();
+    let threads = threads.min(work.len()).max(1);
+    if threads == 1 {
+        return work
+            .into_iter()
+            .map(|(id, state, item)| f(id, state, item))
+            .collect();
+    }
+    let chunk = work.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<(usize, &mut NodeState<M>, T)>> = Vec::new();
+    while !work.is_empty() {
+        let rest = work.split_off(chunk.min(work.len()));
+        chunks.push(std::mem::replace(&mut work, rest));
+    }
+    let results: Vec<Result<Vec<P>>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk_items| {
+                let f = &f;
+                scope.spawn(move |_| {
+                    chunk_items
+                        .into_iter()
+                        .map(|(id, state, item)| f(id, state, item))
+                        .collect::<Result<Vec<P>>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread must not panic"))
+            .collect()
+    })
+    .expect("scope does not panic");
+    let mut out = Vec::with_capacity(results.len());
+    for chunk_result in results {
+        out.extend(chunk_result?);
+    }
+    Ok(out)
 }
 
 /// A configured decentralized training run.
@@ -616,6 +734,12 @@ impl<M: Model> Trainer<M> {
     /// barrier engine — which is why a degenerate heterogeneity profile
     /// (with a no-op fault config) reproduces bulk-synchronous results
     /// bit-for-bit.
+    ///
+    /// Independent simultaneous events (same kind — same round, for mixes —
+    /// on disjoint nodes) execute as one parallel batch whose side effects
+    /// are buffered and committed in pop order — see the module docs for
+    /// the full propose/execute/commit contract and why `threads` cannot
+    /// change any result.
     fn run_event_driven(mut self) -> Result<RunResult>
     where
         M: Send,
@@ -794,11 +918,15 @@ impl<M: Model> Trainer<M> {
         // Round-completion bookkeeping, entered when a node *passes* a
         // round (its Mix fired, or a crash abandoned its round in
         // progress): the last of the `n` passes triggers the round's
-        // evaluation point and, on target hit, the early stop.
+        // evaluation point and, on target hit, the early stop. Evaluates to
+        // `true` when the run just stopped — the caller must commit nothing
+        // further from the current batch, mirroring how the sequential
+        // schedule leaves simultaneous events to die in the cleared queue.
         macro_rules! pass_round {
             ($round:expr, $time:expr) => {{
                 let round = $round;
                 let time: SimTime = $time;
+                let mut stop = false;
                 completed[round] += 1;
                 if completed[round] == n {
                     round_ctx.remove(&round);
@@ -841,210 +969,376 @@ impl<M: Model> Trainer<M> {
                             });
                             // Early stop: cancel everything in flight.
                             queue.clear();
-                            continue;
+                            stop = true;
                         }
                     }
                 }
+                stop
             }};
         }
 
-        while let Some(Scheduled { time, event, .. }) = queue.pop() {
+        // Work items and buffered proposals of the two expensive event
+        // kinds. Proposals are everything an event wants to do to *shared*
+        // state; they are applied at commit, in the queue's pop order.
+        struct TrainItem {
+            round: usize,
+            topo: RoundTopology,
+            active: Arc<Vec<bool>>,
+        }
+        struct TrainProposal {
+            sends: Vec<PendingSend>,
+            mix_at: SimTime,
+            alpha: f64,
+        }
+        struct MixItem {
+            round: usize,
+            topo: RoundTopology,
+        }
+        struct MixProposal {
+            // Per *message*, in drain order: the global accumulator folds
+            // them one at a time at commit, so the float-addition grouping
+            // is identical to processing events singly.
+            staleness: Vec<f64>,
+            absorbed: f64,
+            expired: u64,
+        }
+
+        // Resolved once: available_parallelism is a syscall, and the batch
+        // loop runs hundreds of thousands of iterations on large sweeps.
+        let threads = self.worker_threads();
+
+        // Per-node events batch with same-kind events on other nodes; fault
+        // replay and checkpoints touch cluster state and run alone. Mix
+        // classes additionally encode the *round*: a round's completion
+        // evaluates all nodes, so a mix must never share a batch (and thus
+        // an execute phase) with a mix of a different round — the n-th
+        // completer of a round is then always the last item of its batch,
+        // with every other aggregate of that round already committed and no
+        // foreign-round aggregate executed early.
+        let classify = |ev: &Ev| match *ev {
+            Ev::StartRound { node, .. } => Conflict::Exclusive {
+                class: RANK_START,
+                node,
+            },
+            Ev::TrainDone { node, .. } => Conflict::Exclusive {
+                class: RANK_TRAIN,
+                node,
+            },
+            Ev::Mix { node, round, .. } => Conflict::Exclusive {
+                class: (RANK_MIX << 32) | round as u64,
+                node,
+            },
+            Ev::Fault { .. } | Ev::EvalTick => Conflict::Solo,
+        };
+
+        loop {
+            let batch = queue.pop_independent_batch(classify);
+            let Some(first) = batch.first() else {
+                break;
+            };
+            let time = first.time;
+            let head = first.event;
             last_time = time;
-            match event {
-                Ev::StartRound { node, round, epoch } => {
-                    pending_work -= 1;
-                    if !lifecycle.is_current(node, epoch) {
-                        continue;
+            match head {
+                Ev::StartRound { .. } => {
+                    // Pure scheduling — no compute worth parallelizing;
+                    // processed in pop order like the sequential loop.
+                    for s in batch {
+                        let Ev::StartRound { node, round, epoch } = s.event else {
+                            unreachable!("batches are homogeneous by class")
+                        };
+                        pending_work -= 1;
+                        if !lifecycle.is_current(node, epoch) {
+                            continue;
+                        }
+                        let (_, active_set) = ctx_for!(round);
+                        let active = active_set[node];
+                        let end = time.plus(compute_time[node]);
+                        pending_work += 1;
+                        if active {
+                            queue.push(
+                                end,
+                                prio(RANK_TRAIN, node),
+                                Ev::TrainDone { node, round, epoch },
+                            );
+                        } else {
+                            // Idle through the round window; no train, no I/O.
+                            queue.push(
+                                end,
+                                prio(RANK_MIX, node),
+                                Ev::Mix {
+                                    node,
+                                    round,
+                                    trained: false,
+                                    epoch,
+                                },
+                            );
+                        }
                     }
-                    let (_, active_set) = ctx_for!(round);
-                    let active = active_set[node];
-                    let end = time.plus(compute_time[node]);
-                    pending_work += 1;
-                    if active {
+                }
+                Ev::TrainDone { .. } => {
+                    // Propose: charge the pops, filter stale epochs, and
+                    // resolve round contexts up front (the cache is only
+                    // touched here, sequentially).
+                    let mut meta: Vec<(usize, usize, u64)> = Vec::new();
+                    let mut items: Vec<(usize, TrainItem)> = Vec::new();
+                    for s in batch {
+                        let Ev::TrainDone { node, round, epoch } = s.event else {
+                            unreachable!("batches are homogeneous by class")
+                        };
+                        pending_work -= 1;
+                        if !lifecycle.is_current(node, epoch) {
+                            continue;
+                        }
+                        let (topo, active) = ctx_for!(round);
+                        meta.push((node, round, epoch));
+                        items.push((
+                            node,
+                            TrainItem {
+                                round,
+                                topo,
+                                active,
+                            },
+                        ));
+                    }
+                    let tau = self.config.local_steps;
+                    let bs = self.config.batch_size;
+                    let lr = self.config.lr;
+                    let links = &links;
+                    // Execute: τ SGD steps and message building on the
+                    // worker pool. Everything a handler would do to shared
+                    // state — mailbox appends, metering, the Mix schedule —
+                    // is buffered into the proposal instead.
+                    let proposals =
+                        par_batch(&mut self.nodes, items, threads, |node, state, item| {
+                            let neighbors = Self::active_neighbors(&item.topo, &item.active, node);
+                            train_steps(state, tau, bs, lr);
+                            let outbound = state.strategy.make_outbound(
+                                item.round,
+                                &state.params,
+                                &neighbors,
+                            )?;
+                            state.last_alpha = state.strategy.last_alpha();
+                            // Serialize over the uplink one message at a
+                            // time: the k-th transmission starts when the
+                            // (k-1)-th has left, and arrives one link
+                            // latency after its last byte.
+                            let mut departure = time;
+                            let mut sends = Vec::with_capacity(neighbors.len());
+                            let mut buffer_send =
+                                |to: usize,
+                                 msg: crate::strategy::OutMessage,
+                                 departure: &mut SimTime| {
+                                    let link = links.link(node, to, link_seed);
+                                    let bytes = msg.bytes.len() as u64;
+                                    let tx = link.serialize_secs(bytes);
+                                    sends.push(PendingSend {
+                                        from: node,
+                                        to,
+                                        payload: msg.bytes,
+                                        breakdown: msg.breakdown,
+                                        sent: time,
+                                        arrives: departure.after_secs(tx + link.latency_s),
+                                        sent_round: item.round,
+                                    });
+                                    *departure = departure.after_secs(tx);
+                                };
+                            match outbound {
+                                Outbound::Broadcast(msg) => {
+                                    for &to in &neighbors {
+                                        buffer_send(to, msg.clone(), &mut departure);
+                                    }
+                                }
+                                Outbound::PerEdge(messages) => {
+                                    if messages.len() != neighbors.len() {
+                                        return Err(JwinsError::Protocol(
+                                            "per-edge message count mismatches neighbour count",
+                                        ));
+                                    }
+                                    for (&to, msg) in neighbors.iter().zip(messages) {
+                                        if let Some(msg) = msg {
+                                            buffer_send(to, msg, &mut departure);
+                                        }
+                                    }
+                                }
+                            }
+                            Ok(TrainProposal {
+                                sends,
+                                mix_at: departure,
+                                alpha: state.last_alpha,
+                            })
+                        })?;
+                    // Commit in pop order: mailbox append order, loss-model
+                    // link sequences and the Mix schedule replay the
+                    // sequential interleaving exactly.
+                    for ((node, round, epoch), proposal) in meta.into_iter().zip(proposals) {
+                        self.network.commit_sends(proposal.sends);
+                        current_alpha[node] = proposal.alpha;
+                        if self.config.record_alphas {
+                            alpha_rows[round][node] = proposal.alpha;
+                        }
+                        pending_work += 1;
                         queue.push(
-                            end,
-                            prio(RANK_TRAIN, node),
-                            Ev::TrainDone { node, round, epoch },
-                        );
-                    } else {
-                        // Idle through the round window; no train, no I/O.
-                        queue.push(
-                            end,
+                            proposal.mix_at,
                             prio(RANK_MIX, node),
                             Ev::Mix {
                                 node,
                                 round,
-                                trained: false,
+                                trained: true,
                                 epoch,
                             },
                         );
                     }
                 }
-                Ev::TrainDone { node, round, epoch } => {
-                    pending_work -= 1;
-                    if !lifecycle.is_current(node, epoch) {
-                        continue;
-                    }
-                    let (topo, active) = ctx_for!(round);
-                    let tau = self.config.local_steps;
-                    let bs = self.config.batch_size;
-                    let lr = self.config.lr;
-                    let neighbors = Self::active_neighbors(&topo, &active, node);
-                    let state = &mut self.nodes[node];
-                    train_steps(state, tau, bs, lr);
-                    let outbound =
-                        state
-                            .strategy
-                            .make_outbound(round, &state.params, &neighbors)?;
-                    state.last_alpha = state.strategy.last_alpha();
-                    current_alpha[node] = state.last_alpha;
-                    if self.config.record_alphas {
-                        alpha_rows[round][node] = state.last_alpha;
-                    }
-                    // Serialize over the uplink one message at a time: the
-                    // k-th transmission starts when the (k-1)-th has left,
-                    // and arrives one link latency after its last byte.
-                    let mut departure = time;
-                    let send_one =
-                        |to: usize, msg: crate::strategy::OutMessage, departure: &mut SimTime| {
-                            let link = links.link(node, to, link_seed);
-                            let bytes = msg.bytes.len() as u64;
-                            let tx = link.serialize_secs(bytes);
-                            let arrives = departure.after_secs(tx + link.latency_s);
-                            self.network.send_timed(
-                                node,
-                                to,
-                                msg.bytes,
-                                msg.breakdown,
-                                time,
-                                arrives,
-                                round,
-                            );
-                            *departure = departure.after_secs(tx);
-                        };
-                    match outbound {
-                        Outbound::Broadcast(msg) => {
-                            for &to in &neighbors {
-                                send_one(to, msg.clone(), &mut departure);
-                            }
-                        }
-                        Outbound::PerEdge(messages) => {
-                            if messages.len() != neighbors.len() {
-                                return Err(JwinsError::Protocol(
-                                    "per-edge message count mismatches neighbour count",
-                                ));
-                            }
-                            for (&to, msg) in neighbors.iter().zip(messages) {
-                                if let Some(msg) = msg {
-                                    send_one(to, msg, &mut departure);
-                                }
-                            }
-                        }
-                    }
-                    pending_work += 1;
-                    queue.push(
-                        departure,
-                        prio(RANK_MIX, node),
-                        Ev::Mix {
+                Ev::Mix { .. } => {
+                    // Propose: charge the pops, filter stale epochs, and
+                    // resolve topologies for the trained mixes (idle ones
+                    // touch nothing shared until commit).
+                    let mut live: Vec<(usize, usize, bool, u64)> = Vec::new();
+                    for s in batch {
+                        let Ev::Mix {
                             node,
                             round,
-                            trained: true,
+                            trained,
                             epoch,
-                        },
-                    );
-                }
-                Ev::Mix {
-                    node,
-                    round,
-                    trained,
-                    epoch,
-                } => {
-                    pending_work -= 1;
-                    if !lifecycle.is_current(node, epoch) {
-                        continue;
+                        } = s.event
+                        else {
+                            unreachable!("batches are homogeneous by class")
+                        };
+                        pending_work -= 1;
+                        if !lifecycle.is_current(node, epoch) {
+                            continue;
+                        }
+                        live.push((node, round, trained, epoch));
                     }
-                    if trained {
-                        let (topo, _) = ctx_for!(round);
-                        let inbox = self.network.drain_until_expiring(node, time, ttl);
-                        let neighbors = topo.graph.neighbors(node);
-                        let mut received = Vec::with_capacity(inbox.len());
-                        let mut absorbed = 0.0f64;
-                        for env in &inbox {
-                            // A message from a node that is no longer a
-                            // neighbour under this round's topology carries
-                            // no mixing weight; drop it (dynamic graphs
-                            // only — static topologies never hit this).
-                            let Ok(pos) = neighbors.binary_search(&env.from) else {
-                                continue;
-                            };
-                            let base = topo.weights.neighbor_weights(node)[pos];
-                            let factor = if has_cap {
-                                staleness.weight_factor(
-                                    env.age_rounds(round),
-                                    env.age_at(time).as_secs_f64(),
-                                )
-                            } else {
-                                1.0
-                            };
-                            if factor == 0.0
-                                && matches!(staleness.over_cap, jwins_fault::CapAction::Drop)
-                            {
-                                // Over the staleness cap with a Drop action:
-                                // never decoded, counted as expired. The
-                                // absent weight renormalizes inside the
-                                // strategy's partial averaging, exactly like
-                                // a lost message. (A Decay factor that
-                                // *underflows* to zero is not a drop: the
-                                // message stays in the mix at weight zero
-                                // and its whole mass moves to the
-                                // self-weight below.)
-                                self.network.record_expired(node);
-                                continue;
+                    let mut items: Vec<(usize, MixItem)> = Vec::new();
+                    for &(node, round, trained, _) in &live {
+                        if trained {
+                            let (topo, _) = ctx_for!(round);
+                            items.push((node, MixItem { round, topo }));
+                        }
+                    }
+                    let network = &self.network;
+                    // Execute: drain and aggregate on the worker pool.
+                    // Mailboxes are per-node, so disjoint drains cannot
+                    // race; expiry counters and the shared staleness
+                    // accumulators are deferred into the proposal because
+                    // float sums must be committed in pop order — and not
+                    // at all for events discarded by an early stop.
+                    let proposals =
+                        par_batch(&mut self.nodes, items, threads, |node, state, item| {
+                            let (inbox, mut expired) =
+                                network.drain_until_deferred(node, time, ttl);
+                            let neighbors = item.topo.graph.neighbors(node);
+                            let mut received = Vec::with_capacity(inbox.len());
+                            let mut absorbed = 0.0f64;
+                            let mut staleness_terms = Vec::with_capacity(inbox.len());
+                            for env in &inbox {
+                                // A message from a node that is no longer a
+                                // neighbour under this round's topology
+                                // carries no mixing weight; drop it (dynamic
+                                // graphs only — static topologies never hit
+                                // this).
+                                let Ok(pos) = neighbors.binary_search(&env.from) else {
+                                    continue;
+                                };
+                                let base = item.topo.weights.neighbor_weights(node)[pos];
+                                let factor = if has_cap {
+                                    staleness.weight_factor(
+                                        env.age_rounds(item.round),
+                                        env.age_at(time).as_secs_f64(),
+                                    )
+                                } else {
+                                    1.0
+                                };
+                                if factor == 0.0
+                                    && matches!(staleness.over_cap, jwins_fault::CapAction::Drop)
+                                {
+                                    // Over the staleness cap with a Drop
+                                    // action: never decoded, counted as
+                                    // expired. The absent weight
+                                    // renormalizes inside the strategy's
+                                    // partial averaging, exactly like a
+                                    // lost message. (A Decay factor that
+                                    // *underflows* to zero is not a drop:
+                                    // the message stays in the mix at
+                                    // weight zero and its whole mass moves
+                                    // to the self-weight below.)
+                                    expired += 1;
+                                    continue;
+                                }
+                                // Down-weighted mass moves to the
+                                // self-weight so the effective mixing row
+                                // stays stochastic (factor 1.0 keeps the
+                                // weight bit-unchanged).
+                                let (weight, moved) = jwins_fault::apply_factor(base, factor);
+                                absorbed += moved;
+                                staleness_terms.push(time.since(env.sent).as_secs_f64());
+                                received.push(ReceivedMessage {
+                                    from: env.from,
+                                    weight,
+                                    bytes: &env.payload,
+                                });
                             }
-                            // Down-weighted mass moves to the self-weight so
-                            // the effective mixing row stays stochastic
-                            // (factor 1.0 keeps the weight bit-unchanged).
-                            let (weight, moved) = jwins_fault::apply_factor(base, factor);
-                            absorbed += moved;
-                            total_staleness_s += time.since(env.sent).as_secs_f64();
-                            mixed_messages += 1;
-                            received.push(ReceivedMessage {
-                                from: env.from,
-                                weight,
-                                bytes: &env.payload,
-                            });
+                            let mut self_weight = item.topo.weights.self_weight(node);
+                            if absorbed > 0.0 {
+                                self_weight += absorbed;
+                            }
+                            state.params = state.strategy.aggregate(
+                                item.round,
+                                &state.params,
+                                self_weight,
+                                &received,
+                            )?;
+                            state.model.set_params(&state.params);
+                            Ok(MixProposal {
+                                staleness: staleness_terms,
+                                absorbed,
+                                expired,
+                            })
+                        })?;
+                    // Commit in pop order. An early stop breaks out: since
+                    // a batch is single-round and the stop fires at the
+                    // round's n-th completer, the trigger is necessarily
+                    // the batch's last item — the break just keeps the
+                    // discard-the-rest invariant explicit.
+                    let mut proposals = proposals.into_iter();
+                    for (node, round, trained, epoch) in live {
+                        if trained {
+                            let p = proposals.next().expect("one proposal per trained mix");
+                            self.network.record_expired_many(node, p.expired);
+                            // Fold per message, not per event: the same
+                            // non-associative float grouping as one-at-a-
+                            // time execution.
+                            for &s in &p.staleness {
+                                total_staleness_s += s;
+                            }
+                            mixed_messages += p.staleness.len() as u64;
+                            if p.absorbed > 0.0 {
+                                downweight_mass += p.absorbed;
+                            }
+                        } else if self.config.record_alphas {
+                            // Idle rounds carry the node's previous
+                            // fraction, mirroring the barrier engine's
+                            // snapshot.
+                            alpha_rows[round][node] = current_alpha[node];
                         }
-                        let mut self_weight = topo.weights.self_weight(node);
-                        if absorbed > 0.0 {
-                            self_weight += absorbed;
-                            downweight_mass += absorbed;
+                        rounds_passed[node] = round + 1;
+                        if pass_round!(round, time) {
+                            break;
                         }
-                        let state = &mut self.nodes[node];
-                        state.params = state.strategy.aggregate(
-                            round,
-                            &state.params,
-                            self_weight,
-                            &received,
-                        )?;
-                        state.model.set_params(&state.params);
-                    } else if self.config.record_alphas {
-                        // Idle rounds carry the node's previous fraction,
-                        // mirroring the barrier engine's snapshot.
-                        alpha_rows[round][node] = current_alpha[node];
-                    }
-                    rounds_passed[node] = round + 1;
-                    pass_round!(round, time);
-                    if round + 1 < rounds {
-                        pending_work += 1;
-                        queue.push(
-                            time,
-                            prio(RANK_START, node),
-                            Ev::StartRound {
-                                node,
-                                round: round + 1,
-                                epoch,
-                            },
-                        );
+                        if round + 1 < rounds {
+                            pending_work += 1;
+                            queue.push(
+                                time,
+                                prio(RANK_START, node),
+                                Ev::StartRound {
+                                    node,
+                                    round: round + 1,
+                                    epoch,
+                                },
+                            );
+                        }
                     }
                 }
                 Ev::Fault { event, rejoin } => match event {
@@ -1071,7 +1365,9 @@ impl<M: Model> Trainer<M> {
                             productive_recoveries += 1;
                         }
                         if round < rounds {
-                            pass_round!(round, time);
+                            // A solo event is its whole batch: on early stop
+                            // there is nothing further to discard.
+                            let _ = pass_round!(round, time);
                         }
                     }
                     LifecycleEvent::Recover { node } => {

@@ -62,6 +62,32 @@ pub struct RoundRecord {
     pub checkpoint: bool,
 }
 
+impl RoundRecord {
+    /// Whether two records are identical down to float *bit patterns* — the
+    /// comparison behind the engine's determinism guarantees (thread-count
+    /// invariance, degenerate-config no-ops). Every field participates;
+    /// adding a field to [`RoundRecord`] must extend this method so all
+    /// callers keep the full-strength comparison.
+    pub fn bits_eq(&self, other: &RoundRecord) -> bool {
+        self.round == other.round
+            && self.train_loss.to_bits() == other.train_loss.to_bits()
+            && self.test_loss.to_bits() == other.test_loss.to_bits()
+            && self.test_accuracy.to_bits() == other.test_accuracy.to_bits()
+            && self.test_rmse.to_bits() == other.test_rmse.to_bits()
+            && self.mean_alpha.to_bits() == other.mean_alpha.to_bits()
+            && self.cum_bytes_per_node.to_bits() == other.cum_bytes_per_node.to_bits()
+            && self.cum_payload_per_node.to_bits() == other.cum_payload_per_node.to_bits()
+            && self.cum_metadata_per_node.to_bits() == other.cum_metadata_per_node.to_bits()
+            && self.sim_time_s.to_bits() == other.sim_time_s.to_bits()
+            && self.mean_staleness_s.to_bits() == other.mean_staleness_s.to_bits()
+            && self.crashes == other.crashes
+            && self.rejoins == other.rejoins
+            && self.messages_expired == other.messages_expired
+            && self.downweight_mass.to_bits() == other.downweight_mass.to_bits()
+            && self.checkpoint == other.checkpoint
+    }
+}
+
 /// Round and cost at which a target accuracy was first reached.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TargetHit {
@@ -95,6 +121,34 @@ impl RunResult {
     /// The last evaluation record.
     pub fn final_record(&self) -> Option<&RoundRecord> {
         self.records.last()
+    }
+
+    /// Panics unless the two runs are observably identical, down to float
+    /// bit patterns — record streams ([`RoundRecord::bits_eq`]), traffic
+    /// totals and round counts. `label` prefixes the panic message. This is
+    /// the one shared assertion behind the determinism tests and benches,
+    /// so a new [`RoundRecord`] field tightens every call site at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first divergence, naming the record index.
+    pub fn assert_bit_identical(&self, other: &RunResult, label: &str) {
+        assert_eq!(self.rounds_run, other.rounds_run, "{label}: rounds_run");
+        assert_eq!(
+            self.total_traffic, other.total_traffic,
+            "{label}: total traffic"
+        );
+        assert_eq!(
+            self.records.len(),
+            other.records.len(),
+            "{label}: record count"
+        );
+        for (i, (x, y)) in self.records.iter().zip(&other.records).enumerate() {
+            assert!(
+                x.bits_eq(y),
+                "{label}: record {i} diverges:\n  {x:?}\nvs\n  {y:?}"
+            );
+        }
     }
 
     /// Final mean test accuracy (0 when no evaluation ran).

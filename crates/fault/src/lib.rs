@@ -22,6 +22,39 @@
 //!
 //! A degenerate [`FaultConfig`] (no faults, infinite TTL, no cap) is a
 //! strict no-op: the engine reproduces its fault-free results bit-for-bit.
+//!
+//! # Example
+//!
+//! Expand a correlated outage into a timeline (a pure function of the seed)
+//! and bound staleness with a two-round drop cap:
+//!
+//! ```
+//! use jwins_fault::{FaultConfig, FaultPlan, FaultTimeline, RejoinMode, StalenessPolicy};
+//!
+//! let config = FaultConfig {
+//!     // A quarter of the cluster dies at t = 5 s for 2 s, rejoins re-synced.
+//!     plan: FaultPlan::CorrelatedOutage {
+//!         fraction: 0.25,
+//!         at_s: 5.0,
+//!         down_s: 2.0,
+//!         rejoin: RejoinMode::Resync,
+//!     },
+//!     // Messages more than two rounds old are excluded from mixing.
+//!     staleness: StalenessPolicy::drop_after_rounds(2),
+//! };
+//! assert!(config.validate().is_ok());
+//! assert!(!config.is_noop());
+//!
+//! let timeline = FaultTimeline::expand(&config.plan, 8, 42).unwrap();
+//! assert_eq!(timeline.events().len(), 4, "2 victims x (crash + recovery)");
+//! // Deterministic: the same seed always expands to the same schedule.
+//! assert_eq!(timeline, FaultTimeline::expand(&config.plan, 8, 42).unwrap());
+//!
+//! assert_eq!(config.staleness.weight_factor(1, 0.0), 1.0, "within the cap");
+//! assert_eq!(config.staleness.weight_factor(3, 0.0), 0.0, "over the cap");
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod schedule;
 pub mod staleness;

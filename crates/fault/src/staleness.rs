@@ -41,6 +41,29 @@ pub enum CapAction {
 ///
 /// [`Default`] is unbounded: no TTL, no cap — the policy under which the
 /// engine behaves bit-for-bit as before this subsystem existed.
+///
+/// # TTL / cap invariants
+///
+/// The two mechanisms act at different points of a message's life and keep
+/// distinct accounting, and interpreters must preserve that separation:
+///
+/// - the **TTL** is evaluated at *mailbox drain* against the message's age
+///   in virtual seconds: an expired message is never decoded and is counted
+///   in `TrafficStats::messages_expired` (distinct from link drops). A
+///   `None` or infinite [`Self::ttl_s`] never expires anything;
+/// - the **cap** is evaluated at *mix time* via [`Self::weight_factor`]: the
+///   factor is `1.0` strictly within the cap (by identity — no float
+///   multiply, preserving the engine's degenerate bit-for-bit contract),
+///   `0.0` over the cap under [`CapAction::Drop`] (also counted as
+///   expired), and in `(0, 1)` under [`CapAction::Decay`];
+/// - down-weighted mass is never lost: [`apply_factor`] returns the mass to
+///   absorb into the mixer's self-weight, so every row of the effective
+///   mixing matrix keeps summing to one. A `Decay` factor that underflows
+///   to exactly `0.0` is *not* a drop — the message stays in the mix at
+///   weight zero and its whole mass moves to the self-weight;
+/// - validated policies ([`Self::validate`]) guarantee
+///   `weight_factor ∈ [0, 1]` for all ages (a `proptest` in this module
+///   pins it).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct StalenessPolicy {
     /// Messages older than this many virtual seconds expire at mailbox

@@ -23,4 +23,4 @@ pub mod transport;
 
 pub use meter::{ByteBreakdown, TrafficStats};
 pub use time::TimeModel;
-pub use transport::{Envelope, LossModel, SimNetwork};
+pub use transport::{Envelope, LossModel, PendingSend, SimNetwork};

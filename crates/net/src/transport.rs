@@ -112,6 +112,32 @@ impl Envelope {
     }
 }
 
+/// A fully priced send whose network side effects have not happened yet.
+///
+/// The event-driven engine's parallel execute phase computes everything
+/// about a transmission (recipient, bytes, virtual departure and arrival)
+/// without touching shared state, then hands the batch to
+/// [`SimNetwork::commit_sends`] in the event queue's deterministic order —
+/// so mailbox append order, loss-model link sequences and traffic counters
+/// replay exactly as if the events had run one at a time.
+#[derive(Debug, Clone)]
+pub struct PendingSend {
+    /// Sending node.
+    pub from: usize,
+    /// Receiving node.
+    pub to: usize,
+    /// Serialized message body.
+    pub payload: Bytes,
+    /// Payload/metadata byte accounting.
+    pub breakdown: ByteBreakdown,
+    /// Virtual send time.
+    pub sent: SimTime,
+    /// Virtual arrival time of the last byte.
+    pub arrives: SimTime,
+    /// The sender's local round (staleness accounting).
+    pub sent_round: usize,
+}
+
 /// An in-process network between `n` nodes.
 #[derive(Debug)]
 pub struct SimNetwork {
@@ -231,6 +257,29 @@ impl SimNetwork {
         });
     }
 
+    /// Applies buffered sends in order — equivalent to calling
+    /// [`Self::send_timed`] once per element, in sequence. The caller (the
+    /// engine's commit phase) is responsible for ordering the batch
+    /// deterministically; this method adds no reordering of its own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range or a send arrives before it
+    /// was sent (the [`Self::send_timed`] contract).
+    pub fn commit_sends(&self, sends: impl IntoIterator<Item = PendingSend>) {
+        for s in sends {
+            self.send_timed(
+                s.from,
+                s.to,
+                s.payload,
+                s.breakdown,
+                s.sent,
+                s.arrives,
+                s.sent_round,
+            );
+        }
+    }
+
     /// Broadcasts `payload` from `from` to every node in `to`.
     ///
     /// # Panics
@@ -280,6 +329,28 @@ impl SimNetwork {
         deadline: SimTime,
         ttl: Option<SimTime>,
     ) -> Vec<Envelope> {
+        let (arrived, expired) = self.drain_until_deferred(node, deadline, ttl);
+        self.record_expired_many(node, expired);
+        arrived
+    }
+
+    /// [`Self::drain_until_expiring`] with the expiry *accounting* deferred:
+    /// expired envelopes are discarded from the mailbox as usual, but their
+    /// count is returned instead of recorded, so a parallel execute phase
+    /// can drain disjoint mailboxes concurrently and commit the counter
+    /// updates later in deterministic order (via
+    /// [`Self::record_expired_many`]) — or not at all, when the run stops
+    /// before the event's turn to commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn drain_until_deferred(
+        &self,
+        node: usize,
+        deadline: SimTime,
+        ttl: Option<SimTime>,
+    ) -> (Vec<Envelope>, u64) {
         let mut expired = 0u64;
         let mut mailbox = self.mailboxes[node].lock();
         let mut arrived = Vec::new();
@@ -297,14 +368,8 @@ impl SimNetwork {
         }
         *mailbox = pending;
         drop(mailbox);
-        if expired > 0 {
-            let mut stats = self.stats[node].lock();
-            for _ in 0..expired {
-                stats.record_expired();
-            }
-        }
         arrived.sort_by_key(|e| e.arrives); // stable: equal arrivals keep push order
-        arrived
+        (arrived, expired)
     }
 
     /// Records an over-cap staleness drop decided by the caller (the mix
@@ -315,6 +380,22 @@ impl SimNetwork {
     /// Panics if `node` is out of range.
     pub fn record_expired(&self, node: usize) {
         self.stats[node].lock().record_expired();
+    }
+
+    /// Records `count` expiries at once — the commit-phase counterpart of
+    /// [`Self::drain_until_deferred`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn record_expired_many(&self, node: usize, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut stats = self.stats[node].lock();
+        for _ in 0..count {
+            stats.record_expired();
+        }
     }
 
     /// Destroys every message queued for `node` — arrived or in flight —
@@ -618,6 +699,108 @@ mod tests {
         // No TTL behaves exactly like drain_until.
         let late = net.drain_until_expiring(1, SimTime::from_secs_f64(30.0), None);
         assert_eq!(late.len(), 1);
+    }
+
+    #[test]
+    fn commit_sends_replays_send_timed_in_order() {
+        let direct = SimNetwork::new(2);
+        let buffered = SimNetwork::new(2);
+        let sends: Vec<PendingSend> = (0..4)
+            .map(|k| PendingSend {
+                from: 0,
+                to: 1,
+                payload: Bytes::from(vec![k as u8; k + 1]),
+                breakdown: breakdown(k + 1, 0),
+                sent: SimTime(k as u64),
+                arrives: SimTime(10), // equal arrivals: push order must hold
+                sent_round: k,
+            })
+            .collect();
+        for s in &sends {
+            direct.send_timed(
+                s.from,
+                s.to,
+                s.payload.clone(),
+                s.breakdown,
+                s.sent,
+                s.arrives,
+                s.sent_round,
+            );
+        }
+        buffered.commit_sends(sends);
+        assert_eq!(direct.total_stats(), buffered.total_stats());
+        let a = direct.drain_until(1, SimTime(10));
+        let b = buffered.drain_until(1, SimTime(10));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sent_round, y.sent_round);
+            assert_eq!(x.payload, y.payload);
+        }
+    }
+
+    #[test]
+    fn commit_sends_drives_the_loss_model_like_direct_sends() {
+        // Per-link loss sequences advance at commit time, so a buffered
+        // batch committed in pop order reproduces the direct drop pattern.
+        let direct = SimNetwork::lossy(2, LossModel::new(0.5, 9));
+        let buffered = SimNetwork::lossy(2, LossModel::new(0.5, 9));
+        let mk = |k: usize| PendingSend {
+            from: 0,
+            to: 1,
+            payload: Bytes::from(vec![k as u8]),
+            breakdown: breakdown(1, 0),
+            sent: SimTime::ZERO,
+            arrives: SimTime::ZERO,
+            sent_round: k,
+        };
+        for k in 0..64 {
+            let s = mk(k);
+            direct.send_timed(
+                s.from,
+                s.to,
+                s.payload.clone(),
+                s.breakdown,
+                s.sent,
+                s.arrives,
+                s.sent_round,
+            );
+        }
+        buffered.commit_sends((0..64).map(mk));
+        let a: Vec<usize> = direct.drain(1).iter().map(|e| e.sent_round).collect();
+        let b: Vec<usize> = buffered.drain(1).iter().map(|e| e.sent_round).collect();
+        assert_eq!(a, b, "identical survivors under the loss model");
+        assert!(direct.stats(0).messages_dropped > 0, "losses exercised");
+    }
+
+    #[test]
+    fn deferred_drain_counts_but_does_not_record_expiries() {
+        let net = SimNetwork::new(2);
+        let send_at = |sent: f64, arrives: f64| {
+            net.send_timed(
+                0,
+                1,
+                Bytes::from(vec![1u8]),
+                breakdown(1, 0),
+                SimTime::from_secs_f64(sent),
+                SimTime::from_secs_f64(arrives),
+                0,
+            );
+        };
+        send_at(0.0, 1.0); // age 10 s at drain: expired
+        send_at(8.0, 9.0); // fresh
+        let ttl = Some(SimTime::from_secs_f64(5.0));
+        let (inbox, expired) = net.drain_until_deferred(1, SimTime::from_secs_f64(10.0), ttl);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(expired, 1);
+        assert_eq!(
+            net.stats(1).messages_expired,
+            0,
+            "accounting deferred to the caller's commit phase"
+        );
+        net.record_expired_many(1, expired);
+        assert_eq!(net.stats(1).messages_expired, 1);
+        net.record_expired_many(1, 0); // no-op
+        assert_eq!(net.stats(1).messages_expired, 1);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! - [`EventQueue`]: a binary-heap scheduler with *seeded, stable*
 //!   tie-breaking — equal-time events are ordered by caller priority, then a
 //!   seeded hash, then insertion order, making every run a pure function of
-//!   its seed;
+//!   its seed. [`EventQueue::pop_independent_batch`] pops a maximal prefix
+//!   of simultaneous, same-[`Conflict`]-class events on pairwise-distinct
+//!   nodes, so an interpreter can execute them on worker threads and commit
+//!   their side effects in batch order without perturbing the schedule;
 //! - [`ComputeProfile`]/[`LinkProfile`]: per-node compute-speed and per-link
 //!   latency/bandwidth models, so a message's transfer time is
 //!   `latency + bytes / bandwidth` on *its* link and a straggler's round
@@ -25,6 +28,43 @@
 //!
 //! The training engine in `jwins::engine` drives these primitives in its
 //! event-driven execution mode; this crate knows nothing about learning.
+//!
+//! # Example
+//!
+//! Schedule three simultaneous per-node events and one global one, then pop
+//! them the way the engine does — independent batches first, the global
+//! event alone:
+//!
+//! ```
+//! use jwins_sim::{Conflict, EventQueue, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev {
+//!     Train { node: usize },
+//!     Checkpoint,
+//! }
+//!
+//! let classify = |ev: &Ev| match *ev {
+//!     Ev::Train { node } => Conflict::Exclusive { class: 1, node },
+//!     Ev::Checkpoint => Conflict::Solo,
+//! };
+//!
+//! let mut queue = EventQueue::new(42);
+//! for node in 0..3 {
+//!     // priority encodes (phase << 32) | node, the engine's convention
+//!     queue.push(SimTime(10), (1 << 32) | node as u64, Ev::Train { node });
+//! }
+//! queue.push(SimTime(10), 2 << 32, Ev::Checkpoint);
+//!
+//! let batch = queue.pop_independent_batch(classify);
+//! assert_eq!(batch.len(), 3, "disjoint-node trains pop together");
+//! let solo = queue.pop_independent_batch(classify);
+//! assert_eq!(solo.len(), 1, "global events run alone");
+//! assert_eq!(solo[0].event, Ev::Checkpoint);
+//! assert!(queue.is_empty());
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod clock;
 pub mod hetero;
@@ -34,4 +74,4 @@ pub mod queue;
 pub use clock::{SimTime, VirtualClock};
 pub use hetero::{ComputeProfile, HeterogeneityProfile, LinkParams, LinkProfile};
 pub use lifecycle::{LifecycleEvent, LifecycleTracker};
-pub use queue::{EventQueue, Scheduled};
+pub use queue::{Conflict, EventQueue, Scheduled};

@@ -41,6 +41,25 @@ impl LifecycleEvent {
 
 /// Per-node alive/epoch state driven by [`LifecycleEvent`]s.
 ///
+/// # Epoch invariants
+///
+/// The epoch mechanism is what lets an interpreter cancel a crashed node's
+/// scheduled events in O(1) without scanning the queue. It is sound only
+/// under these rules, which the training engine (and any other interpreter)
+/// must follow:
+///
+/// - every event scheduled for a node is stamped with [`Self::epoch`] *at
+///   scheduling time*, and checked with [`Self::is_current`] *at execution
+///   time*; a stale event must be an observable no-op;
+/// - only [`Self::crash`] bumps the epoch. Recovery does **not**: no events
+///   can be scheduled for a node while it is down, so the post-crash epoch
+///   is already exclusively the recovered node's own;
+/// - epochs are monotone per node and never reused, so a stale stamp can
+///   never be mistaken for a current one;
+/// - [`Self::crash`] on a dead node and [`Self::recover`] on a live one are
+///   rejected (`false`) and change nothing — double faults cannot skip
+///   epochs or skew the [`Self::crashes`]/[`Self::recoveries`] counters.
+///
 /// # Example
 ///
 /// ```

@@ -1,5 +1,6 @@
 //! The discrete-event scheduler: a binary heap keyed by virtual time with
-//! seeded, stable tie-breaking.
+//! seeded, stable tie-breaking, plus a conflict-aware batch pop for
+//! deterministic parallel execution.
 //!
 //! Three keys order events:
 //!
@@ -12,9 +13,41 @@
 //!    accidental bias toward insertion order) yet bit-stable across runs and
 //!    replayable from the seed alone; insertion index breaks any final ties
 //!    so the order is total.
+//!
+//! [`EventQueue::pop_independent_batch`] pops a maximal *prefix* of that
+//! total order whose events are simultaneous, share a [`Conflict`] class and
+//! touch pairwise-distinct nodes. Because the batch is a contiguous prefix,
+//! executing its events concurrently and committing their side effects in
+//! batch order is observably identical to popping them one at a time — the
+//! foundation of the engine's thread-count-invariance guarantee.
 
 use crate::clock::SimTime;
 use std::collections::BinaryHeap;
+
+/// How an event interacts with simulation state, as reported to
+/// [`EventQueue::pop_independent_batch`] by the caller's classifier.
+///
+/// The classification is a *promise* from the interpreter: an
+/// [`Conflict::Exclusive`] event may read and write only state owned by its
+/// `node` (its model, its mailbox, its RNG) plus append-only effects that the
+/// caller defers to an ordered commit phase. Two exclusive events of the same
+/// `class` on different nodes are then independent and may execute
+/// concurrently. Events that touch global state (crash/recovery replay,
+/// cluster-wide evaluation) must be [`Conflict::Solo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Conflict {
+    /// Touches only state owned by `node`; batchable with same-`class`
+    /// events on other nodes at the same virtual time.
+    Exclusive {
+        /// Event-kind class; only equal classes batch together (the engine
+        /// uses its same-time phase rank, so a batch is always one phase).
+        class: u64,
+        /// The single node whose state the event may touch.
+        node: usize,
+    },
+    /// Touches shared state; always popped as a batch of one.
+    Solo,
+}
 
 /// One scheduled event, as returned by [`EventQueue::pop`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,6 +158,55 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// Pops the maximal batch of *independent* simultaneous events: the
+    /// longest prefix of the queue's total order whose events all fire at
+    /// the head's time, classify as [`Conflict::Exclusive`] with the head's
+    /// class, and touch pairwise-distinct nodes. A [`Conflict::Solo`] head
+    /// (or an empty queue) yields a batch of at most one event.
+    ///
+    /// The batch is returned in exact pop order, so an interpreter that
+    /// executes the batch concurrently and commits side effects in batch
+    /// order reproduces the one-at-a-time schedule bit for bit — including
+    /// the seeded tie-breaks, which stay inside the queue untouched. The
+    /// prefix stops at the first event that fires later, has a different
+    /// class, is `Solo`, or repeats an already-claimed node (a stale
+    /// duplicate); that event simply heads the next batch.
+    pub fn pop_independent_batch<F>(&mut self, classify: F) -> Vec<Scheduled<E>>
+    where
+        F: Fn(&E) -> Conflict,
+    {
+        let Some(first) = self.pop() else {
+            return Vec::new();
+        };
+        let time = first.time;
+        let Conflict::Exclusive { class, node } = classify(&first.event) else {
+            return vec![first];
+        };
+        let mut claimed = std::collections::HashSet::new();
+        claimed.insert(node);
+        let mut batch = vec![first];
+        while let Some(head) = self.heap.peek() {
+            if head.time != time {
+                break;
+            }
+            match classify(&head.event) {
+                Conflict::Exclusive { class: c, node } if c == class => {
+                    if !claimed.insert(node) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            batch.push(Scheduled {
+                time: entry.time,
+                priority: entry.priority,
+                event: entry.event,
+            });
+        }
+        batch
+    }
+
     /// Discards all pending events (used on early stop).
     pub fn clear(&mut self) {
         self.heap.clear();
@@ -173,6 +255,126 @@ mod tests {
         let mut popped: Vec<u32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
         popped.sort_unstable();
         assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    /// Encodes the engine's priority convention for batch tests.
+    fn prio(class: u64, node: usize) -> u64 {
+        (class << 32) | node as u64
+    }
+
+    #[test]
+    fn batch_pops_simultaneous_same_class_distinct_nodes() {
+        let mut q = EventQueue::new(11);
+        for node in 0..4 {
+            q.push(SimTime(5), prio(1, node), ("train", node));
+        }
+        q.push(SimTime(5), prio(2, 0), ("mix", 0)); // later class
+        q.push(SimTime(9), prio(1, 9), ("train", 9)); // later time
+        let batch = q.pop_independent_batch(|&(_, node)| Conflict::Exclusive { class: 1, node });
+        assert_eq!(batch.len(), 4, "all four simultaneous trains batch");
+        assert_eq!(
+            batch.iter().map(|s| s.event.1).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "priority (node id) order is preserved"
+        );
+        assert_eq!(q.len(), 2, "the later class and later time stay queued");
+    }
+
+    #[test]
+    fn batch_stops_at_class_boundary_and_solo_events_run_alone() {
+        let mut q = EventQueue::new(0);
+        q.push(SimTime(1), prio(0, 3), (0u64, 3usize)); // class 0 = solo
+        q.push(SimTime(1), prio(1, 0), (1, 0));
+        q.push(SimTime(1), prio(1, 1), (1, 1));
+        let classify = |&(class, node): &(u64, usize)| {
+            if class == 0 {
+                Conflict::Solo
+            } else {
+                Conflict::Exclusive { class, node }
+            }
+        };
+        let solo = q.pop_independent_batch(classify);
+        assert_eq!(solo.len(), 1);
+        assert_eq!(solo[0].event, (0, 3));
+        let pair = q.pop_independent_batch(classify);
+        assert_eq!(pair.len(), 2);
+        assert!(q.pop_independent_batch(classify).is_empty());
+    }
+
+    #[test]
+    fn batch_stops_at_duplicate_node() {
+        // Two same-time same-class events on one node (a stale epoch
+        // duplicate): the second must head its own batch, never share one.
+        let mut q = EventQueue::new(3);
+        q.push(SimTime(2), prio(1, 0), 'a');
+        q.push(SimTime(2), prio(1, 0), 'b');
+        let first = q.pop_independent_batch(|_| Conflict::Exclusive { class: 1, node: 0 });
+        assert_eq!(first.len(), 1);
+        let second = q.pop_independent_batch(|_| Conflict::Exclusive { class: 1, node: 0 });
+        assert_eq!(second.len(), 1);
+        assert_ne!(first[0].event, second[0].event);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Batched popping is a pure re-grouping of the sequential pop
+        /// order: flattened batches replay the one-at-a-time sequence
+        /// exactly (tie-breaks included), no batch mixes times or classes,
+        /// and no batch contains two events on the same node.
+        #[test]
+        fn batches_partition_the_sequential_order(
+            seed in proptest::any::<u64>(),
+            events in proptest::collection::vec(
+                (0u64..4, 0u64..3, 0usize..6), 1..48),
+        ) {
+            let classify = |&(_, class, node): &(usize, u64, usize)| {
+                if class == 0 {
+                    Conflict::Solo
+                } else {
+                    Conflict::Exclusive { class, node }
+                }
+            };
+            let mut plain = EventQueue::new(seed);
+            let mut batched = EventQueue::new(seed);
+            for (i, &(t, class, node)) in events.iter().enumerate() {
+                let priority = (class << 32) | node as u64;
+                plain.push(SimTime(t), priority, (i, class, node));
+                batched.push(SimTime(t), priority, (i, class, node));
+            }
+            let sequential: Vec<_> =
+                std::iter::from_fn(|| plain.pop().map(|s| s.event)).collect();
+            let mut flattened = Vec::new();
+            loop {
+                let batch = batched.pop_independent_batch(classify);
+                if batch.is_empty() {
+                    break;
+                }
+                let time = batch[0].time;
+                let head = classify(&batch[0].event);
+                let mut nodes = std::collections::HashSet::new();
+                for s in &batch {
+                    prop_assert_eq!(s.time, time, "batch mixes fire times");
+                    if batch.len() > 1 {
+                        let c = classify(&s.event);
+                        prop_assert!(
+                            matches!((head, c), (
+                                Conflict::Exclusive { class: a, .. },
+                                Conflict::Exclusive { class: b, .. },
+                            ) if a == b),
+                            "batch mixes classes: {:?} vs {:?}", head, c
+                        );
+                        let (_, _, node) = s.event;
+                        prop_assert!(
+                            nodes.insert(node),
+                            "batch contains node {} twice", node
+                        );
+                    }
+                }
+                flattened.extend(batch.into_iter().map(|s| s.event));
+            }
+            prop_assert_eq!(flattened, sequential);
+        }
     }
 
     #[test]

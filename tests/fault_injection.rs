@@ -63,35 +63,9 @@ fn run_full_sharing(cfg: TrainConfig, nodes: usize) -> RunResult {
 }
 
 fn assert_bitwise_equal(a: &RunResult, b: &RunResult) {
-    assert_eq!(a.rounds_run, b.rounds_run);
-    assert_eq!(a.total_traffic, b.total_traffic);
-    assert_eq!(a.records.len(), b.records.len());
-    for (x, y) in a.records.iter().zip(&b.records) {
-        assert_eq!(x.round, y.round);
-        assert_eq!(x.checkpoint, y.checkpoint);
-        assert_eq!(x.train_loss.to_bits(), y.train_loss.to_bits(), "train loss");
-        assert_eq!(x.test_loss.to_bits(), y.test_loss.to_bits(), "test loss");
-        assert_eq!(
-            x.test_accuracy.to_bits(),
-            y.test_accuracy.to_bits(),
-            "accuracy"
-        );
-        assert_eq!(x.sim_time_s.to_bits(), y.sim_time_s.to_bits(), "sim time");
-        assert_eq!(
-            x.mean_staleness_s.to_bits(),
-            y.mean_staleness_s.to_bits(),
-            "staleness"
-        );
-        assert_eq!(x.cum_bytes_per_node, y.cum_bytes_per_node);
-        assert_eq!(x.crashes, y.crashes);
-        assert_eq!(x.rejoins, y.rejoins);
-        assert_eq!(x.messages_expired, y.messages_expired);
-        assert_eq!(
-            x.downweight_mass.to_bits(),
-            y.downweight_mass.to_bits(),
-            "downweight mass"
-        );
-    }
+    // The canonical full-strength comparison lives on RunResult so every
+    // determinism test and bench stays in lockstep as fields are added.
+    a.assert_bit_identical(b, "fault-injection");
 }
 
 /// An explicitly-spelled-out no-op: empty script, infinite TTL, no cap.
