@@ -20,43 +20,55 @@
 
 use jwins::config::ExecutionMode;
 use jwins::metrics::RunResult;
+use jwins_bench::report::BenchCase;
 use jwins_bench::{banner, run_cifar_n, Algo, RunCfg, Scale};
 use jwins_sim::HeterogeneityProfile;
 use std::time::Instant;
 
-const NODES: usize = 64;
 const DEGREE: usize = 4;
 
-fn run_with_threads(scale: Scale, rounds: usize, threads: usize) -> RunResult {
+fn run_with_threads(scale: Scale, nodes: usize, rounds: usize, threads: usize) -> RunResult {
     let mut cfg = RunCfg::new(rounds);
     cfg.threads = threads;
     // Evaluate sparsely so the event loop, not evaluation, dominates.
     cfg.eval_every = rounds;
     cfg.execution = ExecutionMode::EventDriven;
     cfg.heterogeneity = HeterogeneityProfile::stragglers(0.25, 4.0, 0.005, 12.5e6);
-    run_cifar_n(scale, NODES, DEGREE, &Algo::Full, &cfg, 2)
+    run_cifar_n(scale, nodes, DEGREE, &Algo::Full, &cfg, 2)
 }
 
 fn main() {
     let scale = Scale::from_env();
+    let smoke = jwins_bench::smoke();
     banner(
         "ext_parallel — deterministic parallel event execution",
         "independent same-time events execute on worker threads behind an \
          ordered commit; outputs are bit-identical at every thread count",
     );
-    let rounds = scale.rounds(6);
+    // The smoke configuration keeps the determinism assertion meaningful
+    // (two runs, both compared to the baseline bit for bit) while staying
+    // CI-cheap; the speedup table needs the full run.
+    let (nodes, rounds, thread_sweep): (usize, usize, &[usize]) = if smoke {
+        (16, 3, &[1, 2])
+    } else {
+        (64, scale.rounds(6), &[1, 2, 4, 8])
+    };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!("{NODES} nodes, {rounds} rounds, host cores: {cores}\n");
+    println!(
+        "{nodes} nodes, {rounds} rounds, host cores: {cores}{}\n",
+        if smoke { " [smoke]" } else { "" }
+    );
     println!(
         "{:>8} {:>10} {:>9}  records",
         "threads", "wall s", "speedup"
     );
     let mut csv = String::from("threads,host_cores,wall_s,speedup,rounds_run,final_accuracy\n");
+    let mut cases = Vec::new();
     let mut baseline: Option<(f64, RunResult)> = None;
     let mut speedup_at_8 = 1.0f64;
-    for threads in [1usize, 2, 4, 8] {
+    for &threads in thread_sweep {
         let start = Instant::now();
-        let result = run_with_threads(scale, rounds, threads);
+        let result = run_with_threads(scale, nodes, rounds, threads);
         let wall = start.elapsed().as_secs_f64();
         let speedup = match &baseline {
             Some((base_wall, base_result)) => {
@@ -82,11 +94,22 @@ fn main() {
             "{threads},{cores},{wall:.4},{speedup:.4},{},{accuracy:.6}\n",
             result.rounds_run
         ));
+        cases.push(BenchCase::from_result(
+            "ext_parallel",
+            &format!("threads-{threads}"),
+            wall,
+            &result,
+        ));
         if baseline.is_none() {
             baseline = Some((wall, result));
         }
     }
     jwins_bench::save_csv("ext_parallel", &csv);
+    jwins_bench::report::append_cases(&cases);
+    if smoke {
+        println!("\nsmoke run: determinism asserted; the speedup table needs the full config.");
+        return;
+    }
     if cores >= 8 {
         assert!(
             speedup_at_8 > 1.5,

@@ -1,0 +1,104 @@
+//! CI bench-regression gate.
+//!
+//! Compares a PR's `BENCH_pr.json` (written by the smoke benches via
+//! `JWINS_BENCH_JSON`) against the checked-in `BENCH_baseline.json` and
+//! exits non-zero when any case's wall-time exceeds `max_ratio` × its
+//! baseline (default 2.0). Baseline cases missing from the PR report fail
+//! too — a bench that silently stopped running is a regression. New cases
+//! only present in the PR report are listed but never fail the gate; they
+//! become binding once added to the baseline.
+//!
+//! ```sh
+//! cargo run -p jwins_bench --bin bench_gate -- BENCH_baseline.json BENCH_pr.json [max_ratio]
+//! ```
+
+use jwins_bench::report::load_cases;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_gate <baseline.json> <pr.json> [max_ratio]");
+        return ExitCode::FAILURE;
+    }
+    let max_ratio: f64 = args
+        .get(3)
+        .map(|s| s.parse().expect("max_ratio must be a number"))
+        .unwrap_or(2.0);
+    let baseline = match load_cases(Path::new(&args[1])) {
+        Ok(cases) => cases,
+        Err(e) => {
+            eprintln!("baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pr = match load_cases(Path::new(&args[2])) {
+        Ok(cases) => cases,
+        Err(e) => {
+            eprintln!("pr report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{:<42} {:>10} {:>10} {:>7}  verdict (gate: {max_ratio:.1}x)",
+        "bench/case", "base s", "pr s", "ratio"
+    );
+    let mut failures = Vec::new();
+    for base in &baseline {
+        let key = format!("{}/{}", base.bench, base.case);
+        match pr
+            .iter()
+            .find(|c| c.bench == base.bench && c.case == base.case)
+        {
+            Some(case) => {
+                let ratio = case.wall_s / base.wall_s.max(1e-9);
+                let ok = ratio <= max_ratio;
+                println!(
+                    "{key:<42} {:>10.2} {:>10.2} {ratio:>6.2}x  {}",
+                    base.wall_s,
+                    case.wall_s,
+                    if ok { "ok" } else { "REGRESSED" }
+                );
+                if !ok {
+                    failures.push(format!("{key}: {ratio:.2}x > {max_ratio:.1}x"));
+                }
+            }
+            None => {
+                println!(
+                    "{key:<42} {:>10.2} {:>10} {:>7}  MISSING",
+                    base.wall_s, "-", "-"
+                );
+                failures.push(format!("{key}: missing from the PR report"));
+            }
+        }
+    }
+    for case in &pr {
+        if !baseline
+            .iter()
+            .any(|b| b.bench == case.bench && b.case == case.case)
+        {
+            println!(
+                "{:<42} {:>10} {:>10.2} {:>7}  new (not gated)",
+                format!("{}/{}", case.bench, case.case),
+                "-",
+                case.wall_s,
+                "-"
+            );
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "\nbench gate passed: {} cases within {max_ratio:.1}x",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nbench gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

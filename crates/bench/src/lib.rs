@@ -30,6 +30,9 @@ use jwins_nn::models::{
 use jwins_sim::HeterogeneityProfile;
 use jwins_topology::dynamic::{DynamicRegular, StaticTopology, TopologyProvider};
 use jwins_topology::peer_sampling::{PeerSampling, PeerSamplingConfig};
+use jwins_topology::repair::RepairPolicy;
+
+pub mod report;
 
 /// Experiment scale, from the `JWINS_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +44,12 @@ pub enum Scale {
     /// The paper's node counts and round budgets (hours).
     Paper,
 }
+
+/// Whether `JWINS_SMOKE=1` requests the CI-sized reduced configuration:
+/// benches shrink to a couple of minutes and examples to seconds, so CI
+/// *runs* them instead of merely compiling them. Delegates to the single
+/// definition of the smoke contract in [`jwins::smoke`].
+pub use jwins::smoke;
 
 impl Scale {
     /// Reads `JWINS_SCALE` (`small`/`medium`/`paper`; default `small`).
@@ -253,6 +262,9 @@ pub struct RunCfg {
     /// Fault injection and staleness policy for event-driven runs
     /// (extension: chaos and bounded-staleness experiments).
     pub faults: jwins_fault::FaultConfig,
+    /// Liveness-aware topology repair for event-driven runs under a fault
+    /// plan (extension: `ext_repair`).
+    pub repair: RepairPolicy,
     /// Virtual-time evaluation checkpoint cadence for event-driven runs.
     pub eval_interval_s: Option<f64>,
     /// Override the simulated wall-clock model (None = engine default).
@@ -278,6 +290,7 @@ impl RunCfg {
             execution: ExecutionMode::default(),
             heterogeneity: HeterogeneityProfile::default(),
             faults: jwins_fault::FaultConfig::default(),
+            repair: RepairPolicy::None,
             eval_interval_s: None,
             time_model: None,
             threads: 0,
@@ -298,6 +311,7 @@ fn train_config(cfg: &RunCfg, lr: f32) -> TrainConfig {
     c.execution = cfg.execution;
     c.heterogeneity = cfg.heterogeneity.clone();
     c.faults = cfg.faults.clone();
+    c.repair = cfg.repair;
     c.eval_interval_s = cfg.eval_interval_s;
     c.threads = cfg.threads;
     if let Some(tm) = cfg.time_model {
@@ -331,6 +345,16 @@ impl TopologyProvider for BoxedProvider {
     }
     fn topology(&self, round: usize) -> jwins_topology::dynamic::RoundTopology {
         self.0.topology(round)
+    }
+    fn topology_for(
+        &self,
+        round: usize,
+        live: &jwins_topology::LiveSet,
+    ) -> jwins_topology::dynamic::RoundTopology {
+        self.0.topology_for(round, live)
+    }
+    fn is_live_aware(&self) -> bool {
+        self.0.is_live_aware()
     }
     fn is_dynamic(&self) -> bool {
         self.0.is_dynamic()

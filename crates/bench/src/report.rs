@@ -1,0 +1,162 @@
+//! Machine-readable bench reports for the CI `bench-smoke` gate.
+//!
+//! Benches that participate in the perf trajectory append structured
+//! results — wall-time plus the bytes/accuracy numbers the paper's cost
+//! metrics are built from — to the JSON array named by the
+//! `JWINS_BENCH_JSON` environment variable (typically `BENCH_pr.json` in
+//! CI, uploaded as an artifact). The `bench_gate` binary then compares a
+//! PR's report against the checked-in `BENCH_baseline.json` and fails the
+//! job when any case's wall-time regresses beyond the allowed ratio.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// One bench case's structured result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchCase {
+    /// Bench target name (e.g. `ext_repair`).
+    pub bench: String,
+    /// Case label within the bench (e.g. `degree-preserving/full-sharing`).
+    pub case: String,
+    /// Host wall-clock seconds the case took (the regression gate input).
+    pub wall_s: f64,
+    /// Cumulative bytes sent per node at the end of the run.
+    pub bytes_per_node: f64,
+    /// Final mean test accuracy.
+    pub final_accuracy: f64,
+    /// Bytes per node per unit of final accuracy (lower = cheaper). `-1`
+    /// when the run never reached positive accuracy — the quotient is
+    /// undefined there, and a non-finite value would not survive the JSON
+    /// round-trip (the serializer writes non-finite floats as `null`).
+    pub bytes_per_accuracy: f64,
+}
+
+impl BenchCase {
+    /// Builds a case from a finished run.
+    pub fn from_result(
+        bench: &str,
+        case: &str,
+        wall_s: f64,
+        result: &jwins::metrics::RunResult,
+    ) -> Self {
+        let last = result.final_record();
+        let bytes_per_node = last.map_or(0.0, |r| r.cum_bytes_per_node);
+        let final_accuracy = last.map_or(0.0, |r| r.test_accuracy);
+        let bytes_per_accuracy = if final_accuracy > 0.0 {
+            bytes_per_node / final_accuracy
+        } else {
+            -1.0
+        };
+        Self {
+            bench: bench.to_owned(),
+            case: case.to_owned(),
+            wall_s,
+            bytes_per_node,
+            final_accuracy,
+            bytes_per_accuracy,
+        }
+    }
+}
+
+/// The report path, if `JWINS_BENCH_JSON` is set.
+pub fn report_path() -> Option<PathBuf> {
+    std::env::var_os("JWINS_BENCH_JSON").map(PathBuf::from)
+}
+
+/// Appends `cases` to the JSON array at `$JWINS_BENCH_JSON`; a no-op when
+/// the variable is unset, so ordinary bench runs stay file-free. Multiple
+/// bench binaries append to the same file sequentially (CI runs them one
+/// after another).
+///
+/// # Panics
+///
+/// Panics when the file already exists but cannot be parsed, or the write
+/// fails — silently resetting the array would make the downstream
+/// `bench_gate` report the *earlier* benches as "missing" and hide the
+/// real fault (truncated write, full disk).
+pub fn append_cases(cases: &[BenchCase]) {
+    let Some(path) = report_path() else {
+        return;
+    };
+    let mut all: Vec<BenchCase> = match std::fs::read_to_string(&path) {
+        Ok(text) => serde::json::from_str(&text).unwrap_or_else(|e| {
+            panic!(
+                "existing bench report {} is unparsable ({e:?}); refusing to overwrite it",
+                path.display()
+            )
+        }),
+        // Only a genuinely missing file starts a fresh report; any other
+        // read error (permissions, I/O) would silently drop the earlier
+        // benches' cases and misdiagnose as "missing" at the gate.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => panic!("cannot read bench report {}: {e}", path.display()),
+    };
+    all.extend(cases.iter().cloned());
+    std::fs::write(&path, serde::json::to_string(&all))
+        .unwrap_or_else(|e| panic!("cannot write bench report {}: {e}", path.display()));
+    println!("  [bench-json] {} ({} cases)", path.display(), all.len());
+}
+
+/// Loads a report file written by [`append_cases`].
+///
+/// # Errors
+///
+/// Describes unreadable or unparsable files.
+pub fn load_cases(path: &Path) -> Result<Vec<BenchCase>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde::json::from_str(&text).map_err(|e| format!("cannot parse {}: {e:?}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_round_trip_through_json() {
+        let cases = vec![
+            BenchCase {
+                bench: "ext_repair".into(),
+                case: "no-repair/full-sharing".into(),
+                wall_s: 1.25,
+                bytes_per_node: 1024.0,
+                final_accuracy: 0.5,
+                bytes_per_accuracy: 2048.0,
+            },
+            BenchCase {
+                bench: "ext_parallel".into(),
+                case: "threads-2".into(),
+                wall_s: 0.75,
+                bytes_per_node: 512.0,
+                final_accuracy: 0.25,
+                bytes_per_accuracy: 2048.0,
+            },
+        ];
+        let text = serde::json::to_string(&cases);
+        let back: Vec<BenchCase> = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, cases);
+    }
+
+    #[test]
+    fn from_result_guards_zero_accuracy() {
+        let result = jwins::metrics::RunResult {
+            strategy: "test".into(),
+            records: Vec::new(),
+            total_traffic: jwins_net::TrafficStats::default(),
+            rounds_run: 0,
+            reached_target: None,
+            alpha_history: Vec::new(),
+        };
+        let case = BenchCase::from_result("b", "c", 1.0, &result);
+        assert_eq!(
+            case.bytes_per_accuracy, -1.0,
+            "undefined cost uses a JSON-safe sentinel, not a non-finite float"
+        );
+        assert_eq!(case.final_accuracy, 0.0);
+        // The degenerate case must survive the JSON round-trip (non-finite
+        // floats would come back as unparsable nulls).
+        let text = serde::json::to_string(&vec![case.clone()]);
+        let back: Vec<BenchCase> = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, vec![case]);
+    }
+}

@@ -4,6 +4,7 @@ use crate::{JwinsError, Result};
 use jwins_fault::FaultConfig;
 use jwins_net::TimeModel;
 use jwins_sim::HeterogeneityProfile;
+use jwins_topology::repair::RepairPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Which execution substrate drives a run.
@@ -76,6 +77,16 @@ pub struct TrainConfig {
     /// ignored under [`ExecutionMode::BulkSynchronous`].
     #[serde(default)]
     pub eval_interval_s: Option<f64>,
+    /// Liveness-aware topology repair for event-driven runs with a fault
+    /// plan: on every crash and rejoin the affected rounds' graphs are
+    /// re-resolved through [`RepairPolicy::apply`], survivors re-wire
+    /// around the dead nodes (Metropolis–Hastings weights recomputed), and
+    /// in-flight messages on removed edges are invalidated. The default
+    /// [`RepairPolicy::None`] keeps the pre-repair engine behaviour bit for
+    /// bit; non-default values are rejected under
+    /// [`ExecutionMode::BulkSynchronous`], where no lifecycle exists.
+    #[serde(default)]
+    pub repair: RepairPolicy,
     /// Stop as soon as mean test accuracy reaches this value (Figures 5–6
     /// "run to target accuracy").
     pub target_accuracy: Option<f64>,
@@ -105,6 +116,7 @@ impl TrainConfig {
             heterogeneity: HeterogeneityProfile::default(),
             faults: FaultConfig::default(),
             eval_interval_s: None,
+            repair: RepairPolicy::None,
             target_accuracy: None,
             message_loss: 0.0,
             record_alphas: false,
@@ -136,6 +148,13 @@ impl TrainConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Fluent topology-repair override (event-driven runs only).
+    #[must_use]
+    pub fn with_repair(mut self, repair: RepairPolicy) -> Self {
+        self.repair = repair;
         self
     }
 
@@ -198,6 +217,13 @@ impl TrainConfig {
             return Err(JwinsError::InvalidConfig(
                 "fault plans and staleness caps require event-driven execution; project \
                  the timeline onto barrier rounds with FaultParticipation instead"
+                    .into(),
+            ));
+        }
+        if self.execution == ExecutionMode::BulkSynchronous && !self.repair.is_none() {
+            return Err(JwinsError::InvalidConfig(
+                "topology repair tracks the event-driven lifecycle; it has no meaning \
+                 under bulk-synchronous execution"
                     .into(),
             ));
         }
@@ -311,6 +337,19 @@ mod tests {
     }
 
     #[test]
+    fn repair_requires_event_driven_execution() {
+        let mut c = TrainConfig::new(3).with_repair(RepairPolicy::DegreePreserving);
+        assert!(c.validate().is_err(), "repair under the barrier rejected");
+        c = c.with_event_driven(HeterogeneityProfile::default());
+        assert!(c.validate().is_ok());
+        // The degenerate policy is fine anywhere.
+        assert!(TrainConfig::new(3)
+            .with_repair(RepairPolicy::None)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
     fn bad_fault_and_eval_interval_values_rejected() {
         use jwins_fault::FaultPlan;
         let mut c = TrainConfig::new(3).with_event_driven(HeterogeneityProfile::default());
@@ -353,6 +392,7 @@ mod tests {
             staleness: jwins_fault::StalenessPolicy::decay_after_rounds(2, 0.5),
         };
         config.eval_interval_s = Some(7.5);
+        config.repair = RepairPolicy::DegreePreserving;
         config.target_accuracy = Some(0.5);
         config.message_loss = 0.125;
         let text = serde::json::to_string(&config);
@@ -362,6 +402,7 @@ mod tests {
         assert_eq!(back.heterogeneity, config.heterogeneity);
         assert_eq!(back.faults, config.faults);
         assert_eq!(back.eval_interval_s, config.eval_interval_s);
+        assert_eq!(back.repair, config.repair);
         assert_eq!(back.rounds, config.rounds);
         assert_eq!(back.lr, config.lr);
         assert_eq!(back.seed, config.seed);
@@ -382,6 +423,7 @@ mod tests {
         assert_eq!(config.time_model, jwins_net::TimeModel::default());
         assert!(config.faults.is_noop());
         assert_eq!(config.eval_interval_s, None);
+        assert_eq!(config.repair, RepairPolicy::None);
         assert!(config.validate().is_ok());
     }
 }

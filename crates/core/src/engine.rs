@@ -81,6 +81,7 @@ use jwins_net::{LossModel, PendingSend, SimNetwork};
 use jwins_nn::model::{EvalMetrics, Model};
 use jwins_sim::{Conflict, EventQueue, LifecycleEvent, LifecycleTracker, SimTime};
 use jwins_topology::dynamic::{RoundTopology, TopologyProvider};
+use jwins_topology::repair::{dead_neighbor_counts, LiveSet};
 use std::sync::Arc;
 
 /// Builder for [`Trainer`] (see [`Trainer::builder`]).
@@ -236,12 +237,15 @@ impl<M: Model> TrainerBuilder<M> {
     }
 }
 
-/// Running fault/staleness counters surfaced in every [`RoundRecord`].
+/// Running fault/staleness/repair counters surfaced in every
+/// [`RoundRecord`].
 #[derive(Debug, Clone, Copy, Default)]
 struct FaultTelemetry {
     crashes: u64,
     rejoins: u64,
     downweight_mass: f64,
+    edges_rewired: u64,
+    bandwidth_saved_bytes: u64,
 }
 
 struct NodeState<M: Model> {
@@ -551,8 +555,10 @@ impl<M: Model> Trainer<M> {
     }
 
     /// Evaluates all nodes on the shared test set (possibly subsampled),
-    /// returning merged metrics and per-task means.
-    fn evaluate(&mut self) -> Result<EvalMetrics>
+    /// returning merged metrics plus each node's own accuracy — the
+    /// per-node series that makes the fast/slow (and survivor/rejoiner)
+    /// gap visible where the cluster mean hides it.
+    fn evaluate(&mut self) -> Result<(EvalMetrics, Vec<f64>)>
     where
         M: Send,
         M::Sample: Send + Sync,
@@ -580,16 +586,21 @@ impl<M: Model> Trainer<M> {
             Ok(())
         })?;
         let mut merged = EvalMetrics::default();
+        let mut accuracies = Vec::with_capacity(per_node.len());
         for slot in &per_node {
-            merged.merge(&slot.lock());
+            let local = slot.lock();
+            accuracies.push(local.accuracy());
+            merged.merge(&local);
         }
-        Ok(merged)
+        Ok((merged, accuracies))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn snapshot(
         &self,
         round: usize,
         metrics: &EvalMetrics,
+        per_node_accuracy: Vec<f64>,
         sim_time: f64,
         mean_staleness_s: f64,
         faults: FaultTelemetry,
@@ -620,6 +631,9 @@ impl<M: Model> Trainer<M> {
             rejoins: faults.rejoins,
             messages_expired: total.messages_expired,
             downweight_mass: faults.downweight_mass,
+            edges_rewired: faults.edges_rewired,
+            bandwidth_saved_bytes: faults.bandwidth_saved_bytes,
+            per_node_accuracy,
             checkpoint,
         }
     }
@@ -670,10 +684,11 @@ impl<M: Model> Trainer<M> {
             let eval_due = is_last
                 || (self.config.eval_every > 0 && (round + 1) % self.config.eval_every == 0);
             if eval_due {
-                let metrics = self.evaluate()?;
+                let (metrics, per_node) = self.evaluate()?;
                 let record = self.snapshot(
                     round,
                     &metrics,
+                    per_node,
                     sim_time,
                     0.0,
                     FaultTelemetry::default(),
@@ -683,12 +698,13 @@ impl<M: Model> Trainer<M> {
                     .config
                     .target_accuracy
                     .is_some_and(|t| record.test_accuracy >= t);
+                let bytes_per_node = record.cum_bytes_per_node;
                 records.push(record);
                 if hit_target && reached_target.is_none() {
                     reached_target = Some(TargetHit {
                         round,
                         sim_time_s: sim_time,
-                        bytes_per_node: record.cum_bytes_per_node,
+                        bytes_per_node,
                     });
                     break;
                 }
@@ -819,6 +835,15 @@ impl<M: Model> Trainer<M> {
             .map(|s| SimTime::from_secs_f64(self.config.time_model.compute_s / s))
             .collect();
 
+        // Liveness-aware topology repair: when active, every round context
+        // is resolved through the provider's live-aware path and then
+        // repaired around the currently-dead nodes; crashes and rejoins
+        // re-resolve the rounds in progress. `RepairPolicy::None` takes the
+        // plain `topology(round)` path below, bit-for-bit as before.
+        let repair = self.config.repair;
+        let repair_on = !repair.is_none();
+        let repair_seed = self.config.seed ^ 0x5245_5041; // "REPA"
+
         let mut queue: EventQueue<Ev> = EventQueue::new(self.config.seed ^ 0xE0E0);
         for node in 0..n {
             queue.push(
@@ -857,21 +882,103 @@ impl<M: Model> Trainer<M> {
         // share one construction (dynamic topologies rebuild graph + MH
         // weights per call — 2n calls per round without this). Entries are
         // evicted once every node has completed the round, bounding memory
-        // by the fast/slow-node spread.
-        let mut round_ctx: std::collections::HashMap<usize, (RoundTopology, Arc<Vec<bool>>)> =
+        // by the fast/slow-node spread. Under repair each entry also keeps
+        // the per-node count of dead base-graph neighbours the repaired
+        // topology avoids (the bandwidth-savings accounting).
+        struct RoundCtx {
+            topo: RoundTopology,
+            active: Arc<Vec<bool>>,
+            avoided: Arc<Vec<u64>>,
+        }
+        let mut round_ctx: std::collections::HashMap<usize, RoundCtx> =
             std::collections::HashMap::new();
+        let mut lifecycle = LifecycleTracker::new(n);
+        let mut edges_rewired = 0u64;
+        let mut bandwidth_saved = 0u64;
         macro_rules! ctx_for {
             ($round:expr) => {{
                 let round = $round;
                 if !round_ctx.contains_key(&round) {
-                    let topo = self.topology.topology(round);
                     let active: Vec<bool> = (0..n)
                         .map(|j| self.participation.is_active(round, j))
                         .collect();
-                    round_ctx.insert(round, (topo, Arc::new(active)));
+                    let (topo, avoided) = if repair_on {
+                        let live =
+                            LiveSet::new(lifecycle.alive_flags().to_vec(), lifecycle.version());
+                        let base = self.topology.topology_for(round, &live);
+                        let out = repair.apply(&base, &live, repair_seed, round);
+                        edges_rewired += out.edges_added;
+                        // Savings count against the liveness-blind graph: a
+                        // live-aware provider (PeerSampling) filters dead
+                        // peers out of `base` itself, which would zero the
+                        // avoided-sends accounting. Blind providers already
+                        // counted on that graph inside apply().
+                        let avoided = if self.topology.is_live_aware() && !live.is_fully_alive() {
+                            dead_neighbor_counts(&self.topology.topology(round).graph, &live)
+                        } else {
+                            out.dead_neighbors
+                        };
+                        (out.topology, avoided)
+                    } else {
+                        (self.topology.topology(round), Vec::new())
+                    };
+                    round_ctx.insert(
+                        round,
+                        RoundCtx {
+                            topo,
+                            active: Arc::new(active),
+                            avoided: Arc::new(avoided),
+                        },
+                    );
                 }
-                let (topo, active) = &round_ctx[&round];
-                (topo.clone(), Arc::clone(active))
+                let ctx = &round_ctx[&round];
+                (
+                    ctx.topo.clone(),
+                    Arc::clone(&ctx.active),
+                    Arc::clone(&ctx.avoided),
+                )
+            }};
+        }
+
+        // Re-resolves every cached (in-progress) round against the current
+        // live set after a crash or rejoin: survivors re-wire, Metropolis
+        // weights refresh, and the round's messages on edges the repair
+        // removed — in flight *or already arrived* — are invalidated with
+        // their receive accounting reversed. An arrived message on a
+        // removed edge could never be mixed anyway (the mix weight lookup
+        // no longer lists the sender), so purging it meters the loss
+        // instead of leaving it to be skipped silently. Runs only in the
+        // sequential commit path of solo fault events, so determinism is
+        // untouched; rounds iterate in sorted order because the map's
+        // iteration order is not deterministic.
+        macro_rules! repair_refresh {
+            () => {{
+                let live = LiveSet::new(lifecycle.alive_flags().to_vec(), lifecycle.version());
+                let mut cached: Vec<usize> = round_ctx.keys().copied().collect();
+                cached.sort_unstable();
+                for round in cached {
+                    let base = self.topology.topology_for(round, &live);
+                    let out = repair.apply(&base, &live, repair_seed, round);
+                    edges_rewired += out.edges_added;
+                    let ctx = round_ctx.get_mut(&round).expect("key just listed");
+                    for (a, b) in ctx.topo.graph.edges() {
+                        if !out.topology.graph.has_edge(a, b) {
+                            // The connection is gone in both directions;
+                            // only this round's messages die — other rounds
+                            // may still carry the edge.
+                            self.network.purge_link(a, b, Some(round));
+                            self.network.purge_link(b, a, Some(round));
+                        }
+                    }
+                    ctx.topo = out.topology;
+                    // Same liveness-blind savings accounting as ctx_for!.
+                    ctx.avoided =
+                        Arc::new(if self.topology.is_live_aware() && !live.is_fully_alive() {
+                            dead_neighbor_counts(&self.topology.topology(round).graph, &live)
+                        } else {
+                            out.dead_neighbors
+                        });
+                }
             }};
         }
 
@@ -889,7 +996,6 @@ impl<M: Model> Trainer<M> {
             Vec::new()
         };
         let mut current_alpha = vec![0.0f64; n];
-        let mut lifecycle = LifecycleTracker::new(n);
         let mut downweight_mass = 0.0f64;
         // Rounds each node has passed — by mixing or by crash-abandonment.
         // A node's pending events always concern round `rounds_passed[i]`,
@@ -936,7 +1042,7 @@ impl<M: Model> Trainer<M> {
                         || (self.config.eval_every > 0
                             && (round + 1) % self.config.eval_every == 0);
                     if eval_due {
-                        let metrics = self.evaluate()?;
+                        let (metrics, per_node) = self.evaluate()?;
                         let mean_staleness_s = if mixed_messages == 0 {
                             0.0
                         } else {
@@ -945,12 +1051,15 @@ impl<M: Model> Trainer<M> {
                         let record = self.snapshot(
                             round,
                             &metrics,
+                            per_node,
                             time.as_secs_f64(),
                             mean_staleness_s,
                             FaultTelemetry {
                                 crashes: lifecycle.crashes(),
                                 rejoins: lifecycle.recoveries(),
                                 downweight_mass,
+                                edges_rewired,
+                                bandwidth_saved_bytes: bandwidth_saved,
                             },
                             false,
                         );
@@ -984,11 +1093,17 @@ impl<M: Model> Trainer<M> {
             round: usize,
             topo: RoundTopology,
             active: Arc<Vec<bool>>,
+            /// Dead base-graph neighbours this node no longer addresses
+            /// because repair removed them (0 with repair off).
+            avoided: u64,
         }
         struct TrainProposal {
             sends: Vec<PendingSend>,
             mix_at: SimTime,
             alpha: f64,
+            /// Bytes not spent on dead neighbours thanks to repair
+            /// (per-message size × avoided edges).
+            saved_bytes: u64,
         }
         struct MixItem {
             round: usize,
@@ -1051,7 +1166,7 @@ impl<M: Model> Trainer<M> {
                         if !lifecycle.is_current(node, epoch) {
                             continue;
                         }
-                        let (_, active_set) = ctx_for!(round);
+                        let (_, active_set, _) = ctx_for!(round);
                         let active = active_set[node];
                         let end = time.plus(compute_time[node]);
                         pending_work += 1;
@@ -1090,7 +1205,7 @@ impl<M: Model> Trainer<M> {
                         if !lifecycle.is_current(node, epoch) {
                             continue;
                         }
-                        let (topo, active) = ctx_for!(round);
+                        let (topo, active, avoided) = ctx_for!(round);
                         meta.push((node, round, epoch));
                         items.push((
                             node,
@@ -1098,6 +1213,7 @@ impl<M: Model> Trainer<M> {
                                 round,
                                 topo,
                                 active,
+                                avoided: avoided.get(node).copied().unwrap_or(0),
                             },
                         ));
                     }
@@ -1143,6 +1259,22 @@ impl<M: Model> Trainer<M> {
                                     });
                                     *departure = departure.after_secs(tx);
                                 };
+                            // Savings accounting: the bytes this node would
+                            // have pushed to its dead base-graph neighbours
+                            // had repair not removed them (one message per
+                            // avoided edge, at this round's message size).
+                            let per_msg_bytes = match &outbound {
+                                Outbound::Broadcast(msg) => msg.bytes.len() as u64,
+                                Outbound::PerEdge(messages) => {
+                                    let (count, total) = messages
+                                        .iter()
+                                        .flatten()
+                                        .fold((0u64, 0u64), |(c, t), m| {
+                                            (c + 1, t + m.bytes.len() as u64)
+                                        });
+                                    total.checked_div(count).unwrap_or(0)
+                                }
+                            };
                             match outbound {
                                 Outbound::Broadcast(msg) => {
                                     for &to in &neighbors {
@@ -1166,6 +1298,7 @@ impl<M: Model> Trainer<M> {
                                 sends,
                                 mix_at: departure,
                                 alpha: state.last_alpha,
+                                saved_bytes: item.avoided * per_msg_bytes,
                             })
                         })?;
                     // Commit in pop order: mailbox append order, loss-model
@@ -1173,6 +1306,7 @@ impl<M: Model> Trainer<M> {
                     // sequential interleaving exactly.
                     for ((node, round, epoch), proposal) in meta.into_iter().zip(proposals) {
                         self.network.commit_sends(proposal.sends);
+                        bandwidth_saved += proposal.saved_bytes;
                         current_alpha[node] = proposal.alpha;
                         if self.config.record_alphas {
                             alpha_rows[round][node] = proposal.alpha;
@@ -1214,7 +1348,7 @@ impl<M: Model> Trainer<M> {
                     let mut items: Vec<(usize, MixItem)> = Vec::new();
                     for &(node, round, trained, _) in &live {
                         if trained {
-                            let (topo, _) = ctx_for!(round);
+                            let (topo, _, _) = ctx_for!(round);
                             items.push((node, MixItem { round, topo }));
                         }
                     }
@@ -1351,6 +1485,12 @@ impl<M: Model> Trainer<M> {
                         // has in flight is destroyed.
                         self.network.purge_inbox(node);
                         self.network.purge_in_flight_from(node, time);
+                        // Survivors re-wire around the hole: every round in
+                        // progress is re-resolved against the shrunken live
+                        // set, and sends on repair-removed edges die.
+                        if repair_on {
+                            repair_refresh!();
+                        }
                         // Abandon the round in progress (its scheduled
                         // events are now stale via the epoch bump) so the
                         // cluster-wide round completion still counts to n.
@@ -1401,6 +1541,13 @@ impl<M: Model> Trainer<M> {
                             state.model.set_params(&state.params);
                             state.strategy.init(&state.params);
                         }
+                        // Re-admission runs through the same repair policy:
+                        // in-progress rounds re-resolve with the node back
+                        // in the live set (repair-added detour edges drop
+                        // out; their in-flight messages are invalidated).
+                        if repair_on {
+                            repair_refresh!();
+                        }
                         let round = rounds_passed[node];
                         if round < rounds {
                             pending_work += 1;
@@ -1427,7 +1574,7 @@ impl<M: Model> Trainer<M> {
                         .config
                         .eval_interval_s
                         .expect("EvalTick only scheduled with an interval");
-                    let metrics = self.evaluate()?;
+                    let (metrics, per_node) = self.evaluate()?;
                     let mean_staleness_s = if mixed_messages == 0 {
                         0.0
                     } else {
@@ -1436,12 +1583,15 @@ impl<M: Model> Trainer<M> {
                     let record = self.snapshot(
                         rounds_run.saturating_sub(1),
                         &metrics,
+                        per_node,
                         time.as_secs_f64(),
                         mean_staleness_s,
                         FaultTelemetry {
                             crashes: lifecycle.crashes(),
                             rejoins: lifecycle.recoveries(),
                             downweight_mass,
+                            edges_rewired,
+                            bandwidth_saved_bytes: bandwidth_saved,
                         },
                         true,
                     );
@@ -1472,7 +1622,7 @@ impl<M: Model> Trainer<M> {
             // completed cluster-wide and their evaluation points never
             // fired. Close the run with a final checkpoint at the last
             // event time so the result still reflects the trained models.
-            let metrics = self.evaluate()?;
+            let (metrics, per_node) = self.evaluate()?;
             let mean_staleness_s = if mixed_messages == 0 {
                 0.0
             } else {
@@ -1481,12 +1631,15 @@ impl<M: Model> Trainer<M> {
             let record = self.snapshot(
                 rounds_run.saturating_sub(1),
                 &metrics,
+                per_node,
                 last_time.as_secs_f64(),
                 mean_staleness_s,
                 FaultTelemetry {
                     crashes: lifecycle.crashes(),
                     rejoins: lifecycle.recoveries(),
                     downweight_mass,
+                    edges_rewired,
+                    bandwidth_saved_bytes: bandwidth_saved,
                 },
                 true,
             );
@@ -1625,10 +1778,11 @@ mod tests {
         let params: Vec<Vec<f32>> = (0..trainer.node_count())
             .map(|i| trainer.node_params(i).to_vec())
             .collect();
-        let metrics = trainer.evaluate().unwrap();
+        let (metrics, per_node) = trainer.evaluate().unwrap();
         let record = trainer.snapshot(
             rounds - 1,
             &metrics,
+            per_node,
             sim_time,
             0.0,
             FaultTelemetry::default(),
@@ -1991,6 +2145,64 @@ mod tests {
                 assert_eq!(x.mean_staleness_s.to_bits(), y.mean_staleness_s.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn repair_rewires_around_a_permanent_crash_and_saves_bytes() {
+        use jwins_fault::{FaultConfig, FaultOutage, FaultPlan};
+        use jwins_topology::repair::RepairPolicy;
+        let run = |repair: RepairPolicy| {
+            let data = cifar_like(&ImageConfig::tiny(), 8, 2, 5);
+            let mut cfg = TrainConfig::quick_test();
+            cfg.rounds = 6;
+            cfg.lr = 0.1;
+            cfg.eval_every = 1;
+            cfg.execution = ExecutionMode::EventDriven;
+            cfg.time_model.compute_s = 1.0;
+            cfg.repair = repair;
+            cfg.faults = FaultConfig {
+                plan: FaultPlan::Scripted(vec![FaultOutage::new(2, 2.5, f64::INFINITY)]),
+                ..FaultConfig::default()
+            };
+            Trainer::builder(cfg)
+                .topology(StaticTopology::random_regular(8, 3, 3).unwrap())
+                .test_set(data.test)
+                .nodes(data.node_train, |_| {
+                    (
+                        mlp_classifier(2 * 8 * 8, &[8], 4, 7),
+                        Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+                    )
+                })
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let none = run(RepairPolicy::None);
+        let repaired = run(RepairPolicy::DegreePreserving);
+        let last_none = none.records.last().unwrap();
+        let last_rep = repaired.records.last().unwrap();
+        assert_eq!(last_none.edges_rewired, 0);
+        assert_eq!(last_none.bandwidth_saved_bytes, 0);
+        assert!(last_rep.edges_rewired > 0, "survivors re-wired");
+        assert!(
+            last_rep.bandwidth_saved_bytes > 0,
+            "dead-edge sends avoided"
+        );
+        // Without repair the dead node's neighbours keep paying for it.
+        assert!(
+            repaired.total_traffic.bytes_sent < none.total_traffic.bytes_sent,
+            "repair must reduce bytes: {} vs {}",
+            repaired.total_traffic.bytes_sent,
+            none.total_traffic.bytes_sent
+        );
+        // Per-node accuracies are reported for every node at every eval.
+        assert_eq!(last_rep.per_node_accuracy.len(), 8);
+        assert!(
+            (last_rep.per_node_accuracy.iter().sum::<f64>() / 8.0 - last_rep.test_accuracy).abs()
+                < 1e-9,
+            "per-node accuracies are consistent with the cluster mean"
+        );
     }
 
     #[test]

@@ -79,6 +79,15 @@ pub mod sparsify;
 pub mod strategies;
 pub mod strategy;
 
+/// Whether `JWINS_SMOKE=1` requests the CI-sized reduced configuration.
+/// The `examples-smoke` and `bench-smoke` CI jobs set it so examples and
+/// the smoke benches execute end to end in seconds; this is the single
+/// definition of the smoke contract (`jwins_repro::smoke` and
+/// `jwins_bench::smoke` delegate here).
+pub fn smoke() -> bool {
+    std::env::var("JWINS_SMOKE").is_ok_and(|v| v == "1")
+}
+
 use std::error::Error;
 use std::fmt;
 

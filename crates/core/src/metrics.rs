@@ -9,7 +9,7 @@ use jwins_net::TrafficStats;
 use serde::{Deserialize, Serialize};
 
 /// One evaluation point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
     /// Communication round (0-based; the record is taken *after* the round).
     pub round: usize,
@@ -52,6 +52,22 @@ pub struct RoundRecord {
     /// self-weights by the down-weighting policy so far (cumulative).
     #[serde(default)]
     pub downweight_mass: f64,
+    /// Edges added by topology repair so far — each repaired round
+    /// resolution contributes the survivor–survivor edges it wired in
+    /// (cumulative; zero under `RepairPolicy::None`).
+    #[serde(default)]
+    pub edges_rewired: u64,
+    /// Bytes *not* sent to crashed neighbours because repair removed them
+    /// from the sender's topology (cumulative). Under `RepairPolicy::None`
+    /// these bytes are spent on dead hosts instead — the waste the paper's
+    /// cost metrics would otherwise hide.
+    #[serde(default)]
+    pub bandwidth_saved_bytes: u64,
+    /// Per-node test accuracy at this evaluation, indexed by node id —
+    /// exposes the fast/slow (and survivor/rejoiner) gap the cluster mean
+    /// [`Self::test_accuracy`] averages away. Empty in legacy records.
+    #[serde(default)]
+    pub per_node_accuracy: Vec<f64>,
     /// Whether this record is a virtual-time evaluation checkpoint
     /// (`TrainConfig::eval_interval_s`) rather than a round-boundary
     /// evaluation. Checkpoints report `round` as the latest fully completed
@@ -84,6 +100,14 @@ impl RoundRecord {
             && self.rejoins == other.rejoins
             && self.messages_expired == other.messages_expired
             && self.downweight_mass.to_bits() == other.downweight_mass.to_bits()
+            && self.edges_rewired == other.edges_rewired
+            && self.bandwidth_saved_bytes == other.bandwidth_saved_bytes
+            && self.per_node_accuracy.len() == other.per_node_accuracy.len()
+            && self
+                .per_node_accuracy
+                .iter()
+                .zip(&other.per_node_accuracy)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
             && self.checkpoint == other.checkpoint
     }
 }
@@ -178,11 +202,20 @@ impl RunResult {
         let mut out = String::from(
             "round,train_loss,test_loss,test_accuracy,test_rmse,mean_alpha,\
              cum_bytes_per_node,cum_payload_per_node,cum_metadata_per_node,sim_time_s,\
-             mean_staleness_s,crashes,rejoins,messages_expired,downweight_mass,checkpoint\n",
+             mean_staleness_s,crashes,rejoins,messages_expired,downweight_mass,checkpoint,\
+             edges_rewired,bandwidth_saved_bytes,per_node_accuracy\n",
         );
         for r in &self.records {
+            // Per-node accuracies stay one CSV cell, ';'-separated, so the
+            // row shape is independent of the cluster size.
+            let per_node = r
+                .per_node_accuracy
+                .iter()
+                .map(|a| format!("{a:.6}"))
+                .collect::<Vec<_>>()
+                .join(";");
             out.push_str(&format!(
-                "{},{:.6},{:.6},{:.6},{:.6},{:.4},{:.0},{:.0},{:.0},{:.3},{:.4},{},{},{},{:.4},{}\n",
+                "{},{:.6},{:.6},{:.6},{:.6},{:.4},{:.0},{:.0},{:.0},{:.3},{:.4},{},{},{},{:.4},{},{},{},{}\n",
                 r.round,
                 r.train_loss,
                 r.test_loss,
@@ -198,7 +231,10 @@ impl RunResult {
                 r.rejoins,
                 r.messages_expired,
                 r.downweight_mass,
-                u8::from(r.checkpoint)
+                u8::from(r.checkpoint),
+                r.edges_rewired,
+                r.bandwidth_saved_bytes,
+                per_node
             ));
         }
         out
@@ -226,6 +262,9 @@ mod tests {
             rejoins: 0,
             messages_expired: 0,
             downweight_mass: 0.0,
+            edges_rewired: 0,
+            bandwidth_saved_bytes: 0,
+            per_node_accuracy: vec![acc; 2],
             checkpoint: false,
         }
     }
@@ -258,7 +297,37 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("round,"));
+        assert!(lines[0].ends_with("per_node_accuracy"));
         assert!(lines[1].starts_with("0,"));
+        assert!(
+            lines[1].ends_with("0.200000;0.200000"),
+            "per-node accuracies join with ';': {}",
+            lines[1]
+        );
+        // One cell per header column regardless of cluster size.
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "row shape matches header"
+        );
+    }
+
+    #[test]
+    fn bits_eq_covers_the_new_fields() {
+        let a = record(0, 0.5);
+        assert!(a.bits_eq(&a.clone()));
+        let mut b = a.clone();
+        b.edges_rewired = 1;
+        assert!(!a.bits_eq(&b));
+        let mut b = a.clone();
+        b.bandwidth_saved_bytes = 1;
+        assert!(!a.bits_eq(&b));
+        let mut b = a.clone();
+        b.per_node_accuracy[1] = 0.25;
+        assert!(!a.bits_eq(&b));
+        let mut b = a.clone();
+        b.per_node_accuracy.pop();
+        assert!(!a.bits_eq(&b));
     }
 
     #[test]

@@ -342,6 +342,33 @@ impl FaultTimeline {
         events
     }
 
+    /// The largest number of nodes simultaneously down at any instant —
+    /// the worst-case hole a topology-repair policy has to wire around
+    /// (outages are half-open, so a recovery at the exact instant of
+    /// another crash does not overlap it).
+    pub fn peak_concurrent_down(&self) -> usize {
+        let mut deltas: Vec<(SimTime, bool)> = Vec::new();
+        for iv in &self.intervals {
+            deltas.push((iv.start, true));
+            if iv.end < SimTime(u64::MAX) {
+                deltas.push((iv.end, false));
+            }
+        }
+        // Ends sort before starts at equal times (false < true).
+        deltas.sort_by_key(|&(t, is_start)| (t, is_start));
+        let mut down = 0usize;
+        let mut peak = 0usize;
+        for (_, is_start) in deltas {
+            if is_start {
+                down += 1;
+                peak = peak.max(down);
+            } else {
+                down -= 1;
+            }
+        }
+        peak
+    }
+
     /// Whether `node` is down at time `t` (outages are half-open:
     /// down on `[start, end)`).
     pub fn is_down_at(&self, node: usize, t: SimTime) -> bool {
@@ -451,6 +478,26 @@ mod tests {
         assert_eq!(down_at(7.0), 0);
         // Recoveries carry the plan's rejoin mode.
         assert!(t.events().iter().all(|e| e.rejoin == RejoinMode::Resync));
+    }
+
+    #[test]
+    fn peak_concurrent_down_sweeps_overlaps() {
+        assert_eq!(
+            FaultTimeline::expand(&FaultPlan::None, 4, 0)
+                .unwrap()
+                .peak_concurrent_down(),
+            0
+        );
+        let plan = FaultPlan::Scripted(vec![
+            FaultOutage::new(1, 0.0, 4.0),
+            FaultOutage::new(2, 2.0, 4.0),
+            // Starts exactly when node 1 recovers: half-open, no overlap.
+            FaultOutage::new(3, 4.0, 1.0),
+            // Permanent crash overlaps everything after t = 5.
+            FaultOutage::new(0, 5.0, f64::INFINITY),
+        ]);
+        let t = FaultTimeline::expand(&plan, 4, 0).unwrap();
+        assert_eq!(t.peak_concurrent_down(), 2);
     }
 
     #[test]

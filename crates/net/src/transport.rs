@@ -481,6 +481,47 @@ impl SimNetwork {
         killed
     }
 
+    /// Destroys messages queued from `from` to `to` — arrived or in flight
+    /// — as when a topology-repair step tears the connection down (the edge
+    /// was removed, so its deliveries will never be mixed). With
+    /// `sent_round = Some(r)` only messages the sender stamped with round
+    /// `r` die (repair re-wires per round; other rounds may still carry the
+    /// edge); `None` clears the whole directed link. Receive accounting is
+    /// reversed via [`TrafficStats::record_kill`], exactly like the crash
+    /// purges. Returns `(messages, bytes)` destroyed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn purge_link(&self, from: usize, to: usize, sent_round: Option<usize>) -> (u64, u64) {
+        assert!(
+            from < self.len() && to < self.len(),
+            "endpoint out of range"
+        );
+        let mut killed_bytes: Vec<usize> = Vec::new();
+        {
+            let mut mailbox = self.mailboxes[to].lock();
+            mailbox.retain(|env| {
+                if env.from == from && sent_round.is_none_or(|r| env.sent_round == r) {
+                    killed_bytes.push(env.payload.len());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if killed_bytes.is_empty() {
+            return (0, 0);
+        }
+        let mut stats = self.stats[to].lock();
+        let mut bytes = 0u64;
+        for b in &killed_bytes {
+            stats.record_kill(*b);
+            bytes += *b as u64;
+        }
+        (killed_bytes.len() as u64, bytes)
+    }
+
     /// Number of messages still queued (arrived or in flight) for `node`.
     ///
     /// # Panics
@@ -889,6 +930,44 @@ mod tests {
         let inbox = net.drain_until(2, SimTime(20));
         let froms: Vec<usize> = inbox.iter().map(|e| e.from).collect();
         assert_eq!(froms, vec![0, 1]);
+    }
+
+    #[test]
+    fn purge_link_kills_only_that_directed_link() {
+        let net = SimNetwork::new(3);
+        net.send(0, 2, Bytes::from(vec![0u8; 4]), breakdown(4, 0));
+        net.send(1, 2, Bytes::from(vec![0u8; 6]), breakdown(6, 0));
+        net.send(0, 1, Bytes::from(vec![0u8; 2]), breakdown(2, 0));
+        assert_eq!(net.purge_link(0, 2, None), (1, 4));
+        assert_eq!(net.pending(2), 1, "other sender's message survives");
+        assert_eq!(net.pending(1), 1, "other link untouched");
+        let s = net.stats(2);
+        assert_eq!(s.messages_dropped, 1);
+        assert_eq!(s.bytes_received, 6, "receive accounting reversed");
+        // The sender still paid for the bytes it pushed.
+        assert_eq!(net.stats(0).bytes_sent, 6);
+        // An empty link is a no-op.
+        assert_eq!(net.purge_link(0, 2, None), (0, 0));
+    }
+
+    #[test]
+    fn purge_link_can_filter_by_sent_round() {
+        let net = SimNetwork::new(2);
+        for round in [3usize, 4, 3] {
+            net.send_timed(
+                0,
+                1,
+                Bytes::from(vec![round as u8; 2]),
+                breakdown(2, 0),
+                SimTime(0),
+                SimTime(10),
+                round,
+            );
+        }
+        assert_eq!(net.purge_link(0, 1, Some(3)), (2, 4));
+        let survivors = net.drain_until(1, SimTime(10));
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].sent_round, 4, "other rounds' messages live");
     }
 
     #[test]

@@ -177,6 +177,20 @@ impl LifecycleTracker {
     pub fn first_alive(&self) -> Option<usize> {
         self.alive.iter().position(|&a| a)
     }
+
+    /// Per-node alive flags, indexed by node id — the snapshot a
+    /// liveness-aware topology layer consumes to rewire around dead nodes.
+    pub fn alive_flags(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// A monotone counter that changes on every crash *and* every recovery
+    /// (`crashes + recoveries`). Two equal versions imply the same alive
+    /// set, so it can key deterministic, epoch-dependent derivations (e.g.
+    /// seeded topology repair) without hashing the flags themselves.
+    pub fn version(&self) -> u64 {
+        self.crashes + self.recoveries
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +222,22 @@ mod tests {
         assert!(!t.apply(LifecycleEvent::Recover { node: 0 }));
         assert_eq!(t.crashes(), 1);
         assert_eq!(t.recoveries(), 1);
+    }
+
+    #[test]
+    fn alive_flags_and_version_track_lifecycle() {
+        let mut t = LifecycleTracker::new(3);
+        assert_eq!(t.alive_flags(), &[true, true, true]);
+        assert_eq!(t.version(), 0);
+        t.crash(1);
+        assert_eq!(t.alive_flags(), &[true, false, true]);
+        assert_eq!(t.version(), 1);
+        t.recover(1);
+        assert_eq!(t.alive_flags(), &[true, true, true]);
+        assert_eq!(t.version(), 2, "recovery also advances the version");
+        // Rejected double faults leave the version untouched.
+        t.recover(1);
+        assert_eq!(t.version(), 2);
     }
 
     #[test]

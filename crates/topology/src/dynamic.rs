@@ -7,6 +7,7 @@
 //! is in use.
 
 use crate::gen::random_regular;
+use crate::repair::LiveSet;
 use crate::weights::MetropolisWeights;
 use crate::{Graph, TopologyError};
 use std::sync::Arc;
@@ -39,6 +40,29 @@ pub trait TopologyProvider: Send + Sync {
 
     /// The topology used in `round`. Must be deterministic in `round`.
     fn topology(&self, round: usize) -> RoundTopology;
+
+    /// Liveness-aware resolution path: the topology used in `round` given
+    /// which nodes are currently up. Must be deterministic in
+    /// `(round, live)`. The default ignores liveness and returns
+    /// [`Self::topology`] — providers with their own membership state (e.g.
+    /// [`crate::peer_sampling::PeerSampling`]) override it to avoid sampling
+    /// dead peers in the first place. Callers wanting survivors *re-wired*
+    /// around the holes pass the result through
+    /// [`crate::repair::RepairPolicy::apply`].
+    fn topology_for(&self, round: usize, live: &LiveSet) -> RoundTopology {
+        let _ = live;
+        self.topology(round)
+    }
+
+    /// Whether [`Self::topology_for`] actually consults the live set. The
+    /// default (`false`, matching the default `topology_for`) lets callers
+    /// reuse the live-resolved graph where a liveness-*blind* one is
+    /// needed — e.g. the engine's avoided-sends accounting — instead of
+    /// resolving the round twice. Override to `true` together with
+    /// `topology_for`.
+    fn is_live_aware(&self) -> bool {
+        false
+    }
 
     /// Whether the graph changes between rounds (used by strategies such as
     /// CHOCO-SGD whose state assumes a fixed neighbourhood).

@@ -13,6 +13,8 @@
 //! - [`dynamic`]: static and per-round re-randomized topology providers.
 //! - [`peer_sampling`]: Cyclon-style partial-view peer sampling (the
 //!   "peer-sampling services" future-work direction of §V).
+//! - [`repair`]: liveness-aware topology repair — deterministic, seeded
+//!   re-wiring of survivors around crashed nodes ([`repair::RepairPolicy`]).
 //!
 //! # Example
 //!
@@ -31,7 +33,10 @@
 pub mod dynamic;
 pub mod gen;
 pub mod peer_sampling;
+pub mod repair;
 pub mod weights;
+
+pub use repair::{LiveSet, RepairPolicy};
 
 use std::error::Error;
 use std::fmt;
@@ -155,6 +160,15 @@ impl Graph {
         self.adj.iter().map(Vec::len).sum::<usize>() / 2
     }
 
+    /// Whether the undirected edge `{a, b}` exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= self.len()`.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].binary_search(&b).is_ok()
+    }
+
     /// Iterates over each undirected edge once, as `(low, high)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.adj
@@ -184,6 +198,38 @@ impl Graph {
             }
         }
         count == n
+    }
+
+    /// Whether every vertex with `include[v] == true` can reach every other
+    /// included vertex through included vertices only — connectivity of the
+    /// induced subgraph. Zero or one included vertices count as connected.
+    /// Used by the repair layer, where crashed nodes sit isolated in the
+    /// full graph but must not count against survivor connectivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `include.len() != self.len()`.
+    pub fn is_connected_among(&self, include: &[bool]) -> bool {
+        assert_eq!(include.len(), self.len(), "include mask length mismatch");
+        let total = include.iter().filter(|&&k| k).count();
+        if total <= 1 {
+            return true;
+        }
+        let start = include.iter().position(|&k| k).expect("total >= 1");
+        let mut seen = vec![false; self.len()];
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start] = true;
+        let mut count = 1;
+        while let Some(v) = queue.pop_front() {
+            for &u in &self.adj[v] {
+                if include[u] && !seen[u] {
+                    seen[u] = true;
+                    count += 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count == total
     }
 }
 
@@ -232,6 +278,29 @@ mod tests {
         let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (3, 4)]).unwrap();
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn has_edge_checks_membership() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn induced_connectivity_ignores_excluded_vertices() {
+        // 0-1-2 path plus isolated 3: full graph disconnected, but the
+        // subgraph without 3 is connected.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        assert!(!g.is_connected());
+        assert!(g.is_connected_among(&[true, true, true, false]));
+        // Excluding the middle of the path disconnects the ends.
+        assert!(!g.is_connected_among(&[true, false, true, false]));
+        // Degenerate masks are connected.
+        assert!(g.is_connected_among(&[false, false, false, true]));
+        assert!(g.is_connected_among(&[false; 4]));
     }
 
     #[test]

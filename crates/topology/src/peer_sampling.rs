@@ -18,6 +18,7 @@
 //! simulator itself.
 
 use crate::dynamic::{RoundTopology, TopologyProvider};
+use crate::repair::LiveSet;
 use crate::Graph;
 use parking_lot::Mutex;
 use rand::seq::SliceRandom;
@@ -57,12 +58,25 @@ impl Default for PeerSamplingConfig {
 /// Mutable protocol state, evolved one shuffle per round.
 #[derive(Debug)]
 struct CyclonState {
-    /// Round the next `step` call will produce.
-    next_round: usize,
+    /// Round whose *pre-shuffle* views the `views` field currently holds:
+    /// round `r`'s graph is derived from these views, and shuffling them
+    /// with round `r`'s stream advances to `r + 1`.
+    view_round: usize,
     views: Vec<Vec<Entry>>,
+    /// Pre-shuffle view snapshots of the last [`HISTORY_CAP`] rounds
+    /// stepped through, newest at the back. Re-querying a recent earlier
+    /// round (the engine's repair path re-resolves every in-progress round
+    /// on each crash/rejoin) restores from here in O(n · view_size)
+    /// instead of replaying the whole protocol from bootstrap.
+    history: std::collections::VecDeque<(usize, Vec<Vec<Entry>>)>,
     /// Most recently derived topology, keyed by round.
     cache: Option<(usize, RoundTopology)>,
 }
+
+/// Rounds of pre-shuffle view snapshots kept for cheap rewinds. The engine
+/// only revisits rounds still in progress — a window bounded by the
+/// fast/slow node spread, far below this cap.
+const HISTORY_CAP: usize = 32;
 
 /// A [`TopologyProvider`] backed by a Cyclon-style peer-sampling service.
 ///
@@ -114,8 +128,9 @@ impl PeerSampling {
             config,
             seed,
             state: Mutex::new(CyclonState {
-                next_round: 0,
+                view_round: 0,
                 views: Self::bootstrap(nodes, config.view_size),
+                history: std::collections::VecDeque::new(),
                 cache: None,
             }),
         }
@@ -140,7 +155,8 @@ impl PeerSampling {
     }
 
     /// A snapshot of node `v`'s current partial view (diagnostics/tests).
-    /// Reflects the state after the most recently queried round.
+    /// Reflects the views the most recently queried round's graph was
+    /// derived from.
     ///
     /// # Panics
     ///
@@ -148,6 +164,28 @@ impl PeerSampling {
     pub fn view_of(&self, v: usize) -> Vec<usize> {
         let state = self.state.lock();
         state.views[v].iter().map(|e| e.peer).collect()
+    }
+
+    /// [`Self::view_of`] restricted to peers that are up in `live`: the
+    /// contacts a node could actually gossip with. A caller holding a
+    /// lifecycle tracker should prefer this over [`Self::view_of`] — the
+    /// raw view may still list crashed peers, since view maintenance (like
+    /// any real membership protocol) only learns about failures with lag.
+    /// The engine's repair path resolves topologies through
+    /// [`TopologyProvider::topology_for`], which samples from exactly this
+    /// filtered view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= nodes` or the live set size mismatches.
+    pub fn view_of_live(&self, v: usize, live: &LiveSet) -> Vec<usize> {
+        assert_eq!(live.len(), self.nodes, "live set size mismatches service");
+        let state = self.state.lock();
+        state.views[v]
+            .iter()
+            .map(|e| e.peer)
+            .filter(|&p| live.is_alive(p))
+            .collect()
     }
 
     fn rng_for(&self, round: usize, salt: u64) -> ChaCha8Rng {
@@ -163,12 +201,24 @@ impl PeerSampling {
 
     /// Derives this round's communication graph from the current views:
     /// every node picks `degree` distinct peers from its view; the edge set
-    /// is symmetrized.
-    fn derive_graph(&self, views: &[Vec<Entry>], round: usize) -> Graph {
+    /// is symmetrized. With a live set, dead nodes neither pick peers nor
+    /// get picked (their view entries are filtered out before the draw,
+    /// like [`Self::view_of_live`]) but stay in the vertex set, isolated,
+    /// so node ids remain stable. `None` takes the unfiltered path — one
+    /// draw loop for both, so the live and plain graphs can never drift
+    /// apart structurally.
+    fn derive_graph(&self, views: &[Vec<Entry>], round: usize, live: Option<&LiveSet>) -> Graph {
         let mut rng = self.rng_for(round, 0xE);
         let mut edges = Vec::with_capacity(self.nodes * self.config.degree);
         for (i, view) in views.iter().enumerate() {
-            let mut peers: Vec<usize> = view.iter().map(|e| e.peer).collect();
+            if live.is_some_and(|l| !l.is_alive(i)) {
+                continue;
+            }
+            let mut peers: Vec<usize> = view
+                .iter()
+                .map(|e| e.peer)
+                .filter(|&p| live.is_none_or(|l| l.is_alive(p)))
+                .collect();
             peers.shuffle(&mut rng);
             for &p in peers.iter().take(self.config.degree) {
                 edges.push((i, p));
@@ -254,6 +304,37 @@ impl PeerSampling {
         }
     }
 
+    /// Advances so `state.views` holds the pre-shuffle views round
+    /// `round`'s graph is derived from. Rewinds restore from the snapshot
+    /// history when the round is recent (the repair path's common case),
+    /// and replay from bootstrap otherwise — both roads reach the exact
+    /// same deterministic state.
+    fn advance_to(&self, state: &mut CyclonState, round: usize) {
+        if round < state.view_round {
+            if let Some((_, views)) = state.history.iter().find(|(r, _)| *r == round) {
+                state.views = views.clone();
+                state.view_round = round;
+            } else {
+                state.views = Self::bootstrap(self.nodes, self.config.view_size);
+                state.view_round = 0;
+                state.cache = None;
+            }
+        }
+        while state.view_round < round {
+            let r = state.view_round;
+            // Snapshot the pre-shuffle views of the round we step past
+            // (skip if a rewind already stored this round).
+            if !state.history.iter().any(|(h, _)| *h == r) {
+                state.history.push_back((r, state.views.clone()));
+                while state.history.len() > HISTORY_CAP {
+                    state.history.pop_front();
+                }
+            }
+            self.shuffle_step(&mut state.views, r);
+            state.view_round = r + 1;
+        }
+    }
+
     /// Advances the protocol to `round` and returns that round's topology,
     /// replaying from bootstrap if an earlier round is requested.
     fn topology_at(&self, round: usize) -> RoundTopology {
@@ -263,21 +344,10 @@ impl PeerSampling {
                 return topo.clone();
             }
         }
-        if round < state.next_round {
-            state.views = Self::bootstrap(self.nodes, self.config.view_size);
-            state.next_round = 0;
-            state.cache = None;
-        }
-        loop {
-            let r = state.next_round;
-            let topo = RoundTopology::new(self.derive_graph(&state.views, r));
-            self.shuffle_step(&mut state.views, r);
-            state.next_round = r + 1;
-            if r == round {
-                state.cache = Some((r, topo.clone()));
-                return topo;
-            }
-        }
+        self.advance_to(&mut state, round);
+        let topo = RoundTopology::new(self.derive_graph(&state.views, round, None));
+        state.cache = Some((round, topo.clone()));
+        topo
     }
 }
 
@@ -288,6 +358,25 @@ impl TopologyProvider for PeerSampling {
 
     fn topology(&self, round: usize) -> RoundTopology {
         self.topology_at(round)
+    }
+
+    /// Live-peer sampling: the round's graph is drawn from the same views
+    /// as [`Self::topology`], but crashed peers are filtered out of every
+    /// view before the draw, so a dead node can never be sampled as a
+    /// gossip target. With a fully-alive set this takes the exact
+    /// [`Self::topology`] path (same cache, same bits).
+    fn topology_for(&self, round: usize, live: &LiveSet) -> RoundTopology {
+        if live.is_fully_alive() {
+            return self.topology_at(round);
+        }
+        assert_eq!(live.len(), self.nodes, "live set size mismatches service");
+        let mut state = self.state.lock();
+        self.advance_to(&mut state, round);
+        RoundTopology::new(self.derive_graph(&state.views, round, Some(live)))
+    }
+
+    fn is_live_aware(&self) -> bool {
+        true
     }
 
     fn is_dynamic(&self) -> bool {
@@ -418,6 +507,84 @@ mod tests {
             max < mean * 3.0,
             "hot spot: max degree-sum {max} vs mean {mean}"
         );
+    }
+
+    #[test]
+    fn live_views_filter_dead_peers() {
+        let p = provider(16, 7);
+        let _ = p.topology(10);
+        let mut alive = vec![true; 16];
+        alive[2] = false;
+        alive[9] = false;
+        let live = LiveSet::new(alive, 2);
+        for v in 0..16 {
+            let filtered = p.view_of_live(v, &live);
+            assert!(!filtered.contains(&2) && !filtered.contains(&9));
+            let raw = p.view_of(v);
+            assert!(filtered.len() <= raw.len());
+            for peer in &filtered {
+                assert!(raw.contains(peer), "filtered view invented a peer");
+            }
+        }
+    }
+
+    #[test]
+    fn live_topology_never_samples_dead_nodes() {
+        let p = provider(24, 13);
+        let mut alive = vec![true; 24];
+        for v in [1, 6, 17] {
+            alive[v] = false;
+        }
+        let live = LiveSet::new(alive, 3);
+        for round in 0..15 {
+            let topo = p.topology_for(round, &live);
+            for (a, b) in topo.graph.edges() {
+                assert!(
+                    live.is_alive(a) && live.is_alive(b),
+                    "round {round}: edge ({a},{b}) touches a dead node"
+                );
+            }
+            assert_eq!(topo.graph.degree(1), 0);
+        }
+        // Deterministic in (round, live).
+        let a = p.topology_for(4, &live);
+        let b = p.topology_for(4, &live);
+        assert_eq!(*a.graph, *b.graph);
+    }
+
+    #[test]
+    fn recent_rewinds_restore_from_history_identically() {
+        // The repair path re-queries slightly older rounds after serving
+        // newer ones; the snapshot history must hand back the exact same
+        // graphs as a fresh replay — both for recent rounds (restored) and
+        // for rounds far beyond the history window (bootstrap replay).
+        let p = provider(16, 23);
+        let fresh = provider(16, 23);
+        let _ = p.topology(40);
+        for round in [38, 35, 40, 12, 39, 0] {
+            let rewound = p.topology(round);
+            let replayed = fresh.topology(round);
+            assert_eq!(*rewound.graph, *replayed.graph, "round {round}");
+        }
+        // Live queries across rewinds stay deterministic too.
+        let mut alive = vec![true; 16];
+        alive[4] = false;
+        let live = LiveSet::new(alive, 1);
+        let a = p.topology_for(37, &live);
+        let _ = p.topology(40);
+        let b = p.topology_for(37, &live);
+        assert_eq!(*a.graph, *b.graph);
+    }
+
+    #[test]
+    fn fully_alive_live_path_matches_plain_topology() {
+        let p = provider(20, 3);
+        let live = LiveSet::all_alive(20);
+        for round in [0, 3, 7] {
+            let plain = p.topology(round);
+            let via_live = p.topology_for(round, &live);
+            assert_eq!(*plain.graph, *via_live.graph);
+        }
     }
 
     #[test]

@@ -1,0 +1,671 @@
+//! Fault-aware topology repair: deterministic re-wiring of survivors around
+//! crashed nodes.
+//!
+//! The paper measures its bandwidth savings on fixed communication graphs;
+//! under churn that idealization leaks bandwidth, because a crashed node's
+//! neighbours keep addressing it until it rejoins. Gossip peer-sampling
+//! systems instead *repair* the overlay: survivors replace their dead
+//! contacts with live ones, keeping degree (and with it the mixing spectral
+//! gap) healthy. This module implements that repair as a pure, seeded
+//! function so a faulty run stays exactly as reproducible as a healthy one:
+//!
+//! - [`LiveSet`]: a snapshot of which nodes are up, tagged with a lifecycle
+//!   *version* (see `jwins_sim::LifecycleTracker::version`) that keys the
+//!   deterministic re-wiring randomness — the same crash history always
+//!   repairs the same way.
+//! - [`RepairPolicy`]: `None` (today's behaviour, bit for bit),
+//!   `DegreePreserving` (pair up the half-edges orphaned by dead nodes so
+//!   every survivor keeps its degree), or `PeerSamplingResample` (survivors
+//!   draw fresh live peers uniformly, as a peer-sampling service would hand
+//!   them out).
+//! - [`RepairPolicy::apply`]: base graph + live set → repaired
+//!   [`RoundTopology`] with freshly computed Metropolis–Hastings weights,
+//!   plus the accounting ([`RepairOutcome`]) the engine folds into its
+//!   `edges_rewired` / `bandwidth_saved_bytes` metrics.
+//!
+//! Both non-trivial policies finish with a connectivity pass: if removing
+//! the dead nodes (or an unlucky re-wiring) splits the survivors, the
+//! components are chained back together through their lowest-degree
+//! members. Degree guarantee for `DegreePreserving`: every survivor ends
+//! with at most its original degree + 2 (the pairing itself never exceeds
+//! the original degree; the connectivity chain can add up to two bridge
+//! edges per node).
+//!
+//! # Example
+//!
+//! ```
+//! use jwins_topology::repair::{LiveSet, RepairPolicy};
+//! use jwins_topology::dynamic::RoundTopology;
+//! use jwins_topology::gen;
+//!
+//! let base = RoundTopology::new(gen::random_regular(16, 4, 7).unwrap());
+//! let mut alive = vec![true; 16];
+//! alive[3] = false;
+//! alive[11] = false;
+//! let live = LiveSet::new(alive, 2);
+//! let out = RepairPolicy::DegreePreserving.apply(&base, &live, 42, 0);
+//! assert!(out.topology.graph.is_connected_among(live.alive_flags()));
+//! assert_eq!(out.topology.graph.degree(3), 0, "dead nodes are isolated");
+//! ```
+
+use crate::dynamic::RoundTopology;
+use crate::Graph;
+use rand::seq::SliceRandom;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A snapshot of node liveness, versioned so repair derivations can be
+/// keyed deterministically by crash history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveSet {
+    alive: Vec<bool>,
+    version: u64,
+    live_count: usize,
+}
+
+impl LiveSet {
+    /// Wraps per-node alive flags with a lifecycle version (a monotone
+    /// counter that changes on every crash and recovery).
+    pub fn new(alive: Vec<bool>, version: u64) -> Self {
+        let live_count = alive.iter().filter(|&&a| a).count();
+        Self {
+            alive,
+            version,
+            live_count,
+        }
+    }
+
+    /// All `n` nodes up, at version 0.
+    pub fn all_alive(n: usize) -> Self {
+        Self::new(vec![true; n], 0)
+    }
+
+    /// Number of nodes the set describes.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether the set describes zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Whether `node` is up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive[node]
+    }
+
+    /// The lifecycle version this snapshot was taken at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of nodes currently up.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether every node is up (repair is the identity then).
+    pub fn is_fully_alive(&self) -> bool {
+        self.live_count == self.alive.len()
+    }
+
+    /// The raw per-node flags, indexed by node id.
+    pub fn alive_flags(&self) -> &[bool] {
+        &self.alive
+    }
+}
+
+/// How the topology layer reacts to crashed nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RepairPolicy {
+    /// No repair: dead nodes stay in the graph and their neighbours keep
+    /// addressing them (the pre-repair engine behaviour, bit for bit).
+    #[default]
+    None,
+    /// Pair up the half-edges orphaned by dead nodes among the survivors
+    /// that lost them, preserving every survivor's degree where a simple
+    /// matching exists (then restore connectivity).
+    DegreePreserving,
+    /// Survivors replace each lost edge with a seeded uniform draw from the
+    /// live nodes — the repair a Cyclon-style peer-sampling service
+    /// performs when its views self-heal (then restore connectivity).
+    PeerSamplingResample,
+}
+
+impl RepairPolicy {
+    /// Whether this policy never changes a topology.
+    pub fn is_none(&self) -> bool {
+        *self == RepairPolicy::None
+    }
+
+    /// Repairs `base` around the dead nodes of `live`, deterministically in
+    /// `(base, live, seed, round)` — the live set's version participates in
+    /// the seeding, so each crash/rejoin epoch rewires its own way while
+    /// replays stay bit-stable.
+    ///
+    /// With [`RepairPolicy::None`], or when every node is alive, the
+    /// returned topology shares `base`'s graph and weights unchanged (the
+    /// round-trip guarantee: once the last node rejoins, the original
+    /// graph is back, exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live.len()` mismatches the graph size.
+    pub fn apply(
+        self,
+        base: &RoundTopology,
+        live: &LiveSet,
+        seed: u64,
+        round: usize,
+    ) -> RepairOutcome {
+        let n = base.graph.len();
+        assert_eq!(live.len(), n, "live set size mismatches graph");
+        let dead_neighbors = dead_neighbor_counts(&base.graph, live);
+        if self.is_none() || live.is_fully_alive() {
+            return RepairOutcome {
+                topology: base.clone(),
+                edges_added: 0,
+                edges_removed: 0,
+                dead_neighbors,
+            };
+        }
+        // Keep only survivor–survivor edges.
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(base.graph.num_edges());
+        let mut present: HashSet<(usize, usize)> = HashSet::new();
+        let mut degree = vec![0usize; n];
+        let mut removed = 0u64;
+        for (a, b) in base.graph.edges() {
+            if live.is_alive(a) && live.is_alive(b) {
+                edges.push((a, b));
+                present.insert((a, b));
+                degree[a] += 1;
+                degree[b] += 1;
+            } else {
+                removed += 1;
+            }
+        }
+        let mut rng = rewire_rng(seed, round, live.version());
+        let mut added = 0u64;
+        match self {
+            RepairPolicy::None => unreachable!("handled above"),
+            RepairPolicy::DegreePreserving => {
+                added += pair_orphan_stubs(
+                    &dead_neighbors,
+                    live,
+                    &mut edges,
+                    &mut present,
+                    &mut degree,
+                    &mut rng,
+                );
+            }
+            RepairPolicy::PeerSamplingResample => {
+                added += resample_lost_edges(
+                    &dead_neighbors,
+                    live,
+                    &mut edges,
+                    &mut present,
+                    &mut degree,
+                    &mut rng,
+                );
+            }
+        }
+        added += reconnect_components(n, live, &mut edges, &mut degree);
+        let graph =
+            Graph::from_edges(n, &edges).expect("repair only produces in-range, loop-free edges");
+        RepairOutcome {
+            topology: RoundTopology::new(graph),
+            edges_added: added,
+            edges_removed: removed,
+            dead_neighbors,
+        }
+    }
+}
+
+/// The result of one repair resolution.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired graph with freshly computed Metropolis–Hastings
+    /// weights. Dead nodes are present but isolated (degree 0, self-weight
+    /// 1), so node indices stay stable.
+    pub topology: RoundTopology,
+    /// Edges the re-wiring added between survivors.
+    pub edges_added: u64,
+    /// Base-graph edges removed because an endpoint is dead.
+    pub edges_removed: u64,
+    /// Per live node: how many of the *supplied base graph*'s neighbours
+    /// are currently dead — the sends the repaired topology avoids. Zero
+    /// for dead nodes. Note the caveat on [`dead_neighbor_counts`]: if the
+    /// base came from a live-aware provider this is already zero; count on
+    /// the liveness-blind graph for savings accounting.
+    pub dead_neighbors: Vec<u64>,
+}
+
+/// Per live node, how many of `graph`'s neighbours are dead in `live`
+/// (zero for dead nodes). This is the bandwidth-savings accounting: pass
+/// the *liveness-blind* graph (what the provider would use without
+/// repair) — a live-aware provider such as `PeerSampling::topology_for`
+/// already filters dead peers out of its output, so counting on that
+/// graph would always report zero avoided sends.
+pub fn dead_neighbor_counts(graph: &Graph, live: &LiveSet) -> Vec<u64> {
+    let mut dead = vec![0u64; graph.len()];
+    for (a, b) in graph.edges() {
+        if live.is_alive(a) && !live.is_alive(b) {
+            dead[a] += 1;
+        }
+        if live.is_alive(b) && !live.is_alive(a) {
+            dead[b] += 1;
+        }
+    }
+    dead
+}
+
+/// SplitMix64 over `(seed, round, version)`: decorrelated per-epoch streams.
+fn rewire_rng(seed: u64, round: usize, version: u64) -> ChaCha8Rng {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(round as u64 + 1))
+        .wrapping_add(0x94D0_49BB_1331_11EBu64.wrapping_mul(version + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ChaCha8Rng::seed_from_u64(z ^ (z >> 31))
+}
+
+fn key(a: usize, b: usize) -> (usize, usize) {
+    (a.min(b), a.max(b))
+}
+
+/// Degree-preserving pairing: every live node that lost `k` edges to dead
+/// neighbours contributes `k` stubs; stubs are shuffled and greedily paired
+/// (no self-loops, no duplicate edges), with re-shuffles of the leftovers.
+/// Unmatchable leftovers (odd counts, saturated neighbourhoods) are dropped
+/// — those nodes run the round at a slightly lower degree.
+fn pair_orphan_stubs(
+    dead_neighbors: &[u64],
+    live: &LiveSet,
+    edges: &mut Vec<(usize, usize)>,
+    present: &mut HashSet<(usize, usize)>,
+    degree: &mut [usize],
+    rng: &mut ChaCha8Rng,
+) -> u64 {
+    let mut stubs: Vec<usize> = (0..dead_neighbors.len())
+        .filter(|&v| live.is_alive(v))
+        .flat_map(|v| std::iter::repeat_n(v, dead_neighbors[v] as usize))
+        .collect();
+    let mut added = 0u64;
+    let mut stalls = 0usize;
+    while stubs.len() >= 2 {
+        stubs.shuffle(rng);
+        let mut leftover = Vec::new();
+        let mut progress = false;
+        let mut it = stubs.chunks_exact(2);
+        for pair in &mut it {
+            let (a, b) = key(pair[0], pair[1]);
+            if a != b && !present.contains(&(a, b)) {
+                present.insert((a, b));
+                edges.push((a, b));
+                degree[a] += 1;
+                degree[b] += 1;
+                added += 1;
+                progress = true;
+            } else {
+                leftover.extend_from_slice(pair);
+            }
+        }
+        leftover.extend_from_slice(it.remainder());
+        if progress {
+            stalls = 0;
+        } else {
+            stalls += 1;
+            // No pairable stubs remain (or we are thrashing on a tiny
+            // tail): accept the degree deficit and stop.
+            let any_suitable = leftover.iter().enumerate().any(|(i, &a)| {
+                leftover[i + 1..]
+                    .iter()
+                    .any(|&b| a != b && !present.contains(&key(a, b)))
+            });
+            if !any_suitable || stalls > 16 {
+                break;
+            }
+        }
+        stubs = leftover;
+    }
+    added
+}
+
+/// Peer-sampling-style resample: each live node replaces each lost edge
+/// with a uniform draw from the live nodes (skipping itself and existing
+/// neighbours). Saturated neighbourhoods leave a deficit.
+fn resample_lost_edges(
+    dead_neighbors: &[u64],
+    live: &LiveSet,
+    edges: &mut Vec<(usize, usize)>,
+    present: &mut HashSet<(usize, usize)>,
+    degree: &mut [usize],
+    rng: &mut ChaCha8Rng,
+) -> u64 {
+    let live_nodes: Vec<usize> = (0..dead_neighbors.len())
+        .filter(|&v| live.is_alive(v))
+        .collect();
+    if live_nodes.len() < 2 {
+        return 0;
+    }
+    let mut added = 0u64;
+    let attempts = (4 * live_nodes.len()).max(16);
+    for &v in &live_nodes {
+        for _ in 0..dead_neighbors[v] {
+            for _ in 0..attempts {
+                let u = live_nodes[(rng.next_u64() % live_nodes.len() as u64) as usize];
+                if u != v && !present.contains(&key(u, v)) {
+                    present.insert(key(u, v));
+                    edges.push((v, u));
+                    degree[v] += 1;
+                    degree[u] += 1;
+                    added += 1;
+                    break;
+                }
+            }
+        }
+    }
+    added
+}
+
+/// If the survivors split into several components, chain them together
+/// (ordered by lowest member id) through each component's lowest-degree,
+/// lowest-id node — at most two bridge edges per node.
+fn reconnect_components(
+    n: usize,
+    live: &LiveSet,
+    edges: &mut Vec<(usize, usize)>,
+    degree: &mut [usize],
+) -> u64 {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges.iter() {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    for start in 0..n {
+        if !live.is_alive(start) || comp[start] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = vec![start];
+        comp[start] = id;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for &u in &adj[v] {
+                if comp[u] == usize::MAX {
+                    comp[u] = id;
+                    members.push(u);
+                    queue.push_back(u);
+                }
+            }
+        }
+        components.push(members);
+    }
+    let mut added = 0u64;
+    // Components are already ordered by lowest member id (BFS start order).
+    for k in 1..components.len() {
+        let pick = |members: &[usize], degree: &[usize]| {
+            members
+                .iter()
+                .copied()
+                .min_by_key(|&v| (degree[v], v))
+                .expect("components are non-empty")
+        };
+        let a = pick(&components[k - 1], degree);
+        let b = pick(&components[k], degree);
+        edges.push((a, b));
+        degree[a] += 1;
+        degree[b] += 1;
+        added += 1;
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use proptest::prelude::*;
+
+    fn base(n: usize, d: usize, seed: u64) -> RoundTopology {
+        RoundTopology::new(gen::random_regular(n, d, seed).unwrap())
+    }
+
+    fn live_without(n: usize, dead: &[usize]) -> LiveSet {
+        let mut alive = vec![true; n];
+        for &v in dead {
+            alive[v] = false;
+        }
+        LiveSet::new(alive, dead.len() as u64)
+    }
+
+    #[test]
+    fn live_set_accessors() {
+        let l = live_without(6, &[2, 4]);
+        assert_eq!(l.len(), 6);
+        assert!(!l.is_empty());
+        assert_eq!(l.live_count(), 4);
+        assert!(!l.is_fully_alive());
+        assert!(l.is_alive(0));
+        assert!(!l.is_alive(2));
+        assert_eq!(l.version(), 2);
+        assert!(LiveSet::all_alive(3).is_fully_alive());
+    }
+
+    #[test]
+    fn none_policy_is_identity_even_with_dead_nodes() {
+        let topo = base(12, 4, 3);
+        let live = live_without(12, &[1, 5]);
+        let out = RepairPolicy::None.apply(&topo, &live, 9, 4);
+        assert_eq!(*out.topology.graph, *topo.graph);
+        assert_eq!(out.edges_added, 0);
+        assert_eq!(out.edges_removed, 0);
+        // Savings accounting is still reported (the engine needs it only
+        // under active policies, but it is a pure function of the inputs).
+        assert_eq!(out.dead_neighbors.iter().sum::<u64>() as usize, {
+            let g = &topo.graph;
+            g.neighbors(1).iter().filter(|&&v| v != 5).count()
+                + g.neighbors(5).iter().filter(|&&v| v != 1).count()
+        });
+    }
+
+    #[test]
+    fn fully_alive_is_identity_for_every_policy() {
+        let topo = base(12, 4, 3);
+        let live = LiveSet::all_alive(12);
+        for policy in [
+            RepairPolicy::None,
+            RepairPolicy::DegreePreserving,
+            RepairPolicy::PeerSamplingResample,
+        ] {
+            let out = policy.apply(&topo, &live, 7, 0);
+            assert_eq!(*out.topology.graph, *topo.graph, "{policy:?}");
+            assert_eq!(out.edges_added, 0);
+        }
+    }
+
+    #[test]
+    fn degree_preserving_rewires_and_keeps_degrees() {
+        let topo = base(16, 4, 7);
+        let live = live_without(16, &[3, 11]);
+        let out = RepairPolicy::DegreePreserving.apply(&topo, &live, 42, 0);
+        let g = &out.topology.graph;
+        assert!(g.is_connected_among(live.alive_flags()));
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.degree(11), 0);
+        for v in 0..16 {
+            if live.is_alive(v) {
+                assert!(
+                    g.degree(v) <= topo.graph.degree(v) + 2,
+                    "degree bound violated at {v}: {} > {} + 2",
+                    g.degree(v),
+                    topo.graph.degree(v)
+                );
+            }
+        }
+        assert!(out.edges_added > 0, "orphaned stubs were paired");
+        assert_eq!(out.edges_removed, 8, "two 4-degree nodes removed");
+        // Fresh MH weights row-sum to 1 on the repaired graph.
+        for v in 0..16 {
+            let sum = out.topology.weights.self_weight(v)
+                + out.topology.weights.neighbor_weights(v).iter().sum::<f64>();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn repair_is_deterministic_and_epoch_keyed() {
+        let topo = base(20, 4, 5);
+        let live = live_without(20, &[2, 9, 14]);
+        let a = RepairPolicy::DegreePreserving.apply(&topo, &live, 7, 3);
+        let b = RepairPolicy::DegreePreserving.apply(&topo, &live, 7, 3);
+        assert_eq!(
+            *a.topology.graph, *b.topology.graph,
+            "same inputs, same graph"
+        );
+        // A different lifecycle version rewires differently (w.h.p.).
+        let later = LiveSet::new(live.alive_flags().to_vec(), live.version() + 2);
+        let c = RepairPolicy::DegreePreserving.apply(&topo, &later, 7, 3);
+        assert_ne!(*a.topology.graph, *c.topology.graph);
+    }
+
+    #[test]
+    fn resample_draws_only_live_peers() {
+        let topo = base(16, 4, 11);
+        let live = live_without(16, &[0, 7, 8]);
+        let out = RepairPolicy::PeerSamplingResample.apply(&topo, &live, 3, 1);
+        let g = &out.topology.graph;
+        for (a, b) in g.edges() {
+            assert!(
+                live.is_alive(a) && live.is_alive(b),
+                "edge ({a},{b}) touches a dead node"
+            );
+        }
+        assert!(g.is_connected_among(live.alive_flags()));
+        assert!(out.edges_added > 0);
+    }
+
+    #[test]
+    fn rejoin_round_trips_to_the_original_graph() {
+        // Crash → repair, then everyone back up → the base graph, exactly.
+        let topo = base(12, 4, 9);
+        let crashed = live_without(12, &[4]);
+        let repaired = RepairPolicy::DegreePreserving.apply(&topo, &crashed, 1, 0);
+        assert_ne!(*repaired.topology.graph, *topo.graph);
+        let healed = LiveSet::new(vec![true; 12], crashed.version() + 1);
+        for policy in [
+            RepairPolicy::None,
+            RepairPolicy::DegreePreserving,
+            RepairPolicy::PeerSamplingResample,
+        ] {
+            let out = policy.apply(&topo, &healed, 1, 0);
+            assert_eq!(*out.topology.graph, *topo.graph, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn survives_extreme_crash_sets() {
+        let topo = base(8, 3, 2);
+        // All but one dead.
+        let live = live_without(8, &[1, 2, 3, 4, 5, 6, 7]);
+        let out = RepairPolicy::DegreePreserving.apply(&topo, &live, 5, 0);
+        assert_eq!(out.topology.graph.num_edges(), 0);
+        assert!(out.topology.graph.is_connected_among(live.alive_flags()));
+        // All dead.
+        let none = LiveSet::new(vec![false; 8], 8);
+        let out = RepairPolicy::PeerSamplingResample.apply(&topo, &none, 5, 0);
+        assert_eq!(out.topology.graph.num_edges(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// DegreePreserving output is connected among survivors and
+        /// degree-bounded (original degree + 2) for random crash sets.
+        #[test]
+        fn degree_preserving_connected_and_bounded(
+            n in 8usize..40,
+            d in 3usize..5,
+            seed in any::<u64>(),
+            crash_bits in any::<u64>(),
+        ) {
+            prop_assume!(n * d % 2 == 0 && d < n);
+            let topo = base(n, d, seed);
+            let mut alive: Vec<bool> = (0..n).map(|v| crash_bits >> (v % 64) & 1 == 0 || v % 7 == 0).collect();
+            // Keep at least two nodes alive so repair has something to do.
+            alive[0] = true;
+            alive[1] = true;
+            let live = LiveSet::new(alive, crash_bits.count_ones() as u64);
+            let out = RepairPolicy::DegreePreserving.apply(&topo, &live, seed ^ 0xAB, 2);
+            let g = &out.topology.graph;
+            prop_assert!(g.is_connected_among(live.alive_flags()));
+            for v in 0..n {
+                if live.is_alive(v) {
+                    prop_assert!(g.degree(v) <= d + 2, "node {v}: {} > {}", g.degree(v), d + 2);
+                } else {
+                    prop_assert_eq!(g.degree(v), 0, "dead node {v} kept edges");
+                }
+            }
+        }
+
+        /// Repeated crash/rejoin cycles round-trip: under `None` the graph
+        /// never changes, and under the active policies a fully-recovered
+        /// cluster is back on the original graph bit for bit.
+        #[test]
+        fn crash_rejoin_cycles_round_trip(
+            n in 8usize..32,
+            seed in any::<u64>(),
+            cycles in 1usize..4,
+        ) {
+            prop_assume!(n % 2 == 0);
+            let topo = base(n, 4, seed);
+            let mut version = 0u64;
+            for cycle in 0..cycles {
+                let dead = [(cycle * 3) % n, (cycle * 5 + 1) % n];
+                let mut alive = vec![true; n];
+                for &v in &dead { alive[v] = false; }
+                version += dead.len() as u64;
+                let down = LiveSet::new(alive, version);
+                let none = RepairPolicy::None.apply(&topo, &down, seed, cycle);
+                prop_assert_eq!(&*none.topology.graph, &*topo.graph);
+                version += dead.len() as u64; // everyone rejoins
+                let up = LiveSet::new(vec![true; n], version);
+                for policy in [RepairPolicy::DegreePreserving, RepairPolicy::PeerSamplingResample] {
+                    let out = policy.apply(&topo, &up, seed, cycle);
+                    prop_assert_eq!(&*out.topology.graph, &*topo.graph);
+                }
+            }
+        }
+
+        /// Resample never wires a dead endpoint and stays connected.
+        #[test]
+        fn resample_connected_and_live_only(
+            n in 8usize..40,
+            seed in any::<u64>(),
+            crash_bits in any::<u64>(),
+        ) {
+            prop_assume!(n % 2 == 0);
+            let topo = base(n, 4, seed);
+            let mut alive: Vec<bool> = (0..n).map(|v| crash_bits >> (v % 64) & 1 == 0 || v % 5 == 0).collect();
+            alive[0] = true;
+            alive[1] = true;
+            let live = LiveSet::new(alive, 1 + crash_bits % 17);
+            let out = RepairPolicy::PeerSamplingResample.apply(&topo, &live, seed ^ 0x5A, 1);
+            let g = &out.topology.graph;
+            for (a, b) in g.edges() {
+                prop_assert!(live.is_alive(a) && live.is_alive(b));
+            }
+            prop_assert!(g.is_connected_among(live.alive_flags()));
+        }
+    }
+}

@@ -16,16 +16,19 @@ use jwins_data::images::{cifar_like, ImageConfig};
 use jwins_nn::models::mlp_classifier;
 use jwins_topology::dynamic::StaticTopology;
 
+use jwins_repro::smoke;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nodes = 8;
     let img = ImageConfig::tiny();
     let data = cifar_like(&img, nodes, 2, 3);
 
-    let mut config = TrainConfig::new(120);
+    let rounds = if smoke() { 8 } else { 120 };
+    let mut config = TrainConfig::new(rounds);
     config.local_steps = 2;
     config.batch_size = 8;
     config.lr = 0.1;
-    config.eval_every = 40;
+    config.eval_every = rounds;
 
     for (label, alpha, choco) in [
         (

@@ -23,10 +23,12 @@ use jwins_nn::models::mlp_classifier;
 use jwins_sim::HeterogeneityProfile;
 use jwins_topology::dynamic::StaticTopology;
 
+use jwins_repro::smoke;
+
 fn run(staleness: StalenessPolicy) -> jwins::metrics::RunResult {
     let nodes = 16;
     let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
-    let mut cfg = TrainConfig::new(30);
+    let mut cfg = TrainConfig::new(if smoke() { 8 } else { 30 });
     cfg.local_steps = 1;
     cfg.batch_size = 8;
     cfg.lr = 0.02;

@@ -26,11 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data.train_len()
     );
 
-    let mut config = TrainConfig::new(40);
+    // `JWINS_SMOKE=1` (the CI examples-smoke job) shrinks the run to seconds.
+    let smoke = jwins_repro::smoke();
+    let rounds = if smoke { 4 } else { 40 };
+    let mut config = TrainConfig::new(rounds);
     config.local_steps = 2;
     config.batch_size = 8;
     config.lr = 0.5;
-    config.eval_every = 10;
+    config.eval_every = rounds.min(10);
     config.eval_test_samples = 64;
 
     for which in ["random-sampling", "jwins"] {

@@ -131,7 +131,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let features = ImageConfig::tiny().pixels();
     let classes = ImageConfig::tiny().classes;
 
-    let mut config = TrainConfig::new(60);
+    // `JWINS_SMOKE=1` (the CI examples-smoke job) shrinks the run to seconds.
+    let smoke = jwins_repro::smoke();
+    let mut config = TrainConfig::new(if smoke { 6 } else { 60 });
     config.local_steps = 2;
     config.batch_size = 8;
     config.lr = 0.1;

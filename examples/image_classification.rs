@@ -26,11 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data.test.len()
     );
 
-    let mut config = TrainConfig::new(100);
+    // `JWINS_SMOKE=1` (the CI examples-smoke job) shrinks the run to seconds.
+    let smoke = jwins_repro::smoke();
+    let rounds = if smoke { 6 } else { 100 };
+    let mut config = TrainConfig::new(rounds);
     config.local_steps = 2;
     config.batch_size = 8;
     config.lr = 0.08;
-    config.eval_every = 25;
+    config.eval_every = rounds.min(25);
     config.eval_test_samples = 160;
 
     for which in ["full-sharing", "random-sampling", "jwins"] {

@@ -18,6 +18,8 @@ use jwins_data::images::{cifar_like, ImageConfig};
 use jwins_nn::models::mlp_classifier;
 use jwins_topology::dynamic::StaticTopology;
 
+use jwins_repro::smoke;
+
 fn run(
     participation: impl ParticipationModel + 'static,
     use_jwins: bool,
@@ -27,7 +29,7 @@ fn run(
     let features = ImageConfig::tiny().pixels();
     let classes = ImageConfig::tiny().classes;
 
-    let mut config = TrainConfig::new(80);
+    let mut config = TrainConfig::new(if smoke() { 12 } else { 80 });
     config.local_steps = 2;
     config.batch_size = 8;
     config.lr = 0.1;
@@ -54,11 +56,19 @@ fn run(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // One node disappears for the middle half of the run, another flaps.
-    let scripted = ScriptedOutages::default()
-        .with_outage(Outage::new(3, 20, 60))
-        .with_outage(Outage::new(5, 30, 35))
-        .with_outage(Outage::new(5, 45, 50));
+    // One node disappears for the middle half of the run, another flaps
+    // (outage rounds scale with the smoke-shortened run).
+    let scripted = if smoke() {
+        ScriptedOutages::default()
+            .with_outage(Outage::new(3, 3, 9))
+            .with_outage(Outage::new(5, 4, 5))
+            .with_outage(Outage::new(5, 7, 8))
+    } else {
+        ScriptedOutages::default()
+            .with_outage(Outage::new(3, 20, 60))
+            .with_outage(Outage::new(5, 30, 35))
+            .with_outage(Outage::new(5, 45, 50))
+    };
 
     println!(
         "{:<24} {:>12} {:>12}",

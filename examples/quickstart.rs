@@ -11,6 +11,8 @@ use jwins_data::images::{cifar_like, ImageConfig};
 use jwins_nn::models::mlp_classifier;
 use jwins_topology::dynamic::StaticTopology;
 
+use jwins_repro::smoke;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 8 nodes, 4-regular random graph, label-sharded non-IID data.
     let nodes = 8;
@@ -18,11 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let features = ImageConfig::tiny().pixels();
     let classes = ImageConfig::tiny().classes;
 
-    let mut config = TrainConfig::new(60);
+    let rounds = if smoke() { 6 } else { 60 };
+    let mut config = TrainConfig::new(rounds);
     config.local_steps = 2;
     config.batch_size = 8;
     config.lr = 0.1;
-    config.eval_every = 20;
+    config.eval_every = rounds / 3;
 
     let mut results = Vec::new();
     for use_jwins in [false, true] {

@@ -27,11 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data.partitioned.test.len()
     );
 
-    let mut config = TrainConfig::new(150);
+    // `JWINS_SMOKE=1` (the CI examples-smoke job) shrinks the run to seconds.
+    let smoke = jwins_repro::smoke();
+    let rounds = if smoke { 8 } else { 150 };
+    let mut config = TrainConfig::new(rounds);
     config.local_steps = 3;
     config.batch_size = 16;
     config.lr = 0.3;
-    config.eval_every = 50;
+    config.eval_every = rounds.min(50);
 
     for use_jwins in [false, true] {
         let trainer = Trainer::builder(config.clone())

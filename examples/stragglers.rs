@@ -21,14 +21,16 @@ use jwins_nn::models::mlp_classifier;
 use jwins_sim::HeterogeneityProfile;
 use jwins_topology::dynamic::StaticTopology;
 
+use jwins_repro::smoke;
+
 fn run(mode: ExecutionMode) -> jwins::metrics::RunResult {
     let nodes = 8;
     let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
-    let mut cfg = TrainConfig::new(30);
+    let mut cfg = TrainConfig::new(if smoke() { 6 } else { 30 });
     cfg.local_steps = 2;
     cfg.batch_size = 8;
     cfg.lr = 0.1;
-    cfg.eval_every = 5;
+    cfg.eval_every = if smoke() { 2 } else { 5 };
     cfg.eval_test_samples = 128;
     cfg.execution = mode;
     match mode {

@@ -10,3 +10,9 @@ pub use jwins_nn as nn;
 pub use jwins_sim as sim;
 pub use jwins_topology as topology;
 pub use jwins_wavelet as wavelet;
+
+/// Whether `JWINS_SMOKE=1` requests the CI-sized reduced configuration —
+/// the examples-smoke job runs every example with this set so each one
+/// executes end to end in seconds. Delegates to the single definition of
+/// the smoke contract in [`jwins::smoke`].
+pub use jwins::smoke;

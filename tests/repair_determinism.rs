@@ -1,0 +1,170 @@
+//! Determinism contract of fault-aware topology repair.
+//!
+//! Three guarantees (see `jwins::engine`'s module docs and
+//! `jwins_topology::repair`):
+//!
+//! 1. `RepairPolicy::None` is a strict no-op: under an active `FaultPlan`
+//!    an explicit `None` produces the byte-for-byte record stream of a
+//!    config that never mentions repair (the pre-repair engine surface),
+//!    with every repair counter pinned to zero.
+//! 2. Active repair policies are thread-invariant: the same run at
+//!    `threads` ∈ {1, 2, 8} yields bit-identical `RoundRecord` streams —
+//!    repair resolution and edge invalidation live entirely in the
+//!    sequential propose/commit phases.
+//! 3. Repair pays: under churn, no-repair spends strictly more bytes per
+//!    unit of final accuracy than degree-preserving repair (the `ext_repair`
+//!    bench measures the same at 64 nodes).
+
+use jwins::config::{ExecutionMode, TrainConfig};
+use jwins::engine::Trainer;
+use jwins::metrics::RunResult;
+use jwins::strategies::FullSharing;
+use jwins::strategy::ShareStrategy;
+use jwins_data::images::{cifar_like, ImageConfig};
+use jwins_fault::{FaultConfig, FaultOutage, FaultPlan, RejoinMode};
+use jwins_nn::models::mlp_classifier;
+use jwins_sim::HeterogeneityProfile;
+use jwins_topology::dynamic::StaticTopology;
+use jwins_topology::peer_sampling::{PeerSampling, PeerSamplingConfig};
+use jwins_topology::repair::RepairPolicy;
+
+const NODES: usize = 8;
+
+/// A crash+rejoin plus a permanent crash over stragglers: every repair
+/// path fires (shrink, re-admit, permanent hole).
+fn chaos_config(threads: usize, repair: RepairPolicy) -> TrainConfig {
+    let mut cfg = TrainConfig::quick_test();
+    cfg.rounds = 6;
+    cfg.lr = 0.1;
+    cfg.eval_every = 1;
+    cfg.threads = threads;
+    cfg.execution = ExecutionMode::EventDriven;
+    cfg.time_model.compute_s = 1.0;
+    cfg.heterogeneity = HeterogeneityProfile::stragglers(0.25, 3.0, 0.002, 1.0e6);
+    cfg.faults = FaultConfig {
+        plan: FaultPlan::Scripted(vec![
+            FaultOutage {
+                rejoin: RejoinMode::Resync,
+                ..FaultOutage::new(1, 2.5, 3.0)
+            },
+            FaultOutage::new(3, 4.5, f64::INFINITY),
+        ]),
+        ..FaultConfig::default()
+    };
+    cfg.repair = repair;
+    cfg
+}
+
+fn run_static(cfg: TrainConfig) -> RunResult {
+    let data = cifar_like(&ImageConfig::tiny(), NODES, 2, 5);
+    Trainer::builder(cfg)
+        .topology(StaticTopology::random_regular(NODES, 3, 3).unwrap())
+        .test_set(data.test)
+        .nodes(data.node_train, |_| {
+            (
+                mlp_classifier(2 * 8 * 8, &[8], 4, 7),
+                Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+            )
+        })
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn policy_none_matches_the_pre_repair_config_surface_bitwise() {
+    // A config that never mentions repair (the pre-repair surface) ...
+    let untouched = chaos_config(1, RepairPolicy::default());
+    // ... versus one that sets the policy explicitly to None.
+    let explicit = chaos_config(1, RepairPolicy::None);
+    let a = run_static(untouched);
+    let b = run_static(explicit);
+    a.assert_bit_identical(&b, "default vs explicit RepairPolicy::None");
+    // The workload is genuinely faulty, yet no repair counter moves.
+    let last = a.records.last().expect("records recorded");
+    assert!(last.crashes >= 2, "crashes replayed: {}", last.crashes);
+    assert!(last.rejoins >= 1, "rejoins replayed: {}", last.rejoins);
+    for r in &a.records {
+        assert_eq!(r.edges_rewired, 0, "None must never rewire");
+        assert_eq!(r.bandwidth_saved_bytes, 0, "None must never save");
+    }
+}
+
+#[test]
+fn degree_preserving_repair_is_identical_at_1_2_and_8_threads() {
+    let t1 = run_static(chaos_config(1, RepairPolicy::DegreePreserving));
+    let t2 = run_static(chaos_config(2, RepairPolicy::DegreePreserving));
+    let t8 = run_static(chaos_config(8, RepairPolicy::DegreePreserving));
+    // Non-degenerate: repair actually fired.
+    let last = t1.records.last().expect("records recorded");
+    assert!(last.edges_rewired > 0, "no edges rewired — vacuous test");
+    assert!(
+        last.bandwidth_saved_bytes > 0,
+        "no bytes saved — vacuous test"
+    );
+    assert!(last.crashes >= 2 && last.rejoins >= 1);
+    t1.assert_bit_identical(&t2, "degree-preserving threads 1 vs 2");
+    t1.assert_bit_identical(&t8, "degree-preserving threads 1 vs 8");
+}
+
+#[test]
+fn resample_repair_over_peer_sampling_is_thread_invariant() {
+    // The peer-sampling provider exercises the live-aware `topology_for`
+    // override: crashed peers are filtered out of the views before the
+    // draw, then the resample policy patches connectivity.
+    let run = |threads: usize| {
+        let data = cifar_like(&ImageConfig::tiny(), NODES, 2, 5);
+        let cfg = chaos_config(threads, RepairPolicy::PeerSamplingResample);
+        Trainer::builder(cfg)
+            .topology(PeerSampling::new(NODES, PeerSamplingConfig::default(), 11))
+            .test_set(data.test)
+            .nodes(data.node_train, |_| {
+                (
+                    mlp_classifier(2 * 8 * 8, &[8], 4, 7),
+                    Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+                )
+            })
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    let t1 = run(1);
+    let t8 = run(8);
+    let last = t1.records.last().expect("records recorded");
+    assert!(last.crashes >= 2, "faults replayed under peer sampling");
+    t1.assert_bit_identical(&t8, "peer-sampling resample threads 1 vs 8");
+}
+
+#[test]
+fn no_repair_wastes_strictly_more_bytes_per_accuracy_under_churn() {
+    // Permanent crashes make the waste unbounded for the no-repair run:
+    // survivors keep paying for edges into dead hosts round after round.
+    let plan = FaultPlan::Scripted(vec![
+        FaultOutage::new(2, 2.5, f64::INFINITY),
+        FaultOutage::new(5, 3.5, f64::INFINITY),
+    ]);
+    let run = |repair: RepairPolicy| {
+        let mut cfg = chaos_config(1, repair);
+        cfg.rounds = 8;
+        cfg.faults = FaultConfig {
+            plan: plan.clone(),
+            ..FaultConfig::default()
+        };
+        run_static(cfg)
+    };
+    let none = run(RepairPolicy::None);
+    let repaired = run(RepairPolicy::DegreePreserving);
+    let cost = |r: &RunResult| {
+        let last = r.records.last().expect("evaluated");
+        assert!(last.test_accuracy > 0.0, "run learned nothing");
+        last.cum_bytes_per_node / last.test_accuracy
+    };
+    assert!(
+        cost(&none) > cost(&repaired),
+        "no-repair must waste more bytes per accuracy: {} vs {}",
+        cost(&none),
+        cost(&repaired)
+    );
+}
