@@ -12,15 +12,22 @@
 //! - **async**: fast nodes keep their own pace and mix slightly stale
 //!   models, finishing the same round budget in far less simulated time.
 //!
-//! Protocol (per strategy — full-sharing, JWINS, CHOCO-SGD): a barrier
+//! Protocol (per strategy — full-sharing, JWINS, CHOCO-SGD, and PowerGossip
+//! now that its per-edge state is round-versioned and async-safe): a barrier
 //! baseline run fixes a target accuracy (90% of its final accuracy); both
 //! substrates then run to that target and report simulated time, rounds and
 //! bytes at the moment it is reached, plus the async run's mean staleness.
+//!
+//! `JWINS_SMOKE=1` shrinks the round budget for the CI `bench-smoke` job,
+//! which also collects the structured results via `JWINS_BENCH_JSON` (see
+//! `jwins_bench::report`).
 
 use jwins::config::ExecutionMode;
-use jwins::strategies::{ChocoConfig, JwinsConfig};
+use jwins::strategies::{ChocoConfig, JwinsConfig, PowerGossipConfig};
+use jwins_bench::report::BenchCase;
 use jwins_bench::{banner, fmt_bytes, run_cifar, save_csv, Algo, RunCfg, Scale};
 use jwins_sim::HeterogeneityProfile;
+use std::time::Instant;
 
 /// 25% of nodes 4× slower; 100 Mbit/s, 5 ms links (the sync TimeModel's
 /// default link, so the two substrates price bytes identically).
@@ -30,12 +37,16 @@ fn straggler_cluster() -> HeterogeneityProfile {
 
 fn main() {
     let scale = Scale::from_env();
+    let smoke = jwins_bench::smoke();
     banner(
         "ext_async — sync vs async time-to-accuracy under stragglers",
         "asynchronous gossip reaches the target in less simulated time by \
          not waiting for the slowest node",
     );
-    let rounds = scale.rounds(60);
+    let rounds = if smoke { 8 } else { scale.rounds(60) };
+    if smoke {
+        println!("[smoke] reduced to {rounds} rounds");
+    }
     let mut csv = String::from(
         "strategy,mode,rounds_run,final_accuracy,target_accuracy,\
          time_to_target_s,bytes_per_node_at_target,mean_staleness_s\n",
@@ -44,7 +55,14 @@ fn main() {
         ("full-sharing", Algo::Full),
         ("jwins", Algo::Jwins(JwinsConfig::paper_default())),
         ("choco@20%", Algo::Choco(ChocoConfig::budget_20())),
+        // The low-rank per-edge baseline: runnable under async gossip since
+        // its warm starts became round-versioned.
+        (
+            "power-gossip@r1",
+            Algo::PowerGossip(PowerGossipConfig::global(1)),
+        ),
     ];
+    let mut cases = Vec::new();
     for (label, algo) in algos {
         // Phase 1: barrier baseline fixes the target for this strategy.
         let mut base = RunCfg::new(rounds);
@@ -79,7 +97,15 @@ fn main() {
                 // round's compute is the straggler's 4× slowdown.
                 cfg.time_model = Some(jwins_net::TimeModel::edge_100mbit(0.05 * 4.0));
             }
+            let start = Instant::now();
             let result = run_cifar(scale, &algo, &cfg, 2);
+            let wall = start.elapsed().as_secs_f64();
+            cases.push(BenchCase::from_result(
+                "ext_async",
+                &format!("{label}/{mode_name}"),
+                wall,
+                &result,
+            ));
             let last = result.final_record().expect("at least one evaluation");
             let (time_s, bytes) = result
                 .reached_target
@@ -104,6 +130,7 @@ fn main() {
         }
     }
     save_csv("ext_async", &csv);
+    jwins_bench::report::append_cases(&cases);
     println!(
         "\nNote: the barrier rows charge TimeModel::round_seconds per round \
          (compute + latency + slowest transfer); the async rows charge the \

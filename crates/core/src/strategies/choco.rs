@@ -221,7 +221,9 @@ mod tests {
                     0.5,
                     &[ReceivedMessage {
                         from: 1,
+                        round,
                         weight: 0.5,
+                        edge_weight: 0.5,
                         bytes: &mb.bytes,
                     }],
                 )
@@ -233,7 +235,9 @@ mod tests {
                     0.5,
                     &[ReceivedMessage {
                         from: 0,
+                        round,
                         weight: 0.5,
+                        edge_weight: 0.5,
                         bytes: &ma.bytes,
                     }],
                 )

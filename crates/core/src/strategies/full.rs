@@ -100,7 +100,9 @@ mod tests {
                 0.5,
                 &[ReceivedMessage {
                     from: 1,
+                    round: 0,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &msg_b.bytes,
                 }],
             )
@@ -138,7 +140,9 @@ mod tests {
                 0.5,
                 &[ReceivedMessage {
                     from: 0,
+                    round: 0,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &bad
                 }]
             )

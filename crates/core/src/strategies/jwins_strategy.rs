@@ -385,7 +385,9 @@ mod tests {
                 0.5,
                 &[ReceivedMessage {
                     from: 1,
+                    round: 0,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &msg_b.bytes,
                 }],
             )
@@ -491,7 +493,9 @@ mod tests {
                 0.5,
                 &[ReceivedMessage {
                     from: 1,
+                    round: 0,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &msg.bytes,
                 }],
             )
@@ -524,7 +528,9 @@ mod tests {
                 1.0,
                 &[ReceivedMessage {
                     from: 0,
+                    round: 0,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &garbage
                 }]
             )
@@ -591,7 +597,9 @@ mod tests {
                 0.5,
                 &[ReceivedMessage {
                     from: 1,
+                    round: 0,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &msg.bytes,
                 }],
             )

@@ -21,7 +21,9 @@ mod rmw;
 pub use choco::{ChocoConfig, ChocoSgd};
 pub use full::FullSharing;
 pub use jwins_strategy::{Jwins, JwinsConfig};
-pub use power_gossip::{MatrixLayout, PowerGossip, PowerGossipConfig};
+pub use power_gossip::{
+    MatrixLayout, PowerGossip, PowerGossipConfig, FRESH_VERSION, HISTORY_WINDOW,
+};
 pub use quantized::QuantizedSharing;
 pub use random_sampling::RandomSampling;
 pub use rmw::RandomModelWalk;

@@ -32,13 +32,34 @@
 //! `param_segments()` in `jwins-nn`) and [`MatrixLayout::GlobalSquare`]
 //! (the strawman, kept for the ablation).
 //!
-//! **Transport requirements.** Edge state stays consistent because both
-//! endpoints see the same exchanges: symmetric node churn (both directions
-//! skip a round together) is fine, but *asymmetric message loss* — one
-//! direction of an edge delivered, the other dropped — desynchronizes the
-//! warm-started factors. Run PowerGossip on reliable links
-//! (`TrainConfig::message_loss = 0`, the default); the broadcast strategies
-//! tolerate loss because they renormalize per received message.
+//! **Round-versioned handshakes (asynchronous transport).** The warm start
+//! is only meaningful while both endpoints hold bitwise-identical edge
+//! state, which lockstep rounds guarantee but asynchronous gossip, message
+//! expiry, churn and topology repair do not. Every edge therefore carries a
+//! *handshake chain*: a running hash commitment to the sequence of rounds
+//! the edge has successfully paired, starting from the deterministic fresh
+//! planes both endpoints re-derive from the shared seed. Outbound messages
+//! are stamped with the chain they were computed from; equal stamps imply
+//! bitwise-identical edge state on both sides (a plain round or version
+//! counter would not — two endpoints can reach the same *count* through
+//! different pairing sequences under asymmetric loss). Each node keeps a
+//! bounded round-keyed history ([`HISTORY_WINDOW`]) of its own outbound
+//! halves plus a stash of early-arrived peer halves, so a half-handshake
+//! that is merely *late* (or early, from a fast neighbour) still pairs with
+//! the matching round's state. Anything that cannot pair — a chain
+//! mismatch, a half that expired out of the window, a half for a
+//! crash-skipped round — falls back to the fresh planes instead of
+//! corrupting the warm start; the peer's own mismatch detection resets its
+//! side within a round or two, after which the edge re-pairs from fresh.
+//! One lost half-handshake thus costs a couple of warm-started rounds,
+//! never factor-state correctness. Paired updates apply with the
+//! *undecayed* edge weight ([`ReceivedMessage::edge_weight`]) so both
+//! endpoints scale the antisymmetric update identically even when a
+//! staleness policy down-weights one direction; under static topologies
+//! this keeps the exact pairwise cancellation (and with it the parameter
+//! mean), while dynamic or mid-round-repaired graphs can still price the
+//! same edge differently at the two endpoints — a bounded perturbation of
+//! the mean, of the same class as a lost broadcast message.
 //!
 //! Adaptation to the bulk-synchronous engine: the power iteration is
 //! *pipelined* across rounds. A round-`t` message carries `P = M Q` for the
@@ -51,7 +72,23 @@ use crate::{JwinsError, Result};
 use jwins_net::ByteBreakdown;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+/// How many rounds of per-edge handshake history are retained: own outbound
+/// halves older than this can no longer pair and expire (falling back to
+/// fresh planes), and peer halves from further ahead than this are treated
+/// as divergence rather than stashed. Bounds both the warm-start tolerance
+/// for late replies and the per-edge memory.
+pub const HISTORY_WINDOW: usize = 4;
+
+/// Diagnostic pairing counter of a fresh (never-paired-since-reset) edge
+/// state — see [`PowerGossip::edge_version`].
+pub const FRESH_VERSION: u64 = 0;
+
+/// Handshake-chain stamp of a fresh edge state. Both endpoints derive
+/// identical fresh planes from the shared seed, so two fresh states always
+/// pair.
+const FRESH_CHAIN: u64 = 0;
 
 /// How the flat parameter vector is viewed as matrices for factorization.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,7 +175,8 @@ impl Seg {
     }
 }
 
-/// Per-edge power-iteration state, kept bitwise-identical on both endpoints.
+/// Per-edge power-iteration state, kept bitwise-identical on both endpoints
+/// whenever their handshake chains match.
 #[derive(Debug, Clone)]
 struct EdgeState {
     /// Query planes `Q_s` per segment (`cols_s × rank_s`, plane-major).
@@ -146,22 +184,61 @@ struct EdgeState {
     /// Orthonormal left factors `P̂_s` from the previous round (possibly
     /// all-zero planes where the difference vanished).
     p_hat: Option<Vec<Vec<f32>>>,
+    /// Diagnostic pairing counter: [`FRESH_VERSION`] for the deterministic
+    /// fresh planes, incremented on every successfully paired exchange.
+    version: u64,
+    /// Handshake-chain commitment: [`FRESH_CHAIN`] for the fresh planes,
+    /// advanced by a pure hash of `(chain, paired round)` on every
+    /// successful pairing. Equal chains imply bitwise-identical `q`/`p_hat`
+    /// on both endpoints — both advanced through the same sequence of
+    /// paired exchanges from the same seed-derived fresh planes — so the
+    /// chain, stamped on every outbound half, is the protocol's equality
+    /// witness. A plain counter would not be: two endpoints can reach the
+    /// same *count* through different pairing sequences under asymmetric
+    /// loss, which the hash of the round sequence distinguishes.
+    chain: u64,
+    /// Bounded history of own outbound half-handshakes, oldest first, so a
+    /// late peer reply within [`HISTORY_WINDOW`] rounds still pairs.
+    slots: VecDeque<EdgeSlot>,
+    /// Early-arrived peer halves for rounds this node has not reached yet
+    /// (a fast neighbour runs ahead under asynchronous gossip).
+    stash: Vec<StashedHalf>,
 }
 
-/// Own contribution to an edge, remembered between `make_outbound` and
-/// `aggregate`.
-#[derive(Debug)]
-struct EdgePending {
+/// One round's own contribution to an edge, kept until it pairs or expires.
+#[derive(Debug, Clone)]
+struct EdgeSlot {
+    round: usize,
+    /// Edge-state chain this half was computed from (also the stamp on the
+    /// wire message carrying it).
+    chain: u64,
     /// `P_s = M_s Q_s` per segment.
     p_own: Vec<Vec<f32>>,
     /// `Q'_s = M_sᵀ P̂_s` per segment, when `P̂` existed.
     q_own: Option<Vec<Vec<f32>>>,
 }
 
-#[derive(Debug)]
-struct PendingRound {
+/// A decoded peer half that arrived before this node reached its round.
+#[derive(Debug, Clone)]
+struct StashedHalf {
     round: usize,
-    per_edge: HashMap<usize, EdgePending>,
+    chain: u64,
+    p_peer: Vec<Vec<f32>>,
+    q_peer: Option<Vec<Vec<f32>>>,
+    /// Undecayed edge weight the engine attached at delivery time.
+    weight: f64,
+}
+
+/// Advances the handshake-chain commitment by one paired exchange at
+/// `round` — a pure splitmix64-style hash both endpoints compute
+/// identically.
+fn chain_advance(chain: u64, round: usize) -> u64 {
+    let mut z = chain
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((round as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The PowerGossip sharing strategy (one instance per node).
@@ -198,7 +275,9 @@ pub struct PowerGossip {
     shared_seed: u64,
     segs: Vec<Seg>,
     edges: HashMap<usize, EdgeState>,
-    pending: Option<PendingRound>,
+    /// Round of the `make_outbound` awaiting its `aggregate` (protocol
+    /// guard; the per-edge halves live in each edge's slot history).
+    pending_round: Option<usize>,
     dim: usize,
 }
 
@@ -224,9 +303,22 @@ impl PowerGossip {
             shared_seed,
             segs: Vec::new(),
             edges: HashMap::new(),
-            pending: None,
+            pending_round: None,
             dim: 0,
         }
+    }
+
+    /// Diagnostic/test hook: the handshake version of the edge state held
+    /// for `peer` (`Some(`[`FRESH_VERSION`]`)` = the deterministic fresh
+    /// planes; `None` = no state retained).
+    pub fn edge_version(&self, peer: usize) -> Option<u64> {
+        self.edges.get(&peer).map(|e| e.version)
+    }
+
+    /// Diagnostic/test hook: how many peers currently have retained
+    /// per-edge state (warm-start planes, slot history, stash).
+    pub fn tracked_edges(&self) -> usize {
+        self.edges.len()
     }
 
     /// The configuration in use.
@@ -266,7 +358,188 @@ impl PowerGossip {
                 planes
             })
             .collect();
-        EdgeState { q, p_hat: None }
+        EdgeState {
+            q,
+            p_hat: None,
+            version: FRESH_VERSION,
+            chain: FRESH_CHAIN,
+            slots: VecDeque::new(),
+            stash: Vec::new(),
+        }
+    }
+
+    /// Falls back to the deterministic fresh planes for the edge to `peer`,
+    /// discarding warm state, slot history and stash. Both endpoints
+    /// re-derive identical fresh state, so a reset edge re-pairs as soon as
+    /// the peer's side has reset too.
+    fn reset_edge(&mut self, peer: usize) {
+        let fresh = self.fresh_edge(peer);
+        self.edges.insert(peer, fresh);
+    }
+
+    /// Routes one decoded peer half for the edge to `peer`: pairs it with
+    /// the matching history slot, stashes it for a future round, ignores a
+    /// harmless leftover, or falls back to fresh planes on divergence.
+    /// `now` is this node's aggregation round, `sent` the peer's stamp.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_half(
+        &mut self,
+        peer: usize,
+        now: usize,
+        sent: usize,
+        chain: u64,
+        p_peer: Vec<Vec<f32>>,
+        q_peer: Option<Vec<Vec<f32>>>,
+        weight: f64,
+        mats: &mut [Vec<f32>],
+    ) {
+        if sent > now {
+            // The peer runs ahead; park its half until this node reaches
+            // that round. Too far ahead (or an overfull stash) means the
+            // edge has effectively desynchronized — fall back to fresh.
+            let state = self.edges.get_mut(&peer).expect("caller verified edge");
+            if sent <= now + HISTORY_WINDOW && state.stash.len() < HISTORY_WINDOW {
+                state.stash.push(StashedHalf {
+                    round: sent,
+                    chain,
+                    p_peer,
+                    q_peer,
+                    weight,
+                });
+            } else {
+                self.reset_edge(peer);
+            }
+            return;
+        }
+        let state = &self.edges[&peer];
+        match state
+            .slots
+            .iter()
+            .find(|s| s.round == sent)
+            .map(|s| s.chain)
+        {
+            Some(own) if own == chain && state.chain == own => {
+                // Both halves of round `sent` derive from the state this
+                // edge still holds: a proper pairing.
+                self.pair(peer, sent, &p_peer, q_peer.as_deref(), weight, mats);
+            }
+            Some(own) if own == chain => {
+                // Pre-advance leftover: both halves of round `sent` derive
+                // from a common state, but a later-arriving older exchange
+                // already advanced this edge's chain past it. The exchange
+                // is spent — drop its slot (and any older ones, equally
+                // pre-advance) so it cannot trigger a false expiry, and
+                // move on without resetting: if the peer advanced the same
+                // way, the chains still agree; if it advanced differently,
+                // the differing stamps reveal it within a round.
+                let state = self.edges.get_mut(&peer).expect("looked up above");
+                while state.slots.front().is_some_and(|s| s.round <= sent) {
+                    state.slots.pop_front();
+                }
+            }
+            _ => {
+                // Divergence: the peer is on a different handshake chain
+                // (one side paired an exchange the other missed, or one
+                // side reset). Fall back to the fresh planes; the peer's
+                // own detection resets its side when it sees our next
+                // stamp.
+                self.reset_edge(peer);
+            }
+        }
+    }
+
+    /// Applies one successfully paired exchange on the edge to `peer`: the
+    /// antisymmetric low-rank update on `mats`, the warm-started query for
+    /// the next exchange, and the chain advance. The caller has verified
+    /// that a slot for round `r` exists at the state's current chain.
+    fn pair(
+        &mut self,
+        peer: usize,
+        r: usize,
+        p_peer: &[Vec<f32>],
+        q_peer: Option<&[Vec<f32>]>,
+        weight: f64,
+        mats: &mut [Vec<f32>],
+    ) {
+        let i_am_low = self.orient(peer).0 == self.node_id;
+        let segs = &self.segs;
+        let state = self.edges.get_mut(&peer).expect("caller verified edge");
+        // Consume the paired half and everything older: replies to older
+        // halves, if any still arrive, are pre-advance leftovers and are
+        // ignored by their stamp.
+        let mut paired = None;
+        while let Some(front) = state.slots.front() {
+            if front.round > r {
+                break;
+            }
+            let slot = state.slots.pop_front().expect("front exists");
+            if slot.round == r {
+                paired = Some(slot);
+            }
+        }
+        let slot = paired.expect("caller verified slot");
+        // Canonical Δ = own_low − own_high, identical on both endpoints.
+        let orient = |own: &[f32], theirs: &[f32]| -> Vec<f32> {
+            own.iter()
+                .zip(theirs)
+                .map(|(a, b)| if i_am_low { a - b } else { b - a })
+                .collect()
+        };
+        // Pipelined update: last exchange's P̂ with this exchange's ΔQ'.
+        if let (Some(q_own), Some(q_peer), Some(p_hat)) =
+            (&slot.q_own, q_peer, state.p_hat.as_ref())
+        {
+            let sign = if i_am_low { -1.0f64 } else { 1.0 };
+            let theta = sign * weight;
+            let mut q_next = Vec::with_capacity(segs.len());
+            for (((seg, m), (qo, qp)), ph) in segs
+                .iter()
+                .zip(mats.iter_mut())
+                .zip(q_own.iter().zip(q_peer))
+                .zip(p_hat)
+            {
+                let delta_q = orient(qo, qp);
+                // x ← x ∓ w · P̂ ΔQᵀ (minus on the low endpoint).
+                for k in 0..seg.rank {
+                    let p_plane = &ph[k * seg.rows..(k + 1) * seg.rows];
+                    let q_plane = &delta_q[k * seg.cols..(k + 1) * seg.cols];
+                    for (row_idx, &pv) in p_plane.iter().enumerate() {
+                        if pv == 0.0 {
+                            continue;
+                        }
+                        let coeff = theta * f64::from(pv);
+                        let row = &mut m[row_idx * seg.cols..(row_idx + 1) * seg.cols];
+                        for (cell, &qv) in row.iter_mut().zip(q_plane) {
+                            *cell = (f64::from(*cell) + coeff * f64::from(qv)) as f32;
+                        }
+                    }
+                }
+                // Warm-start the next query (power iteration).
+                let mut next = delta_q;
+                orthonormalize_planes(&mut next, seg.cols, seg.rank);
+                q_next.push(next);
+            }
+            // Keep the old query where the difference vanished, so the
+            // iteration can restart from a non-degenerate direction.
+            for (cur, next) in state.q.iter_mut().zip(q_next) {
+                if next.iter().any(|v| *v != 0.0) {
+                    *cur = next;
+                }
+            }
+        }
+        // New left factors for the next Q' exchange.
+        let p_hat_next: Vec<Vec<f32>> = segs
+            .iter()
+            .zip(slot.p_own.iter().zip(p_peer))
+            .map(|(seg, (po, pp))| {
+                let mut dp = orient(po, pp);
+                orthonormalize_planes(&mut dp, seg.rows, seg.rank);
+                dp
+            })
+            .collect();
+        state.p_hat = Some(p_hat_next);
+        state.version += 1;
+        state.chain = chain_advance(state.chain, r);
     }
 
     fn message_p_len(&self) -> usize {
@@ -277,43 +550,50 @@ impl PowerGossip {
         self.segs.iter().map(Seg::q_len).sum()
     }
 
-    fn encode(&self, pending: &EdgePending) -> OutMessage {
-        // Wire: 1 header byte (bit0 = has Q' part), then raw LE f32 planes,
-        // all segments' P blocks then all segments' Q' blocks.
-        let has_q = pending.q_own.is_some();
+    fn encode(&self, chain: u64, p_own: &[Vec<f32>], q_own: Option<&[Vec<f32>]>) -> OutMessage {
+        // Wire: 1 header byte (bit0 = has Q' part), the 8-byte LE handshake
+        // chain stamp, then raw LE f32 planes — all segments' P blocks
+        // then all segments' Q' blocks.
+        let has_q = q_own.is_some();
         let floats = self.message_p_len() + if has_q { self.message_q_len() } else { 0 };
-        let mut bytes = Vec::with_capacity(1 + 4 * floats);
+        let mut bytes = Vec::with_capacity(9 + 4 * floats);
         bytes.push(u8::from(has_q));
-        for block in &pending.p_own {
+        bytes.extend_from_slice(&chain.to_le_bytes());
+        for block in p_own {
             for &v in block {
                 bytes.extend_from_slice(&v.to_le_bytes());
             }
         }
-        if let Some(q) = &pending.q_own {
+        if let Some(q) = q_own {
             for block in q {
                 for &v in block {
                     bytes.extend_from_slice(&v.to_le_bytes());
                 }
             }
         }
-        let payload = bytes.len() - 1;
+        let payload = bytes.len() - 9;
         OutMessage::new(
             bytes,
             ByteBreakdown {
                 payload,
-                metadata: 1,
+                metadata: 9,
             },
         )
     }
 
     #[allow(clippy::type_complexity)]
-    fn decode(&self, bytes: &[u8]) -> Result<(Vec<Vec<f32>>, Option<Vec<Vec<f32>>>)> {
-        let Some((&header, body)) = bytes.split_first() else {
+    fn decode(&self, bytes: &[u8]) -> Result<(u64, Vec<Vec<f32>>, Option<Vec<Vec<f32>>>)> {
+        let Some((&header, rest)) = bytes.split_first() else {
             return Err(JwinsError::Protocol("empty power-gossip message"));
         };
         if header > 1 {
             return Err(JwinsError::Protocol("invalid power-gossip header"));
         }
+        if rest.len() < 8 {
+            return Err(JwinsError::Protocol("power-gossip message length mismatch"));
+        }
+        let (stamp, body) = rest.split_at(8);
+        let chain = u64::from_le_bytes(stamp.try_into().expect("8-byte stamp"));
         let has_q = header == 1;
         let expected = 4 * (self.message_p_len() + if has_q { self.message_q_len() } else { 0 });
         if body.len() != expected {
@@ -329,7 +609,7 @@ impl PowerGossip {
         };
         let p: Vec<Vec<f32>> = self.segs.iter().map(|s| read_block(s.p_len())).collect();
         let q = has_q.then(|| self.segs.iter().map(|s| read_block(s.q_len())).collect());
-        Ok((p, q))
+        Ok((chain, p, q))
     }
 }
 
@@ -401,11 +681,13 @@ fn orthonormalize_planes(planes: &mut [f32], n: usize, rank: usize) {
 }
 
 impl ShareStrategy for PowerGossip {
-    /// PowerGossip's per-edge P̂/Q̂ warm starts assume both endpoints
-    /// exchange messages for the *same* round; a stale message would be
-    /// paired with the wrong iteration's subspace state.
-    fn tolerates_stale_messages(&self) -> bool {
-        false
+    /// Drops all state for the edge to `peer`: warm-start planes, slot
+    /// history and stash. Called by the engine when the edge is permanently
+    /// gone (permanent crash, topology repair); if the edge ever returns it
+    /// restarts from the deterministic fresh planes instead of a stale
+    /// subspace.
+    fn forget_edge(&mut self, peer: usize) {
+        self.edges.remove(&peer);
     }
 
     fn name(&self) -> &'static str {
@@ -454,7 +736,7 @@ impl ShareStrategy for PowerGossip {
             }
         };
         self.edges.clear();
-        self.pending = None;
+        self.pending_round = None;
     }
 
     fn make_message(&mut self, _round: usize, _params: &[f32]) -> Result<OutMessage> {
@@ -472,20 +754,43 @@ impl ShareStrategy for PowerGossip {
         if self.dim == 0 {
             return Err(JwinsError::Protocol("init was not called"));
         }
-        if self.pending.is_some() {
-            return Err(JwinsError::Protocol(
-                "make_outbound called twice in a round",
-            ));
+        match self.pending_round {
+            Some(r) if r == round => {
+                return Err(JwinsError::Protocol(
+                    "make_outbound called twice in a round",
+                ));
+            }
+            Some(_) => {
+                // The previous round was abandoned mid-flight: a crash
+                // between training and mixing skips that round's aggregate
+                // entirely, and a warm rejoin keeps the strategy state.
+                // Its outstanding halves stay in the slot history, where
+                // they expire or mismatch like any other lost handshake.
+                self.pending_round = None;
+            }
+            None => {}
         }
         let mats: Vec<Vec<f32>> = self.segs.iter().map(|s| s.extract(params)).collect();
-        let mut per_edge = HashMap::with_capacity(neighbors.len());
         let mut messages = Vec::with_capacity(neighbors.len());
         for &peer in neighbors {
             if !self.edges.contains_key(&peer) {
                 let fresh = self.fresh_edge(peer);
                 self.edges.insert(peer, fresh);
             }
+            // Expired half-handshake: the oldest outstanding half fell out
+            // of the history window without ever pairing — its reply was
+            // lost, expired, or the peer diverged. Fall back to the fresh
+            // planes (the peer's mismatch detection resets its side on the
+            // next stamp it sees from us).
+            if self.edges[&peer]
+                .slots
+                .front()
+                .is_some_and(|s| s.round + HISTORY_WINDOW <= round)
+            {
+                self.reset_edge(peer);
+            }
             let state = &self.edges[&peer];
+            let chain = state.chain;
             let p_own: Vec<Vec<f32>> = self
                 .segs
                 .iter()
@@ -501,11 +806,16 @@ impl ShareStrategy for PowerGossip {
                     .map(|((seg, m), ph)| mat_t_mul_planes(m, seg.rows, seg.cols, ph, seg.rank))
                     .collect::<Vec<_>>()
             });
-            let pend = EdgePending { p_own, q_own };
-            messages.push(Some(self.encode(&pend)));
-            per_edge.insert(peer, pend);
+            messages.push(Some(self.encode(chain, &p_own, q_own.as_deref())));
+            let state = self.edges.get_mut(&peer).expect("inserted above");
+            state.slots.push_back(EdgeSlot {
+                round,
+                chain,
+                p_own,
+                q_own,
+            });
         }
-        self.pending = Some(PendingRound { round, per_edge });
+        self.pending_round = Some(round);
         Ok(Outbound::PerEdge(messages))
     }
 
@@ -517,87 +827,66 @@ impl ShareStrategy for PowerGossip {
         received: &[ReceivedMessage<'_>],
     ) -> Result<Vec<f32>> {
         let pending = self
-            .pending
+            .pending_round
             .take()
             .ok_or(JwinsError::Protocol("aggregate before make_outbound"))?;
-        if pending.round != round {
+        if pending != round {
             return Err(JwinsError::Protocol("round number mismatch"));
         }
         let mut flat = params.to_vec();
         let mut mats: Vec<Vec<f32>> = self.segs.iter().map(|s| s.extract(params)).collect();
-        for msg in received {
-            let Some(pend) = pending.per_edge.get(&msg.from) else {
-                return Err(JwinsError::Protocol("message from unexpected edge"));
-            };
-            let (p_peer, q_peer) = self.decode(msg.bytes)?;
-            let (low, _) = self.orient(msg.from);
-            let i_am_low = low == self.node_id;
-            // Canonical Δ = own_low − own_high, identical on both endpoints.
-            let orient = |own: &[f32], theirs: &[f32]| -> Vec<f32> {
-                own.iter()
-                    .zip(theirs)
-                    .map(|(a, b)| if i_am_low { a - b } else { b - a })
-                    .collect()
-            };
-            let state = self
-                .edges
-                .get_mut(&msg.from)
-                .expect("edge created in make_outbound");
-            // Pipelined update: last round's P̂ with this round's ΔQ'.
-            if let (Some(q_own), Some(q_peer), Some(p_hat)) =
-                (&pend.q_own, &q_peer, state.p_hat.as_ref())
-            {
-                let sign = if i_am_low { -1.0f64 } else { 1.0 };
-                let theta = sign * msg.weight;
-                let mut q_next = Vec::with_capacity(self.segs.len());
-                for (((seg, m), (qo, qp)), ph) in self
-                    .segs
-                    .iter()
-                    .zip(&mut mats)
-                    .zip(q_own.iter().zip(q_peer))
-                    .zip(p_hat)
-                {
-                    let delta_q = orient(qo, qp);
-                    // x ← x ∓ w · P̂ ΔQᵀ (minus on the low endpoint).
-                    for k in 0..seg.rank {
-                        let p_plane = &ph[k * seg.rows..(k + 1) * seg.rows];
-                        let q_plane = &delta_q[k * seg.cols..(k + 1) * seg.cols];
-                        for (r, &pv) in p_plane.iter().enumerate() {
-                            if pv == 0.0 {
-                                continue;
-                            }
-                            let coeff = theta * f64::from(pv);
-                            let row = &mut m[r * seg.cols..(r + 1) * seg.cols];
-                            for (cell, &qv) in row.iter_mut().zip(q_plane) {
-                                *cell = (f64::from(*cell) + coeff * f64::from(qv)) as f32;
-                            }
-                        }
-                    }
-                    // Warm-start next round's query (power iteration).
-                    let mut next = delta_q;
-                    orthonormalize_planes(&mut next, seg.cols, seg.rank);
-                    q_next.push(next);
-                }
-                // Keep the old query where the difference vanished, so the
-                // iteration can restart from a non-degenerate direction.
-                for (cur, next) in state.q.iter_mut().zip(q_next) {
-                    if next.iter().any(|v| *v != 0.0) {
-                        *cur = next;
-                    }
+        // Stashed peer halves that have come due (they arrived while this
+        // node was on an earlier round), in peer order for determinism and
+        // ahead of the freshly drained messages, mirroring their earlier
+        // arrival. A half for a round this node skipped entirely (crash-
+        // abandoned) can never complete its handshake and resets the edge.
+        let mut due: Vec<usize> = self
+            .edges
+            .iter()
+            .filter(|(_, s)| s.stash.iter().any(|h| h.round <= round))
+            .map(|(&p, _)| p)
+            .collect();
+        due.sort_unstable();
+        for peer in due {
+            let state = self.edges.get_mut(&peer).expect("listed above");
+            let stash = std::mem::take(&mut state.stash);
+            let (mut ready, keep): (Vec<_>, Vec<_>) =
+                stash.into_iter().partition(|h| h.round <= round);
+            state.stash = keep;
+            ready.sort_by_key(|h| h.round);
+            for h in ready {
+                if h.round < round {
+                    self.reset_edge(peer);
+                } else {
+                    self.handle_half(
+                        peer, round, h.round, h.chain, h.p_peer, h.q_peer, h.weight, &mut mats,
+                    );
                 }
             }
-            // New left factors for next round's Q' exchange.
-            let p_hat_next: Vec<Vec<f32>> = self
-                .segs
-                .iter()
-                .zip(pend.p_own.iter().zip(&p_peer))
-                .map(|(seg, (po, pp))| {
-                    let mut dp = orient(po, pp);
-                    orthonormalize_planes(&mut dp, seg.rows, seg.rank);
-                    dp
-                })
-                .collect();
-            state.p_hat = Some(p_hat_next);
+        }
+        for msg in received {
+            let (chain, p_peer, q_peer) = self.decode(msg.bytes)?;
+            if !self.edges.contains_key(&msg.from) {
+                // A neighbour this node never addressed (e.g. a freshly
+                // repair-added edge whose first outbound half is still ours
+                // to send): no own half exists to pair with. The edge
+                // starts fresh at our next outbound.
+                continue;
+            }
+            // Pair with the *undecayed* edge weight: the antisymmetric
+            // update must apply with the same magnitude on both endpoints,
+            // and a one-sided staleness decay factor would break the
+            // cancellation and bias the parameter mean.
+            self.handle_half(
+                msg.from,
+                round,
+                msg.round,
+                chain,
+                p_peer,
+                q_peer,
+                msg.edge_weight,
+                &mut mats,
+            );
         }
         for (seg, m) in self.segs.iter().zip(&mats) {
             seg.write_back(&mut flat, m);
@@ -611,15 +900,19 @@ impl ShareStrategy for PowerGossip {
     }
 
     fn state_bytes(&self) -> usize {
+        let planes = |blocks: &[Vec<f32>]| blocks.iter().map(Vec::len).sum::<usize>();
         self.edges
             .values()
             .map(|e| {
-                let q: usize = e.q.iter().map(Vec::len).sum();
-                let p: usize = e
-                    .p_hat
-                    .as_ref()
-                    .map_or(0, |ph| ph.iter().map(Vec::len).sum());
-                (q + p) * std::mem::size_of::<f32>()
+                let mut floats = planes(&e.q) + e.p_hat.as_deref().map_or(0, planes);
+                for slot in &e.slots {
+                    floats += planes(&slot.p_own) + slot.q_own.as_deref().map_or(0, planes);
+                }
+                for half in &e.stash {
+                    floats += planes(&half.p_peer) + half.q_peer.as_deref().map_or(0, planes);
+                }
+                // Version + chain bookkeeping per edge.
+                floats * std::mem::size_of::<f32>() + 2 * std::mem::size_of::<u64>()
             })
             .sum()
     }
@@ -672,7 +965,9 @@ mod tests {
                 1.0 - w,
                 &[ReceivedMessage {
                     from: 1,
+                    round,
                     weight: w,
+                    edge_weight: w,
                     bytes: &msg_b.bytes,
                 }],
             )
@@ -684,7 +979,9 @@ mod tests {
                 1.0 - w,
                 &[ReceivedMessage {
                     from: 0,
+                    round,
                     weight: w,
+                    edge_weight: w,
                     bytes: &msg_a.bytes,
                 }],
             )
@@ -814,8 +1111,8 @@ mod tests {
             panic!()
         };
         let msg = msgs[0].as_ref().unwrap();
-        // Round 0 has no Q' part: 1 header + 20 rows × 4 bytes.
-        assert_eq!(msg.bytes.len(), 1 + 20 * 4);
+        // Round 0 has no Q' part: 1 header + 8 version + 20 rows × 4 bytes.
+        assert_eq!(msg.bytes.len(), 9 + 20 * 4);
         let xa2 = a.aggregate(0, &xa, 0.5, &[]).unwrap();
         assert_eq!(xa2, xa, "no neighbours, no change");
     }
@@ -873,6 +1170,26 @@ mod tests {
     }
 
     #[test]
+    fn abandoned_round_does_not_poison_the_next_make_outbound() {
+        // A crash between training and mixing skips the round's aggregate
+        // entirely, and a warm rejoin keeps the strategy state: the next
+        // round must open cleanly, with the stale half treated as an
+        // abandoned handshake — while a true double call stays an error.
+        let (mut a, _, xa, _) = pair(36, 1);
+        let _ = a.make_outbound(0, &xa, &[1]).unwrap();
+        // No aggregate(0): the round was crash-abandoned.
+        let _ = a
+            .make_outbound(1, &xa, &[1])
+            .expect("abandoned round must not block the next one");
+        assert!(
+            a.make_outbound(1, &xa, &[1]).is_err(),
+            "a genuine double make_outbound is still a protocol violation"
+        );
+        let xa2 = a.aggregate(1, &xa, 1.0, &[]).unwrap();
+        assert_eq!(xa2, xa);
+    }
+
+    #[test]
     #[should_panic(expected = "segment layout covers")]
     fn mismatched_segment_layout_panics_at_init() {
         let mut s = PowerGossip::new(PowerGossipConfig::per_layer(1, vec![(4, 4)]), 0, 1);
@@ -881,7 +1198,7 @@ mod tests {
 
     #[test]
     fn corrupt_messages_rejected() {
-        let (mut a, _, xa, _) = pair(36, 1);
+        let (mut a, mut b, xa, xb) = pair(36, 1);
         let _ = a.make_outbound(0, &xa, &[1]).unwrap();
         let bad_header = [7u8, 0, 0, 0];
         assert!(a
@@ -891,7 +1208,9 @@ mod tests {
                 1.0,
                 &[ReceivedMessage {
                     from: 1,
+                    round: 0,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &bad_header
                 }]
             )
@@ -905,26 +1224,40 @@ mod tests {
                 1.0,
                 &[ReceivedMessage {
                     from: 1,
+                    round: 1,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &truncated
                 }]
             )
             .is_err());
-        let _ = a.make_outbound(2, &xa, &[1]).unwrap();
-        assert!(
-            a.aggregate(
-                2,
+        // A *well-formed* message from a peer we never addressed is not an
+        // error under asynchronous delivery (repair can add edges whose
+        // first inbound half precedes our first outbound); it is ignored
+        // and pairs once both sides have sent.
+        let Outbound::PerEdge(msgs) = b.make_outbound(0, &xb, &[0]).unwrap() else {
+            panic!("per-edge");
+        };
+        let from_b = msgs.into_iter().next().unwrap().unwrap();
+        let mut c = PowerGossip::new(PowerGossipConfig::global(1), 0, 99);
+        c.init(&xa);
+        let _ = c.make_outbound(0, &xa, &[2]).unwrap();
+        let xc = c
+            .aggregate(
+                0,
                 &xa,
                 1.0,
                 &[ReceivedMessage {
-                    from: 3,
+                    from: 1,
+                    round: 0,
                     weight: 0.5,
-                    bytes: &[0u8]
-                }]
+                    edge_weight: 0.5,
+                    bytes: &from_b.bytes,
+                }],
             )
-            .is_err(),
-            "message from a peer we never addressed"
-        );
+            .expect("unaddressed peer's message is ignored, not an error");
+        assert_eq!(xc, xa, "ignored half must not move parameters");
+        assert_eq!(c.edge_version(1), None, "no state allocated for it");
     }
 
     #[test]
@@ -958,10 +1291,221 @@ mod tests {
 
     #[test]
     fn state_bytes_counts_edge_state() {
-        let (mut a, _, xa, _) = pair(100, 1);
+        let (mut a, mut b, xa, xb) = pair(100, 1);
         assert_eq!(a.state_bytes(), 0);
         let _ = a.make_outbound(0, &xa, &[1, 2, 3]).unwrap();
-        // Three edges × 10-col query planes × 4 bytes.
-        assert_eq!(a.state_bytes(), 3 * 10 * 4);
+        // Three edges × (10-col query planes + the outstanding 10-row P
+        // half in the slot history) × 4 bytes, plus 16 bytes of version
+        // bookkeeping per edge — the pending halves count too, they are
+        // held state exactly like the planes.
+        assert_eq!(a.state_bytes(), 3 * ((10 + 10) * 4 + 16));
+        // Close a's round 0 with no replies: slots stay outstanding and
+        // keep counting (the undercount the old accounting had), then a
+        // paired exchange at round 1 adds P̂ planes to the total.
+        let xa = a.aggregate(0, &xa, 1.0, &[]).unwrap();
+        assert_eq!(a.state_bytes(), 3 * ((10 + 10) * 4 + 16));
+        let _ = b.make_outbound(0, &xb, &[0]).unwrap();
+        let _ = b.aggregate(0, &xb, 1.0, &[]).unwrap();
+        let (_, _) = exchange(&mut a, &mut b, 1, &xa, &xb, 0.5);
+        // Edge 1 paired (q 10 + p_hat 10, slots consumed); edges 2 and 3
+        // still hold q 10 + their unpaired round-0 slot of 10 floats.
+        assert_eq!(a.state_bytes(), 3 * ((10 + 10) * 4 + 16));
+        assert_eq!(a.edge_version(1), Some(1), "edge 1 advanced");
+        assert_eq!(a.edge_version(2), Some(0), "edge 2 still fresh");
+    }
+
+    /// One round's messages on both sides, for manual delivery control.
+    fn halves(
+        a: &mut PowerGossip,
+        b: &mut PowerGossip,
+        round: usize,
+        xa: &[f32],
+        xb: &[f32],
+    ) -> (OutMessage, OutMessage) {
+        let Outbound::PerEdge(mut va) = a.make_outbound(round, xa, &[1]).unwrap() else {
+            panic!("per-edge")
+        };
+        let Outbound::PerEdge(mut vb) = b.make_outbound(round, xb, &[0]).unwrap() else {
+            panic!("per-edge")
+        };
+        (va.remove(0).unwrap(), vb.remove(0).unwrap())
+    }
+
+    fn deliver(
+        node: &mut PowerGossip,
+        round: usize,
+        params: &[f32],
+        from: usize,
+        sent_round: usize,
+        msg: Option<&OutMessage>,
+    ) -> Vec<f32> {
+        let received: Vec<ReceivedMessage<'_>> = msg
+            .iter()
+            .map(|m| ReceivedMessage {
+                from,
+                round: sent_round,
+                weight: 0.5,
+                edge_weight: 0.5,
+                bytes: &m.bytes,
+            })
+            .collect();
+        node.aggregate(round, params, 0.5, &received).unwrap()
+    }
+
+    #[test]
+    fn late_reply_within_window_still_pairs() {
+        // b's round-0 half reaches a only during a's round 1 (and vice
+        // versa): both sides pair against their retained round-0 slots and
+        // the chain advances without a reset.
+        let (mut a, mut b, mut xa, mut xb) = pair(49, 1);
+        let (m_a0, m_b0) = halves(&mut a, &mut b, 0, &xa, &xb);
+        // Round 0 aggregates see nothing.
+        xa = deliver(&mut a, 0, &xa, 1, 0, None);
+        xb = deliver(&mut b, 0, &xb, 0, 0, None);
+        // Round 1: the round-0 halves arrive late, stamped round 0.
+        let (m_a1, m_b1) = halves(&mut a, &mut b, 1, &xa, &xb);
+        xa = deliver(&mut a, 1, &xa, 1, 0, Some(&m_b0));
+        xb = deliver(&mut b, 1, &xb, 0, 0, Some(&m_a0));
+        assert_eq!(a.edge_version(1), Some(1), "late half paired");
+        assert_eq!(b.edge_version(0), Some(1), "late half paired");
+        // The round-1 halves (stamped with the pre-advance chain) are
+        // pre-advance leftovers: ignored, no reset.
+        let (_m_a2, _m_b2) = halves(&mut a, &mut b, 2, &xa, &xb);
+        xa = deliver(&mut a, 2, &xa, 1, 1, Some(&m_b1));
+        xb = deliver(&mut b, 2, &xb, 0, 1, Some(&m_a1));
+        assert_eq!(a.edge_version(1), Some(1), "leftover ignored, not reset");
+        assert_eq!(b.edge_version(0), Some(1), "leftover ignored, not reset");
+        assert!(xa.iter().chain(&xb).all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn expired_half_handshake_falls_back_to_fresh_and_repairs() {
+        let (mut a, mut b, mut xa, mut xb) = pair(49, 1);
+        // A few clean rounds build a warm chain.
+        for round in 0..3 {
+            let (na, nb) = exchange(&mut a, &mut b, round, &xa, &xb, 0.5);
+            xa = na;
+            xb = nb;
+        }
+        assert_eq!(a.edge_version(1), Some(3));
+        // Both directions black out past the window: every outstanding
+        // half expires and both sides converge back to the fresh planes.
+        for round in 3..3 + HISTORY_WINDOW + 1 {
+            let _ = halves(&mut a, &mut b, round, &xa, &xb);
+            xa = deliver(&mut a, round, &xa, 1, round, None);
+            xb = deliver(&mut b, round, &xb, 0, round, None);
+        }
+        let r = 3 + HISTORY_WINDOW + 1;
+        let _ = halves(&mut a, &mut b, r, &xa, &xb);
+        assert_eq!(a.edge_version(1), Some(FRESH_VERSION), "fell back to fresh");
+        assert_eq!(b.edge_version(0), Some(FRESH_VERSION), "fell back to fresh");
+        xa = deliver(&mut a, r, &xa, 1, r, None);
+        xb = deliver(&mut b, r, &xb, 0, r, None);
+        // Connectivity returns: fresh states pair again immediately.
+        let (na, nb) = exchange(&mut a, &mut b, r + 1, &xa, &xb, 0.5);
+        assert_eq!(a.edge_version(1), Some(1), "re-paired from fresh");
+        assert_eq!(b.edge_version(0), Some(1), "re-paired from fresh");
+        assert!(na.iter().chain(&nb).all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn one_sided_loss_diverges_then_both_reset() {
+        let (mut a, mut b, mut xa, mut xb) = pair(49, 1);
+        let (na, nb) = exchange(&mut a, &mut b, 0, &xa, &xb, 0.5);
+        xa = na;
+        xb = nb;
+        // Round 1: a receives b's half (pairs, v2) but b receives nothing.
+        let (_m_a1, m_b1) = halves(&mut a, &mut b, 1, &xa, &xb);
+        xa = deliver(&mut a, 1, &xa, 1, 1, Some(&m_b1));
+        xb = deliver(&mut b, 1, &xb, 0, 1, None);
+        assert_eq!(a.edge_version(1), Some(2));
+        assert_eq!(b.edge_version(0), Some(1), "b missed the exchange");
+        // Round 2: the mismatched stamps reveal the divergence — each side
+        // resets to fresh instead of corrupting its warm start.
+        let (m_a2, m_b2) = halves(&mut a, &mut b, 2, &xa, &xb);
+        xa = deliver(&mut a, 2, &xa, 1, 2, Some(&m_b2));
+        xb = deliver(&mut b, 2, &xb, 0, 2, Some(&m_a2));
+        assert_eq!(a.edge_version(1), Some(FRESH_VERSION), "a reset");
+        assert_eq!(b.edge_version(0), Some(FRESH_VERSION), "b reset");
+        // Round 3: fresh pairs fresh; the edge warms up again.
+        let (na, nb) = exchange(&mut a, &mut b, 3, &xa, &xb, 0.5);
+        assert_eq!(a.edge_version(1), Some(1));
+        assert_eq!(b.edge_version(0), Some(1));
+        assert!(na.iter().chain(&nb).all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn early_half_from_fast_peer_is_stashed_and_pairs_on_arrival_round() {
+        // b runs one round ahead of a. Its round-1 half arrives while a is
+        // still aggregating round 0: a stashes it and pairs it at round 1.
+        let (mut a, mut b, mut xa, mut xb) = pair(49, 1);
+        let (m_a0, m_b0) = halves(&mut a, &mut b, 0, &xa, &xb);
+        xb = deliver(&mut b, 0, &xb, 0, 0, Some(&m_a0));
+        let Outbound::PerEdge(mut vb) = b.make_outbound(1, &xb, &[0]).unwrap() else {
+            panic!("per-edge")
+        };
+        let m_b1 = vb.remove(0).unwrap();
+        // a's round 0 drain holds b's round-0 half *and* b's early round-1
+        // half (fast peer): the former pairs, the latter is stashed.
+        let recv: Vec<ReceivedMessage<'_>> = vec![
+            ReceivedMessage {
+                from: 1,
+                round: 0,
+                weight: 0.5,
+                edge_weight: 0.5,
+                bytes: &m_b0.bytes,
+            },
+            ReceivedMessage {
+                from: 1,
+                round: 1,
+                weight: 0.5,
+                edge_weight: 0.5,
+                bytes: &m_b1.bytes,
+            },
+        ];
+        xa = a.aggregate(0, &xa, 0.5, &recv).unwrap();
+        assert_eq!(a.edge_version(1), Some(1), "round-0 halves paired");
+        // a reaches round 1: the stashed half pairs without a new delivery.
+        let Outbound::PerEdge(mut va) = a.make_outbound(1, &xa, &[1]).unwrap() else {
+            panic!("per-edge")
+        };
+        let m_a1 = va.remove(0).unwrap();
+        xa = a.aggregate(1, &xa, 0.5, &[]).unwrap();
+        assert_eq!(
+            a.edge_version(1),
+            Some(2),
+            "stashed half paired at its round"
+        );
+        // b receives a's round-1 half late and catches up.
+        xb = deliver(&mut b, 1, &xb, 0, 1, Some(&m_a1));
+        assert_eq!(b.edge_version(0), Some(2));
+        assert!(xa.iter().chain(&xb).all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forget_edge_drops_state_and_restarts_fresh() {
+        let (mut a, mut b, mut xa, mut xb) = pair(49, 1);
+        for round in 0..2 {
+            let (na, nb) = exchange(&mut a, &mut b, round, &xa, &xb, 0.5);
+            xa = na;
+            xb = nb;
+        }
+        assert_eq!(a.tracked_edges(), 1);
+        assert!(a.state_bytes() > 0);
+        a.forget_edge(1);
+        assert_eq!(a.tracked_edges(), 0);
+        assert_eq!(a.state_bytes(), 0, "no state survives a forgotten edge");
+        assert_eq!(a.edge_version(1), None);
+        // The edge returns: a restarts fresh, b detects the stamp mismatch
+        // and resets, and the edge re-pairs clean afterwards.
+        let (m_a2, m_b2) = halves(&mut a, &mut b, 2, &xa, &xb);
+        xa = deliver(&mut a, 2, &xa, 1, 2, Some(&m_b2));
+        xb = deliver(&mut b, 2, &xb, 0, 2, Some(&m_a2));
+        assert_eq!(a.edge_version(1), Some(FRESH_VERSION));
+        assert_eq!(b.edge_version(0), Some(FRESH_VERSION));
+        let (na, nb) = exchange(&mut a, &mut b, 3, &xa, &xb, 0.5);
+        assert_eq!(a.edge_version(1), Some(1));
+        assert_eq!(b.edge_version(0), Some(1));
+        assert!(na.iter().chain(&nb).all(|v| v.is_finite()));
     }
 }

@@ -149,7 +149,9 @@ mod tests {
                 0.5,
                 &[ReceivedMessage {
                     from: 1,
+                    round: 0,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &msg.bytes,
                 }],
             )
@@ -196,7 +198,9 @@ mod tests {
                     0.5,
                     &[ReceivedMessage {
                         from: 1,
+                        round,
                         weight: 0.5,
+                        edge_weight: 0.5,
                         bytes: &mb.bytes,
                     }],
                 )
@@ -208,7 +212,9 @@ mod tests {
                     0.5,
                     &[ReceivedMessage {
                         from: 0,
+                        round,
                         weight: 0.5,
+                        edge_weight: 0.5,
                         bytes: &ma.bytes,
                     }],
                 )
@@ -249,7 +255,9 @@ mod tests {
                 0.5,
                 &[ReceivedMessage {
                     from: 1,
+                    round: 0,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &garbage
                 }]
             )

@@ -164,7 +164,9 @@ mod tests {
                 0.5,
                 &[ReceivedMessage {
                     from: 1,
+                    round: 3,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &msg.bytes,
                 }],
             )
@@ -202,7 +204,9 @@ mod tests {
                 0.5,
                 &[ReceivedMessage {
                     from: 0,
+                    round: 2,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &msg.bytes
                 }]
             )

@@ -202,7 +202,9 @@ mod tests {
                 0.5,
                 &[ReceivedMessage {
                     from: 1,
+                    round: 0,
                     weight: 0.5,
+                    edge_weight: 0.5,
                     bytes: &msg.bytes,
                 }],
             )
@@ -248,7 +250,9 @@ mod tests {
                 1.0,
                 &[ReceivedMessage {
                     from: 1,
+                    round: 0,
                     weight: 1.0,
+                    edge_weight: 1.0,
                     bytes: &garbage
                 }]
             )

@@ -60,8 +60,27 @@ pub enum Outbound {
 pub struct ReceivedMessage<'a> {
     /// Sender node id.
     pub from: usize,
-    /// Metropolis–Hastings weight `w_ij` of the edge for this round.
+    /// The sender's local round when the message was built (the engine
+    /// forwards the envelope's round stamp). Under bulk-synchronous
+    /// execution this always equals the aggregation round; under
+    /// event-driven asynchronous gossip it may lag behind it (a stale
+    /// message) or run ahead of it (a fast neighbour's early message).
+    /// Strategies with per-round handshake state key on it — see the
+    /// edge-state versioning contract on [`ShareStrategy`].
+    pub round: usize,
+    /// Metropolis–Hastings weight `w_ij` of the edge for this round, with
+    /// any staleness down-weighting already applied — broadcast averaging
+    /// strategies mix with this.
     pub weight: f64,
+    /// The same `w_ij` *before* staleness down-weighting (equal to
+    /// [`weight`] unless a decay policy touched the message). Strategies
+    /// whose update must apply with the *same* magnitude on both endpoints
+    /// (PowerGossip's antisymmetric pairwise update) use this: a one-sided
+    /// decay factor would break the cancellation across the pair and bias
+    /// the parameter mean, invisibly to any state-consistency check.
+    ///
+    /// [`weight`]: Self::weight
+    pub edge_weight: f64,
     /// Serialized message body.
     pub bytes: &'a [u8],
 }
@@ -72,6 +91,33 @@ pub struct ReceivedMessage<'a> {
 /// Protocol per round `t`: `make_message(t, params)` exactly once, then
 /// `aggregate(t, params, …)` exactly once. `init` is called once before
 /// round 0 with the (cluster-identical) initial parameters.
+///
+/// # Edge-state versioning contract (asynchronous delivery)
+///
+/// Under event-driven asynchronous gossip the engine delivers whatever has
+/// *arrived* by a node's local clock, so `aggregate(t, …)` may receive
+/// messages whose [`ReceivedMessage::round`] differs from `t`, and one
+/// direction of an edge's exchange may be delayed, expired or lost while
+/// the other is delivered. A strategy that keeps *per-edge* state warm
+/// across rounds (PowerGossip's `P̂`/`Q̂` factors) must therefore version
+/// its per-edge handshakes instead of assuming round-aligned lockstep:
+///
+/// - every outbound edge message carries the version of the edge state it
+///   was computed from, and pairs on receipt only with the matching
+///   version's own half of the handshake (kept in a bounded round-keyed
+///   history);
+/// - a mismatched, expired or missing half-handshake must *fall back* to a
+///   deterministic fresh edge state (both endpoints can re-derive it from
+///   the shared seed) rather than corrupt the warm start — after at most a
+///   few exchanges both endpoints converge back to the fresh planes and
+///   re-pair;
+/// - [`forget_edge`] drops an edge's state entirely when the engine learns
+///   the edge is gone (permanent crash, topology repair).
+///
+/// Stateless broadcast strategies satisfy the contract trivially (they
+/// renormalize per received message) and need override nothing.
+///
+/// [`forget_edge`]: Self::forget_edge
 pub trait ShareStrategy: Send {
     /// Stable name for logs and experiment output.
     fn name(&self) -> &'static str;
@@ -133,16 +179,15 @@ pub trait ShareStrategy: Send {
         1.0
     }
 
-    /// Whether this strategy's aggregation is sound when messages from
-    /// *other rounds* are mixed in (event-driven asynchronous gossip with
-    /// real heterogeneity delivers such messages). Self-describing broadcast
-    /// strategies tolerate this; strategies whose per-edge state assumes
-    /// round-aligned lockstep exchanges (e.g. PowerGossip's warm-started
-    /// low-rank handshake) must return `false`, and the event-driven engine
-    /// will refuse to run them under a non-degenerate heterogeneity profile
-    /// instead of silently corrupting their state.
-    fn tolerates_stale_messages(&self) -> bool {
-        true
+    /// Drops any per-edge state held for `peer`. The engine calls this when
+    /// it learns an edge is permanently gone — the peer crashed with no
+    /// recovery scheduled, or topology repair rewired around the connection
+    /// — so per-edge strategies neither leak state across lifecycle epochs
+    /// nor warm-start from a stale subspace if the edge later returns (a
+    /// returning edge restarts from the deterministic fresh state instead).
+    /// Broadcast strategies keep no per-edge state and ignore it.
+    fn forget_edge(&mut self, peer: usize) {
+        let _ = peer;
     }
 
     /// Bytes of per-node algorithm state held between rounds (beyond the

@@ -323,7 +323,9 @@ mod adversarial_inputs {
             .expect("own message construction succeeds");
         let msg = ReceivedMessage {
             from: 1,
+            round: 0,
             weight: 0.5,
+            edge_weight: 0.5,
             bytes,
         };
         // Must not panic; Err or Ok are both acceptable outcomes.
@@ -384,7 +386,9 @@ mod adversarial_inputs {
             0.5,
             &[ReceivedMessage {
                 from: 0,
+                round: 0,
                 weight: 0.5,
+                edge_weight: 0.5,
                 bytes: &msg.bytes,
             }],
         )
