@@ -20,21 +20,40 @@
 
 use jwins::config::ExecutionMode;
 use jwins::metrics::RunResult;
-use jwins_bench::report::BenchCase;
+use jwins_bench::report::{BenchCase, PhaseTotals};
 use jwins_bench::{banner, run_cifar_n, Algo, RunCfg, Scale};
 use jwins_sim::HeterogeneityProfile;
 use std::time::Instant;
 
 const DEGREE: usize = 4;
 
-fn run_with_threads(scale: Scale, nodes: usize, rounds: usize, threads: usize) -> RunResult {
+fn run_with_threads(
+    scale: Scale,
+    nodes: usize,
+    rounds: usize,
+    threads: usize,
+    trace_jsonl: Option<String>,
+) -> (RunResult, PhaseTotals) {
     let mut cfg = RunCfg::new(rounds);
     cfg.threads = threads;
     // Evaluate sparsely so the event loop, not evaluation, dominates.
     cfg.eval_every = rounds;
     cfg.execution = ExecutionMode::EventDriven;
     cfg.heterogeneity = HeterogeneityProfile::stragglers(0.25, 4.0, 0.005, 12.5e6);
-    run_cifar_n(scale, nodes, DEGREE, &Algo::Full, &cfg, 2)
+    // The phase-time split comes from the trace's ExecuteBatch records;
+    // tracing is observational (see tests/trace_determinism.rs), so the
+    // bit-identical assertion below also covers traced-vs-traced runs.
+    let memory = jwins_trace::MemorySink::new();
+    cfg.trace_memory = Some(memory.clone());
+    if let Some(path) = trace_jsonl {
+        cfg.trace = Some(jwins_trace::TraceConfig {
+            jsonl_path: Some(path),
+            ..jwins_trace::TraceConfig::default()
+        });
+    }
+    let result = run_cifar_n(scale, nodes, DEGREE, &Algo::Full, &cfg, 2);
+    let phases = PhaseTotals::from_events(&memory.events());
+    (result, phases)
 }
 
 fn main() {
@@ -62,13 +81,22 @@ fn main() {
         "{:>8} {:>10} {:>9}  records",
         "threads", "wall s", "speedup"
     );
+    // When set, the first (single-threaded) run also writes its full JSONL
+    // trace there — CI validates it with `trace_report --check` and uploads
+    // it as an artifact.
+    let trace_jsonl = std::env::var("JWINS_TRACE_JSONL").ok();
     let mut csv = String::from("threads,host_cores,wall_s,speedup,rounds_run,final_accuracy\n");
     let mut cases = Vec::new();
     let mut baseline: Option<(f64, RunResult)> = None;
     let mut speedup_at_8 = 1.0f64;
     for &threads in thread_sweep {
+        let jsonl = if baseline.is_none() {
+            trace_jsonl.clone()
+        } else {
+            None
+        };
         let start = Instant::now();
-        let result = run_with_threads(scale, nodes, rounds, threads);
+        let (result, phases) = run_with_threads(scale, nodes, rounds, threads, jsonl);
         let wall = start.elapsed().as_secs_f64();
         let speedup = match &baseline {
             Some((base_wall, base_result)) => {
@@ -90,16 +118,18 @@ fn main() {
             "{threads:>8} {wall:>10.2} {speedup:>8.2}x  {verdict} ({} records)",
             result.records.len()
         );
+        println!(
+            "         phases: propose {:.3}s | execute {:.3}s | commit {:.3}s",
+            phases.propose_s, phases.execute_s, phases.commit_s
+        );
         csv.push_str(&format!(
             "{threads},{cores},{wall:.4},{speedup:.4},{},{accuracy:.6}\n",
             result.rounds_run
         ));
-        cases.push(BenchCase::from_result(
-            "ext_parallel",
-            &format!("threads-{threads}"),
-            wall,
-            &result,
-        ));
+        cases.push(
+            BenchCase::from_result("ext_parallel", &format!("threads-{threads}"), wall, &result)
+                .with_phases(phases),
+        );
         if baseline.is_none() {
             baseline = Some((wall, result));
         }

@@ -272,6 +272,14 @@ pub struct RunCfg {
     /// Worker threads (`0` = all available cores). Thread count never
     /// changes results — see the `ext_parallel` speedup bench.
     pub threads: usize,
+    /// Tracing configuration applied to the run (None = engine default:
+    /// flight recorder only, no files). Tracing is observational — see the
+    /// `trace_determinism` test.
+    pub trace: Option<jwins_trace::TraceConfig>,
+    /// An in-memory trace collector attached to the run's tracer. Clones
+    /// share the buffer: keep one handle here and read phase timings back
+    /// after the run (`report::PhaseTotals::from_events`).
+    pub trace_memory: Option<jwins_trace::MemorySink>,
 }
 
 impl RunCfg {
@@ -294,6 +302,8 @@ impl RunCfg {
             eval_interval_s: None,
             time_model: None,
             threads: 0,
+            trace: None,
+            trace_memory: None,
         }
     }
 }
@@ -316,6 +326,9 @@ fn train_config(cfg: &RunCfg, lr: f32) -> TrainConfig {
     c.threads = cfg.threads;
     if let Some(tm) = cfg.time_model {
         c.time_model = tm;
+    }
+    if let Some(trace) = &cfg.trace {
+        c.trace = trace.clone();
     }
     c
 }
@@ -381,6 +394,9 @@ fn run_image(
     if let Some(p) = cfg.dropout {
         builder = builder.participation(RandomDropout::new(p, cfg.seed ^ 0xC4));
     }
+    if let Some(m) = &cfg.trace_memory {
+        builder = builder.trace_sink(Box::new(m.clone()));
+    }
     let trainer = builder.build().expect("valid experiment");
     trainer.run().expect("run completes")
 }
@@ -424,6 +440,9 @@ pub fn run_cifar_n(
         });
     if let Some(p) = cfg.dropout {
         builder = builder.participation(RandomDropout::new(p, cfg.seed ^ 0xC4));
+    }
+    if let Some(m) = &cfg.trace_memory {
+        builder = builder.trace_sink(Box::new(m.clone()));
     }
     let trainer = builder.build().expect("valid experiment");
     trainer.run().expect("run completes")
@@ -506,6 +525,9 @@ pub fn run_movielens(scale: Scale, algo: &Algo, cfg: &RunCfg) -> RunResult {
     if let Some(p) = cfg.dropout {
         builder = builder.participation(RandomDropout::new(p, cfg.seed ^ 0xC4));
     }
+    if let Some(m) = &cfg.trace_memory {
+        builder = builder.trace_sink(Box::new(m.clone()));
+    }
     let trainer = builder.build().expect("valid experiment");
     trainer.run().expect("run completes")
 }
@@ -526,6 +548,9 @@ pub fn run_shakespeare(scale: Scale, algo: &Algo, cfg: &RunCfg) -> RunResult {
         });
     if let Some(p) = cfg.dropout {
         builder = builder.participation(RandomDropout::new(p, cfg.seed ^ 0xC4));
+    }
+    if let Some(m) = &cfg.trace_memory {
+        builder = builder.trace_sink(Box::new(m.clone()));
     }
     let trainer = builder.build().expect("valid experiment");
     trainer.run().expect("run completes")

@@ -29,6 +29,52 @@ pub struct BenchCase {
     /// undefined there, and a non-finite value would not survive the JSON
     /// round-trip (the serializer writes non-finite floats as `null`).
     pub bytes_per_accuracy: f64,
+    /// Wall seconds spent in the sequential propose phases, summed over the
+    /// run's `ExecuteBatch` trace records. `0` when the case ran without a
+    /// trace collector attached (older reports parse the same way).
+    #[serde(default)]
+    pub propose_s: f64,
+    /// Wall seconds in the parallel execute phases.
+    #[serde(default)]
+    pub execute_s: f64,
+    /// Wall seconds in the sequential commit phases.
+    #[serde(default)]
+    pub commit_s: f64,
+}
+
+/// Propose/execute/commit wall-time totals folded from a trace. The phase
+/// split shows where a configuration's wall time actually goes — a parallel
+/// speedup can only shrink `execute_s`, so a case dominated by the
+/// sequential phases has no headroom regardless of thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// Sequential propose wall seconds.
+    pub propose_s: f64,
+    /// Parallel execute wall seconds.
+    pub execute_s: f64,
+    /// Sequential commit wall seconds.
+    pub commit_s: f64,
+}
+
+impl PhaseTotals {
+    /// Sums the phase spans of every `ExecuteBatch` record in `events`.
+    pub fn from_events(events: &[jwins_trace::TraceEvent]) -> Self {
+        let mut totals = Self::default();
+        for event in events {
+            if let jwins_trace::TraceEvent::ExecuteBatch {
+                propose_ns,
+                execute_ns,
+                commit_ns,
+                ..
+            } = *event
+            {
+                totals.propose_s += propose_ns as f64 * 1e-9;
+                totals.execute_s += execute_ns as f64 * 1e-9;
+                totals.commit_s += commit_ns as f64 * 1e-9;
+            }
+        }
+        totals
+    }
 }
 
 impl BenchCase {
@@ -54,7 +100,19 @@ impl BenchCase {
             bytes_per_node,
             final_accuracy,
             bytes_per_accuracy,
+            propose_s: 0.0,
+            execute_s: 0.0,
+            commit_s: 0.0,
         }
+    }
+
+    /// Attaches phase-time totals folded from the run's trace.
+    #[must_use]
+    pub fn with_phases(mut self, phases: PhaseTotals) -> Self {
+        self.propose_s = phases.propose_s;
+        self.execute_s = phases.execute_s;
+        self.commit_s = phases.commit_s;
+        self
     }
 }
 
@@ -122,6 +180,9 @@ mod tests {
                 bytes_per_node: 1024.0,
                 final_accuracy: 0.5,
                 bytes_per_accuracy: 2048.0,
+                propose_s: 0.0,
+                execute_s: 0.0,
+                commit_s: 0.0,
             },
             BenchCase {
                 bench: "ext_parallel".into(),
@@ -130,11 +191,75 @@ mod tests {
                 bytes_per_node: 512.0,
                 final_accuracy: 0.25,
                 bytes_per_accuracy: 2048.0,
+                propose_s: 0.01,
+                execute_s: 0.6,
+                commit_s: 0.02,
             },
         ];
         let text = serde::json::to_string(&cases);
         let back: Vec<BenchCase> = serde::json::from_str(&text).unwrap();
         assert_eq!(back, cases);
+    }
+
+    #[test]
+    fn reports_without_phase_fields_still_parse() {
+        // BENCH_baseline.json predates the phase-time columns; the gate must
+        // keep reading it.
+        let old = r#"[{"bench":"b","case":"c","wall_s":1.0,"bytes_per_node":2.0,
+            "final_accuracy":0.5,"bytes_per_accuracy":4.0}]"#;
+        let back: Vec<BenchCase> = serde::json::from_str(old).unwrap();
+        assert_eq!(back[0].propose_s, 0.0);
+        assert_eq!(back[0].execute_s, 0.0);
+        assert_eq!(back[0].commit_s, 0.0);
+    }
+
+    #[test]
+    fn phase_totals_fold_execute_batches() {
+        use jwins_trace::{BatchClass, TraceEvent};
+        let events = vec![
+            TraceEvent::RoundComplete { t_ns: 5, round: 0 },
+            TraceEvent::ExecuteBatch {
+                t_ns: 1,
+                class: BatchClass::Train,
+                round: 0,
+                width: 4,
+                queue_depth: 8,
+                wall_start_ns: 0,
+                propose_ns: 1_000_000,
+                execute_ns: 5_000_000,
+                commit_ns: 2_000_000,
+            },
+            TraceEvent::ExecuteBatch {
+                t_ns: 2,
+                class: BatchClass::Mix,
+                round: 0,
+                width: 4,
+                queue_depth: 4,
+                wall_start_ns: 10,
+                propose_ns: 500_000,
+                execute_ns: 1_500_000,
+                commit_ns: 1_000_000,
+            },
+        ];
+        let totals = PhaseTotals::from_events(&events);
+        assert!((totals.propose_s - 0.0015).abs() < 1e-12);
+        assert!((totals.execute_s - 0.0065).abs() < 1e-12);
+        assert!((totals.commit_s - 0.003).abs() < 1e-12);
+        let case = BenchCase::from_result(
+            "b",
+            "c",
+            1.0,
+            &jwins::metrics::RunResult {
+                strategy: "test".into(),
+                records: Vec::new(),
+                total_traffic: jwins_net::TrafficStats::default(),
+                rounds_run: 0,
+                reached_target: None,
+                alpha_history: Vec::new(),
+            },
+        )
+        .with_phases(totals);
+        assert_eq!(case.execute_s, totals.execute_s);
     }
 
     #[test]

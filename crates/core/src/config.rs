@@ -95,6 +95,13 @@ pub struct TrainConfig {
     /// churn: here the node stays up but an individual link delivery fails.
     #[serde(default)]
     pub message_loss: f64,
+    /// Run telemetry: structured trace sinks and the flight-recorder bound
+    /// (see `jwins_trace`). The default keeps only the always-on in-memory
+    /// flight recorder — no files are written. Tracing is *observational*:
+    /// any setting here leaves every [`crate::metrics::RoundRecord`] bit
+    /// identical to an untraced run.
+    #[serde(default)]
+    pub trace: jwins_trace::TraceConfig,
     /// Record each node's α every round (Figure 3).
     pub record_alphas: bool,
 }
@@ -119,6 +126,7 @@ impl TrainConfig {
             repair: RepairPolicy::None,
             target_accuracy: None,
             message_loss: 0.0,
+            trace: jwins_trace::TraceConfig::default(),
             record_alphas: false,
         }
     }
@@ -395,6 +403,11 @@ mod tests {
         config.repair = RepairPolicy::DegreePreserving;
         config.target_accuracy = Some(0.5);
         config.message_loss = 0.125;
+        config.trace = jwins_trace::TraceConfig {
+            jsonl_path: Some("/tmp/run.jsonl".into()),
+            chrome_path: None,
+            flight_recorder_bytes: 4096,
+        };
         let text = serde::json::to_string(&config);
         let back: TrainConfig = serde::json::from_str(&text).unwrap();
         assert_eq!(back.time_model, config.time_model);
@@ -408,6 +421,7 @@ mod tests {
         assert_eq!(back.seed, config.seed);
         assert_eq!(back.target_accuracy, config.target_accuracy);
         assert_eq!(back.message_loss, config.message_loss);
+        assert_eq!(back.trace, config.trace);
     }
 
     #[test]
@@ -424,6 +438,7 @@ mod tests {
         assert!(config.faults.is_noop());
         assert_eq!(config.eval_interval_s, None);
         assert_eq!(config.repair, RepairPolicy::None);
+        assert_eq!(config.trace, jwins_trace::TraceConfig::default());
         assert!(config.validate().is_ok());
     }
 }

@@ -82,6 +82,7 @@ use jwins_nn::model::{EvalMetrics, Model};
 use jwins_sim::{Conflict, EventQueue, LifecycleEvent, LifecycleTracker, SimTime};
 use jwins_topology::dynamic::{RoundTopology, TopologyProvider};
 use jwins_topology::repair::{dead_neighbor_counts, LiveSet};
+use jwins_trace::{BatchClass, KillReason, TraceEvent, TraceSink, Tracer};
 use std::sync::Arc;
 
 /// Builder for [`Trainer`] (see [`Trainer::builder`]).
@@ -93,6 +94,7 @@ pub struct TrainerBuilder<M: Model> {
     nodes: Vec<(M, Box<dyn ShareStrategy>)>,
     shards: Vec<Vec<M::Sample>>,
     sync_init: bool,
+    trace_sinks: Vec<Box<dyn TraceSink>>,
 }
 
 impl<M: Model> TrainerBuilder<M> {
@@ -159,6 +161,16 @@ impl<M: Model> TrainerBuilder<M> {
         self
     }
 
+    /// Attaches an extra trace sink (e.g. a [`jwins_trace::MemorySink`]) on
+    /// top of whatever [`TrainConfig::trace`] configures. Sinks observe the
+    /// run; they cannot change it — every [`RoundRecord`] is bit-identical
+    /// with or without them.
+    #[must_use]
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace_sinks.push(sink);
+        self
+    }
+
     /// Validates and assembles the trainer.
     ///
     /// # Errors
@@ -218,7 +230,7 @@ impl<M: Model> TrainerBuilder<M> {
                 last_alpha: 0.0,
             });
         }
-        let network = if self.config.message_loss > 0.0 {
+        let mut network = if self.config.message_loss > 0.0 {
             SimNetwork::lossy(
                 n,
                 LossModel::new(self.config.message_loss, self.config.seed ^ 0x1055),
@@ -226,6 +238,15 @@ impl<M: Model> TrainerBuilder<M> {
         } else {
             SimNetwork::new(n)
         };
+        // File sinks are opened here so a bad trace path fails the build as
+        // a configuration error rather than wedging mid-run.
+        let mut tracer = Tracer::from_config(&self.config.trace)
+            .map_err(|e| JwinsError::InvalidConfig(format!("cannot open trace sink: {e}")))?;
+        for sink in self.trace_sinks {
+            tracer.push_sink(sink);
+        }
+        let tracer = Arc::new(tracer);
+        network.set_tracer(Arc::clone(&tracer));
         Ok(Trainer {
             network,
             test: Arc::new(self.test),
@@ -233,6 +254,7 @@ impl<M: Model> TrainerBuilder<M> {
             topology,
             participation: self.participation,
             nodes,
+            tracer,
         })
     }
 }
@@ -391,6 +413,10 @@ pub struct Trainer<M: Model> {
     network: SimNetwork,
     nodes: Vec<NodeState<M>>,
     test: Arc<Vec<M::Sample>>,
+    /// Run telemetry. Always present — the flight recorder inside is the
+    /// always-on crash context — and only ever *read from* sequential code,
+    /// so it can never perturb a result (see `jwins_trace`).
+    tracer: Arc<Tracer>,
 }
 
 impl<M: Model> Trainer<M> {
@@ -404,6 +430,7 @@ impl<M: Model> Trainer<M> {
             nodes: Vec::new(),
             shards: Vec::new(),
             sync_init: true,
+            trace_sinks: Vec::new(),
         }
     }
 
@@ -654,10 +681,27 @@ impl<M: Model> Trainer<M> {
         M: Send,
         M::Sample: Send + Sync,
     {
-        match self.config.execution {
+        let tracer = Arc::clone(&self.tracer);
+        tracer.emit(TraceEvent::RunStart {
+            nodes: self.nodes.len() as u32,
+            rounds: self.config.rounds as u32,
+            seed: self.config.seed,
+        });
+        // If anything below panics, the guard dumps the flight recorder's
+        // tail to stderr before the process unwinds.
+        let guard = jwins_trace::FlightDumpGuard::new(Arc::clone(&tracer));
+        let result = match self.config.execution {
             ExecutionMode::BulkSynchronous => self.run_sync(),
             ExecutionMode::EventDriven => self.run_event_driven(),
+        };
+        drop(guard);
+        if result.is_err() {
+            // Protocol violations surface as errors, not panics; dump the
+            // same crash context for them.
+            tracer.dump_flight_to_stderr("protocol violation");
         }
+        tracer.finish();
+        result
     }
 
     /// The paper's barrier-synchronized round loop.
@@ -666,6 +710,7 @@ impl<M: Model> Trainer<M> {
         M: Send,
         M::Sample: Send + Sync,
     {
+        let tracer = Arc::clone(&self.tracer);
         let strategy_name = self.nodes[0].strategy.name().to_owned();
         let mut records = Vec::new();
         let mut alpha_history = Vec::new();
@@ -685,6 +730,25 @@ impl<M: Model> Trainer<M> {
             sim_time += self.config.time_model.round_seconds(max_bytes);
             self.phase_aggregate(round, &topo, &active)?;
             rounds_run = round + 1;
+            let t_ns = SimTime::from_secs_f64(sim_time).0;
+            // Sequential, in node order — pairing telemetry is drained only
+            // from the barrier, never from the parallel aggregate phase.
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                if let Some(ps) = node.strategy.pairing_stats() {
+                    tracer.emit(TraceEvent::StrategyPairing {
+                        t_ns,
+                        node: i as u32,
+                        round: round as u32,
+                        paired: ps.paired,
+                        fresh_resets: ps.fresh_resets,
+                        ignored: ps.ignored,
+                    });
+                }
+            }
+            tracer.emit(TraceEvent::RoundComplete {
+                t_ns,
+                round: round as u32,
+            });
             let is_last = round + 1 == self.config.rounds;
             let eval_due = is_last
                 || (self.config.eval_every > 0 && (round + 1) % self.config.eval_every == 0);
@@ -699,6 +763,12 @@ impl<M: Model> Trainer<M> {
                     FaultTelemetry::default(),
                     false,
                 );
+                tracer.emit(TraceEvent::Eval {
+                    t_ns,
+                    round: round as u32,
+                    checkpoint: false,
+                    accuracy: record.test_accuracy,
+                });
                 let hit_target = self
                     .config
                     .target_accuracy
@@ -715,6 +785,11 @@ impl<M: Model> Trainer<M> {
                 }
             }
         }
+        tracer.emit(TraceEvent::RunEnd {
+            t_ns: SimTime::from_secs_f64(sim_time).0,
+            rounds_run: rounds_run as u32,
+            queue_depth_hwm: 0,
+        });
         Ok(RunResult {
             strategy: strategy_name,
             records,
@@ -802,6 +877,13 @@ impl<M: Model> Trainer<M> {
         let n = self.nodes.len();
         let rounds = self.config.rounds;
         let strategy_name = self.nodes[0].strategy.name().to_owned();
+        // Telemetry. Every emit below sits in sequential propose/commit
+        // code and only *reads* engine state, so tracing can never perturb
+        // RNG draws, event order or any RoundRecord bit. Wall-clock phase
+        // timings (the ExecuteBatch side channel) are the one
+        // non-deterministic payload; `TraceEvent::canonical` zeroes them.
+        let tracer = Arc::clone(&self.tracer);
+        let run_wall = std::time::Instant::now();
         let fault_timeline = jwins_fault::FaultTimeline::expand(
             &self.config.faults.plan,
             n,
@@ -889,8 +971,9 @@ impl<M: Model> Trainer<M> {
         let mut edges_rewired = 0u64;
         let mut bandwidth_saved = 0u64;
         macro_rules! ctx_for {
-            ($round:expr) => {{
+            ($round:expr, $time:expr) => {{
                 let round = $round;
+                let resolve_time: SimTime = $time;
                 if !round_ctx.contains_key(&round) {
                     let active: Vec<bool> = (0..n)
                         .map(|j| self.participation.is_active(round, j))
@@ -915,6 +998,12 @@ impl<M: Model> Trainer<M> {
                     } else {
                         (self.topology.topology(round), Vec::new())
                     };
+                    tracer.emit(TraceEvent::RoundResolve {
+                        t_ns: resolve_time.0,
+                        round: round as u32,
+                        edges: topo.graph.edges().count() as u32,
+                        repaired: repair_on,
+                    });
                     round_ctx.insert(
                         round,
                         RoundCtx {
@@ -945,22 +1034,42 @@ impl<M: Model> Trainer<M> {
         // untouched; rounds iterate in sorted order because the map's
         // iteration order is not deterministic.
         macro_rules! repair_refresh {
-            () => {{
+            ($time:expr) => {{
+                let refresh_time: SimTime = $time;
                 let live = LiveSet::new(lifecycle.alive_flags().to_vec(), lifecycle.version());
                 let mut cached: Vec<usize> = round_ctx.keys().copied().collect();
                 cached.sort_unstable();
+                let rounds_refreshed = cached.len() as u32;
+                let mut refresh_edges_added = 0u64;
                 for round in cached {
                     let base = self.topology.topology_for(round, &live);
                     let out = repair.apply(&base, &live, repair_seed, round);
                     edges_rewired += out.edges_added;
+                    refresh_edges_added += out.edges_added;
                     let ctx = round_ctx.get_mut(&round).expect("key just listed");
                     for (a, b) in ctx.topo.graph.edges() {
                         if !out.topology.graph.has_edge(a, b) {
                             // The connection is gone in both directions;
                             // only this round's messages die — other rounds
                             // may still carry the edge.
-                            self.network.purge_link(a, b, Some(round));
-                            self.network.purge_link(b, a, Some(round));
+                            let (killed_ab, _) = self.network.purge_link(a, b, Some(round));
+                            let (killed_ba, _) = self.network.purge_link(b, a, Some(round));
+                            if killed_ab > 0 {
+                                tracer.emit(TraceEvent::MsgKill {
+                                    t_ns: refresh_time.0,
+                                    node: b as u32,
+                                    count: killed_ab,
+                                    reason: KillReason::RepairEdge,
+                                });
+                            }
+                            if killed_ba > 0 {
+                                tracer.emit(TraceEvent::MsgKill {
+                                    t_ns: refresh_time.0,
+                                    node: a as u32,
+                                    count: killed_ba,
+                                    reason: KillReason::RepairEdge,
+                                });
+                            }
                             // Live endpoints drop their per-edge strategy
                             // state for the removed connection: its pending
                             // handshakes can never complete, and if repair
@@ -984,6 +1093,12 @@ impl<M: Model> Trainer<M> {
                             out.dead_neighbors
                         });
                 }
+                tracer.emit(TraceEvent::RepairRewire {
+                    t_ns: refresh_time.0,
+                    live_version: lifecycle.version(),
+                    edges_added: refresh_edges_added,
+                    rounds_refreshed,
+                });
             }};
         }
 
@@ -1042,6 +1157,10 @@ impl<M: Model> Trainer<M> {
                 if completed[round] == n {
                     round_ctx.remove(&round);
                     rounds_run = round + 1;
+                    tracer.emit(TraceEvent::RoundComplete {
+                        t_ns: time.0,
+                        round: round as u32,
+                    });
                     let is_last = round + 1 == rounds;
                     let eval_due = is_last
                         || (self.config.eval_every > 0
@@ -1072,6 +1191,12 @@ impl<M: Model> Trainer<M> {
                             .config
                             .target_accuracy
                             .is_some_and(|t| record.test_accuracy >= t);
+                        tracer.emit(TraceEvent::Eval {
+                            t_ns: time.0,
+                            round: round as u32,
+                            checkpoint: false,
+                            accuracy: record.test_accuracy,
+                        });
                         records.push(record);
                         if hit_target && reached_target.is_none() {
                             reached_target = Some(TargetHit {
@@ -1115,10 +1240,12 @@ impl<M: Model> Trainer<M> {
             topo: RoundTopology,
         }
         struct MixProposal {
-            // Per *message*, in drain order: the global accumulator folds
-            // them one at a time at commit, so the float-addition grouping
-            // is identical to processing events singly.
-            staleness: Vec<f64>,
+            // Per *message*, in drain order: `(from, sent_round,
+            // staleness_s)`. The global accumulator folds the staleness
+            // terms one at a time at commit, so the float-addition grouping
+            // is identical to processing events singly; the provenance pair
+            // only feeds `TraceEvent::MsgMixed`.
+            staleness: Vec<(usize, usize, f64)>,
             absorbed: f64,
             expired: u64,
         }
@@ -1151,11 +1278,15 @@ impl<M: Model> Trainer<M> {
             Ev::Fault { .. } | Ev::EvalTick => Conflict::Solo,
         };
 
+        let mut queue_hwm = queue.len() as u32;
         loop {
             let batch = queue.pop_independent_batch(classify);
             let Some(first) = batch.first() else {
                 break;
             };
+            // Reconstruct the pre-pop depth: the popped batch was still
+            // queued when this iteration began.
+            queue_hwm = queue_hwm.max((queue.len() + batch.len()) as u32);
             let time = first.time;
             let head = first.event;
             last_time = time;
@@ -1171,7 +1302,7 @@ impl<M: Model> Trainer<M> {
                         if !lifecycle.is_current(node, epoch) {
                             continue;
                         }
-                        let (_, active_set, _) = ctx_for!(round);
+                        let (_, active_set, _) = ctx_for!(round, time);
                         let active = active_set[node];
                         let end = time.plus(compute_time[node]);
                         pending_work += 1;
@@ -1197,6 +1328,7 @@ impl<M: Model> Trainer<M> {
                     }
                 }
                 Ev::TrainDone { .. } => {
+                    let wall_start = run_wall.elapsed();
                     // Propose: charge the pops, filter stale epochs, and
                     // resolve round contexts up front (the cache is only
                     // touched here, sequentially).
@@ -1210,7 +1342,7 @@ impl<M: Model> Trainer<M> {
                         if !lifecycle.is_current(node, epoch) {
                             continue;
                         }
-                        let (topo, active, avoided) = ctx_for!(round);
+                        let (topo, active, avoided) = ctx_for!(round, time);
                         meta.push((node, round, epoch));
                         items.push((
                             node,
@@ -1222,6 +1354,17 @@ impl<M: Model> Trainer<M> {
                             },
                         ));
                     }
+                    let width = items.len() as u32;
+                    let queue_depth = queue.len() as u32;
+                    // Train batches may span rounds (the class ignores the
+                    // round); the batch record reports the head's.
+                    let Ev::TrainDone {
+                        round: batch_round, ..
+                    } = head
+                    else {
+                        unreachable!("batches are homogeneous by class")
+                    };
+                    let propose_done = run_wall.elapsed();
                     let tau = self.config.local_steps;
                     let bs = self.config.batch_size;
                     let lr = self.config.lr;
@@ -1306,10 +1449,17 @@ impl<M: Model> Trainer<M> {
                                 saved_bytes: item.avoided * per_msg_bytes,
                             })
                         })?;
+                    let execute_done = run_wall.elapsed();
                     // Commit in pop order: mailbox append order, loss-model
                     // link sequences and the Mix schedule replay the
                     // sequential interleaving exactly.
                     for ((node, round, epoch), proposal) in meta.into_iter().zip(proposals) {
+                        tracer.emit(TraceEvent::Train {
+                            t_ns: time.0,
+                            node: node as u32,
+                            round: round as u32,
+                            compute_ns: compute_time[node].0,
+                        });
                         self.network.commit_sends(proposal.sends);
                         bandwidth_saved += proposal.saved_bytes;
                         current_alpha[node] = proposal.alpha;
@@ -1328,8 +1478,22 @@ impl<M: Model> Trainer<M> {
                             },
                         );
                     }
+                    if width > 0 {
+                        tracer.emit(TraceEvent::ExecuteBatch {
+                            t_ns: time.0,
+                            class: BatchClass::Train,
+                            round: batch_round as u32,
+                            width,
+                            queue_depth,
+                            wall_start_ns: wall_start.as_nanos() as u64,
+                            propose_ns: (propose_done - wall_start).as_nanos() as u64,
+                            execute_ns: (execute_done - propose_done).as_nanos() as u64,
+                            commit_ns: (run_wall.elapsed() - execute_done).as_nanos() as u64,
+                        });
+                    }
                 }
                 Ev::Mix { .. } => {
+                    let wall_start = run_wall.elapsed();
                     // Propose: charge the pops, filter stale epochs, and
                     // resolve topologies for the trained mixes (idle ones
                     // touch nothing shared until commit).
@@ -1353,10 +1517,21 @@ impl<M: Model> Trainer<M> {
                     let mut items: Vec<(usize, MixItem)> = Vec::new();
                     for &(node, round, trained, _) in &live {
                         if trained {
-                            let (topo, _, _) = ctx_for!(round);
+                            let (topo, _, _) = ctx_for!(round, time);
                             items.push((node, MixItem { round, topo }));
                         }
                     }
+                    let width = items.len() as u32;
+                    let queue_depth = queue.len() as u32;
+                    // Mix classes encode the round, so the batch is
+                    // single-round by construction.
+                    let Ev::Mix {
+                        round: batch_round, ..
+                    } = head
+                    else {
+                        unreachable!("batches are homogeneous by class")
+                    };
+                    let propose_done = run_wall.elapsed();
                     let network = &self.network;
                     // Execute: drain and aggregate on the worker pool.
                     // Mailboxes are per-node, so disjoint drains cannot
@@ -1412,7 +1587,11 @@ impl<M: Model> Trainer<M> {
                                 // weight bit-unchanged).
                                 let (weight, moved) = jwins_fault::apply_factor(base, factor);
                                 absorbed += moved;
-                                staleness_terms.push(time.since(env.sent).as_secs_f64());
+                                staleness_terms.push((
+                                    env.from,
+                                    env.sent_round,
+                                    time.since(env.sent).as_secs_f64(),
+                                ));
                                 received.push(ReceivedMessage {
                                     from: env.from,
                                     round: env.sent_round,
@@ -1438,6 +1617,7 @@ impl<M: Model> Trainer<M> {
                                 expired,
                             })
                         })?;
+                    let execute_done = run_wall.elapsed();
                     // Commit in pop order. An early stop breaks out: since
                     // a batch is single-round and the stop fires at the
                     // round's n-th completer, the trigger is necessarily
@@ -1448,15 +1628,44 @@ impl<M: Model> Trainer<M> {
                         if trained {
                             let p = proposals.next().expect("one proposal per trained mix");
                             self.network.record_expired_many(node, p.expired);
+                            if p.expired > 0 {
+                                tracer.emit(TraceEvent::MsgExpire {
+                                    t_ns: time.0,
+                                    node: node as u32,
+                                    round: round as u32,
+                                    count: p.expired,
+                                });
+                            }
                             // Fold per message, not per event: the same
                             // non-associative float grouping as one-at-a-
                             // time execution.
-                            for &s in &p.staleness {
+                            for &(from, sent_round, s) in &p.staleness {
                                 total_staleness_s += s;
+                                tracer.emit(TraceEvent::MsgMixed {
+                                    t_ns: time.0,
+                                    node: node as u32,
+                                    from: from as u32,
+                                    round: round as u32,
+                                    sent_round: sent_round as u32,
+                                    staleness_s: s,
+                                });
                             }
                             mixed_messages += p.staleness.len() as u64;
                             if p.absorbed > 0.0 {
                                 downweight_mass += p.absorbed;
+                            }
+                            // Drain unconditionally (take-and-reset): the
+                            // drain itself is part of the deterministic
+                            // schedule whether or not any sink listens.
+                            if let Some(ps) = self.nodes[node].strategy.pairing_stats() {
+                                tracer.emit(TraceEvent::StrategyPairing {
+                                    t_ns: time.0,
+                                    node: node as u32,
+                                    round: round as u32,
+                                    paired: ps.paired,
+                                    fresh_resets: ps.fresh_resets,
+                                    ignored: ps.ignored,
+                                });
                             }
                         } else if self.config.record_alphas {
                             // Idle rounds carry the node's previous
@@ -1481,6 +1690,19 @@ impl<M: Model> Trainer<M> {
                             );
                         }
                     }
+                    if width > 0 {
+                        tracer.emit(TraceEvent::ExecuteBatch {
+                            t_ns: time.0,
+                            class: BatchClass::Mix,
+                            round: batch_round as u32,
+                            width,
+                            queue_depth,
+                            wall_start_ns: wall_start.as_nanos() as u64,
+                            propose_ns: (propose_done - wall_start).as_nanos() as u64,
+                            execute_ns: (execute_done - propose_done).as_nanos() as u64,
+                            commit_ns: (run_wall.elapsed() - execute_done).as_nanos() as u64,
+                        });
+                    }
                 }
                 Ev::Fault { event, rejoin } => match event {
                     LifecycleEvent::Crash { node } => {
@@ -1490,15 +1712,38 @@ impl<M: Model> Trainer<M> {
                         // The host dies with its inbox and open connections:
                         // everything queued for it and everything it still
                         // has in flight is destroyed.
-                        self.network.purge_inbox(node);
-                        self.network.purge_in_flight_from(node, time);
+                        let killed_inbox = self.network.purge_inbox(node);
+                        let killed_in_flight = self.network.purge_in_flight_from(node, time);
+                        let permanent = recoveries_scheduled[node] == 0;
+                        tracer.emit(TraceEvent::NodeCrash {
+                            t_ns: time.0,
+                            node: node as u32,
+                            epoch: lifecycle.epoch(node),
+                            permanent,
+                        });
+                        if killed_inbox > 0 {
+                            tracer.emit(TraceEvent::MsgKill {
+                                t_ns: time.0,
+                                node: node as u32,
+                                count: killed_inbox,
+                                reason: KillReason::CrashInbox,
+                            });
+                        }
+                        if killed_in_flight > 0 {
+                            tracer.emit(TraceEvent::MsgKill {
+                                t_ns: time.0,
+                                node: node as u32,
+                                count: killed_in_flight,
+                                reason: KillReason::CrashInFlight,
+                            });
+                        }
                         // A crash with no scheduled recovery is permanent:
                         // no handshake with this node can ever complete, so
                         // every other node drops its per-edge strategy
                         // state for it — otherwise stale warm starts would
                         // survive across lifecycle epochs and the state
                         // would leak for the rest of the run.
-                        if recoveries_scheduled[node] == 0 {
+                        if permanent {
                             for (i, state) in self.nodes.iter_mut().enumerate() {
                                 if i != node {
                                     state.strategy.forget_edge(node);
@@ -1509,7 +1754,7 @@ impl<M: Model> Trainer<M> {
                         // progress is re-resolved against the shrunken live
                         // set, and sends on repair-removed edges die.
                         if repair_on {
-                            repair_refresh!();
+                            repair_refresh!(time);
                         }
                         // Abandon the round in progress (its scheduled
                         // events are now stale via the epoch bump) so the
@@ -1517,6 +1762,11 @@ impl<M: Model> Trainer<M> {
                         let round = rounds_passed[node];
                         if round < rounds {
                             rounds_passed[node] = round + 1;
+                            tracer.emit(TraceEvent::RoundAbandon {
+                                t_ns: time.0,
+                                node: node as u32,
+                                round: round as u32,
+                            });
                         }
                         // A scheduled recovery that will resume training
                         // keeps the checkpoint cadence alive through the
@@ -1544,13 +1794,27 @@ impl<M: Model> Trainer<M> {
                             None
                         };
                         lifecycle.recover(node);
+                        tracer.emit(TraceEvent::NodeRejoin {
+                            t_ns: time.0,
+                            node: node as u32,
+                            epoch: lifecycle.epoch(node),
+                            resync_from: donor.map(|d| d as u32),
+                        });
                         if rounds_passed[node] < rounds {
                             productive_recoveries -= 1;
                         }
                         // Deliveries that completed while the host was down
                         // hit a dead machine; still-in-flight tails land on
                         // the recovered host and survive.
-                        self.network.purge_arrived(node, time);
+                        let killed = self.network.purge_arrived(node, time);
+                        if killed > 0 {
+                            tracer.emit(TraceEvent::MsgKill {
+                                t_ns: time.0,
+                                node: node as u32,
+                                count: killed,
+                                reason: KillReason::RejoinArrived,
+                            });
+                        }
                         // Re-synced rejoin: adopt the current model of the
                         // lowest-indexed live peer (deterministic); fall
                         // back to a warm restart if fully alone.
@@ -1566,7 +1830,7 @@ impl<M: Model> Trainer<M> {
                         // in the live set (repair-added detour edges drop
                         // out; their in-flight messages are invalidated).
                         if repair_on {
-                            repair_refresh!();
+                            repair_refresh!(time);
                         }
                         let round = rounds_passed[node];
                         if round < rounds {
@@ -1615,6 +1879,12 @@ impl<M: Model> Trainer<M> {
                         },
                         true,
                     );
+                    tracer.emit(TraceEvent::Eval {
+                        t_ns: time.0,
+                        round: rounds_run.saturating_sub(1) as u32,
+                        checkpoint: true,
+                        accuracy: record.test_accuracy,
+                    });
                     records.push(record);
                     // Keep ticking while training events remain or a down
                     // node will resume training on recovery — fault events
@@ -1663,8 +1933,20 @@ impl<M: Model> Trainer<M> {
                 },
                 true,
             );
+            tracer.emit(TraceEvent::Eval {
+                t_ns: last_time.0,
+                round: rounds_run.saturating_sub(1) as u32,
+                checkpoint: true,
+                accuracy: record.test_accuracy,
+            });
             records.push(record);
         }
+
+        tracer.emit(TraceEvent::RunEnd {
+            t_ns: last_time.0,
+            rounds_run: rounds_run as u32,
+            queue_depth_hwm: queue_hwm,
+        });
 
         let alpha_history: Vec<Vec<f64>> = alpha_rows.into_iter().take(rounds_run).collect();
         Ok(RunResult {

@@ -67,7 +67,7 @@
 //! for the left factor `P̂` orthonormalized in round `t−1`, so from the
 //! second round onward every round applies one low-rank update per edge.
 
-use crate::strategy::{OutMessage, Outbound, ReceivedMessage, ShareStrategy};
+use crate::strategy::{OutMessage, Outbound, PairingStats, ReceivedMessage, ShareStrategy};
 use crate::{JwinsError, Result};
 use jwins_net::ByteBreakdown;
 use rand::{Rng, SeedableRng};
@@ -279,6 +279,10 @@ pub struct PowerGossip {
     /// guard; the per-edge halves live in each edge's slot history).
     pending_round: Option<usize>,
     dim: usize,
+    /// Pair-vs-fresh-fallback telemetry since the last
+    /// [`ShareStrategy::pairing_stats`] drain. Write-only for the algorithm:
+    /// incremented at the three handshake outcomes, read by nothing here.
+    stats: PairingStats,
 }
 
 impl PowerGossip {
@@ -305,6 +309,7 @@ impl PowerGossip {
             edges: HashMap::new(),
             pending_round: None,
             dim: 0,
+            stats: PairingStats::default(),
         }
     }
 
@@ -373,6 +378,7 @@ impl PowerGossip {
     /// re-derive identical fresh state, so a reset edge re-pairs as soon as
     /// the peer's side has reset too.
     fn reset_edge(&mut self, peer: usize) {
+        self.stats.fresh_resets += 1;
         let fresh = self.fresh_edge(peer);
         self.edges.insert(peer, fresh);
     }
@@ -432,6 +438,7 @@ impl PowerGossip {
                 // move on without resetting: if the peer advanced the same
                 // way, the chains still agree; if it advanced differently,
                 // the differing stamps reveal it within a round.
+                self.stats.ignored += 1;
                 let state = self.edges.get_mut(&peer).expect("looked up above");
                 while state.slots.front().is_some_and(|s| s.round <= sent) {
                     state.slots.pop_front();
@@ -461,6 +468,7 @@ impl PowerGossip {
         weight: f64,
         mats: &mut [Vec<f32>],
     ) {
+        self.stats.paired += 1;
         let i_am_low = self.orient(peer).0 == self.node_id;
         let segs = &self.segs;
         let state = self.edges.get_mut(&peer).expect("caller verified edge");
@@ -915,6 +923,11 @@ impl ShareStrategy for PowerGossip {
                 floats * std::mem::size_of::<f32>() + 2 * std::mem::size_of::<u64>()
             })
             .sum()
+    }
+
+    fn pairing_stats(&mut self) -> Option<PairingStats> {
+        let stats = std::mem::take(&mut self.stats);
+        stats.any().then_some(stats)
     }
 }
 

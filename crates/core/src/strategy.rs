@@ -85,6 +85,28 @@ pub struct ReceivedMessage<'a> {
     pub bytes: &'a [u8],
 }
 
+/// Pair-vs-fresh-fallback telemetry of an edge-stateful strategy since its
+/// last report (see [`ShareStrategy::pairing_stats`]). Counters are
+/// write-only with respect to the algorithm — no strategy decision may read
+/// them — so draining (or not draining) them can never change a result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairingStats {
+    /// Successfully paired exchanges (warm start preserved).
+    pub paired: u64,
+    /// Fallbacks to the deterministic fresh edge state (divergence, desync,
+    /// overfull stash, engine-requested forget).
+    pub fresh_resets: u64,
+    /// Pre-advance leftovers ignored without a reset.
+    pub ignored: u64,
+}
+
+impl PairingStats {
+    /// Whether any counter is non-zero (empty reports are not emitted).
+    pub fn any(&self) -> bool {
+        self.paired != 0 || self.fresh_resets != 0 || self.ignored != 0
+    }
+}
+
 /// Per-node communication algorithm: produces one broadcast per round and
 /// folds in the neighbours' broadcasts.
 ///
@@ -196,6 +218,17 @@ pub trait ShareStrategy: Send {
     /// keeps model replicas.
     fn state_bytes(&self) -> usize {
         0
+    }
+
+    /// Takes (and resets) the pair-vs-fresh-fallback counters accumulated
+    /// since the last call, for run telemetry (`TraceEvent::StrategyPairing`
+    /// in `jwins_trace`). Edge-stateful strategies (PowerGossip) override
+    /// this; the default `None` marks a strategy with no pairing decisions
+    /// to report. Implementations must keep the counters write-only for the
+    /// algorithm itself — the engine may or may not drain them, and neither
+    /// choice is allowed to change any result.
+    fn pairing_stats(&mut self) -> Option<PairingStats> {
+        None
     }
 }
 

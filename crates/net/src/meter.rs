@@ -67,9 +67,11 @@ impl TrafficStats {
     /// # Panics
     ///
     /// Panics (debug) if more bytes are reversed than were ever received.
+    /// Release builds saturate instead: a double-reversal must surface as a
+    /// zeroed counter in a bench run, never as a wrapped ~2^64 one.
     pub fn record_kill(&mut self, bytes: usize) {
         debug_assert!(self.bytes_received >= bytes as u64);
-        self.bytes_received -= bytes as u64;
+        self.bytes_received = self.bytes_received.saturating_sub(bytes as u64);
         self.messages_dropped += 1;
     }
 
@@ -121,6 +123,19 @@ mod tests {
         merged.merge(&s);
         assert_eq!(merged.messages_expired, 2);
         assert_eq!(merged.messages_dropped, 2);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn kill_reversal_saturates_in_release() {
+        // A double-reversal (two purges racing over the same accounting in
+        // a buggy caller) must zero the counter, not wrap it to ~2^64 and
+        // poison every bytes-per-accuracy figure downstream.
+        let mut s = TrafficStats::default();
+        s.record_receive(4);
+        s.record_kill(10);
+        assert_eq!(s.bytes_received, 0);
+        assert_eq!(s.messages_dropped, 1);
     }
 
     #[test]

@@ -146,6 +146,11 @@ pub struct SimNetwork {
     loss: Option<LossModel>,
     /// Per-directed-link sequence numbers driving the loss hash.
     sequences: Mutex<HashMap<(usize, usize), u64>>,
+    /// Telemetry for the transport's sequential decision points (send and
+    /// loss-model drop). Purges and expiries are reported by the engine,
+    /// which knows the virtual time and event context — never from the
+    /// parallel execute phase (see the `jwins_trace` determinism contract).
+    tracer: Option<std::sync::Arc<jwins_trace::Tracer>>,
 }
 
 impl SimNetwork {
@@ -158,7 +163,16 @@ impl SimNetwork {
                 .collect(),
             loss: None,
             sequences: Mutex::new(HashMap::new()),
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer: every send (and loss-model drop) from now on
+    /// emits a [`jwins_trace::TraceEvent`]. Recording is strictly
+    /// observational — counters, mailboxes and loss sequences are
+    /// bit-identical with or without it.
+    pub fn set_tracer(&mut self, tracer: std::sync::Arc<jwins_trace::Tracer>) {
+        self.tracer = Some(tracer);
     }
 
     /// Creates a lossy network: each message independently dropped per
@@ -244,8 +258,27 @@ impl SimNetwork {
             };
             if loss.drops(from, to, sequence) {
                 self.stats[from].lock().record_drop();
+                if let Some(tracer) = &self.tracer {
+                    tracer.emit(jwins_trace::TraceEvent::MsgDrop {
+                        t_ns: sent.0,
+                        from: from as u32,
+                        to: to as u32,
+                        round: sent_round as u32,
+                        bytes: payload.len() as u64,
+                    });
+                }
                 return;
             }
+        }
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(jwins_trace::TraceEvent::MsgSend {
+                t_ns: sent.0,
+                from: from as u32,
+                to: to as u32,
+                round: sent_round as u32,
+                bytes: payload.len() as u64,
+                arrives_ns: arrives.0,
+            });
         }
         self.stats[to].lock().record_receive(payload.len());
         self.mailboxes[to].lock().push(Envelope {

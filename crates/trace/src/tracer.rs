@@ -1,0 +1,198 @@
+//! The tracer: configuration, fan-out to sinks, and the panic dump.
+
+use crate::{ChromeTraceWriter, FlightRecorder, JsonlWriter, TraceEvent, TraceSink};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Default byte bound of the always-on flight-recorder ring (64 KiB —
+/// a few hundred events, far below the engine's per-round allocations).
+pub const DEFAULT_FLIGHT_RECORDER_BYTES: usize = 64 * 1024;
+
+/// Tracing configuration, carried on `TrainConfig::trace`.
+///
+/// The default is "flight recorder only": no files are written, but the
+/// last [`DEFAULT_FLIGHT_RECORDER_BYTES`] worth of events are always
+/// retained in memory and dumped to stderr on panic or protocol violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Write every event as one JSON line to this path.
+    #[serde(default)]
+    pub jsonl_path: Option<String>,
+    /// Write a Chrome trace-event (Perfetto-loadable) export of the
+    /// propose/execute/commit phase spans to this path.
+    #[serde(default)]
+    pub chrome_path: Option<String>,
+    /// Byte bound of the always-on flight-recorder ring (floor of one
+    /// event).
+    pub flight_recorder_bytes: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            jsonl_path: None,
+            chrome_path: None,
+            flight_recorder_bytes: DEFAULT_FLIGHT_RECORDER_BYTES,
+        }
+    }
+}
+
+struct Inner {
+    sinks: Vec<Box<dyn TraceSink>>,
+    ring: FlightRecorder,
+}
+
+/// Fans emitted events out to the configured sinks and the always-on
+/// flight-recorder ring. Shared as an `Arc` between the engine and the
+/// network transport; emission takes one uncontended lock (all emitting
+/// code is sequential by the determinism contract — see the crate docs).
+pub struct Tracer {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A tracer with the config's file sinks attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a configured output path cannot be created
+    /// (surfaced eagerly so a bad path fails the build, not the run's end).
+    pub fn from_config(config: &TraceConfig) -> std::io::Result<Self> {
+        let mut sinks: Vec<Box<dyn TraceSink>> = Vec::new();
+        if let Some(path) = &config.jsonl_path {
+            sinks.push(Box::new(JsonlWriter::create(path)?));
+        }
+        if let Some(path) = &config.chrome_path {
+            sinks.push(Box::new(ChromeTraceWriter::create(path)?));
+        }
+        Ok(Self {
+            inner: Mutex::new(Inner {
+                sinks,
+                ring: FlightRecorder::with_byte_bound(config.flight_recorder_bytes),
+            }),
+        })
+    }
+
+    /// Attaches an extra sink (an in-memory collector, a test probe).
+    pub fn push_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.inner.lock().sinks.push(sink);
+    }
+
+    /// Records one event into the ring and every attached sink.
+    pub fn emit(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock();
+        inner.ring.record(&event);
+        for sink in &mut inner.sinks {
+            sink.record(&event);
+        }
+    }
+
+    /// The flight-recorder tail, oldest first.
+    pub fn flight_dump(&self) -> Vec<TraceEvent> {
+        self.inner.lock().ring.dump()
+    }
+
+    /// Flushes every sink (end of run).
+    pub fn finish(&self) {
+        let mut inner = self.inner.lock();
+        for sink in &mut inner.sinks {
+            sink.flush();
+        }
+    }
+
+    /// Dumps the flight-recorder tail to stderr as JSONL, newest last —
+    /// the post-mortem path for panics and protocol violations.
+    pub fn dump_flight_to_stderr(&self, reason: &str) {
+        let tail = self.flight_dump();
+        eprintln!(
+            "--- flight recorder ({reason}): last {} events ---",
+            tail.len()
+        );
+        for event in &tail {
+            eprintln!("{}", serde::json::to_string(event));
+        }
+        eprintln!("--- end flight recorder ---");
+    }
+}
+
+/// Dumps the tracer's flight recorder to stderr if the scope unwinds with a
+/// panic — arm it at the top of a run so the last events before the crash
+/// site are never lost.
+pub struct FlightDumpGuard {
+    tracer: Arc<Tracer>,
+}
+
+impl FlightDumpGuard {
+    /// Arms the guard for `tracer`.
+    pub fn new(tracer: Arc<Tracer>) -> Self {
+        Self { tracer }
+    }
+}
+
+impl Drop for FlightDumpGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.tracer.dump_flight_to_stderr("panic");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySink;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent::RoundComplete {
+            t_ns: i,
+            round: i as u32,
+        }
+    }
+
+    #[test]
+    fn config_default_is_flight_recorder_only() {
+        let cfg = TraceConfig::default();
+        assert_eq!(cfg.jsonl_path, None);
+        assert_eq!(cfg.chrome_path, None);
+        assert_eq!(cfg.flight_recorder_bytes, DEFAULT_FLIGHT_RECORDER_BYTES);
+        let round: TraceConfig =
+            serde::json::from_str(&serde::json::to_string(&cfg)).expect("round-trips");
+        assert_eq!(round, cfg);
+    }
+
+    #[test]
+    fn emit_reaches_ring_and_sinks() {
+        let mut tracer = Tracer::from_config(&TraceConfig::default()).unwrap();
+        let mem = MemorySink::new();
+        tracer.push_sink(Box::new(mem.clone()));
+        let tracer = Arc::new(tracer);
+        tracer.emit(ev(1));
+        tracer.emit(ev(2));
+        assert_eq!(mem.events(), vec![ev(1), ev(2)]);
+        assert_eq!(tracer.flight_dump(), vec![ev(1), ev(2)]);
+        tracer.finish();
+    }
+
+    #[test]
+    fn bad_jsonl_path_fails_eagerly() {
+        let cfg = TraceConfig {
+            jsonl_path: Some("/nonexistent-dir-for-sure/trace.jsonl".into()),
+            ..TraceConfig::default()
+        };
+        assert!(Tracer::from_config(&cfg).is_err());
+    }
+
+    #[test]
+    fn guard_without_panic_is_silent() {
+        let tracer = Arc::new(Tracer::from_config(&TraceConfig::default()).unwrap());
+        let guard = FlightDumpGuard::new(Arc::clone(&tracer));
+        drop(guard);
+    }
+}

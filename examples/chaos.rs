@@ -3,6 +3,7 @@
 //!
 //! ```sh
 //! cargo run --release --example chaos
+//! cargo run --release --example chaos -- --trace /tmp/chaos
 //! ```
 //!
 //! The fault engine kills the victims' in-flight messages at the crash and
@@ -12,6 +13,12 @@
 //! over-age messages and renormalizes their weight into the self-weight.
 //! The run prints each evaluation (crash/rejoin counters included) and the
 //! simulated time to a target accuracy for both policies.
+//!
+//! With `--trace <prefix>` each policy's run writes its full structured
+//! trace to `<prefix>-<policy>.jsonl` (summarize or validate it with the
+//! `trace_report` bin), and the example prints the flight-recorder tail —
+//! the last events before the run ended, the same buffer a panicking run
+//! dumps to stderr.
 
 use jwins::config::{ExecutionMode, TrainConfig};
 use jwins::engine::Trainer;
@@ -24,8 +31,24 @@ use jwins_sim::HeterogeneityProfile;
 use jwins_topology::dynamic::StaticTopology;
 
 use jwins_repro::smoke;
+use jwins_trace::FlightRecorder;
 
-fn run(staleness: StalenessPolicy) -> jwins::metrics::RunResult {
+/// The `--trace <prefix>` flag, if given.
+fn trace_prefix() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return Some(args.next().expect("--trace requires a path prefix"));
+        }
+    }
+    None
+}
+
+fn run(
+    staleness: StalenessPolicy,
+    trace_jsonl: Option<String>,
+    flight: Option<FlightRecorder>,
+) -> jwins::metrics::RunResult {
     let nodes = 16;
     let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
     let mut cfg = TrainConfig::new(if smoke() { 8 } else { 30 });
@@ -50,7 +73,8 @@ fn run(staleness: StalenessPolicy) -> jwins::metrics::RunResult {
         },
         staleness,
     };
-    let trainer = Trainer::builder(cfg)
+    cfg.trace.jsonl_path = trace_jsonl;
+    let mut builder = Trainer::builder(cfg)
         .topology(StaticTopology::random_regular(nodes, 4, 7).expect("feasible graph"))
         .test_set(data.test)
         .nodes(data.node_train, |_| {
@@ -58,9 +82,13 @@ fn run(staleness: StalenessPolicy) -> jwins::metrics::RunResult {
                 mlp_classifier(2 * 8 * 8, &[16], 4, 42),
                 Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
             )
-        })
-        .build()
-        .expect("valid experiment");
+        });
+    // A shared-handle flight recorder: the clone we keep sees everything
+    // the attached sink recorded, so the tail can be printed post-run.
+    if let Some(flight) = flight {
+        builder = builder.trace_sink(Box::new(flight));
+    }
+    let trainer = builder.build().expect("valid experiment");
     trainer.run().expect("run completes")
 }
 
@@ -70,18 +98,25 @@ fn main() {
          a quarter of the cluster crashes at t=6.5s and rejoins at t=14.5s\n"
     );
     const TARGET: f64 = 0.9;
+    let prefix = trace_prefix();
     let mut time_to_target = Vec::new();
-    for (name, staleness) in [
+    for (name, slug, staleness) in [
         (
             "no staleness cap (mix anything)",
+            "uncapped",
             StalenessPolicy::unbounded(),
         ),
         (
             "staleness cap k=2 (drop older)",
+            "capped",
             StalenessPolicy::drop_after_rounds(2),
         ),
     ] {
-        let result = run(staleness);
+        let jsonl = prefix.as_ref().map(|p| format!("{p}-{slug}.jsonl"));
+        let flight = prefix
+            .as_ref()
+            .map(|_| FlightRecorder::with_byte_bound(2048));
+        let result = run(staleness, jsonl.clone(), flight.clone());
         println!("== {name} ==");
         println!("round  accuracy  sim-time[s]  staleness[s]  crashes  rejoins  expired");
         for r in &result.records {
@@ -112,6 +147,21 @@ fn main() {
                 "crash-killed messages: {dropped}; never reached {:.0}% accuracy\n",
                 TARGET * 100.0
             ),
+        }
+        if let (Some(jsonl), Some(flight)) = (&jsonl, &flight) {
+            println!("full trace written to {jsonl} (inspect with `trace_report {jsonl}`)");
+            let tail = flight.dump();
+            let show = tail.len().min(5);
+            println!(
+                "flight-recorder tail ({} of {} retained events — what a \
+                 panicking run would dump):",
+                show,
+                tail.len()
+            );
+            for event in &tail[tail.len() - show..] {
+                println!("  {}", serde::json::to_string(event));
+            }
+            println!();
         }
         time_to_target.push(hit);
     }

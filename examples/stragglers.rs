@@ -3,6 +3,7 @@
 //!
 //! ```sh
 //! cargo run --release --example stragglers
+//! cargo run --release --example stragglers -- --trace /tmp/stragglers
 //! ```
 //!
 //! Under the barrier, every round waits for the slowest node, so the whole
@@ -10,6 +11,10 @@
 //! node keeps its own clock and mixes whatever neighbour models have
 //! arrived — the fast majority stops paying for the slow minority, at the
 //! price of mixing slightly stale information (reported per evaluation).
+//!
+//! With `--trace <prefix>` each mode writes its structured trace to
+//! `<prefix>-<mode>.jsonl`; compare the two with the `trace_report` bin to
+//! see the stragglers' compute share and where mixing staleness comes from.
 
 use jwins::config::{ExecutionMode, TrainConfig};
 use jwins::engine::Trainer;
@@ -23,7 +28,18 @@ use jwins_topology::dynamic::StaticTopology;
 
 use jwins_repro::smoke;
 
-fn run(mode: ExecutionMode) -> jwins::metrics::RunResult {
+/// The `--trace <prefix>` flag, if given.
+fn trace_prefix() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return Some(args.next().expect("--trace requires a path prefix"));
+        }
+    }
+    None
+}
+
+fn run(mode: ExecutionMode, trace_jsonl: Option<String>) -> jwins::metrics::RunResult {
     let nodes = 8;
     let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
     let mut cfg = TrainConfig::new(if smoke() { 6 } else { 30 });
@@ -45,6 +61,7 @@ fn run(mode: ExecutionMode) -> jwins::metrics::RunResult {
         }
         _ => unreachable!("example covers both execution modes"),
     }
+    cfg.trace.jsonl_path = trace_jsonl;
     let trainer = Trainer::builder(cfg)
         .topology(StaticTopology::random_regular(nodes, 3, 7).expect("feasible graph"))
         .test_set(data.test)
@@ -62,15 +79,25 @@ fn run(mode: ExecutionMode) -> jwins::metrics::RunResult {
 fn main() {
     println!("straggler cluster: 8 nodes, 2 of them 4x slower, 100 Mbit/s links\n");
     const TARGET: f64 = 0.99;
+    let prefix = trace_prefix();
     let mut time_to_target = Vec::new();
-    for (name, mode) in [
+    for (name, slug, mode) in [
         (
             "barrier (waits for straggler)",
+            "barrier",
             ExecutionMode::BulkSynchronous,
         ),
-        ("event-driven async gossip", ExecutionMode::EventDriven),
+        (
+            "event-driven async gossip",
+            "async",
+            ExecutionMode::EventDriven,
+        ),
     ] {
-        let result = run(mode);
+        let jsonl = prefix.as_ref().map(|p| format!("{p}-{slug}.jsonl"));
+        let result = run(mode, jsonl.clone());
+        if let Some(jsonl) = &jsonl {
+            println!("trace written to {jsonl} (inspect with `trace_report {jsonl}`)");
+        }
         println!("== {name} ==");
         println!("round  accuracy  sim-time[s]  staleness[s]");
         for r in &result.records {

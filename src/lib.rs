@@ -9,6 +9,7 @@ pub use jwins_net as net;
 pub use jwins_nn as nn;
 pub use jwins_sim as sim;
 pub use jwins_topology as topology;
+pub use jwins_trace as trace;
 pub use jwins_wavelet as wavelet;
 
 /// Whether `JWINS_SMOKE=1` requests the CI-sized reduced configuration —

@@ -1,0 +1,219 @@
+//! The observer-effect regression suite: tracing is provably inert.
+//!
+//! The tracing determinism contract (see the module docs of `jwins_trace`
+//! and `jwins::engine`) has two halves:
+//!
+//! 1. **No observer effect.** Attaching any combination of trace sinks —
+//!    JSONL file, Chrome export, in-memory collector, a tiny flight
+//!    recorder — must not change a single bit of any run output, at any
+//!    worker thread count. Emission happens only from sequential
+//!    (propose/commit) code in pop order and reads state the engine already
+//!    computed, so recording can never perturb an RNG stream, the event
+//!    order, or a float fold.
+//! 2. **Canonical traces are thread-invariant.** With the wall-clock side
+//!    channel stripped ([`TraceEvent::canonical`]), the full event stream
+//!    itself is bit-identical across thread counts — the trace is part of
+//!    the deterministic output, not a best-effort log.
+//!
+//! The workload deliberately exercises every emission site: crashes, a
+//! rejoin, staleness decay, topology repair, stragglers and mid-round
+//! virtual-time checkpoints.
+
+use jwins::config::{ExecutionMode, TrainConfig};
+use jwins::engine::Trainer;
+use jwins::metrics::RunResult;
+use jwins::strategies::{Jwins, JwinsConfig};
+use jwins::strategy::ShareStrategy;
+use jwins_data::images::{cifar_like, ImageConfig};
+use jwins_fault::{FaultConfig, FaultOutage, FaultPlan, RejoinMode, StalenessPolicy};
+use jwins_nn::models::mlp_classifier;
+use jwins_sim::HeterogeneityProfile;
+use jwins_topology::dynamic::StaticTopology;
+use jwins_topology::repair::RepairPolicy;
+use jwins_trace::{MemorySink, TraceConfig, TraceEvent};
+
+const NODES: usize = 8;
+
+fn chaos_config(threads: usize) -> TrainConfig {
+    let mut cfg = TrainConfig::quick_test();
+    cfg.rounds = 6;
+    cfg.lr = 0.1;
+    cfg.eval_every = 1;
+    cfg.threads = threads;
+    cfg.execution = ExecutionMode::EventDriven;
+    cfg.time_model.compute_s = 1.0;
+    cfg.heterogeneity = HeterogeneityProfile::stragglers(0.25, 3.0, 0.002, 1.0e6);
+    cfg.faults = FaultConfig {
+        plan: FaultPlan::Scripted(vec![
+            FaultOutage {
+                rejoin: RejoinMode::Resync,
+                ..FaultOutage::new(1, 2.5, 3.0)
+            },
+            // Never recovers: permanent-crash path plus the trailing
+            // checkpoint close-out.
+            FaultOutage::new(3, 7.5, f64::INFINITY),
+        ]),
+        staleness: StalenessPolicy::decay_after_rounds(1, 0.5),
+    };
+    cfg.repair = RepairPolicy::DegreePreserving;
+    cfg.eval_interval_s = Some(1.5);
+    cfg
+}
+
+/// Runs the chaos workload; `trace` overrides `TrainConfig::trace` and
+/// `memory` is attached as an extra sink when given.
+fn run(threads: usize, trace: Option<TraceConfig>, memory: Option<MemorySink>) -> RunResult {
+    let mut cfg = chaos_config(threads);
+    if let Some(trace) = trace {
+        cfg.trace = trace;
+    }
+    let data = cifar_like(&ImageConfig::tiny(), NODES, 2, 5);
+    let mut builder = Trainer::builder(cfg)
+        .topology(StaticTopology::random_regular(NODES, 3, 3).unwrap())
+        .test_set(data.test)
+        .nodes(data.node_train, |node| {
+            let strategy: Box<dyn ShareStrategy> =
+                Box::new(Jwins::new(JwinsConfig::paper_default(), 100 + node as u64));
+            (mlp_classifier(2 * 8 * 8, &[8], 4, 7), strategy)
+        });
+    if let Some(memory) = memory {
+        builder = builder.trace_sink(Box::new(memory));
+    }
+    builder.build().unwrap().run().unwrap()
+}
+
+/// A per-test scratch path under the target-adjacent temp dir.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("jwins-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// Every sink attached at once, at every thread count: the run output must
+/// be bit-identical to the untraced default.
+#[test]
+fn tracing_has_no_observer_effect() {
+    // The reference: default config (flight recorder only, no files).
+    let plain = run(1, None, None);
+    // Non-degenerate workload, or the comparison proves little.
+    let last = plain.records.last().expect("records recorded");
+    assert!(last.crashes >= 2, "crashes replayed: {}", last.crashes);
+    assert!(last.rejoins >= 1, "rejoins replayed: {}", last.rejoins);
+    assert!(
+        last.edges_rewired > 0,
+        "repair fired: {}",
+        last.edges_rewired
+    );
+    assert!(
+        plain.records.iter().any(|r| r.mean_staleness_s > 0.0),
+        "stale mixes observed"
+    );
+
+    for threads in [1usize, 2, 8] {
+        let trace = TraceConfig {
+            jsonl_path: Some(
+                scratch(&format!("observer-{threads}.jsonl"))
+                    .to_string_lossy()
+                    .into_owned(),
+            ),
+            chrome_path: Some(
+                scratch(&format!("observer-{threads}.chrome.json"))
+                    .to_string_lossy()
+                    .into_owned(),
+            ),
+            // A tiny ring forces constant eviction — the worst case for an
+            // observer effect.
+            flight_recorder_bytes: 256,
+        };
+        let memory = MemorySink::new();
+        let traced = run(threads, Some(trace), Some(memory.clone()));
+        plain.assert_bit_identical(
+            &traced,
+            &format!("untraced/1-thread vs fully-sinked/{threads}-thread"),
+        );
+        assert!(!memory.is_empty(), "the attached sink actually recorded");
+    }
+}
+
+/// The canonical event stream (wall side channel zeroed) is itself part of
+/// the deterministic output: identical across worker thread counts.
+#[test]
+fn canonical_trace_is_thread_invariant() {
+    let canonical = |threads: usize| -> Vec<TraceEvent> {
+        let memory = MemorySink::new();
+        let _ = run(threads, None, Some(memory.clone()));
+        memory
+            .events()
+            .into_iter()
+            .map(TraceEvent::canonical)
+            .collect()
+    };
+    let t1 = canonical(1);
+    let t2 = canonical(2);
+    let t8 = canonical(8);
+    assert!(!t1.is_empty());
+    assert_eq!(t1.len(), t2.len(), "event counts differ at 2 threads");
+    assert_eq!(t1, t2, "canonical trace differs at 2 threads");
+    assert_eq!(t1, t8, "canonical trace differs at 8 threads");
+
+    // The chaos plan's signature shows up in the stream.
+    let count = |kind: fn(&TraceEvent) -> bool| t1.iter().filter(|e| kind(e)).count();
+    assert_eq!(
+        count(|e| matches!(e, TraceEvent::RunStart { .. })),
+        1,
+        "exactly one RunStart"
+    );
+    assert_eq!(
+        count(|e| matches!(e, TraceEvent::RunEnd { .. })),
+        1,
+        "exactly one RunEnd"
+    );
+    assert_eq!(
+        count(|e| matches!(e, TraceEvent::NodeCrash { .. })),
+        2,
+        "both scripted crashes traced"
+    );
+    assert_eq!(
+        count(|e| matches!(e, TraceEvent::NodeRejoin { .. })),
+        1,
+        "the scripted rejoin traced"
+    );
+    assert!(
+        count(|e| matches!(e, TraceEvent::RepairRewire { .. })) >= 1,
+        "repair refreshes traced"
+    );
+    assert!(
+        count(|e| matches!(e, TraceEvent::MsgMixed { .. })) > 0,
+        "mixing provenance traced"
+    );
+    assert!(
+        count(|e| matches!(e, TraceEvent::ExecuteBatch { .. })) > 0,
+        "batch records traced"
+    );
+    // Virtual time never runs backwards (events are emitted in commit
+    // order and the simulation clock is monotone).
+    let mut clock = 0;
+    for event in &t1 {
+        assert!(event.t_ns() >= clock, "virtual time ran backwards");
+        clock = event.t_ns();
+    }
+}
+
+/// The JSONL file written by the engine parses back into exactly the events
+/// the in-memory sink saw.
+#[test]
+fn jsonl_file_round_trips_the_memory_stream() {
+    let path = scratch("roundtrip.jsonl");
+    let memory = MemorySink::new();
+    let trace = TraceConfig {
+        jsonl_path: Some(path.to_string_lossy().into_owned()),
+        ..TraceConfig::default()
+    };
+    let _ = run(2, Some(trace), Some(memory.clone()));
+    let text = std::fs::read_to_string(&path).expect("trace written");
+    let parsed: Vec<TraceEvent> = text
+        .lines()
+        .map(|l| serde::json::from_str(l).expect("every line parses"))
+        .collect();
+    assert_eq!(parsed, memory.events(), "file and memory sinks agree");
+}
