@@ -8,36 +8,79 @@
 //! only present in the PR report are listed but never fail the gate; they
 //! become binding once added to the baseline.
 //!
+//! For every failing case the gate prints the baseline-vs-PR
+//! propose/execute/commit wall-time split, so the log answers *which phase
+//! regressed* — a parallel speedup can only shrink `execute_s`, so a blowup
+//! confined to the sequential phases points away from the thread pool.
+//!
+//! Exit codes: `0` pass, `1` regression (or missing case), `2` usage or
+//! unreadable/unparsable report — CI distinguishes "perf got worse" from
+//! "the gate itself broke".
+//!
 //! ```sh
 //! cargo run -p jwins_bench --bin bench_gate -- BENCH_baseline.json BENCH_pr.json [max_ratio]
 //! ```
 
-use jwins_bench::report::load_cases;
+use jwins_bench::report::{load_cases, BenchCase};
 use std::path::Path;
 use std::process::ExitCode;
+
+/// Exit status for regressions (a case got slower or went missing).
+const EXIT_REGRESSED: u8 = 1;
+/// Exit status for broken inputs (usage, unreadable or unparsable report).
+const EXIT_BAD_INPUT: u8 = 2;
+
+/// Prints a failing case's per-phase wall-time split, baseline vs PR.
+fn print_phase_breakdown(base: &BenchCase, pr: &BenchCase) {
+    let phases = [
+        ("propose", base.propose_s, pr.propose_s),
+        ("execute", base.execute_s, pr.execute_s),
+        ("commit", base.commit_s, pr.commit_s),
+    ];
+    if phases.iter().all(|&(_, b, p)| b == 0.0 && p == 0.0) {
+        eprintln!("    (no phase data recorded for this case)");
+        return;
+    }
+    eprintln!(
+        "    {:<8} {:>10} {:>10} {:>7}",
+        "phase", "base s", "pr s", "ratio"
+    );
+    for (name, base_s, pr_s) in phases {
+        let ratio = if base_s > 0.0 {
+            format!("{:.2}x", pr_s / base_s)
+        } else {
+            "-".to_owned()
+        };
+        eprintln!("    {name:<8} {base_s:>10.4} {pr_s:>10.4} {ratio:>7}");
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.len() < 3 {
         eprintln!("usage: bench_gate <baseline.json> <pr.json> [max_ratio]");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_BAD_INPUT);
     }
-    let max_ratio: f64 = args
-        .get(3)
-        .map(|s| s.parse().expect("max_ratio must be a number"))
-        .unwrap_or(2.0);
+    let max_ratio: f64 = match args.get(3).map(|s| s.parse()) {
+        Some(Ok(ratio)) => ratio,
+        Some(Err(_)) => {
+            eprintln!("bench_gate: max_ratio must be a number, got {:?}", args[3]);
+            return ExitCode::from(EXIT_BAD_INPUT);
+        }
+        None => 2.0,
+    };
     let baseline = match load_cases(Path::new(&args[1])) {
         Ok(cases) => cases,
         Err(e) => {
             eprintln!("baseline: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_BAD_INPUT);
         }
     };
     let pr = match load_cases(Path::new(&args[2])) {
         Ok(cases) => cases,
         Err(e) => {
             eprintln!("pr report: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_BAD_INPUT);
         }
     };
 
@@ -62,7 +105,10 @@ fn main() -> ExitCode {
                     if ok { "ok" } else { "REGRESSED" }
                 );
                 if !ok {
-                    failures.push(format!("{key}: {ratio:.2}x > {max_ratio:.1}x"));
+                    failures.push((
+                        format!("{key}: {ratio:.2}x > {max_ratio:.1}x"),
+                        Some((base.clone(), case.clone())),
+                    ));
                 }
             }
             None => {
@@ -70,7 +116,7 @@ fn main() -> ExitCode {
                     "{key:<42} {:>10.2} {:>10} {:>7}  MISSING",
                     base.wall_s, "-", "-"
                 );
-                failures.push(format!("{key}: missing from the PR report"));
+                failures.push((format!("{key}: missing from the PR report"), None));
             }
         }
     }
@@ -96,9 +142,12 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("\nbench gate FAILED:");
-        for f in &failures {
-            eprintln!("  {f}");
+        for (message, cases) in &failures {
+            eprintln!("  {message}");
+            if let Some((base, pr_case)) = cases {
+                print_phase_breakdown(base, pr_case);
+            }
         }
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_REGRESSED)
     }
 }

@@ -1,6 +1,8 @@
-//! `trace_report`: summarize and validate a JSONL run trace.
+//! `trace_report`: summarize, validate and analyze a JSONL run trace.
 //!
-//! Usage: `trace_report <trace.jsonl> [--check]`
+//! Usage:
+//! `trace_report <trace.jsonl> [--check] [--critical-path] [--target <acc>]
+//! [--metrics <prefix>] [--canonicalize <out>]`
 //!
 //! Prints a post-hoc run report from the archival trace written via
 //! `TrainConfig::trace.jsonl_path`:
@@ -12,14 +14,99 @@
 //! - per-node virtual compute totals (straggler spread);
 //! - the top edges by mean mixing staleness (where gossip stalls).
 //!
+//! With `--critical-path` the report appends the `jwins_metrics`
+//! critical-path analysis: the causal chain of compute/uplink/link/wait
+//! segments bounding the run's virtual time-to-accuracy, with per-owner
+//! blame shares. `--target <acc>` points the analysis at the first
+//! evaluation reaching that accuracy instead of the last one.
+//!
+//! With `--metrics <prefix>` the full metrics aggregation of the trace is
+//! exported to `<prefix>.prom` (Prometheus text) and `<prefix>.csv`
+//! (windowed time series).
+//!
+//! With `--canonicalize <out>` the canonical form of the trace — wall-clock
+//! side-channel fields zeroed, so the bytes are identical for any worker
+//! thread count and any host — is rewritten to `<out>` as JSONL. This is
+//! how the checked-in CI baseline `tests/fixtures/trace_smoke_baseline.jsonl`
+//! is regenerated after an intended engine-behaviour change.
+//!
 //! With `--check` the exit code becomes a validation verdict, used by CI
 //! against the bench-smoke trace artifact: every line must parse as a
 //! `TraceEvent`, virtual time must never run backwards, and the trace must
-//! be bracketed by `RunStart`/`RunEnd`.
+//! be bracketed by `RunStart`/`RunEnd`. Exit codes: `0` ok, `1` validation
+//! or analysis failure, `2` usage/unreadable input.
 
+use jwins_metrics::{CriticalPath, MetricsRegistry, DEFAULT_WINDOW_S};
 use jwins_trace::{BatchClass, TraceEvent};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: trace_report <trace.jsonl> [--check] [--critical-path] \
+     [--target <acc>] [--metrics <prefix>] [--canonicalize <out>]";
+
+struct Args {
+    path: String,
+    check: bool,
+    critical_path: bool,
+    target: Option<f64>,
+    metrics: Option<String>,
+    canonicalize: Option<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut path = None;
+        let mut check = false;
+        let mut critical_path = false;
+        let mut target = None;
+        let mut metrics = None;
+        let mut canonicalize = None;
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--check" => check = true,
+                "--critical-path" => critical_path = true,
+                "--target" => {
+                    let value = it.next().ok_or("--target needs an accuracy value")?;
+                    let acc: f64 = value
+                        .parse()
+                        .map_err(|_| format!("--target {value:?} is not a number"))?;
+                    target = Some(acc);
+                }
+                "--metrics" => {
+                    metrics = Some(
+                        it.next()
+                            .ok_or("--metrics needs an output path prefix")?
+                            .clone(),
+                    );
+                }
+                "--canonicalize" => {
+                    canonicalize = Some(
+                        it.next()
+                            .ok_or("--canonicalize needs an output path")?
+                            .clone(),
+                    );
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {flag}"));
+                }
+                positional => {
+                    if path.replace(positional.to_owned()).is_some() {
+                        return Err("expected exactly one trace path".into());
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            path: path.ok_or("missing trace path")?,
+            check,
+            critical_path,
+            target,
+            metrics,
+            canonicalize,
+        })
+    }
+}
 
 struct ClassStats {
     batches: u64,
@@ -82,42 +169,23 @@ impl ClassStats {
     }
 }
 
-fn kind(event: &TraceEvent) -> &'static str {
-    match event {
-        TraceEvent::RunStart { .. } => "RunStart",
-        TraceEvent::RunEnd { .. } => "RunEnd",
-        TraceEvent::NodeCrash { .. } => "NodeCrash",
-        TraceEvent::NodeRejoin { .. } => "NodeRejoin",
-        TraceEvent::MsgSend { .. } => "MsgSend",
-        TraceEvent::MsgDrop { .. } => "MsgDrop",
-        TraceEvent::MsgKill { .. } => "MsgKill",
-        TraceEvent::MsgExpire { .. } => "MsgExpire",
-        TraceEvent::MsgMixed { .. } => "MsgMixed",
-        TraceEvent::Train { .. } => "Train",
-        TraceEvent::RoundResolve { .. } => "RoundResolve",
-        TraceEvent::RoundAbandon { .. } => "RoundAbandon",
-        TraceEvent::RoundComplete { .. } => "RoundComplete",
-        TraceEvent::Eval { .. } => "Eval",
-        TraceEvent::RepairRewire { .. } => "RepairRewire",
-        TraceEvent::StrategyPairing { .. } => "StrategyPairing",
-        TraceEvent::ExecuteBatch { .. } => "ExecuteBatch",
-    }
-}
-
 fn fail(message: String, failures: &mut u64) {
     eprintln!("trace_report: {message}");
     *failures += 1;
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let check = args.iter().any(|a| a == "--check");
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: trace_report <trace.jsonl> [--check]");
-        return ExitCode::from(2);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("trace_report: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
     };
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
+    let path = &args.path;
+    let parsed = match jwins_trace::read_jsonl(path) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("trace_report: cannot read {path}: {e}");
             return ExitCode::from(2);
@@ -125,19 +193,10 @@ fn main() -> ExitCode {
     };
 
     let mut failures = 0u64;
-    let mut events: Vec<TraceEvent> = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        match serde::json::from_str::<TraceEvent>(line) {
-            Ok(event) => events.push(event),
-            Err(e) => fail(
-                format!("{path}:{}: unparsable event: {e:?}", lineno + 1),
-                &mut failures,
-            ),
-        }
+    for failure in &parsed.failures {
+        fail(format!("{path}:{failure}"), &mut failures);
     }
+    let events = parsed.events;
 
     // Structural validation: bracketed by RunStart/RunEnd, virtual time
     // never runs backwards (emission happens in commit order, and the
@@ -177,7 +236,7 @@ fn main() -> ExitCode {
     // (from, to) -> (staleness sum, messages).
     let mut edges: BTreeMap<(u32, u32), (f64, u64)> = BTreeMap::new();
     for event in &events {
-        *counts.entry(kind(event)).or_insert(0) += 1;
+        *counts.entry(event.kind_name()).or_insert(0) += 1;
         match *event {
             TraceEvent::ExecuteBatch {
                 class,
@@ -269,7 +328,45 @@ fn main() -> ExitCode {
         }
     }
 
-    if check {
+    if let Some(out) = &args.canonicalize {
+        let mut text = String::new();
+        for event in jwins_trace::replay::canonicalize(&events) {
+            text.push_str(&serde::json::to_string(&event));
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(out, text) {
+            eprintln!("trace_report: cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("canonical trace rewritten to {out}");
+    }
+
+    if let Some(prefix) = &args.metrics {
+        let registry = MetricsRegistry::from_events(DEFAULT_WINDOW_S, &events);
+        for (suffix, contents) in [
+            ("prom", registry.to_prometheus()),
+            ("csv", registry.to_csv()),
+        ] {
+            let out = format!("{prefix}.{suffix}");
+            if let Err(e) = std::fs::write(&out, contents) {
+                eprintln!("trace_report: cannot write {out}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("metrics: wrote {out}");
+        }
+    }
+
+    if args.critical_path {
+        match CriticalPath::analyze(&events, args.target) {
+            Ok(path) => print!("{}", path.render()),
+            Err(e) => {
+                eprintln!("trace_report: critical path unavailable: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.check {
         if failures > 0 {
             eprintln!("trace_report: {failures} validation failure(s)");
             return ExitCode::FAILURE;

@@ -102,6 +102,14 @@ pub struct TrainConfig {
     /// identical to an untraced run.
     #[serde(default)]
     pub trace: jwins_trace::TraceConfig,
+    /// Metrics aggregation over the trace stream (see `jwins_metrics`):
+    /// when an export path is set, a `MetricsSink` rides the tracer and
+    /// writes Prometheus-text / CSV aggregates at the end of the run. Like
+    /// every trace sink it is observational — any setting here leaves every
+    /// [`crate::metrics::RoundRecord`] bit identical (pinned by
+    /// `tests/metrics_layer.rs`).
+    #[serde(default)]
+    pub metrics: jwins_metrics::MetricsConfig,
     /// Record each node's α every round (Figure 3).
     pub record_alphas: bool,
 }
@@ -127,6 +135,7 @@ impl TrainConfig {
             target_accuracy: None,
             message_loss: 0.0,
             trace: jwins_trace::TraceConfig::default(),
+            metrics: jwins_metrics::MetricsConfig::default(),
             record_alphas: false,
         }
     }
@@ -244,6 +253,7 @@ impl TrainConfig {
                 ));
             }
         }
+        self.metrics.validate().map_err(JwinsError::InvalidConfig)?;
         if self.execution == ExecutionMode::EventDriven {
             // The event clock derives every node's round length from
             // compute_s; zero (or NaN/negative, which SimTime would clamp
@@ -408,6 +418,11 @@ mod tests {
             chrome_path: None,
             flight_recorder_bytes: 4096,
         };
+        config.metrics = jwins_metrics::MetricsConfig {
+            prometheus_path: Some("/tmp/run.prom".into()),
+            csv_path: Some("/tmp/run.csv".into()),
+            window_s: 0.5,
+        };
         let text = serde::json::to_string(&config);
         let back: TrainConfig = serde::json::from_str(&text).unwrap();
         assert_eq!(back.time_model, config.time_model);
@@ -422,6 +437,18 @@ mod tests {
         assert_eq!(back.target_accuracy, config.target_accuracy);
         assert_eq!(back.message_loss, config.message_loss);
         assert_eq!(back.trace, config.trace);
+        assert_eq!(back.metrics, config.metrics);
+    }
+
+    #[test]
+    fn bad_metrics_window_rejected() {
+        let mut c = TrainConfig::new(3);
+        c.metrics.window_s = 0.0;
+        assert!(c.validate().is_err());
+        c.metrics.window_s = f64::NAN;
+        assert!(c.validate().is_err());
+        c.metrics.window_s = 0.25;
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -439,6 +466,7 @@ mod tests {
         assert_eq!(config.eval_interval_s, None);
         assert_eq!(config.repair, RepairPolicy::None);
         assert_eq!(config.trace, jwins_trace::TraceConfig::default());
+        assert_eq!(config.metrics, jwins_metrics::MetricsConfig::default());
         assert!(config.validate().is_ok());
     }
 }

@@ -242,6 +242,14 @@ impl<M: Model> TrainerBuilder<M> {
         // a configuration error rather than wedging mid-run.
         let mut tracer = Tracer::from_config(&self.config.trace)
             .map_err(|e| JwinsError::InvalidConfig(format!("cannot open trace sink: {e}")))?;
+        // The metrics layer rides the tracer as one more sink; like any
+        // sink it only observes committed events, so attaching it cannot
+        // change a bit of the run (tests/metrics_layer.rs).
+        if let Some(metrics) = jwins_metrics::MetricsSink::from_config(&self.config.metrics)
+            .map_err(|e| JwinsError::InvalidConfig(format!("cannot open metrics export: {e}")))?
+        {
+            tracer.push_sink(Box::new(metrics));
+        }
         for sink in self.trace_sinks {
             tracer.push_sink(sink);
         }

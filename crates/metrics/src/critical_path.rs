@@ -1,0 +1,776 @@
+//! The critical-path analyzer: what bounded a run's virtual
+//! time-to-accuracy.
+//!
+//! A trace is a causal DAG: a node's `Train` feeds its `MsgSend`s, a send's
+//! arrival feeds the receiver's `MsgMixed`, a mix feeds the node's next
+//! `Train`, and the last passer's mix completes the round that an `Eval`
+//! measures. [`CriticalPath::analyze`] walks that DAG *backward* from a
+//! terminal event (the first evaluation reaching a target accuracy, else
+//! the last evaluation, else run end) and reconstructs the single chain of
+//! waiting that bounds the terminal's virtual time `T`.
+//!
+//! The chain is returned as [`Segment`]s that tile `[0, T]` exactly — their
+//! durations sum to `T` by construction — so the per-owner
+//! [`BlameShare`]s ("41% of the bound is node 3 computing, 22% is the 0→1
+//! link in flight") always sum to 1. Everything here reads only the
+//! deterministic event fields, so the rendered report is byte-identical
+//! across worker-thread counts for the same seed.
+
+use jwins_trace::TraceEvent;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Why no critical path could be reconstructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The trace has no events at all.
+    EmptyTrace,
+    /// No terminal with a positive virtual time exists (no `Eval`, and no
+    /// `RunEnd` past t=0), so there is no span to explain.
+    NoSpan,
+    /// The trace has a span but no per-node activity (`Train`/`MsgMixed`)
+    /// to anchor the walk — e.g. a header-only or bulk-synchronous replay.
+    NoActivity,
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::EmptyTrace => write!(f, "trace is empty"),
+            PathError::NoSpan => write!(f, "trace has no terminal past t=0 (no Eval or RunEnd)"),
+            PathError::NoActivity => {
+                write!(f, "trace has no Train/MsgMixed activity to anchor the walk")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// What a critical-path segment's owner was doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SegmentKind {
+    /// A node running its τ local SGD steps.
+    Compute,
+    /// A node past training but not yet unblocked: serializing messages
+    /// out over its uplink, or idling between rounds.
+    Uplink,
+    /// A message in flight on a directed edge (latency + bytes/bandwidth).
+    Link,
+    /// A delivered message sitting in the receiver's mailbox until the
+    /// mix that consumed it (includes any pre-first-event lead-in).
+    Wait,
+    /// The owner was crashed.
+    Down,
+}
+
+impl SegmentKind {
+    /// Fixed-width lowercase name used by [`CriticalPath::render`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SegmentKind::Compute => "compute",
+            SegmentKind::Uplink => "uplink",
+            SegmentKind::Link => "link",
+            SegmentKind::Wait => "wait",
+            SegmentKind::Down => "down",
+        }
+    }
+}
+
+/// One contiguous span of the critical path on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// What the owner was doing.
+    pub kind: SegmentKind,
+    /// Owning node, for node-scoped kinds.
+    pub node: Option<u32>,
+    /// Owning directed edge, for [`SegmentKind::Link`].
+    pub edge: Option<(u32, u32)>,
+    /// Segment start (virtual ns).
+    pub start_ns: u64,
+    /// Segment end (virtual ns).
+    pub end_ns: u64,
+}
+
+impl Segment {
+    /// The segment's span on the virtual clock.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// The owner label used for blame grouping (`node 3` / `edge 0->1`).
+    pub fn owner(&self) -> String {
+        match (self.node, self.edge) {
+            (_, Some((from, to))) => format!("edge {from}->{to}"),
+            (Some(node), None) => format!("node {node}"),
+            (None, None) => "run".to_owned(),
+        }
+    }
+}
+
+/// A `(kind, owner)` group's share of the time-to-terminal bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameShare {
+    /// What the owner was doing.
+    pub kind: SegmentKind,
+    /// `node N` or `edge A->B`.
+    pub owner: String,
+    /// Total virtual ns this group holds on the path.
+    pub duration_ns: u64,
+    /// `duration_ns / bound_ns`; all shares sum to 1.
+    pub share: f64,
+}
+
+/// The reconstructed chain bounding a run's virtual time-to-terminal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// The bound being explained: the terminal's virtual time (ns).
+    pub bound_ns: u64,
+    /// Human description of the terminal event.
+    pub terminal: String,
+    /// The accuracy target the terminal was selected against, if any.
+    pub target: Option<f64>,
+    /// Whether some evaluation reached the target (when one was given);
+    /// `false` means the path explains the *last* evaluation instead.
+    pub target_reached: bool,
+    /// Path segments, earliest first, tiling `[0, bound_ns]` exactly.
+    pub segments: Vec<Segment>,
+    /// Blame per `(kind, owner)`, largest share first; shares sum to 1.
+    pub blame: Vec<BlameShare>,
+    /// The cycle guard fired on a degenerate trace (e.g. zero-latency
+    /// mutual links): the unexplained head of the span was folded into a
+    /// leading wait segment.
+    pub truncated: bool,
+}
+
+/// One training completion, preprocessed for the backward walk.
+#[derive(Debug, Clone, Copy)]
+struct TrainRec {
+    end_ns: u64,
+    compute_ns: u64,
+}
+
+/// One mix, joined with its originating send (FIFO per `(from, to,
+/// sent_round)`; a mix with no recorded send degrades to a zero-length
+/// link so the walk can still cross to the sender).
+#[derive(Debug, Clone, Copy)]
+struct MixRec {
+    t_ns: u64,
+    from: u32,
+    send_ns: u64,
+    arrives_ns: u64,
+}
+
+impl CriticalPath {
+    /// Reconstructs the critical path of a recorded stream.
+    ///
+    /// With a `target`, the terminal is the first `Eval` whose accuracy
+    /// reaches it (falling back to the last `Eval` if never reached —
+    /// check [`CriticalPath::target_reached`]); without one, the last
+    /// `Eval`, else `RunEnd`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PathError`] — empty trace, zero span, or no node activity.
+    pub fn analyze(events: &[TraceEvent], target: Option<f64>) -> Result<Self, PathError> {
+        if events.is_empty() {
+            return Err(PathError::EmptyTrace);
+        }
+
+        // --- preprocess: per-node trains, joined mixes, down intervals ---
+        let mut trains: BTreeMap<u32, Vec<TrainRec>> = BTreeMap::new();
+        let mut mixes: BTreeMap<u32, Vec<MixRec>> = BTreeMap::new();
+        let mut sends: BTreeMap<(u32, u32, u32), VecDeque<(u64, u64)>> = BTreeMap::new();
+        let mut downs: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+        for event in events {
+            match *event {
+                TraceEvent::Train {
+                    t_ns,
+                    node,
+                    compute_ns,
+                    ..
+                } => trains.entry(node).or_default().push(TrainRec {
+                    end_ns: t_ns,
+                    compute_ns,
+                }),
+                TraceEvent::MsgSend {
+                    t_ns,
+                    from,
+                    to,
+                    round,
+                    arrives_ns,
+                    ..
+                } => sends
+                    .entry((from, to, round))
+                    .or_default()
+                    .push_back((t_ns, arrives_ns)),
+                TraceEvent::MsgMixed {
+                    t_ns,
+                    node,
+                    from,
+                    sent_round,
+                    ..
+                } => {
+                    let (send_ns, arrives_ns) = sends
+                        .get_mut(&(from, node, sent_round))
+                        .and_then(VecDeque::pop_front)
+                        .unwrap_or((t_ns, t_ns));
+                    mixes.entry(node).or_default().push(MixRec {
+                        t_ns,
+                        from,
+                        send_ns,
+                        arrives_ns,
+                    });
+                }
+                TraceEvent::NodeCrash { t_ns, node, .. } => {
+                    downs.entry(node).or_default().push((t_ns, u64::MAX));
+                }
+                TraceEvent::NodeRejoin { t_ns, node, .. } => {
+                    if let Some((_, end)) = downs
+                        .entry(node)
+                        .or_default()
+                        .iter_mut()
+                        .rev()
+                        .find(|(_, end)| *end == u64::MAX)
+                    {
+                        *end = t_ns;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for recs in trains.values_mut() {
+            recs.sort_by_key(|r| r.end_ns);
+        }
+        for recs in mixes.values_mut() {
+            recs.sort_by_key(|r| r.t_ns);
+        }
+
+        // --- terminal selection ---
+        let mut terminal: Option<(usize, u64, String)> = None;
+        let mut target_reached = false;
+        for (index, event) in events.iter().enumerate() {
+            if let TraceEvent::Eval {
+                t_ns,
+                round,
+                accuracy,
+                ..
+            } = *event
+            {
+                let describe = format!("Eval at round {round}, accuracy {accuracy:.4}");
+                match target {
+                    Some(want) if accuracy >= want => {
+                        if !target_reached {
+                            terminal = Some((index, t_ns, describe));
+                            target_reached = true;
+                        }
+                    }
+                    _ => {
+                        if !target_reached {
+                            terminal = Some((index, t_ns, describe));
+                        }
+                    }
+                }
+            }
+        }
+        if terminal.is_none() {
+            terminal = events.iter().enumerate().rev().find_map(|(index, event)| {
+                if let TraceEvent::RunEnd {
+                    t_ns, rounds_run, ..
+                } = *event
+                {
+                    Some((index, t_ns, format!("RunEnd after {rounds_run} rounds")))
+                } else {
+                    None
+                }
+            });
+        }
+        let (terminal_index, bound_ns, terminal) = terminal.ok_or(PathError::NoSpan)?;
+        if bound_ns == 0 {
+            return Err(PathError::NoSpan);
+        }
+
+        // --- anchor: the node whose activity the terminal saw last ---
+        let start_node = events[..=terminal_index]
+            .iter()
+            .rev()
+            .find_map(|e| match *e {
+                TraceEvent::Train { node, .. } | TraceEvent::MsgMixed { node, .. } => Some(node),
+                _ => None,
+            })
+            .ok_or(PathError::NoActivity)?;
+
+        // --- backward walk ---
+        let mut segments: Vec<Segment> = Vec::new();
+        let push = |segments: &mut Vec<Segment>,
+                    kind: SegmentKind,
+                    node: Option<u32>,
+                    edge: Option<(u32, u32)>,
+                    start_ns: u64,
+                    end_ns: u64| {
+            if start_ns < end_ns {
+                segments.push(Segment {
+                    kind,
+                    node,
+                    edge,
+                    start_ns,
+                    end_ns,
+                });
+            }
+        };
+        // A node's post-train gap is uplink time unless it overlaps a
+        // crash window, which is carved out as `Down`.
+        let carve_gap =
+            |segments: &mut Vec<Segment>, node: u32, a: u64, b: u64, downs: &[(u64, u64)]| {
+                let mut pos = a;
+                for &(down_start, down_end) in downs {
+                    let (start, end) = (down_start.max(pos), down_end.min(b));
+                    if start >= end {
+                        continue;
+                    }
+                    if pos < start {
+                        segments.push(Segment {
+                            kind: SegmentKind::Uplink,
+                            node: Some(node),
+                            edge: None,
+                            start_ns: pos,
+                            end_ns: start,
+                        });
+                    }
+                    segments.push(Segment {
+                        kind: SegmentKind::Down,
+                        node: Some(node),
+                        edge: None,
+                        start_ns: start,
+                        end_ns: end,
+                    });
+                    pos = end;
+                }
+                if pos < b {
+                    segments.push(Segment {
+                        kind: SegmentKind::Uplink,
+                        node: Some(node),
+                        edge: None,
+                        start_ns: pos,
+                        end_ns: b,
+                    });
+                }
+            };
+
+        // Per-node cursor into `trains`: only indices below it are still
+        // claimable, so a zero-compute train can never be taken twice.
+        let mut train_cursor: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut visited: BTreeSet<(u32, u64)> = BTreeSet::new();
+        let mut truncated = false;
+        let (mut node, mut t) = (start_node, bound_ns);
+        let step_cap = events.len() * 4 + 64;
+        let mut steps = 0usize;
+        while t > 0 {
+            steps += 1;
+            if steps > step_cap || !visited.insert((node, t)) {
+                truncated = true;
+                push(&mut segments, SegmentKind::Wait, Some(node), None, 0, t);
+                break;
+            }
+
+            // Candidate A: the node's latest training completion at or
+            // before the cursor (bounded by its claim cursor).
+            let node_trains = trains.get(&node).map_or(&[][..], Vec::as_slice);
+            let claimable = &node_trains[..*train_cursor.entry(node).or_insert(node_trains.len())];
+            let train_index = claimable.partition_point(|r| r.end_ns <= t).checked_sub(1);
+            let train_end = train_index.map(|i| claimable[i].end_ns);
+
+            // Candidate B: the gating input of the node's latest mix at or
+            // before the cursor — among same-time mixes, the one whose
+            // message arrived last (deterministic tie-break on the tuple).
+            let gating_mix = mixes.get(&node).and_then(|recs| {
+                let upto = recs.partition_point(|r| r.t_ns <= t);
+                let last_t = recs[..upto].last()?.t_ns;
+                recs[..upto]
+                    .iter()
+                    .rev()
+                    .take_while(|r| r.t_ns == last_t)
+                    .max_by_key(|r| (r.arrives_ns, r.from, r.send_ns))
+                    .copied()
+            });
+
+            // The binding dependency is whichever input became ready last:
+            // a message arriving after the node's own training end blocks
+            // progress; otherwise (ties included) the node's own compute
+            // does.
+            let message_binds =
+                gating_mix.is_some_and(|mix| train_end.is_none_or(|end| mix.arrives_ns > end));
+            match (gating_mix, train_end) {
+                (Some(mix), _) if message_binds => {
+                    push(
+                        &mut segments,
+                        SegmentKind::Wait,
+                        Some(node),
+                        None,
+                        mix.arrives_ns.min(t),
+                        t,
+                    );
+                    push(
+                        &mut segments,
+                        SegmentKind::Link,
+                        None,
+                        Some((mix.from, node)),
+                        mix.send_ns.min(t),
+                        mix.arrives_ns.min(t),
+                    );
+                    (node, t) = (mix.from, mix.send_ns.min(t));
+                }
+                (_, Some(end)) => {
+                    let index = train_index.expect("train_end implies an index");
+                    let rec = claimable[index];
+                    train_cursor.insert(node, index);
+                    carve_gap(
+                        &mut segments,
+                        node,
+                        end,
+                        t,
+                        downs.get(&node).map_or(&[][..], Vec::as_slice),
+                    );
+                    let start = end.saturating_sub(rec.compute_ns);
+                    push(
+                        &mut segments,
+                        SegmentKind::Compute,
+                        Some(node),
+                        None,
+                        start,
+                        end,
+                    );
+                    t = start;
+                }
+                // Nothing earlier at this node: the head of the span is
+                // scheduling lead-in, owned by the node we stopped at.
+                // (`(Some(_), None)` cannot reach here — with no train,
+                // `message_binds` is always true — but it folds into the
+                // same terminal wait if it ever did.)
+                _ => {
+                    push(&mut segments, SegmentKind::Wait, Some(node), None, 0, t);
+                    t = 0;
+                }
+            }
+        }
+
+        segments.sort_by_key(|s| (s.start_ns, s.end_ns));
+
+        // --- blame: group by (kind, owner); shares sum to 1 by tiling ---
+        let mut groups: BTreeMap<(SegmentKind, String), u64> = BTreeMap::new();
+        for segment in &segments {
+            *groups.entry((segment.kind, segment.owner())).or_default() += segment.duration_ns();
+        }
+        let mut blame: Vec<BlameShare> = groups
+            .into_iter()
+            .map(|((kind, owner), duration_ns)| BlameShare {
+                kind,
+                owner,
+                duration_ns,
+                share: duration_ns as f64 / bound_ns as f64,
+            })
+            .collect();
+        blame.sort_by(|a, b| {
+            b.duration_ns
+                .cmp(&a.duration_ns)
+                .then_with(|| a.kind.cmp(&b.kind))
+                .then_with(|| a.owner.cmp(&b.owner))
+        });
+
+        Ok(CriticalPath {
+            bound_ns,
+            terminal,
+            target,
+            target_reached,
+            segments,
+            blame,
+            truncated,
+        })
+    }
+
+    /// Sum of all segment durations; equals [`CriticalPath::bound_ns`]
+    /// when the tiling is intact (pinned by tests).
+    pub fn total_segment_ns(&self) -> u64 {
+        self.segments.iter().map(Segment::duration_ns).sum()
+    }
+
+    /// A fixed-precision text report: the bound, the chronological
+    /// segment chain, and the blame table. Built from deterministic event
+    /// fields only, so it is byte-identical across worker-thread counts.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let secs = |ns: u64| ns as f64 * 1e-9;
+        let _ = writeln!(
+            out,
+            "critical path: {:.6}s of virtual time to {}",
+            secs(self.bound_ns),
+            self.terminal
+        );
+        if let Some(target) = self.target {
+            let _ = writeln!(
+                out,
+                "target accuracy {:.4}: {}",
+                target,
+                if self.target_reached {
+                    "reached"
+                } else {
+                    "NOT reached (explaining the last evaluation instead)"
+                }
+            );
+        }
+        if self.truncated {
+            out.push_str("note: degenerate causality detected; head folded into a wait\n");
+        }
+        out.push_str("segments (earliest first):\n");
+        for segment in &self.segments {
+            let _ = writeln!(
+                out,
+                "  [{:>12.6}s .. {:>12.6}s]  {:<7}  {:<12}  {:.6}s",
+                secs(segment.start_ns),
+                secs(segment.end_ns),
+                segment.kind.name(),
+                segment.owner(),
+                secs(segment.duration_ns()),
+            );
+        }
+        out.push_str("blame (share of the bound):\n");
+        for share in &self.blame {
+            let _ = writeln!(
+                out,
+                "  {:>6.2}%  {:>12.6}s  {:<7}  {}",
+                share.share * 100.0,
+                secs(share.duration_ns),
+                share.kind.name(),
+                share.owner,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_trace() -> Vec<TraceEvent> {
+        // node 0 trains [0, 1s], sends at 1s arriving 2s; node 1 trains
+        // [0, 0.5s], mixes the message at 2s; eval at 2.5s.
+        vec![
+            TraceEvent::RunStart {
+                nodes: 2,
+                rounds: 1,
+                seed: 1,
+            },
+            TraceEvent::Train {
+                t_ns: 500_000_000,
+                node: 1,
+                round: 0,
+                compute_ns: 500_000_000,
+            },
+            TraceEvent::Train {
+                t_ns: 1_000_000_000,
+                node: 0,
+                round: 0,
+                compute_ns: 1_000_000_000,
+            },
+            TraceEvent::MsgSend {
+                t_ns: 1_000_000_000,
+                from: 0,
+                to: 1,
+                round: 0,
+                bytes: 4096,
+                arrives_ns: 2_000_000_000,
+            },
+            TraceEvent::MsgMixed {
+                t_ns: 2_000_000_000,
+                node: 1,
+                from: 0,
+                round: 0,
+                sent_round: 0,
+                staleness_s: 1.0,
+            },
+            TraceEvent::Eval {
+                t_ns: 2_500_000_000,
+                round: 0,
+                checkpoint: false,
+                accuracy: 0.9,
+            },
+            TraceEvent::RunEnd {
+                t_ns: 2_500_000_000,
+                rounds_run: 1,
+                queue_depth_hwm: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn chain_tiles_the_span_and_blames_sum_to_one() {
+        let path = CriticalPath::analyze(&chain_trace(), None).unwrap();
+        assert_eq!(path.bound_ns, 2_500_000_000);
+        assert_eq!(path.total_segment_ns(), path.bound_ns);
+        assert!(!path.truncated);
+        let share_sum: f64 = path.blame.iter().map(|b| b.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to {share_sum}");
+        // The chain is: node 0 computes, the 0->1 link flies, node 1 waits
+        // for its mix to fire at 2s, eval at 2.5s.
+        let kinds: Vec<(SegmentKind, String)> =
+            path.segments.iter().map(|s| (s.kind, s.owner())).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (SegmentKind::Compute, "node 0".to_owned()),
+                (SegmentKind::Link, "edge 0->1".to_owned()),
+                (SegmentKind::Wait, "node 1".to_owned()),
+            ]
+        );
+        // Blame is sorted by descending duration.
+        assert!(path
+            .blame
+            .windows(2)
+            .all(|w| w[0].duration_ns >= w[1].duration_ns));
+        // Rendering is a pure function of the path.
+        assert_eq!(path.render(), path.render());
+        assert!(path.render().contains("critical path: 2.500000s"));
+    }
+
+    #[test]
+    fn target_selects_the_first_reaching_eval() {
+        let mut events = chain_trace();
+        events.insert(
+            5,
+            TraceEvent::Eval {
+                t_ns: 2_200_000_000,
+                round: 0,
+                checkpoint: true,
+                accuracy: 0.5,
+            },
+        );
+        let path = CriticalPath::analyze(&events, Some(0.6)).unwrap();
+        assert!(path.target_reached);
+        assert_eq!(path.bound_ns, 2_500_000_000, "first eval >= 0.6 is at 2.5s");
+        let early = CriticalPath::analyze(&events, Some(0.4)).unwrap();
+        assert!(early.target_reached);
+        assert_eq!(early.bound_ns, 2_200_000_000);
+        let unreached = CriticalPath::analyze(&events, Some(0.99)).unwrap();
+        assert!(!unreached.target_reached);
+        assert_eq!(unreached.bound_ns, 2_500_000_000, "falls back to last eval");
+        assert!(unreached.render().contains("NOT reached"));
+    }
+
+    #[test]
+    fn crash_windows_are_carved_out_of_uplink_gaps() {
+        let events = vec![
+            TraceEvent::Train {
+                t_ns: 1_000_000_000,
+                node: 0,
+                round: 0,
+                compute_ns: 1_000_000_000,
+            },
+            TraceEvent::NodeCrash {
+                t_ns: 2_000_000_000,
+                node: 0,
+                epoch: 1,
+                permanent: false,
+            },
+            TraceEvent::NodeRejoin {
+                t_ns: 3_000_000_000,
+                node: 0,
+                epoch: 2,
+                resync_from: None,
+            },
+            TraceEvent::Train {
+                t_ns: 5_000_000_000,
+                node: 0,
+                round: 1,
+                compute_ns: 1_000_000_000,
+            },
+            TraceEvent::RunEnd {
+                t_ns: 5_000_000_000,
+                rounds_run: 2,
+                queue_depth_hwm: 2,
+            },
+        ];
+        let path = CriticalPath::analyze(&events, None).unwrap();
+        assert_eq!(path.total_segment_ns(), path.bound_ns);
+        let down: Vec<&Segment> = path
+            .segments
+            .iter()
+            .filter(|s| s.kind == SegmentKind::Down)
+            .collect();
+        assert_eq!(down.len(), 1);
+        assert_eq!(
+            (down[0].start_ns, down[0].end_ns),
+            (2_000_000_000, 3_000_000_000)
+        );
+        let down_blame = path
+            .blame
+            .iter()
+            .find(|b| b.kind == SegmentKind::Down)
+            .unwrap();
+        assert!((down_blame.share - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_mutual_mixes_trip_the_cycle_guard() {
+        // Two unmatched zero-length mixes pointing at each other at the
+        // same instant: the walk must terminate with a folded wait, not
+        // hang, and still tile the span.
+        let events = vec![
+            TraceEvent::MsgMixed {
+                t_ns: 1_000_000_000,
+                node: 0,
+                from: 1,
+                round: 0,
+                sent_round: 0,
+                staleness_s: 0.0,
+            },
+            TraceEvent::MsgMixed {
+                t_ns: 1_000_000_000,
+                node: 1,
+                from: 0,
+                round: 0,
+                sent_round: 0,
+                staleness_s: 0.0,
+            },
+            TraceEvent::RunEnd {
+                t_ns: 1_000_000_000,
+                rounds_run: 1,
+                queue_depth_hwm: 1,
+            },
+        ];
+        let path = CriticalPath::analyze(&events, None).unwrap();
+        assert!(path.truncated);
+        assert_eq!(path.total_segment_ns(), path.bound_ns);
+        assert!(path.render().contains("degenerate causality"));
+    }
+
+    #[test]
+    fn errors_cover_empty_spanless_and_activityless_traces() {
+        assert_eq!(CriticalPath::analyze(&[], None), Err(PathError::EmptyTrace));
+        let spanless = vec![TraceEvent::RunStart {
+            nodes: 1,
+            rounds: 0,
+            seed: 0,
+        }];
+        assert_eq!(
+            CriticalPath::analyze(&spanless, None),
+            Err(PathError::NoSpan)
+        );
+        let activityless = vec![
+            TraceEvent::RunStart {
+                nodes: 1,
+                rounds: 0,
+                seed: 0,
+            },
+            TraceEvent::RunEnd {
+                t_ns: 5,
+                rounds_run: 0,
+                queue_depth_hwm: 0,
+            },
+        ];
+        assert_eq!(
+            CriticalPath::analyze(&activityless, None),
+            Err(PathError::NoActivity)
+        );
+    }
+}

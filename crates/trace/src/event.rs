@@ -268,6 +268,31 @@ impl TraceEvent {
         }
     }
 
+    /// The variant name, stable across releases — the key used by event
+    /// counters (`trace_report`), the metrics registry and `run_diff`'s
+    /// per-kind delta table.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "RunStart",
+            TraceEvent::RunEnd { .. } => "RunEnd",
+            TraceEvent::NodeCrash { .. } => "NodeCrash",
+            TraceEvent::NodeRejoin { .. } => "NodeRejoin",
+            TraceEvent::MsgSend { .. } => "MsgSend",
+            TraceEvent::MsgDrop { .. } => "MsgDrop",
+            TraceEvent::MsgKill { .. } => "MsgKill",
+            TraceEvent::MsgExpire { .. } => "MsgExpire",
+            TraceEvent::MsgMixed { .. } => "MsgMixed",
+            TraceEvent::Train { .. } => "Train",
+            TraceEvent::RoundResolve { .. } => "RoundResolve",
+            TraceEvent::RoundAbandon { .. } => "RoundAbandon",
+            TraceEvent::RoundComplete { .. } => "RoundComplete",
+            TraceEvent::Eval { .. } => "Eval",
+            TraceEvent::RepairRewire { .. } => "RepairRewire",
+            TraceEvent::StrategyPairing { .. } => "StrategyPairing",
+            TraceEvent::ExecuteBatch { .. } => "ExecuteBatch",
+        }
+    }
+
     /// The event with its wall-clock side channel zeroed: canonical traces
     /// are invariant under the worker-thread count (and host load), so they
     /// can be compared across runs the way `RoundRecord`s are.

@@ -18,7 +18,11 @@
 //! trace to `<prefix>-<policy>.jsonl` (summarize or validate it with the
 //! `trace_report` bin), and the example prints the flight-recorder tail —
 //! the last events before the run ended, the same buffer a panicking run
-//! dumps to stderr.
+//! dumps to stderr. With `--metrics <prefix>` each run also exports its
+//! metrics aggregation to `<prefix>-<policy>.prom` (Prometheus text) and
+//! `<prefix>-<policy>.csv` (windowed time series) via the in-engine
+//! `MetricsSink` — the `TrainConfig::metrics` path, proven a bit-no-op by
+//! `tests/metrics_layer.rs`.
 
 use jwins::config::{ExecutionMode, TrainConfig};
 use jwins::engine::Trainer;
@@ -33,12 +37,15 @@ use jwins_topology::dynamic::StaticTopology;
 use jwins_repro::smoke;
 use jwins_trace::FlightRecorder;
 
-/// The `--trace <prefix>` flag, if given.
-fn trace_prefix() -> Option<String> {
+/// The value of a `--<name> <prefix>` flag, if given.
+fn flag_value(name: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--trace" {
-            return Some(args.next().expect("--trace requires a path prefix"));
+        if arg == name {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a path prefix")),
+            );
         }
     }
     None
@@ -47,6 +54,7 @@ fn trace_prefix() -> Option<String> {
 fn run(
     staleness: StalenessPolicy,
     trace_jsonl: Option<String>,
+    metrics_prefix: Option<&str>,
     flight: Option<FlightRecorder>,
 ) -> jwins::metrics::RunResult {
     let nodes = 16;
@@ -74,6 +82,10 @@ fn run(
         staleness,
     };
     cfg.trace.jsonl_path = trace_jsonl;
+    if let Some(prefix) = metrics_prefix {
+        cfg.metrics.prometheus_path = Some(format!("{prefix}.prom"));
+        cfg.metrics.csv_path = Some(format!("{prefix}.csv"));
+    }
     let mut builder = Trainer::builder(cfg)
         .topology(StaticTopology::random_regular(nodes, 4, 7).expect("feasible graph"))
         .test_set(data.test)
@@ -98,7 +110,8 @@ fn main() {
          a quarter of the cluster crashes at t=6.5s and rejoins at t=14.5s\n"
     );
     const TARGET: f64 = 0.9;
-    let prefix = trace_prefix();
+    let prefix = flag_value("--trace");
+    let metrics = flag_value("--metrics");
     let mut time_to_target = Vec::new();
     for (name, slug, staleness) in [
         (
@@ -113,10 +126,19 @@ fn main() {
         ),
     ] {
         let jsonl = prefix.as_ref().map(|p| format!("{p}-{slug}.jsonl"));
+        let metrics_prefix = metrics.as_ref().map(|p| format!("{p}-{slug}"));
         let flight = prefix
             .as_ref()
             .map(|_| FlightRecorder::with_byte_bound(2048));
-        let result = run(staleness, jsonl.clone(), flight.clone());
+        let result = run(
+            staleness,
+            jsonl.clone(),
+            metrics_prefix.as_deref(),
+            flight.clone(),
+        );
+        if let Some(p) = &metrics_prefix {
+            println!("metrics exports written to {p}.prom and {p}.csv");
+        }
         println!("== {name} ==");
         println!("round  accuracy  sim-time[s]  staleness[s]  crashes  rejoins  expired");
         for r in &result.records {

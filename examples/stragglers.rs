@@ -15,6 +15,9 @@
 //! With `--trace <prefix>` each mode writes its structured trace to
 //! `<prefix>-<mode>.jsonl`; compare the two with the `trace_report` bin to
 //! see the stragglers' compute share and where mixing staleness comes from.
+//! With `--metrics <prefix>` each mode also exports its metrics
+//! aggregation to `<prefix>-<mode>.prom` and `<prefix>-<mode>.csv` through
+//! the in-engine `MetricsSink` (`TrainConfig::metrics`).
 
 use jwins::config::{ExecutionMode, TrainConfig};
 use jwins::engine::Trainer;
@@ -28,18 +31,25 @@ use jwins_topology::dynamic::StaticTopology;
 
 use jwins_repro::smoke;
 
-/// The `--trace <prefix>` flag, if given.
-fn trace_prefix() -> Option<String> {
+/// The value of a `--<name> <prefix>` flag, if given.
+fn flag_value(name: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--trace" {
-            return Some(args.next().expect("--trace requires a path prefix"));
+        if arg == name {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a path prefix")),
+            );
         }
     }
     None
 }
 
-fn run(mode: ExecutionMode, trace_jsonl: Option<String>) -> jwins::metrics::RunResult {
+fn run(
+    mode: ExecutionMode,
+    trace_jsonl: Option<String>,
+    metrics_prefix: Option<&str>,
+) -> jwins::metrics::RunResult {
     let nodes = 8;
     let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
     let mut cfg = TrainConfig::new(if smoke() { 6 } else { 30 });
@@ -62,6 +72,10 @@ fn run(mode: ExecutionMode, trace_jsonl: Option<String>) -> jwins::metrics::RunR
         _ => unreachable!("example covers both execution modes"),
     }
     cfg.trace.jsonl_path = trace_jsonl;
+    if let Some(prefix) = metrics_prefix {
+        cfg.metrics.prometheus_path = Some(format!("{prefix}.prom"));
+        cfg.metrics.csv_path = Some(format!("{prefix}.csv"));
+    }
     let trainer = Trainer::builder(cfg)
         .topology(StaticTopology::random_regular(nodes, 3, 7).expect("feasible graph"))
         .test_set(data.test)
@@ -79,7 +93,8 @@ fn run(mode: ExecutionMode, trace_jsonl: Option<String>) -> jwins::metrics::RunR
 fn main() {
     println!("straggler cluster: 8 nodes, 2 of them 4x slower, 100 Mbit/s links\n");
     const TARGET: f64 = 0.99;
-    let prefix = trace_prefix();
+    let prefix = flag_value("--trace");
+    let metrics = flag_value("--metrics");
     let mut time_to_target = Vec::new();
     for (name, slug, mode) in [
         (
@@ -94,9 +109,13 @@ fn main() {
         ),
     ] {
         let jsonl = prefix.as_ref().map(|p| format!("{p}-{slug}.jsonl"));
-        let result = run(mode, jsonl.clone());
+        let metrics_prefix = metrics.as_ref().map(|p| format!("{p}-{slug}"));
+        let result = run(mode, jsonl.clone(), metrics_prefix.as_deref());
         if let Some(jsonl) = &jsonl {
             println!("trace written to {jsonl} (inspect with `trace_report {jsonl}`)");
+        }
+        if let Some(p) = &metrics_prefix {
+            println!("metrics exports written to {p}.prom and {p}.csv");
         }
         println!("== {name} ==");
         println!("round  accuracy  sim-time[s]  staleness[s]");

@@ -5,6 +5,7 @@ pub use jwins_codec as codec;
 pub use jwins_data as data;
 pub use jwins_fault as fault;
 pub use jwins_fourier as fourier;
+pub use jwins_metrics as metrics;
 pub use jwins_net as net;
 pub use jwins_nn as nn;
 pub use jwins_sim as sim;

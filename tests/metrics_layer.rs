@@ -1,0 +1,237 @@
+//! The metrics & critical-path layer regression suite.
+//!
+//! Extends the observer-effect contract of `tests/trace_determinism.rs` to
+//! the `jwins_metrics` layer:
+//!
+//! 1. **Attachment is a bit-no-op.** Turning on `TrainConfig::metrics`
+//!    (which rides the tracer as one more sink) must not change a single
+//!    bit of any `RoundRecord`, at any worker thread count — while still
+//!    producing the Prometheus/CSV exports.
+//! 2. **The critical path is self-consistent.** Its segments tile the
+//!    span `[0, bound]` exactly (durations sum to the reported
+//!    time-to-accuracy bound) and the blame shares sum to 1.
+//! 3. **Analysis is thread-invariant.** The rendered critical-path report
+//!    and the registry's CSV time series are built from deterministic
+//!    event fields only, so they are byte-identical across 1/2/8 worker
+//!    threads for the same seed.
+//!
+//! The workload is the same chaos configuration the trace suite uses:
+//! crashes, a rejoin, staleness decay, repair, stragglers and mid-round
+//! checkpoints, so every registry counter is exercised.
+
+use jwins::config::{ExecutionMode, TrainConfig};
+use jwins::engine::Trainer;
+use jwins::metrics::RunResult;
+use jwins::strategies::{Jwins, JwinsConfig};
+use jwins::strategy::ShareStrategy;
+use jwins_data::images::{cifar_like, ImageConfig};
+use jwins_fault::{FaultConfig, FaultOutage, FaultPlan, RejoinMode, StalenessPolicy};
+use jwins_metrics::{CriticalPath, MetricsConfig, MetricsRegistry, DEFAULT_WINDOW_S};
+use jwins_nn::models::mlp_classifier;
+use jwins_sim::HeterogeneityProfile;
+use jwins_topology::dynamic::StaticTopology;
+use jwins_topology::repair::RepairPolicy;
+use jwins_trace::{MemorySink, TraceEvent};
+
+const NODES: usize = 8;
+
+fn chaos_config(threads: usize) -> TrainConfig {
+    let mut cfg = TrainConfig::quick_test();
+    cfg.rounds = 6;
+    cfg.lr = 0.1;
+    cfg.eval_every = 1;
+    cfg.threads = threads;
+    cfg.execution = ExecutionMode::EventDriven;
+    cfg.time_model.compute_s = 1.0;
+    cfg.heterogeneity = HeterogeneityProfile::stragglers(0.25, 3.0, 0.002, 1.0e6);
+    cfg.faults = FaultConfig {
+        plan: FaultPlan::Scripted(vec![
+            FaultOutage {
+                rejoin: RejoinMode::Resync,
+                ..FaultOutage::new(1, 2.5, 3.0)
+            },
+            FaultOutage::new(3, 7.5, f64::INFINITY),
+        ]),
+        staleness: StalenessPolicy::decay_after_rounds(1, 0.5),
+    };
+    cfg.repair = RepairPolicy::DegreePreserving;
+    cfg.eval_interval_s = Some(1.5);
+    cfg
+}
+
+/// Runs the chaos workload with an optional `TrainConfig::metrics` override
+/// and an optional extra memory sink.
+fn run(threads: usize, metrics: Option<MetricsConfig>, memory: Option<MemorySink>) -> RunResult {
+    let mut cfg = chaos_config(threads);
+    if let Some(metrics) = metrics {
+        cfg.metrics = metrics;
+    }
+    let data = cifar_like(&ImageConfig::tiny(), NODES, 2, 5);
+    let mut builder = Trainer::builder(cfg)
+        .topology(StaticTopology::random_regular(NODES, 3, 3).unwrap())
+        .test_set(data.test)
+        .nodes(data.node_train, |node| {
+            let strategy: Box<dyn ShareStrategy> =
+                Box::new(Jwins::new(JwinsConfig::paper_default(), 100 + node as u64));
+            (mlp_classifier(2 * 8 * 8, &[8], 4, 7), strategy)
+        });
+    if let Some(memory) = memory {
+        builder = builder.trace_sink(Box::new(memory));
+    }
+    builder.build().unwrap().run().unwrap()
+}
+
+/// A per-test scratch path under the target-adjacent temp dir.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("jwins-metrics-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// Attaching the metrics layer through `TrainConfig::metrics` changes no
+/// bit of any `RoundRecord`, at any thread count — and the export files
+/// land with real content.
+#[test]
+fn metrics_attachment_is_a_bit_noop() {
+    let plain = run(1, None, None);
+    assert!(
+        plain.records.last().is_some_and(|r| r.crashes >= 2),
+        "non-degenerate workload"
+    );
+    for threads in [1usize, 2, 8] {
+        let prom = scratch(&format!("attach-{threads}.prom"));
+        let csv = scratch(&format!("attach-{threads}.csv"));
+        let metrics = MetricsConfig {
+            prometheus_path: Some(prom.to_string_lossy().into_owned()),
+            csv_path: Some(csv.to_string_lossy().into_owned()),
+            window_s: DEFAULT_WINDOW_S,
+        };
+        let with_metrics = run(threads, Some(metrics), None);
+        plain.assert_bit_identical(
+            &with_metrics,
+            &format!("plain/1-thread vs metrics-attached/{threads}-thread"),
+        );
+        let prom_text = std::fs::read_to_string(&prom).expect("prometheus export written");
+        assert!(
+            prom_text.contains("jwins_node_bytes_sent_total{node=\"0\"}"),
+            "export carries per-node series"
+        );
+        assert!(
+            prom_text.contains("jwins_node_crashes_total"),
+            "lifecycle counters exported"
+        );
+        let csv_text = std::fs::read_to_string(&csv).expect("csv export written");
+        assert!(csv_text.starts_with("window_start_s,scope,id,metric,value\n"));
+        assert!(csv_text.lines().count() > 10, "csv has a real time series");
+    }
+}
+
+/// The critical path's segments tile `[0, bound]` exactly and the blame
+/// shares sum to 1 — the self-consistency contract of the analyzer.
+#[test]
+fn critical_path_is_self_consistent() {
+    let memory = MemorySink::new();
+    let _ = run(1, None, Some(memory.clone()));
+    let events = memory.events();
+    let path = CriticalPath::analyze(&events, None).expect("path reconstructs");
+    assert!(path.bound_ns > 0);
+    assert_eq!(
+        path.total_segment_ns(),
+        path.bound_ns,
+        "segments tile the whole span with no gap or overlap"
+    );
+    let share_sum: f64 = path.blame.iter().map(|b| b.share).sum();
+    assert!(
+        (share_sum - 1.0).abs() < 1e-9,
+        "blame shares sum to {share_sum}"
+    );
+    // Segments are chronological and contiguous.
+    for pair in path.segments.windows(2) {
+        assert_eq!(pair[0].end_ns, pair[1].start_ns, "contiguous tiling");
+    }
+    assert_eq!(path.segments.first().map(|s| s.start_ns), Some(0));
+    assert_eq!(path.segments.last().map(|s| s.end_ns), Some(path.bound_ns));
+    // Targeting an accuracy the run reaches moves the bound earlier (or
+    // keeps it); the self-consistency invariants hold there too.
+    let first_eval_acc = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Eval { accuracy, .. } => Some(*accuracy),
+            _ => None,
+        })
+        .expect("run evaluates");
+    let targeted = CriticalPath::analyze(&events, Some(first_eval_acc)).expect("targeted path");
+    assert!(targeted.target_reached);
+    assert!(targeted.bound_ns <= path.bound_ns);
+    assert_eq!(targeted.total_segment_ns(), targeted.bound_ns);
+}
+
+/// The critical-path report and the registry CSV are byte-identical across
+/// worker-thread counts: both consume only deterministic event fields.
+#[test]
+fn analysis_reports_are_thread_invariant() {
+    let report = |threads: usize| -> (String, String) {
+        let memory = MemorySink::new();
+        let _ = run(threads, None, Some(memory.clone()));
+        let events = memory.events();
+        let path = CriticalPath::analyze(&events, None).expect("path reconstructs");
+        let registry = MetricsRegistry::from_events(DEFAULT_WINDOW_S, &events);
+        (path.render(), registry.to_csv())
+    };
+    let (render1, csv1) = report(1);
+    let (render2, csv2) = report(2);
+    let (render8, csv8) = report(8);
+    assert!(!render1.is_empty() && !csv1.is_empty());
+    assert_eq!(
+        render1, render2,
+        "critical-path report differs at 2 threads"
+    );
+    assert_eq!(
+        render1, render8,
+        "critical-path report differs at 8 threads"
+    );
+    assert_eq!(csv1, csv2, "metrics CSV differs at 2 threads");
+    assert_eq!(csv1, csv8, "metrics CSV differs at 8 threads");
+}
+
+/// The registry folded from a live run agrees with the run's own record
+/// stream on the cross-checkable totals.
+#[test]
+fn registry_totals_agree_with_round_records() {
+    let memory = MemorySink::new();
+    let result = run(1, None, Some(memory.clone()));
+    let registry = MetricsRegistry::from_events(DEFAULT_WINDOW_S, &memory.events());
+    let last = result.records.last().expect("records recorded");
+    assert_eq!(u64::from(registry.run_facts().nodes), NODES as u64);
+    assert_eq!(
+        registry
+            .node_stats()
+            .values()
+            .map(|n| n.crashes)
+            .sum::<u64>(),
+        last.crashes,
+        "crash totals agree"
+    );
+    assert_eq!(
+        registry
+            .node_stats()
+            .values()
+            .map(|n| n.rejoins)
+            .sum::<u64>(),
+        last.rejoins,
+        "rejoin totals agree"
+    );
+    assert_eq!(
+        registry
+            .node_stats()
+            .values()
+            .map(|n| n.msgs_expired)
+            .sum::<u64>(),
+        last.messages_expired,
+        "expiry totals agree"
+    );
+    assert!(
+        (registry.run_facts().final_accuracy - last.test_accuracy).abs() < 1e-12,
+        "final accuracy agrees"
+    );
+}
