@@ -265,6 +265,12 @@ pub struct RunCfg {
     /// Liveness-aware topology repair for event-driven runs under a fault
     /// plan (extension: `ext_repair`).
     pub repair: RepairPolicy,
+    /// Byzantine attack schedule injected at message-build time
+    /// (extension: `ext_byzantine`).
+    pub attack: jwins_adversary::AttackPlan,
+    /// Robust aggregation rule screening decoded contributions at mixing
+    /// time (extension: `ext_byzantine`).
+    pub robust: jwins_adversary::Robust,
     /// Virtual-time evaluation checkpoint cadence for event-driven runs.
     pub eval_interval_s: Option<f64>,
     /// Override the simulated wall-clock model (None = engine default).
@@ -299,6 +305,8 @@ impl RunCfg {
             heterogeneity: HeterogeneityProfile::default(),
             faults: jwins_fault::FaultConfig::default(),
             repair: RepairPolicy::None,
+            attack: jwins_adversary::AttackPlan::None,
+            robust: jwins_adversary::Robust::None,
             eval_interval_s: None,
             time_model: None,
             threads: 0,
@@ -322,6 +330,8 @@ fn train_config(cfg: &RunCfg, lr: f32) -> TrainConfig {
     c.heterogeneity = cfg.heterogeneity.clone();
     c.faults = cfg.faults.clone();
     c.repair = cfg.repair;
+    c.attack = cfg.attack.clone();
+    c.robust = cfg.robust;
     c.eval_interval_s = cfg.eval_interval_s;
     c.threads = cfg.threads;
     if let Some(tm) = cfg.time_model {

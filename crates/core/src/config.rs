@@ -110,6 +110,24 @@ pub struct TrainConfig {
     /// `tests/metrics_layer.rs`).
     #[serde(default)]
     pub metrics: jwins_metrics::MetricsConfig,
+    /// Byzantine attack schedule (see `jwins_adversary::AttackPlan`):
+    /// marked nodes train honestly but perturb a copy of their parameters
+    /// at message-build time, so attacks compose with faults, staleness,
+    /// churn and repair. The default [`jwins_adversary::AttackPlan::None`]
+    /// is a strict engine no-op — runs are bit-identical to the
+    /// pre-adversary engine (pinned by `tests/byzantine.rs`).
+    #[serde(default)]
+    pub attack: jwins_adversary::AttackPlan,
+    /// Robust aggregation rule applied to decoded neighbor contributions
+    /// at the mixing layer (see `jwins_adversary::Robust`). Removed mass
+    /// folds into the self-weight, keeping mixing row-stochastic (the
+    /// `StalenessPolicy::downweight_row` contract). Only strategies whose
+    /// aggregation is a partial average support it
+    /// (`ShareStrategy::supports_robust`); other combinations are rejected
+    /// here. The default [`jwins_adversary::Robust::None`] is a strict
+    /// no-op.
+    #[serde(default)]
+    pub robust: jwins_adversary::Robust,
     /// Record each node's α every round (Figure 3).
     pub record_alphas: bool,
 }
@@ -136,6 +154,8 @@ impl TrainConfig {
             message_loss: 0.0,
             trace: jwins_trace::TraceConfig::default(),
             metrics: jwins_metrics::MetricsConfig::default(),
+            attack: jwins_adversary::AttackPlan::None,
+            robust: jwins_adversary::Robust::None,
             record_alphas: false,
         }
     }
@@ -172,6 +192,20 @@ impl TrainConfig {
     #[must_use]
     pub fn with_repair(mut self, repair: RepairPolicy) -> Self {
         self.repair = repair;
+        self
+    }
+
+    /// Fluent attack-plan override.
+    #[must_use]
+    pub fn with_attack(mut self, attack: jwins_adversary::AttackPlan) -> Self {
+        self.attack = attack;
+        self
+    }
+
+    /// Fluent robust-aggregation override.
+    #[must_use]
+    pub fn with_robust(mut self, robust: jwins_adversary::Robust) -> Self {
+        self.robust = robust;
         self
     }
 
@@ -254,6 +288,8 @@ impl TrainConfig {
             }
         }
         self.metrics.validate().map_err(JwinsError::InvalidConfig)?;
+        self.attack.validate().map_err(JwinsError::InvalidConfig)?;
+        self.robust.validate().map_err(JwinsError::InvalidConfig)?;
         if self.execution == ExecutionMode::EventDriven {
             // The event clock derives every node's round length from
             // compute_s; zero (or NaN/negative, which SimTime would clamp
@@ -423,6 +459,13 @@ mod tests {
             csv_path: Some("/tmp/run.csv".into()),
             window_s: 0.5,
         };
+        config.attack = jwins_adversary::AttackPlan::RandomFraction {
+            fraction: 0.25,
+            from_s: 2.0,
+            until_s: 60.0,
+            behavior: jwins_adversary::AttackBehavior::Scale { factor: -4.0 },
+        };
+        config.robust = jwins_adversary::Robust::TrimmedMean { trim: 0.3 };
         let text = serde::json::to_string(&config);
         let back: TrainConfig = serde::json::from_str(&text).unwrap();
         assert_eq!(back.time_model, config.time_model);
@@ -438,6 +481,8 @@ mod tests {
         assert_eq!(back.message_loss, config.message_loss);
         assert_eq!(back.trace, config.trace);
         assert_eq!(back.metrics, config.metrics);
+        assert_eq!(back.attack, config.attack);
+        assert_eq!(back.robust, config.robust);
     }
 
     #[test]
@@ -467,6 +512,27 @@ mod tests {
         assert_eq!(config.repair, RepairPolicy::None);
         assert_eq!(config.trace, jwins_trace::TraceConfig::default());
         assert_eq!(config.metrics, jwins_metrics::MetricsConfig::default());
+        assert_eq!(config.attack, jwins_adversary::AttackPlan::None);
+        assert_eq!(config.robust, jwins_adversary::Robust::None);
         assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn bad_attack_and_robust_values_rejected() {
+        let mut c = TrainConfig::new(3);
+        c.attack = jwins_adversary::AttackPlan::RandomFraction {
+            fraction: 1.5,
+            from_s: 0.0,
+            until_s: 1.0,
+            behavior: jwins_adversary::AttackBehavior::SignFlip,
+        };
+        assert!(c.validate().is_err());
+        let mut c = TrainConfig::new(3);
+        c.robust = jwins_adversary::Robust::TrimmedMean { trim: 0.5 };
+        assert!(c.validate().is_err());
+        c.robust = jwins_adversary::Robust::NormClip { tau: 0.0 };
+        assert!(c.validate().is_err());
+        c.robust = jwins_adversary::Robust::Median;
+        assert!(c.validate().is_ok());
     }
 }

@@ -75,6 +75,7 @@ use crate::metrics::{RoundRecord, RunResult, TargetHit};
 use crate::participation::{AlwaysOn, ParticipationModel};
 use crate::strategy::{Outbound, ReceivedMessage, ShareStrategy};
 use crate::{JwinsError, Result};
+use jwins_adversary::{AttackBehavior, AttackTimeline};
 use jwins_data::batch::BatchSampler;
 use jwins_fault::RejoinMode;
 use jwins_net::{LossModel, PendingSend, SimNetwork};
@@ -82,7 +83,7 @@ use jwins_nn::model::{EvalMetrics, Model};
 use jwins_sim::{Conflict, EventQueue, LifecycleEvent, LifecycleTracker, SimTime};
 use jwins_topology::dynamic::{RoundTopology, TopologyProvider};
 use jwins_topology::repair::{dead_neighbor_counts, LiveSet};
-use jwins_trace::{BatchClass, KillReason, TraceEvent, TraceSink, Tracer};
+use jwins_trace::{AttackKind, BatchClass, KillReason, TraceEvent, TraceSink, Tracer};
 use std::sync::Arc;
 
 /// Builder for [`Trainer`] (see [`Trainer::builder`]).
@@ -203,7 +204,7 @@ impl<M: Model> TrainerBuilder<M> {
             model0.params()
         };
         let mut nodes = Vec::with_capacity(n);
-        for (i, ((mut model, mut strategy), shard)) in
+        for (i, ((mut model, strategy), shard)) in
             self.nodes.into_iter().zip(self.shards).enumerate()
         {
             if shard.is_empty() {
@@ -214,6 +215,25 @@ impl<M: Model> TrainerBuilder<M> {
                 init_params.clone()
             } else {
                 model.params()
+            };
+            // Robust aggregation is a mixing-layer decoration: wrap the
+            // strategy so its `aggregate` routes through the configured
+            // rule. Strategies whose update is not an average the mixing
+            // layer can screen are a configuration error, caught here —
+            // before any training state exists.
+            let mut strategy = if self.config.robust.is_none() {
+                strategy
+            } else if strategy.supports_robust() {
+                Box::new(crate::robust::RobustWrapper::new(
+                    strategy,
+                    self.config.robust,
+                )) as Box<dyn ShareStrategy>
+            } else {
+                return Err(JwinsError::InvalidConfig(format!(
+                    "strategy '{}' does not support robust aggregation \
+                     (TrainConfig::robust must be Robust::None with it)",
+                    strategy.name()
+                )));
             };
             strategy.init(&params);
             let sampler = BatchSampler::new(
@@ -276,6 +296,24 @@ struct FaultTelemetry {
     downweight_mass: f64,
     edges_rewired: u64,
     bandwidth_saved_bytes: u64,
+    attacks_injected: u64,
+    mass_clipped: f64,
+}
+
+/// Engine-side seed salt for attack-plan expansion — distinct from every
+/// other salt so the attack schedule draws randomness independent of fault
+/// expansion, compute speeds, link jitter, queue tie-breaks and loss draws.
+const ATTACK_SALT: u64 = 0x4174_636B; // "Atck"
+
+/// Maps a plan behavior to its trace-event kind tag.
+fn attack_kind(behavior: AttackBehavior) -> AttackKind {
+    match behavior {
+        AttackBehavior::Garbage { .. } => AttackKind::Garbage,
+        AttackBehavior::SignFlip => AttackKind::SignFlip,
+        AttackBehavior::Scale { .. } => AttackKind::Scale,
+        AttackBehavior::Drift { .. } => AttackKind::Drift,
+        _ => unreachable!("unknown attack behavior"),
+    }
 }
 
 struct NodeState<M: Model> {
@@ -487,8 +525,18 @@ impl<M: Model> Trainer<M> {
     }
 
     /// Local-training + message phase of one round. Inactive nodes skip
-    /// both, keeping their last model.
-    fn phase_train(&mut self, round: usize, topo: &RoundTopology, active: &[bool]) -> Result<()>
+    /// both, keeping their last model. `attacks[i]` marks node `i` as
+    /// Byzantine this round: it still trains honestly (its own trajectory
+    /// is untouched) but builds its outbound messages from a perturbed
+    /// *copy* of its parameters — the injection point the adversarial
+    /// layer shares with the event-driven substrate.
+    fn phase_train(
+        &mut self,
+        round: usize,
+        topo: &RoundTopology,
+        active: &[bool],
+        attacks: &[Option<AttackBehavior>],
+    ) -> Result<()>
     where
         M: Send,
         M::Sample: Send + Sync,
@@ -496,6 +544,7 @@ impl<M: Model> Trainer<M> {
         let tau = self.config.local_steps;
         let bs = self.config.batch_size;
         let lr = self.config.lr;
+        let atk_seed = self.config.seed ^ ATTACK_SALT;
         let threads = self.worker_threads();
         par_nodes(&mut self.nodes, threads, move |i, node| {
             if !active[i] {
@@ -504,10 +553,15 @@ impl<M: Model> Trainer<M> {
             }
             train_steps(node, tau, bs, lr);
             let neighbors = Self::active_neighbors(topo, active, i);
-            node.out = Some(
+            let outbound = if let Some(behavior) = attacks[i] {
+                let mut tainted = node.params.clone();
+                jwins_adversary::apply_behavior(behavior, atk_seed, i, round, &mut tainted);
+                node.strategy.make_outbound(round, &tainted, &neighbors)?
+            } else {
                 node.strategy
-                    .make_outbound(round, &node.params, &neighbors)?,
-            );
+                    .make_outbound(round, &node.params, &neighbors)?
+            };
+            node.out = Some(outbound);
             node.last_alpha = node.strategy.last_alpha();
             Ok(())
         })
@@ -673,6 +727,8 @@ impl<M: Model> Trainer<M> {
             downweight_mass: faults.downweight_mass,
             edges_rewired: faults.edges_rewired,
             bandwidth_saved_bytes: faults.bandwidth_saved_bytes,
+            attacks_injected: faults.attacks_injected,
+            mass_clipped: faults.mass_clipped,
             per_node_accuracy,
             checkpoint,
         }
@@ -720,6 +776,12 @@ impl<M: Model> Trainer<M> {
     {
         let tracer = Arc::clone(&self.tracer);
         let strategy_name = self.nodes[0].strategy.name().to_owned();
+        let n = self.nodes.len();
+        let attacks =
+            AttackTimeline::expand(&self.config.attack, n, self.config.seed ^ ATTACK_SALT)
+                .map_err(JwinsError::InvalidConfig)?;
+        let mut attacks_injected = 0u64;
+        let mut mass_clipped = 0.0f64;
         let mut records = Vec::new();
         let mut alpha_history = Vec::new();
         let mut sim_time = 0.0f64;
@@ -727,10 +789,40 @@ impl<M: Model> Trainer<M> {
         let mut rounds_run = 0;
         for round in 0..self.config.rounds {
             let topo = self.topology.topology(round);
-            let active: Vec<bool> = (0..self.nodes.len())
+            let active: Vec<bool> = (0..n)
                 .map(|i| self.participation.is_active(round, i))
                 .collect();
-            self.phase_train(round, &topo, &active)?;
+            // Attack windows are virtual-time spans; resolve them at the
+            // round's start time, sequentially, so the parallel train phase
+            // only reads the finished slice.
+            let t_start = SimTime::from_secs_f64(sim_time);
+            let round_attacks: Vec<Option<AttackBehavior>> = if attacks.is_empty() {
+                vec![None; n]
+            } else {
+                (0..n)
+                    .map(|i| {
+                        if active[i] {
+                            attacks.behavior_at(i, t_start)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            };
+            self.phase_train(round, &topo, &active, &round_attacks)?;
+            // Sequential, after the barrier: one injection event per
+            // attacker that actually sent this round.
+            for (i, behavior) in round_attacks.iter().enumerate() {
+                if let Some(b) = *behavior {
+                    attacks_injected += 1;
+                    tracer.emit(TraceEvent::AttackInject {
+                        t_ns: t_start.0,
+                        node: i as u32,
+                        round: round as u32,
+                        kind: attack_kind(b),
+                    });
+                }
+            }
             if self.config.record_alphas {
                 alpha_history.push(self.nodes.iter().map(|s| s.last_alpha).collect());
             }
@@ -752,6 +844,16 @@ impl<M: Model> Trainer<M> {
                         ignored: ps.ignored,
                     });
                 }
+                if let Some(rs) = node.strategy.robust_stats() {
+                    mass_clipped += rs.mass;
+                    tracer.emit(TraceEvent::RobustClip {
+                        t_ns,
+                        node: i as u32,
+                        round: round as u32,
+                        clipped: rs.clipped,
+                        mass: rs.mass,
+                    });
+                }
             }
             tracer.emit(TraceEvent::RoundComplete {
                 t_ns,
@@ -768,7 +870,11 @@ impl<M: Model> Trainer<M> {
                     per_node,
                     sim_time,
                     0.0,
-                    FaultTelemetry::default(),
+                    FaultTelemetry {
+                        attacks_injected,
+                        mass_clipped,
+                        ..FaultTelemetry::default()
+                    },
                     false,
                 );
                 tracer.emit(TraceEvent::Eval {
@@ -898,6 +1004,12 @@ impl<M: Model> Trainer<M> {
             self.config.seed ^ 0xFA_17,
         )
         .map_err(JwinsError::InvalidConfig)?;
+        // Byzantine schedule, expanded once like the fault plan. A crashed
+        // node can never inject: its TrainDone events are epoch-stale and
+        // it builds no messages while down.
+        let attack_timeline =
+            AttackTimeline::expand(&self.config.attack, n, self.config.seed ^ ATTACK_SALT)
+                .map_err(JwinsError::InvalidConfig)?;
         let staleness = self.config.faults.staleness;
         let ttl = staleness.ttl().map(SimTime::from_secs_f64);
         let has_cap = staleness.has_cap();
@@ -1125,6 +1237,8 @@ impl<M: Model> Trainer<M> {
         };
         let mut current_alpha = vec![0.0f64; n];
         let mut downweight_mass = 0.0f64;
+        let mut attacks_injected = 0u64;
+        let mut mass_clipped = 0.0f64;
         // Rounds each node has passed — by mixing or by crash-abandonment.
         // A node's pending events always concern round `rounds_passed[i]`,
         // so every node contributes to every round's completion exactly
@@ -1192,6 +1306,8 @@ impl<M: Model> Trainer<M> {
                                 downweight_mass,
                                 edges_rewired,
                                 bandwidth_saved_bytes: bandwidth_saved,
+                                attacks_injected,
+                                mass_clipped,
                             },
                             false,
                         );
@@ -1234,6 +1350,10 @@ impl<M: Model> Trainer<M> {
             /// Dead base-graph neighbours this node no longer addresses
             /// because repair removed them (0 with repair off).
             avoided: u64,
+            /// Byzantine behavior covering this node at train-completion
+            /// time (`None` for honest nodes — the overwhelmingly common
+            /// case takes the exact pre-attack code path).
+            attack: Option<AttackBehavior>,
         }
         struct TrainProposal {
             sends: Vec<PendingSend>,
@@ -1340,7 +1460,7 @@ impl<M: Model> Trainer<M> {
                     // Propose: charge the pops, filter stale epochs, and
                     // resolve round contexts up front (the cache is only
                     // touched here, sequentially).
-                    let mut meta: Vec<(usize, usize, u64)> = Vec::new();
+                    let mut meta: Vec<(usize, usize, u64, Option<AttackBehavior>)> = Vec::new();
                     let mut items: Vec<(usize, TrainItem)> = Vec::new();
                     for s in batch {
                         let Ev::TrainDone { node, round, epoch } = s.event else {
@@ -1351,7 +1471,8 @@ impl<M: Model> Trainer<M> {
                             continue;
                         }
                         let (topo, active, avoided) = ctx_for!(round, time);
-                        meta.push((node, round, epoch));
+                        let attack = attack_timeline.behavior_at(node, time);
+                        meta.push((node, round, epoch, attack));
                         items.push((
                             node,
                             TrainItem {
@@ -1359,6 +1480,7 @@ impl<M: Model> Trainer<M> {
                                 topo,
                                 active,
                                 avoided: avoided.get(node).copied().unwrap_or(0),
+                                attack,
                             },
                         ));
                     }
@@ -1376,6 +1498,7 @@ impl<M: Model> Trainer<M> {
                     let tau = self.config.local_steps;
                     let bs = self.config.batch_size;
                     let lr = self.config.lr;
+                    let atk_seed = self.config.seed ^ ATTACK_SALT;
                     let links = &links;
                     // Execute: τ SGD steps and message building on the
                     // worker pool. Everything a handler would do to shared
@@ -1385,11 +1508,28 @@ impl<M: Model> Trainer<M> {
                         par_batch(&mut self.nodes, items, threads, |node, state, item| {
                             let neighbors = Self::active_neighbors(&item.topo, &item.active, node);
                             train_steps(state, tau, bs, lr);
-                            let outbound = state.strategy.make_outbound(
-                                item.round,
-                                &state.params,
-                                &neighbors,
-                            )?;
+                            // Byzantine nodes train honestly but build their
+                            // messages from a perturbed copy — the same
+                            // injection point as the barrier substrate.
+                            let outbound = if let Some(behavior) = item.attack {
+                                let mut tainted = state.params.clone();
+                                jwins_adversary::apply_behavior(
+                                    behavior,
+                                    atk_seed,
+                                    node,
+                                    item.round,
+                                    &mut tainted,
+                                );
+                                state
+                                    .strategy
+                                    .make_outbound(item.round, &tainted, &neighbors)?
+                            } else {
+                                state.strategy.make_outbound(
+                                    item.round,
+                                    &state.params,
+                                    &neighbors,
+                                )?
+                            };
                             state.last_alpha = state.strategy.last_alpha();
                             // Serialize over the uplink one message at a
                             // time: the k-th transmission starts when the
@@ -1461,13 +1601,23 @@ impl<M: Model> Trainer<M> {
                     // Commit in pop order: mailbox append order, loss-model
                     // link sequences and the Mix schedule replay the
                     // sequential interleaving exactly.
-                    for ((node, round, epoch), proposal) in meta.into_iter().zip(proposals) {
+                    for ((node, round, epoch, attack), proposal) in meta.into_iter().zip(proposals)
+                    {
                         tracer.emit(TraceEvent::Train {
                             t_ns: time.0,
                             node: node as u32,
                             round: round as u32,
                             compute_ns: compute_time[node].0,
                         });
+                        if let Some(b) = attack {
+                            attacks_injected += 1;
+                            tracer.emit(TraceEvent::AttackInject {
+                                t_ns: time.0,
+                                node: node as u32,
+                                round: round as u32,
+                                kind: attack_kind(b),
+                            });
+                        }
                         self.network.commit_sends(proposal.sends);
                         bandwidth_saved += proposal.saved_bytes;
                         current_alpha[node] = proposal.alpha;
@@ -1673,6 +1823,16 @@ impl<M: Model> Trainer<M> {
                                     paired: ps.paired,
                                     fresh_resets: ps.fresh_resets,
                                     ignored: ps.ignored,
+                                });
+                            }
+                            if let Some(rs) = self.nodes[node].strategy.robust_stats() {
+                                mass_clipped += rs.mass;
+                                tracer.emit(TraceEvent::RobustClip {
+                                    t_ns: time.0,
+                                    node: node as u32,
+                                    round: round as u32,
+                                    clipped: rs.clipped,
+                                    mass: rs.mass,
                                 });
                             }
                         } else if self.config.record_alphas {
@@ -1884,6 +2044,8 @@ impl<M: Model> Trainer<M> {
                             downweight_mass,
                             edges_rewired,
                             bandwidth_saved_bytes: bandwidth_saved,
+                            attacks_injected,
+                            mass_clipped,
                         },
                         true,
                     );
@@ -1938,6 +2100,8 @@ impl<M: Model> Trainer<M> {
                     downweight_mass,
                     edges_rewired,
                     bandwidth_saved_bytes: bandwidth_saved,
+                    attacks_injected,
+                    mass_clipped,
                 },
                 true,
             );
@@ -2077,10 +2241,13 @@ mod tests {
         // round loop instead.
         let rounds = trainer.config.rounds;
         let active = vec![true; trainer.node_count()];
+        let no_attacks = vec![None; trainer.node_count()];
         let mut sim_time = 0.0;
         for round in 0..rounds {
             let topo = trainer.topology.topology(round);
-            trainer.phase_train(round, &topo, &active).unwrap();
+            trainer
+                .phase_train(round, &topo, &active, &no_attacks)
+                .unwrap();
             let bytes = trainer.phase_deliver(&topo, &active).unwrap();
             sim_time += trainer.config.time_model.round_seconds(bytes);
             trainer.phase_aggregate(round, &topo, &active).unwrap();

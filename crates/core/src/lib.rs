@@ -74,6 +74,7 @@ pub mod cutoff;
 pub mod engine;
 pub mod metrics;
 pub mod participation;
+pub mod robust;
 pub mod scaling;
 pub mod sparsify;
 pub mod strategies;

@@ -63,6 +63,16 @@ pub struct RoundRecord {
     /// cost metrics would otherwise hide.
     #[serde(default)]
     pub bandwidth_saved_bytes: u64,
+    /// Byzantine perturbations injected at message-build time so far
+    /// (cumulative; one per attacker per round actually sent — see
+    /// `TrainConfig::attack`). Zero whenever the attack plan is a no-op.
+    #[serde(default)]
+    pub attacks_injected: u64,
+    /// Mixing-weight mass the robust aggregation rule removed from
+    /// neighbour contributions (renormalized over the survivors) so far
+    /// (cumulative; see `TrainConfig::robust`). Zero under `Robust::None`.
+    #[serde(default)]
+    pub mass_clipped: f64,
     /// Per-node test accuracy at this evaluation, indexed by node id —
     /// exposes the fast/slow (and survivor/rejoiner) gap the cluster mean
     /// [`Self::test_accuracy`] averages away. Empty in legacy records.
@@ -102,6 +112,8 @@ impl RoundRecord {
             && self.downweight_mass.to_bits() == other.downweight_mass.to_bits()
             && self.edges_rewired == other.edges_rewired
             && self.bandwidth_saved_bytes == other.bandwidth_saved_bytes
+            && self.attacks_injected == other.attacks_injected
+            && self.mass_clipped.to_bits() == other.mass_clipped.to_bits()
             && self.per_node_accuracy.len() == other.per_node_accuracy.len()
             && self
                 .per_node_accuracy
@@ -203,7 +215,8 @@ impl RunResult {
             "round,train_loss,test_loss,test_accuracy,test_rmse,mean_alpha,\
              cum_bytes_per_node,cum_payload_per_node,cum_metadata_per_node,sim_time_s,\
              mean_staleness_s,crashes,rejoins,messages_expired,downweight_mass,checkpoint,\
-             edges_rewired,bandwidth_saved_bytes,per_node_accuracy\n",
+             edges_rewired,bandwidth_saved_bytes,attacks_injected,mass_clipped,\
+             per_node_accuracy\n",
         );
         for r in &self.records {
             // Per-node accuracies stay one CSV cell, ';'-separated, so the
@@ -215,7 +228,7 @@ impl RunResult {
                 .collect::<Vec<_>>()
                 .join(";");
             out.push_str(&format!(
-                "{},{:.6},{:.6},{:.6},{:.6},{:.4},{:.0},{:.0},{:.0},{:.3},{:.4},{},{},{},{:.4},{},{},{},{}\n",
+                "{},{:.6},{:.6},{:.6},{:.6},{:.4},{:.0},{:.0},{:.0},{:.3},{:.4},{},{},{},{:.4},{},{},{},{},{:.4},{}\n",
                 r.round,
                 r.train_loss,
                 r.test_loss,
@@ -234,6 +247,8 @@ impl RunResult {
                 u8::from(r.checkpoint),
                 r.edges_rewired,
                 r.bandwidth_saved_bytes,
+                r.attacks_injected,
+                r.mass_clipped,
                 per_node
             ));
         }
@@ -264,6 +279,8 @@ mod tests {
             downweight_mass: 0.0,
             edges_rewired: 0,
             bandwidth_saved_bytes: 0,
+            attacks_injected: 0,
+            mass_clipped: 0.0,
             per_node_accuracy: vec![acc; 2],
             checkpoint: false,
         }
@@ -321,6 +338,12 @@ mod tests {
         assert!(!a.bits_eq(&b));
         let mut b = a.clone();
         b.bandwidth_saved_bytes = 1;
+        assert!(!a.bits_eq(&b));
+        let mut b = a.clone();
+        b.attacks_injected = 1;
+        assert!(!a.bits_eq(&b));
+        let mut b = a.clone();
+        b.mass_clipped = 0.5;
         assert!(!a.bits_eq(&b));
         let mut b = a.clone();
         b.per_node_accuracy[1] = 0.25;

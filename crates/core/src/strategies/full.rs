@@ -8,6 +8,7 @@
 use crate::average::PartialAverager;
 use crate::strategy::{OutMessage, ReceivedMessage, ShareStrategy};
 use crate::{JwinsError, Result};
+use jwins_adversary::{Robust, RobustAccumulator, RobustStats};
 use jwins_codec::float::{FloatCodec, XorFloatCodec};
 use jwins_codec::varint;
 use jwins_net::ByteBreakdown;
@@ -16,6 +17,7 @@ use jwins_net::ByteBreakdown;
 #[derive(Debug, Default)]
 pub struct FullSharing {
     dim: usize,
+    robust_stats: RobustStats,
 }
 
 impl FullSharing {
@@ -73,6 +75,37 @@ impl ShareStrategy for FullSharing {
 
     fn last_alpha(&self) -> f64 {
         1.0
+    }
+
+    fn supports_robust(&self) -> bool {
+        true
+    }
+
+    fn aggregate_robust(
+        &mut self,
+        _round: usize,
+        params: &[f32],
+        self_weight: f64,
+        received: &[ReceivedMessage<'_>],
+        rule: &Robust,
+    ) -> Result<Vec<f32>> {
+        let mut acc = RobustAccumulator::new(params, self_weight, *rule);
+        for msg in received {
+            let (count, used) = varint::read_u64(msg.bytes)?;
+            if count as usize != params.len() {
+                return Err(JwinsError::Protocol("full-sharing dimension mismatch"));
+            }
+            let values = XorFloatCodec.decode(&msg.bytes[used..], count as usize)?;
+            acc.add_dense(&values, msg.weight);
+        }
+        let (out, stats) = acc.finish();
+        self.robust_stats.absorb(stats);
+        Ok(out)
+    }
+
+    fn robust_stats(&mut self) -> Option<RobustStats> {
+        let stats = std::mem::take(&mut self.robust_stats);
+        (!stats.is_zero()).then_some(stats)
     }
 }
 

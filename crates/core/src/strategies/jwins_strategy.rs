@@ -25,6 +25,7 @@ use crate::scaling::ScoreScaling;
 use crate::sparsify::{budget, gather, top_k_indices};
 use crate::strategy::{OutMessage, ReceivedMessage, ShareStrategy};
 use crate::{JwinsError, Result};
+use jwins_adversary::{Robust, RobustAccumulator, RobustStats};
 use jwins_codec::sparse::{IndexCodec, SparseVecCodec, ValueCodec};
 use jwins_net::ByteBreakdown;
 use jwins_wavelet::{Dwt, Wavelet, WaveletCoeffs};
@@ -182,6 +183,7 @@ pub struct Jwins {
     pending: Option<PendingRound>,
     dim: usize,
     last_alpha: f64,
+    robust_stats: RobustStats,
 }
 
 impl Jwins {
@@ -215,6 +217,7 @@ impl Jwins {
             pending: None,
             dim: 0,
             last_alpha: 0.0,
+            robust_stats: RobustStats::default(),
         }
     }
 
@@ -227,6 +230,32 @@ impl Jwins {
     /// diagnostics).
     pub fn scores(&self) -> &[f32] {
         &self.scores
+    }
+
+    /// Inverts the averaged coefficients and applies the eq-4 bookkeeping
+    /// (sent-score reset, averaging change absorbed, round-start advance) —
+    /// shared by the plain and the robust aggregation paths so the two
+    /// differ only in how coefficients are averaged.
+    fn commit_averaged(
+        &mut self,
+        pending: &PendingRound,
+        params: &[f32],
+        averaged: Vec<f32>,
+    ) -> Result<Vec<f32>> {
+        let next = self.transform.inverse(averaged, self.dim)?;
+        for &i in &pending.sent {
+            self.scores[i as usize] = 0.0;
+        }
+        let mut avg_delta: Vec<f32> = next.iter().zip(params).map(|(a, b)| a - b).collect();
+        if let Some(scaling) = &self.config.score_scaling {
+            scaling.apply(&mut avg_delta);
+        }
+        let avg_delta_coeffs = self.transform.forward(&avg_delta);
+        for (s, d) in self.scores.iter_mut().zip(&avg_delta_coeffs) {
+            *s += d;
+        }
+        self.round_start = next.clone();
+        Ok(next)
     }
 }
 
@@ -325,26 +354,58 @@ impl ShareStrategy for Jwins {
             avg.add_sparse(&indices, &values, msg.weight);
         }
         let averaged = avg.finish();
-        let next = self.transform.inverse(averaged, self.dim)?;
         // Eq. (4) bookkeeping: sent scores reset, averaging change absorbed
         // (scaled the same way as the training change, so score units match).
-        for &i in &pending.sent {
-            self.scores[i as usize] = 0.0;
-        }
-        let mut avg_delta: Vec<f32> = next.iter().zip(params).map(|(a, b)| a - b).collect();
-        if let Some(scaling) = &self.config.score_scaling {
-            scaling.apply(&mut avg_delta);
-        }
-        let avg_delta_coeffs = self.transform.forward(&avg_delta);
-        for (s, d) in self.scores.iter_mut().zip(&avg_delta_coeffs) {
-            *s += d;
-        }
-        self.round_start = next.clone();
-        Ok(next)
+        self.commit_averaged(&pending, params, averaged)
     }
 
     fn last_alpha(&self) -> f64 {
         self.last_alpha
+    }
+
+    fn supports_robust(&self) -> bool {
+        true
+    }
+
+    fn aggregate_robust(
+        &mut self,
+        round: usize,
+        params: &[f32],
+        self_weight: f64,
+        received: &[ReceivedMessage<'_>],
+        rule: &Robust,
+    ) -> Result<Vec<f32>> {
+        let pending = self
+            .pending
+            .take()
+            .ok_or(JwinsError::Protocol("aggregate before make_message"))?;
+        if pending.round != round {
+            return Err(JwinsError::Protocol("round number mismatch"));
+        }
+        // Same per-coefficient renormalized average as `aggregate`, but the
+        // robust rule screens neighbor coefficients (in the wavelet domain —
+        // trimming happens where the sharing happens).
+        let mut acc = RobustAccumulator::new(&pending.own_coeffs, self_weight, *rule);
+        for msg in received {
+            let (indices, values) = self.codec.decode(msg.bytes)?;
+            if indices
+                .last()
+                .is_some_and(|&i| i as usize >= self.scores.len())
+            {
+                return Err(JwinsError::Protocol(
+                    "received coefficient index out of range",
+                ));
+            }
+            acc.add_sparse(&indices, &values, msg.weight);
+        }
+        let (averaged, stats) = acc.finish();
+        self.robust_stats.absorb(stats);
+        self.commit_averaged(&pending, params, averaged)
+    }
+
+    fn robust_stats(&mut self) -> Option<RobustStats> {
+        let stats = std::mem::take(&mut self.robust_stats);
+        (!stats.is_zero()).then_some(stats)
     }
 
     fn state_bytes(&self) -> usize {

@@ -17,6 +17,7 @@
 use crate::average::PartialAverager;
 use crate::strategy::{OutMessage, ReceivedMessage, ShareStrategy};
 use crate::{JwinsError, Result};
+use jwins_adversary::{Robust, RobustAccumulator, RobustStats};
 use jwins_codec::quantize::Qsgd;
 use jwins_net::ByteBreakdown;
 use rand::{Rng, SeedableRng};
@@ -46,6 +47,7 @@ pub struct QuantizedSharing {
     rng: ChaCha8Rng,
     pending_round: Option<usize>,
     dim: usize,
+    robust_stats: RobustStats,
 }
 
 impl QuantizedSharing {
@@ -62,6 +64,7 @@ impl QuantizedSharing {
             rng: ChaCha8Rng::seed_from_u64(seed),
             pending_round: None,
             dim: 0,
+            robust_stats: RobustStats::default(),
         }
     }
 
@@ -120,6 +123,38 @@ impl ShareStrategy for QuantizedSharing {
 
     fn last_alpha(&self) -> f64 {
         1.0
+    }
+
+    fn supports_robust(&self) -> bool {
+        true
+    }
+
+    fn aggregate_robust(
+        &mut self,
+        round: usize,
+        params: &[f32],
+        self_weight: f64,
+        received: &[ReceivedMessage<'_>],
+        rule: &Robust,
+    ) -> Result<Vec<f32>> {
+        match self.pending_round.take() {
+            Some(r) if r == round => {}
+            Some(_) => return Err(JwinsError::Protocol("round number mismatch")),
+            None => return Err(JwinsError::Protocol("aggregate before make_message")),
+        }
+        let mut acc = RobustAccumulator::new(params, self_weight, *rule);
+        for msg in received {
+            let values = self.quantizer.decode(msg.bytes, self.dim)?;
+            acc.add_dense(&values, msg.weight);
+        }
+        let (out, stats) = acc.finish();
+        self.robust_stats.absorb(stats);
+        Ok(out)
+    }
+
+    fn robust_stats(&mut self) -> Option<RobustStats> {
+        let stats = std::mem::take(&mut self.robust_stats);
+        (!stats.is_zero()).then_some(stats)
     }
 }
 

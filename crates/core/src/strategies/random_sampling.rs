@@ -15,6 +15,7 @@ use crate::average::PartialAverager;
 use crate::sparsify::budget;
 use crate::strategy::{OutMessage, ReceivedMessage, ShareStrategy};
 use crate::{JwinsError, Result};
+use jwins_adversary::{Robust, RobustAccumulator, RobustStats};
 use jwins_codec::float::{FloatCodec, XorFloatCodec};
 use jwins_codec::varint;
 use jwins_net::ByteBreakdown;
@@ -31,6 +32,7 @@ pub struct RandomSampling {
     /// Seed shared by the whole cluster.
     shared_seed: u64,
     dim: usize,
+    robust_stats: RobustStats,
 }
 
 impl RandomSampling {
@@ -49,6 +51,7 @@ impl RandomSampling {
             fraction,
             shared_seed,
             dim: 0,
+            robust_stats: RobustStats::default(),
         }
     }
 
@@ -125,6 +128,42 @@ impl ShareStrategy for RandomSampling {
 
     fn last_alpha(&self) -> f64 {
         self.fraction
+    }
+
+    fn supports_robust(&self) -> bool {
+        true
+    }
+
+    fn aggregate_robust(
+        &mut self,
+        round: usize,
+        params: &[f32],
+        self_weight: f64,
+        received: &[ReceivedMessage<'_>],
+        rule: &Robust,
+    ) -> Result<Vec<f32>> {
+        let indices = self.round_indices(round);
+        let mut acc = RobustAccumulator::new(params, self_weight, *rule);
+        for msg in received {
+            let (msg_round, used1) = varint::read_u64(msg.bytes)?;
+            if msg_round != round as u64 {
+                return Err(JwinsError::Protocol("random-sampling round mismatch"));
+            }
+            let (count, used2) = varint::read_u64(&msg.bytes[used1..])?;
+            if count as usize != indices.len() {
+                return Err(JwinsError::Protocol("random-sampling subset size mismatch"));
+            }
+            let values = XorFloatCodec.decode(&msg.bytes[used1 + used2..], count as usize)?;
+            acc.add_sparse(&indices, &values, msg.weight);
+        }
+        let (out, stats) = acc.finish();
+        self.robust_stats.absorb(stats);
+        Ok(out)
+    }
+
+    fn robust_stats(&mut self) -> Option<RobustStats> {
+        let stats = std::mem::take(&mut self.robust_stats);
+        (!stats.is_zero()).then_some(stats)
     }
 }
 

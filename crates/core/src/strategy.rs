@@ -230,6 +230,58 @@ pub trait ShareStrategy: Send {
     fn pairing_stats(&mut self) -> Option<PairingStats> {
         None
     }
+
+    /// Whether this strategy can aggregate through a robust rule
+    /// ([`aggregate_robust`]). True for strategies whose aggregation is a
+    /// partial average over decoded neighbor values (full sharing, JWINS,
+    /// quantized, random sampling); false for algorithms whose update is
+    /// not an average the mixing layer can re-order (CHOCO's error-feedback
+    /// replicas, PowerGossip's pairwise low-rank update, random model walk)
+    /// — `TrainConfig::validate` rejects those combinations up front.
+    ///
+    /// [`aggregate_robust`]: Self::aggregate_robust
+    fn supports_robust(&self) -> bool {
+        false
+    }
+
+    /// [`aggregate`] with a robust rule applied to the decoded neighbor
+    /// contributions before averaging (see `jwins_adversary::Robust`).
+    /// Implementations must route decode output through a
+    /// `RobustAccumulator` in place of the plain partial averager, keep all
+    /// non-averaging bookkeeping identical, and stash the returned
+    /// `RobustStats` for [`robust_stats`] to drain.
+    ///
+    /// # Errors
+    ///
+    /// Fails on undecodable messages, protocol violations, or when the
+    /// strategy does not support robust aggregation.
+    ///
+    /// [`aggregate`]: Self::aggregate
+    /// [`robust_stats`]: Self::robust_stats
+    fn aggregate_robust(
+        &mut self,
+        round: usize,
+        params: &[f32],
+        self_weight: f64,
+        received: &[ReceivedMessage<'_>],
+        rule: &jwins_adversary::Robust,
+    ) -> Result<Vec<f32>> {
+        let _ = (round, params, self_weight, received, rule);
+        Err(crate::JwinsError::InvalidConfig(format!(
+            "strategy '{}' does not support robust aggregation",
+            self.name()
+        )))
+    }
+
+    /// Takes (and resets) what the robust rule removed since the last call,
+    /// for run telemetry (`TraceEvent::RobustClip`). Same write-only
+    /// contract as [`pairing_stats`]: the engine may or may not drain the
+    /// counters, and neither choice may change a result.
+    ///
+    /// [`pairing_stats`]: Self::pairing_stats
+    fn robust_stats(&mut self) -> Option<jwins_adversary::RobustStats> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -96,6 +96,15 @@ pub struct NodeStats {
     pub rejoins: u64,
     /// Rounds a crash abandoned in progress at this node.
     pub rounds_abandoned: u64,
+    /// Byzantine perturbations this node injected into its outbound
+    /// messages.
+    pub attacks_injected: u64,
+    /// Neighbour contributions the robust aggregation rule screened out at
+    /// this node (trimmed entries, clipped messages).
+    pub robust_clipped: u64,
+    /// Mixing-weight mass the robust rule moved from neighbour
+    /// contributions to this node's self-weight.
+    pub mass_clipped: f64,
 }
 
 /// Per-directed-edge running totals (`from → to`).
@@ -123,6 +132,7 @@ struct NodeWindow {
     msgs_mixed: u64,
     staleness_sum_s: f64,
     msgs_expired: u64,
+    attacks_injected: u64,
 }
 
 /// One aggregation window of the global series.
@@ -363,6 +373,20 @@ impl MetricsRegistry {
                 self.node_window(node, t_ns).trains += 1;
                 self.global_window(t_ns).trains += 1;
             }
+            TraceEvent::AttackInject { t_ns, node, .. } => {
+                self.node(node).attacks_injected += 1;
+                self.node_window(node, t_ns).attacks_injected += 1;
+            }
+            TraceEvent::RobustClip {
+                node,
+                clipped,
+                mass,
+                ..
+            } => {
+                let n = self.node(node);
+                n.robust_clipped += clipped;
+                n.mass_clipped += mass;
+            }
             TraceEvent::RoundResolve { .. } => {}
             TraceEvent::RoundAbandon { node, .. } => {
                 self.node(node).rounds_abandoned += 1;
@@ -459,6 +483,12 @@ impl MetricsRegistry {
             ("crashes", total(|n| n.crashes)),
             ("rejoins", total(|n| n.rejoins)),
             ("rounds_abandoned", total(|n| n.rounds_abandoned)),
+            ("attacks_injected", total(|n| n.attacks_injected)),
+            ("robust_clipped", total(|n| n.robust_clipped)),
+            (
+                "mass_clipped",
+                self.nodes.values().map(|n| n.mass_clipped).sum(),
+            ),
             ("repair_edges_added", self.run.repair_edges_added as f64),
             ("pairing_paired", self.run.pairing_paired as f64),
             ("pairing_fresh_resets", self.run.pairing_fresh_resets as f64),
@@ -590,6 +620,24 @@ impl MetricsRegistry {
             "jwins_node_rejoins_total",
             "Rejoins of this node.",
             |n| n.rejoins as f64,
+        );
+        node_counter(
+            &mut out,
+            "jwins_node_attacks_injected_total",
+            "Byzantine perturbations this node injected into its messages.",
+            |n| n.attacks_injected as f64,
+        );
+        node_counter(
+            &mut out,
+            "jwins_node_robust_clipped_total",
+            "Neighbour contributions the robust rule screened out here.",
+            |n| n.robust_clipped as f64,
+        );
+        node_counter(
+            &mut out,
+            "jwins_node_robust_mass_clipped_total",
+            "Mixing mass the robust rule moved to this node's self-weight.",
+            |n| n.mass_clipped,
         );
 
         out.push_str("# HELP jwins_edge_bytes_total Bytes sent on the directed edge.\n");
@@ -729,6 +777,9 @@ impl MetricsRegistry {
                 }
                 if stats.msgs_expired > 0 {
                     row("messages_expired", stats.msgs_expired as f64);
+                }
+                if stats.attacks_injected > 0 {
+                    row("attacks_injected", stats.attacks_injected as f64);
                 }
             }
             for (&(from, to, ew), &bytes) in &self.edge_windows {
@@ -884,6 +935,19 @@ mod tests {
                 round: 0,
                 count: 2,
             },
+            TraceEvent::AttackInject {
+                t_ns: 1_000_000_000,
+                node: 2,
+                round: 0,
+                kind: jwins_trace::AttackKind::SignFlip,
+            },
+            TraceEvent::RobustClip {
+                t_ns: 1_500_000_000,
+                node: 1,
+                round: 0,
+                clipped: 3,
+                mass: 0.25,
+            },
             TraceEvent::ExecuteBatch {
                 t_ns: 1_500_000_000,
                 class: BatchClass::Mix,
@@ -918,6 +982,9 @@ mod tests {
         assert_eq!(r.node_stats()[&1].trains, 1);
         assert_eq!(r.node_stats()[&1].msgs_mixed, 1);
         assert_eq!(r.node_stats()[&1].msgs_expired, 2);
+        assert_eq!(r.node_stats()[&2].attacks_injected, 1);
+        assert_eq!(r.node_stats()[&1].robust_clipped, 3);
+        assert_eq!(r.node_stats()[&1].mass_clipped, 0.25);
         let edge = &r.edge_stats()[&(0, 1)];
         assert_eq!(edge.msgs, 2);
         assert_eq!(edge.bytes, 2000);
@@ -937,6 +1004,7 @@ mod tests {
         assert!(csv.contains("1.000,node,0,bytes_sent,1000"), "{csv}");
         assert!(csv.contains("0.000,edge,0->1,bytes_sent,1000"), "{csv}");
         assert!(csv.contains("1.000,run,,accuracy,0.5"), "{csv}");
+        assert!(csv.contains("1.000,node,2,attacks_injected,1"), "{csv}");
     }
 
     #[test]
@@ -948,6 +1016,9 @@ mod tests {
         assert!(text.contains("jwins_edge_bytes_total{from=\"0\",to=\"1\"} 2000"));
         assert!(text.contains("jwins_run_final_accuracy 0.5"));
         assert!(text.contains("jwins_mix_staleness_seconds_count 1"));
+        assert!(text.contains("jwins_node_attacks_injected_total{node=\"2\"} 1"));
+        assert!(text.contains("jwins_node_robust_clipped_total{node=\"1\"} 3"));
+        assert!(text.contains("jwins_node_robust_mass_clipped_total{node=\"1\"} 0.25"));
         // Every non-comment line is `name{labels} value` or `name value`.
         for line in text.lines() {
             if line.starts_with('#') || line.is_empty() {

@@ -15,6 +15,20 @@ pub enum KillReason {
     RepairEdge,
 }
 
+/// Which Byzantine perturbation an attacker applied
+/// (`TraceEvent::AttackInject`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Parameters replaced with seeded wire-valid noise.
+    Garbage,
+    /// Parameters negated.
+    SignFlip,
+    /// Parameters scaled by a constant factor.
+    Scale,
+    /// Parameters drifted toward the colluders' shared target.
+    Drift,
+}
+
 /// Which event class an execute batch carried (`TraceEvent::ExecuteBatch`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BatchClass {
@@ -217,6 +231,34 @@ pub enum TraceEvent {
         /// Pre-advance leftovers ignored without a reset.
         ignored: u64,
     },
+    /// A Byzantine node perturbed the parameters it advertised for a round
+    /// (injection happens at message-build time, right after the node's
+    /// `Train` event; a crashed node builds no messages and never injects).
+    AttackInject {
+        /// Virtual time of the injection (the node's train completion).
+        t_ns: u64,
+        /// The attacking node.
+        node: u32,
+        /// The round whose outbound messages carry the perturbation.
+        round: u32,
+        /// Which perturbation was applied.
+        kind: AttackKind,
+    },
+    /// A robust aggregation rule removed mass at a node's mix (emitted only
+    /// when something was actually trimmed or clipped).
+    RobustClip {
+        /// Virtual time of the mix commit.
+        t_ns: u64,
+        /// The aggregating node.
+        node: u32,
+        /// The node's round at the mix.
+        round: u32,
+        /// Entries removed: trimmed coordinate entries, or clipped messages.
+        clipped: u64,
+        /// Mixing weight removed and renormalized over the surviving
+        /// entries.
+        mass: f64,
+    },
     /// One parallel execute batch ran. The `wall_*`/`*_ns` phase fields are
     /// host wall-clock (the nondeterministic side channel); everything else
     /// is deterministic.
@@ -264,6 +306,8 @@ impl TraceEvent {
             | TraceEvent::Eval { t_ns, .. }
             | TraceEvent::RepairRewire { t_ns, .. }
             | TraceEvent::StrategyPairing { t_ns, .. }
+            | TraceEvent::AttackInject { t_ns, .. }
+            | TraceEvent::RobustClip { t_ns, .. }
             | TraceEvent::ExecuteBatch { t_ns, .. } => t_ns,
         }
     }
@@ -289,6 +333,8 @@ impl TraceEvent {
             TraceEvent::Eval { .. } => "Eval",
             TraceEvent::RepairRewire { .. } => "RepairRewire",
             TraceEvent::StrategyPairing { .. } => "StrategyPairing",
+            TraceEvent::AttackInject { .. } => "AttackInject",
+            TraceEvent::RobustClip { .. } => "RobustClip",
             TraceEvent::ExecuteBatch { .. } => "ExecuteBatch",
         }
     }
@@ -431,6 +477,19 @@ mod tests {
                 paired: 3,
                 fresh_resets: 1,
                 ignored: 0,
+            },
+            TraceEvent::AttackInject {
+                t_ns: 1_000_000,
+                node: 5,
+                round: 0,
+                kind: AttackKind::SignFlip,
+            },
+            TraceEvent::RobustClip {
+                t_ns: 2_000_000,
+                node: 7,
+                round: 4,
+                clipped: 12,
+                mass: 0.75,
             },
             TraceEvent::ExecuteBatch {
                 t_ns: 1_000_000,

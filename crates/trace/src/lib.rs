@@ -43,7 +43,7 @@ mod sink;
 mod tracer;
 
 pub use chrome::ChromeTraceWriter;
-pub use event::{BatchClass, KillReason, TraceEvent};
+pub use event::{AttackKind, BatchClass, KillReason, TraceEvent};
 pub use replay::{read_jsonl, ParsedTrace};
 pub use sink::{FlightRecorder, JsonlWriter, MemorySink, TraceSink};
 pub use tracer::{FlightDumpGuard, TraceConfig, Tracer, DEFAULT_FLIGHT_RECORDER_BYTES};

@@ -1,0 +1,133 @@
+//! Byzantine demo: a 16-node cluster where a quarter of the nodes
+//! sign-flip everything they share, defended (or not) by a robust
+//! aggregation rule at the mixing layer.
+//!
+//! ```sh
+//! cargo run --release --example byzantine
+//! cargo run --release --example byzantine -- --trace /tmp/byz
+//! ```
+//!
+//! The attack plan marks a seeded 25% of the cluster Byzantine for the
+//! whole run; each attacker's outgoing messages are perturbed at build
+//! time (its own training stays honest, so the damage travels only over
+//! the wire). The example runs the same cluster three times — plain
+//! averaging, coordinate-wise trimmed mean, coordinate-wise median — and
+//! prints each evaluation with the injected-message and screened-mass
+//! counters, then the final accuracy side by side.
+//!
+//! With `--trace <prefix>` each run writes its structured trace to
+//! `<prefix>-<rule>.jsonl` (inspect with the `trace_report` bin; the
+//! `AttackInject`/`RobustClip` events mark every perturbed message and
+//! every screening aggregation).
+
+use jwins::config::TrainConfig;
+use jwins::engine::Trainer;
+use jwins::strategies::FullSharing;
+use jwins::strategy::ShareStrategy;
+use jwins_adversary::{AttackBehavior, AttackPlan, Robust};
+use jwins_data::images::{cifar_like, ImageConfig};
+use jwins_nn::models::mlp_classifier;
+use jwins_topology::dynamic::DynamicRegular;
+
+use jwins_repro::smoke;
+
+/// The value of a `--<name> <prefix>` flag, if given.
+fn flag_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == name {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a path prefix")),
+            );
+        }
+    }
+    None
+}
+
+fn run(robust: Robust, trace_jsonl: Option<String>) -> jwins::metrics::RunResult {
+    let nodes = 16;
+    let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
+    let mut cfg = TrainConfig::new(if smoke() { 6 } else { 24 });
+    cfg.local_steps = 1;
+    cfg.batch_size = 8;
+    cfg.lr = 0.05;
+    cfg.eval_every = 2;
+    cfg.eval_test_samples = 128;
+    // A quarter of the cluster, drawn from the run seed, flips the sign of
+    // every parameter it shares, from the first round to the last.
+    cfg.attack = AttackPlan::RandomFraction {
+        fraction: 0.25,
+        from_s: 0.0,
+        until_s: f64::INFINITY,
+        behavior: AttackBehavior::SignFlip,
+    };
+    cfg.robust = robust;
+    cfg.trace.jsonl_path = trace_jsonl;
+    let trainer = Trainer::builder(cfg)
+        // Re-randomized each round so no honest node is stuck next to more
+        // attackers than the trim depth covers.
+        .topology(DynamicRegular::new(nodes, 10, 7).expect("feasible graph"))
+        .test_set(data.test)
+        .nodes(data.node_train, |_| {
+            (
+                mlp_classifier(2 * 8 * 8, &[16], 4, 42),
+                Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+            )
+        })
+        .build()
+        .expect("valid experiment");
+    trainer.run().expect("run completes")
+}
+
+fn main() {
+    println!(
+        "byzantine cluster: 16 nodes on a per-round random 10-regular graph;\n\
+         a seeded 25% sign-flip everything they share, all run long\n"
+    );
+    let prefix = flag_value("--trace");
+    let mut finals = Vec::new();
+    for (name, slug, rule) in [
+        ("plain averaging (undefended)", "none", Robust::None),
+        (
+            "trimmed mean (trim 0.45)",
+            "trimmed",
+            Robust::TrimmedMean { trim: 0.45 },
+        ),
+        ("coordinate-wise median", "median", Robust::Median),
+    ] {
+        let jsonl = prefix.as_ref().map(|p| format!("{p}-{slug}.jsonl"));
+        let result = run(rule, jsonl.clone());
+        println!("== {name} ==");
+        println!("round  accuracy  injected  mass-clipped");
+        for r in &result.records {
+            println!(
+                "{:>5}  {:>8.3}  {:>8}  {:>12.3}",
+                r.round + 1,
+                r.test_accuracy,
+                r.attacks_injected,
+                r.mass_clipped
+            );
+        }
+        let last = result.final_record().expect("evaluated");
+        println!("final accuracy: {:.1}%", last.test_accuracy * 100.0);
+        if let Some(jsonl) = &jsonl {
+            println!("full trace written to {jsonl} (inspect with `trace_report {jsonl}`)");
+        }
+        println!();
+        finals.push(last.test_accuracy);
+    }
+    if let [plain, trimmed, median] = finals[..] {
+        println!(
+            "Same attackers, same graph: plain averaging ends at {:.1}% while \
+             trimmed mean holds {:.1}% and median {:.1}%. The sign-flipped \
+             contributions are coordinate extremes once the honest cluster \
+             tightens, so rank-based screening removes exactly the adversarial \
+             tail. Sweep fractions, rules and strategies with `cargo bench \
+             --bench ext_byzantine`.",
+            plain * 100.0,
+            trimmed * 100.0,
+            median * 100.0
+        );
+    }
+}

@@ -24,6 +24,7 @@ use jwins::engine::Trainer;
 use jwins::metrics::RunResult;
 use jwins::strategies::{Jwins, JwinsConfig};
 use jwins::strategy::ShareStrategy;
+use jwins_adversary::{AttackBehavior, AttackPlan, Robust};
 use jwins_data::images::{cifar_like, ImageConfig};
 use jwins_fault::{FaultConfig, FaultOutage, FaultPlan, RejoinMode, StalenessPolicy};
 use jwins_metrics::{CriticalPath, MetricsConfig, MetricsRegistry, DEFAULT_WINDOW_S};
@@ -59,10 +60,28 @@ fn chaos_config(threads: usize) -> TrainConfig {
     cfg
 }
 
-/// Runs the chaos workload with an optional `TrainConfig::metrics` override
-/// and an optional extra memory sink.
-fn run(threads: usize, metrics: Option<MetricsConfig>, memory: Option<MemorySink>) -> RunResult {
+/// The chaos workload with adversaries on top: a quarter of the cluster
+/// sign-flips from the start, screened by a trimmed mean deep enough to
+/// trim at degree 3.
+fn byz_config(threads: usize) -> TrainConfig {
     let mut cfg = chaos_config(threads);
+    cfg.attack = AttackPlan::RandomFraction {
+        fraction: 0.25,
+        from_s: 0.0,
+        until_s: f64::INFINITY,
+        behavior: AttackBehavior::SignFlip,
+    };
+    cfg.robust = Robust::TrimmedMean { trim: 0.34 };
+    cfg
+}
+
+/// Runs `cfg` with an optional `TrainConfig::metrics` override and an
+/// optional extra memory sink.
+fn run_config(
+    mut cfg: TrainConfig,
+    metrics: Option<MetricsConfig>,
+    memory: Option<MemorySink>,
+) -> RunResult {
     if let Some(metrics) = metrics {
         cfg.metrics = metrics;
     }
@@ -79,6 +98,11 @@ fn run(threads: usize, metrics: Option<MetricsConfig>, memory: Option<MemorySink
         builder = builder.trace_sink(Box::new(memory));
     }
     builder.build().unwrap().run().unwrap()
+}
+
+/// Runs the honest chaos workload (the original suite's entry point).
+fn run(threads: usize, metrics: Option<MetricsConfig>, memory: Option<MemorySink>) -> RunResult {
+    run_config(chaos_config(threads), metrics, memory)
 }
 
 /// A per-test scratch path under the target-adjacent temp dir.
@@ -234,4 +258,112 @@ fn registry_totals_agree_with_round_records() {
         (registry.run_facts().final_accuracy - last.test_accuracy).abs() < 1e-12,
         "final accuracy agrees"
     );
+}
+
+/// An attacked run's injected/clipped counters reach both exports — the
+/// Prometheus text carries per-node totals, the CSV carries the windowed
+/// series — and both are byte-identical across worker thread counts once
+/// the wall-clock side channel (`jwins_phase_wall_seconds`) is set aside.
+#[test]
+fn adversarial_counters_reach_both_exports_thread_invariantly() {
+    let export = |threads: usize| -> (String, String, RunResult) {
+        let memory = MemorySink::new();
+        let result = run_config(byz_config(threads), None, Some(memory.clone()));
+        let registry = MetricsRegistry::from_events(DEFAULT_WINDOW_S, &memory.events());
+        let prom: String = registry
+            .to_prometheus()
+            .lines()
+            .filter(|l| !l.contains("jwins_phase_wall_seconds"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        (prom, registry.to_csv(), result)
+    };
+    let (prom1, csv1, result) = export(1);
+    let last = result.records.last().expect("evaluated");
+    assert!(last.attacks_injected > 0, "attack plan never fired");
+    assert!(last.mass_clipped > 0.0, "trimmed mean never trimmed");
+    assert!(
+        prom1.contains("jwins_node_attacks_injected_total"),
+        "injection counter missing from Prometheus export"
+    );
+    assert!(
+        prom1.contains("jwins_node_robust_clipped_total")
+            && prom1.contains("jwins_node_robust_mass_clipped_total"),
+        "robust counters missing from Prometheus export"
+    );
+    assert!(
+        csv1.lines().any(|l| l.contains(",attacks_injected,")),
+        "injection series missing from CSV export"
+    );
+    let (prom2, csv2, _) = export(2);
+    let (prom8, csv8, _) = export(8);
+    assert_eq!(prom1, prom2, "Prometheus export differs at 2 threads");
+    assert_eq!(prom1, prom8, "Prometheus export differs at 8 threads");
+    assert_eq!(csv1, csv2, "CSV export differs at 2 threads");
+    assert_eq!(csv1, csv8, "CSV export differs at 8 threads");
+}
+
+/// Registry totals folded from an attacked trace agree with the run's own
+/// records on the adversarial counters.
+#[test]
+fn adversarial_registry_totals_agree_with_round_records() {
+    let memory = MemorySink::new();
+    let result = run_config(byz_config(1), None, Some(memory.clone()));
+    let registry = MetricsRegistry::from_events(DEFAULT_WINDOW_S, &memory.events());
+    let last = result.records.last().expect("records recorded");
+    assert_eq!(
+        registry
+            .node_stats()
+            .values()
+            .map(|n| n.attacks_injected)
+            .sum::<u64>(),
+        last.attacks_injected,
+        "injection totals agree"
+    );
+    let mass: f64 = registry.node_stats().values().map(|n| n.mass_clipped).sum();
+    assert!(
+        (mass - last.mass_clipped).abs() < 1e-9,
+        "clipped-mass totals agree: {mass} vs {}",
+        last.mass_clipped
+    );
+    assert!(
+        registry
+            .node_stats()
+            .values()
+            .map(|n| n.robust_clipped)
+            .sum::<u64>()
+            > 0,
+        "clip events were folded"
+    );
+}
+
+/// The critical path still tiles `[0, bound]` exactly on an attacked
+/// trace: `AttackInject`/`RobustClip` events enrich the stream without
+/// breaking the analyzer's span accounting.
+#[test]
+fn critical_path_tiles_exactly_on_an_attacked_trace() {
+    let memory = MemorySink::new();
+    let _ = run_config(byz_config(1), None, Some(memory.clone()));
+    let events = memory.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::AttackInject { .. })),
+        "workload is actually adversarial"
+    );
+    let path = CriticalPath::analyze(&events, None).expect("path reconstructs");
+    assert!(path.bound_ns > 0);
+    assert_eq!(
+        path.total_segment_ns(),
+        path.bound_ns,
+        "segments tile the whole span with no gap or overlap"
+    );
+    let share_sum: f64 = path.blame.iter().map(|b| b.share).sum();
+    assert!(
+        (share_sum - 1.0).abs() < 1e-9,
+        "blame shares sum to {share_sum}"
+    );
+    for pair in path.segments.windows(2) {
+        assert_eq!(pair[0].end_ns, pair[1].start_ns, "contiguous tiling");
+    }
 }

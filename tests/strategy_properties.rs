@@ -298,6 +298,199 @@ fn jwins_holds_less_state_than_choco() {
     );
 }
 
+mod robust_mixing {
+    //! Mixing-layer robustness properties, exercised through the public
+    //! `ShareStrategy` surface (`aggregate_robust` and the `RobustWrapper`
+    //! the engine installs for `TrainConfig::robust`):
+    //!
+    //! - `Robust::None` is *bit-identical* to the plain aggregation path;
+    //! - trimmed mean and median stay within the coordinate range spanned
+    //!   by the node's own value and the honest neighbours, however extreme
+    //!   the Byzantine minority;
+    //! - norm clipping never increases a contribution's deviation norm;
+    //! - every rule preserves the mixing row sum: a constant cluster is a
+    //!   fixed point (removed mass is renormalized over the surviving
+    //!   entries, not dropped).
+
+    use jwins::robust::RobustWrapper;
+    use jwins::strategies::{FullSharing, RandomSampling};
+    use jwins::strategy::{ReceivedMessage, ShareStrategy};
+    use jwins_adversary::Robust;
+    use proptest::prelude::*;
+
+    /// Builds one wire message per neighbour vector via `factory`, then
+    /// aggregates them into `own` under `rule` with uniform mixing weights.
+    fn mix(
+        factory: &dyn Fn() -> Box<dyn ShareStrategy>,
+        own: &[f32],
+        neighbors: &[Vec<f32>],
+        rule: &Robust,
+    ) -> Vec<f32> {
+        let messages: Vec<_> = neighbors
+            .iter()
+            .map(|p| {
+                let mut peer = factory();
+                peer.init(p);
+                peer.make_message(0, p).expect("encode").bytes
+            })
+            .collect();
+        let weight = 1.0 / (neighbors.len() + 1) as f64;
+        let received: Vec<ReceivedMessage<'_>> = messages
+            .iter()
+            .enumerate()
+            .map(|(i, bytes)| ReceivedMessage {
+                from: i + 1,
+                round: 0,
+                weight,
+                edge_weight: weight,
+                bytes,
+            })
+            .collect();
+        let mut me = factory();
+        me.init(own);
+        if rule.is_none() {
+            me.aggregate(0, own, weight, &received).expect("aggregate")
+        } else {
+            let mut wrapped = RobustWrapper::new(me, *rule);
+            wrapped
+                .aggregate(0, own, weight, &received)
+                .expect("robust aggregate")
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// `aggregate_robust` with `Robust::None` is the plain aggregation,
+        /// bit for bit — the invariant the engine's no-op differential
+        /// (`tests/byzantine.rs`) relies on.
+        #[test]
+        fn none_rule_is_bit_identical_to_plain_aggregation(
+            own in proptest::collection::vec(-2.0f32..2.0, 8..64),
+            offsets in proptest::collection::vec(-1.0f32..1.0, 1..4),
+        ) {
+            let neighbors: Vec<Vec<f32>> = offsets
+                .iter()
+                .map(|o| own.iter().map(|v| v + o).collect())
+                .collect();
+            let mut peer = FullSharing::new();
+            peer.init(&own);
+            let messages: Vec<_> = neighbors
+                .iter()
+                .map(|p| peer.make_message(0, p).expect("encode").bytes)
+                .collect();
+            let weight = 1.0 / (neighbors.len() + 1) as f64;
+            let received: Vec<ReceivedMessage<'_>> = messages
+                .iter()
+                .enumerate()
+                .map(|(i, bytes)| ReceivedMessage {
+                    from: i + 1,
+                    round: 0,
+                    weight,
+                    edge_weight: weight,
+                    bytes,
+                })
+                .collect();
+            let mut plain = FullSharing::new();
+            plain.init(&own);
+            let a = plain.aggregate(0, &own, weight, &received).expect("plain");
+            let mut robust = FullSharing::new();
+            robust.init(&own);
+            let b = robust
+                .aggregate_robust(0, &own, weight, &received, &Robust::None)
+                .expect("robust none");
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "None path drifted");
+            }
+        }
+
+        /// Trimmed mean and median, wrapped exactly as the engine wraps
+        /// them, stay inside the honest coordinate range for a Byzantine
+        /// minority — the screen the `ext_byzantine` bench measures.
+        #[test]
+        fn wrapped_trim_and_median_are_bounded_by_honest_range(
+            own in proptest::collection::vec(-2.0f32..2.0, 8..48),
+            offsets in proptest::collection::vec(-0.5f32..0.5, 2..5),
+            byz in prop_oneof![Just(-1.0e5f32), Just(1.0e5f32)],
+        ) {
+            let mut neighbors: Vec<Vec<f32>> = offsets
+                .iter()
+                .map(|o| own.iter().map(|v| v + o).collect())
+                .collect();
+            neighbors.push(vec![byz; own.len()]);
+            let factory = || Box::new(FullSharing::new()) as Box<dyn ShareStrategy>;
+            for rule in [Robust::TrimmedMean { trim: 0.49 }, Robust::Median] {
+                let out = mix(&factory, &own, &neighbors, &rule);
+                for (k, v) in out.iter().enumerate() {
+                    let mut lo = own[k];
+                    let mut hi = own[k];
+                    for h in &neighbors[..offsets.len()] {
+                        lo = lo.min(h[k]);
+                        hi = hi.max(h[k]);
+                    }
+                    prop_assert!(
+                        *v >= lo - 1e-4 && *v <= hi + 1e-4,
+                        "{rule:?} coord {k}: {v} outside honest [{lo}, {hi}]"
+                    );
+                }
+            }
+        }
+
+        /// Norm clipping never lets the aggregate move further from the own
+        /// vector than `tau`, through a *sparse* strategy (exercising the
+        /// `add_sparse` decode path the engine uses for subsampled wires).
+        #[test]
+        fn sparse_norm_clip_caps_the_aggregate_deviation(
+            own in proptest::collection::vec(-2.0f32..2.0, 16..64),
+            scale in 3.0f32..50.0,
+            tau in 0.05f64..1.0,
+        ) {
+            let neighbors = vec![own.iter().map(|v| v * scale + 1.0).collect::<Vec<f32>>()];
+            let factory = || Box::new(RandomSampling::new(0.5, 9)) as Box<dyn ShareStrategy>;
+            let out = mix(&factory, &own, &neighbors, &Robust::NormClip { tau });
+            let dev: f64 = out
+                .iter()
+                .zip(&own)
+                .map(|(a, b)| (f64::from(*a) - f64::from(*b)).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            prop_assert!(dev <= tau + 1e-3, "deviation {dev} exceeds tau {tau}");
+        }
+
+        /// Row-stochasticity through the full strategy stack: a constant
+        /// cluster is a fixed point of every rule (dense and sparse wires
+        /// alike) — removed mass lands in the self entry, never vanishes.
+        #[test]
+        fn constant_cluster_is_a_fixed_point_of_every_rule(
+            own in proptest::collection::vec(-3.0f32..3.0, 8..64),
+            peers in 1usize..4,
+            rule_pick in 0usize..4,
+        ) {
+            let rule = match rule_pick {
+                0 => Robust::None,
+                1 => Robust::TrimmedMean { trim: 0.4 },
+                2 => Robust::Median,
+                _ => Robust::NormClip { tau: 0.25 },
+            };
+            let neighbors = vec![own.clone(); peers];
+            for factory in [
+                (|| Box::new(FullSharing::new()) as Box<dyn ShareStrategy>)
+                    as fn() -> Box<dyn ShareStrategy>,
+                || Box::new(RandomSampling::new(0.6, 17)) as Box<dyn ShareStrategy>,
+            ] {
+                let out = mix(&factory, &own, &neighbors, &rule);
+                for (a, b) in own.iter().zip(&out) {
+                    prop_assert!(
+                        (a - b).abs() < 1e-5,
+                        "{rule:?} moved a constant cluster: {a} -> {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 mod adversarial_inputs {
     //! No strategy may panic on arbitrary neighbour bytes — a malformed or
     //! malicious message must surface as `Err`, never as a crash (the

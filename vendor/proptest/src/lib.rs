@@ -37,6 +37,70 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream's `prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: std::fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: std::fmt::Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// A uniform choice between strategies producing the same value type —
+/// the engine behind [`prop_oneof!`].
+#[derive(Debug, Clone)]
+pub struct OneOf<T>(pub T);
+
+macro_rules! impl_oneof_strategy {
+    ($(($n:literal; $($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<V: std::fmt::Debug, $($name: Strategy<Value = V>),+> Strategy for OneOf<($($name,)+)> {
+            type Value = V;
+            fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> V {
+                match rng.next_u64() % $n {
+                    $($idx => self.0.$idx.sample_value(rng),)+
+                    _ => unreachable!(),
+                }
+            }
+        }
+    )+};
+}
+
+impl_oneof_strategy!(
+    (2u64; A: 0, B: 1),
+    (3u64; A: 0, B: 1, C: 2),
+    (4u64; A: 0, B: 1, C: 2, D: 3),
+    (5u64; A: 0, B: 1, C: 2, D: 3, E: 4)
+);
+
+/// Chooses uniformly between the given strategies (the upstream macro's
+/// unweighted form; all arms must generate the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf(($($strategy,)+))
+    };
 }
 
 /// The full/natural distribution of a primitive type — `any::<T>()`.
@@ -203,7 +267,9 @@ pub fn run_cases<F: FnMut(&mut ChaCha8Rng)>(config: &ProptestConfig, test_name: 
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{any, Just, ProptestConfig, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Declares property tests (see crate docs for the supported subset).
@@ -278,6 +344,15 @@ mod tests {
         fn tuples_and_assume((a, b) in (0u8..10, 0u8..10)) {
             prop_assume!(a != b);
             prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![
+            Just(1u32),
+            (10u32..20).prop_map(|v| v * 2),
+            Just(3u32),
+        ]) {
+            prop_assert!(x == 1 || x == 3 || (20..40).contains(&x));
         }
     }
 }
