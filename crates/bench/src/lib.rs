@@ -257,6 +257,9 @@ pub struct RunCfg {
     pub peer_sampling: bool,
     /// Execution substrate (barrier rounds vs event-driven async gossip).
     pub execution: ExecutionMode,
+    /// Transport backend (virtual-time sim vs real OS-thread channels —
+    /// extension: `ext_transport`).
+    pub transport: jwins::config::TransportKind,
     /// Hardware heterogeneity for event-driven runs.
     pub heterogeneity: HeterogeneityProfile,
     /// Fault injection and staleness policy for event-driven runs
@@ -302,6 +305,7 @@ impl RunCfg {
             dropout: None,
             peer_sampling: false,
             execution: ExecutionMode::default(),
+            transport: jwins::config::TransportKind::default(),
             heterogeneity: HeterogeneityProfile::default(),
             faults: jwins_fault::FaultConfig::default(),
             repair: RepairPolicy::None,
@@ -327,6 +331,7 @@ fn train_config(cfg: &RunCfg, lr: f32) -> TrainConfig {
     c.target_accuracy = cfg.target_accuracy;
     c.record_alphas = cfg.record_alphas;
     c.execution = cfg.execution;
+    c.transport = cfg.transport;
     c.heterogeneity = cfg.heterogeneity.clone();
     c.faults = cfg.faults.clone();
     c.repair = cfg.repair;

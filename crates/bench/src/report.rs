@@ -256,6 +256,7 @@ mod tests {
                 rounds_run: 0,
                 reached_target: None,
                 alpha_history: Vec::new(),
+                measured_latency_s: None,
             },
         )
         .with_phases(totals);
@@ -271,6 +272,7 @@ mod tests {
             rounds_run: 0,
             reached_target: None,
             alpha_history: Vec::new(),
+            measured_latency_s: None,
         };
         let case = BenchCase::from_result("b", "c", 1.0, &result);
         assert_eq!(

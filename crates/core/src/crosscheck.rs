@@ -1,0 +1,245 @@
+//! Real-backend ↔ sim-oracle cross-checking.
+//!
+//! A [`crate::config::TransportKind::Channel`] run is not bit-reproducible
+//! (thread scheduling decides interleavings), so its correctness story is a
+//! *differential* one: replay the same `TrainConfig` + seed on the
+//! simulated backend under the latency profile the real transport actually
+//! measured, and require the two accuracy trajectories to agree within a
+//! declared tolerance. A real-backend bug that perturbs aggregation —
+//! dropped frames, mis-routed messages, wrong mixing weights — shows up as
+//! a trajectory gap long before it shows up as a crash.
+//!
+//! The harness (used by `tests/transport_real.rs` and the `ext_transport`
+//! bench) is three pieces:
+//!
+//! 1. [`oracle_profile`] turns the channel backend's measured mean flight
+//!    latency into a [`HeterogeneityProfile`] the sim can replay;
+//! 2. the caller runs the sim oracle with that profile (same config
+//!    otherwise, `TransportKind::Sim`);
+//! 3. [`compare_to_oracle`] aligns the two [`RunResult`]s round-by-round
+//!    and reports the worst accuracy gap against a tolerance.
+
+use crate::metrics::RunResult;
+use jwins_sim::{ComputeProfile, HeterogeneityProfile, LinkProfile};
+use std::collections::HashMap;
+
+/// Default accuracy-gap tolerance for channel ↔ sim cross-checks.
+///
+/// Deliberately loose: the two runs share seeds for data order, strategy
+/// draws and topology, but the channel backend mixes whatever arrived
+/// before its bounded wait while the sim's barrier delivers everything, so
+/// early-round trajectories can diverge on small models before both
+/// converge. 0.15 absolute accuracy is far tighter than the gap a real
+/// routing or weighting bug produces (those typically destroy learning
+/// outright) while staying robust to scheduler noise.
+pub const DEFAULT_ACCURACY_TOLERANCE: f64 = 0.15;
+
+/// Measured latencies below this fraction of a compute round replay as
+/// instant links in the oracle (see [`oracle_profile`]): a flight well
+/// under one round still lands inside the mix window the barrier schedule
+/// implies, so it cannot move a message across a round boundary. Only a
+/// flight on the order of the round itself (a socketed WAN backend, say)
+/// changes which round a message mixes in — the regime the event-driven
+/// replay models.
+pub const INSTANT_FRACTION: f64 = 0.5;
+
+/// Builds the heterogeneity profile the sim oracle should replay to mimic
+/// a real run whose transport measured `measured_latency_s` mean in-flight
+/// latency, given the config's per-round compute time `compute_s`.
+///
+/// In-process channels measure *milliseconds* of flight (a message waits in
+/// its channel while the receiver finishes its own training) against
+/// *seconds* of modelled compute; replaying such a latency as a link
+/// profile would shift every mix one round stale in the sim (the event
+/// queue orders arrival strictly after the receiver's mix when latency is
+/// nonzero) without changing anything the real run observed. Latencies
+/// below [`INSTANT_FRACTION`] of the compute time are therefore clamped to
+/// instant links — they cannot move a message across a round boundary —
+/// and anything slower is replayed as a uniform link at essentially
+/// infinite bandwidth (the transport measures latency, not throughput).
+pub fn oracle_profile(measured_latency_s: Option<f64>, compute_s: f64) -> HeterogeneityProfile {
+    match measured_latency_s {
+        Some(latency)
+            if latency.is_finite() && latency > 0.0 && latency >= INSTANT_FRACTION * compute_s =>
+        {
+            HeterogeneityProfile {
+                compute: ComputeProfile::Uniform,
+                links: LinkProfile::Uniform {
+                    latency_s: latency,
+                    bandwidth_bps: 1e12,
+                },
+            }
+        }
+        _ => HeterogeneityProfile::default(),
+    }
+}
+
+/// The outcome of aligning a real-backend run against its sim oracle.
+#[derive(Debug, Clone)]
+pub struct CrossCheck {
+    /// Rounds the real run completed.
+    pub rounds_real: usize,
+    /// Rounds the oracle replay completed.
+    pub rounds_oracle: usize,
+    /// Evaluation records present in *both* runs (aligned by round).
+    pub compared: usize,
+    /// Largest absolute `test_accuracy` gap across aligned records.
+    pub max_accuracy_gap: f64,
+    /// Absolute gap between the two final accuracies.
+    pub final_accuracy_gap: f64,
+    /// Relative gap in total bytes sent, `|real − oracle| / oracle`
+    /// (0 when the oracle sent nothing). Exactly 0 for fixed-size
+    /// strategies; small but nonzero for content-adaptive metadata codecs
+    /// when a bounded wait dropped a message and shifted the trajectory.
+    pub traffic_gap_ratio: f64,
+    /// The tolerance the check was run against.
+    pub tolerance: f64,
+}
+
+impl CrossCheck {
+    /// Whether the real run's trajectory matches its oracle: at least one
+    /// aligned record, and every aligned accuracy within `tolerance`.
+    pub fn within_tolerance(&self) -> bool {
+        self.compared > 0 && self.max_accuracy_gap <= self.tolerance
+    }
+}
+
+/// Aligns two runs' evaluation records by round and measures the accuracy
+/// gap. Checkpoint records (virtual-time evals) are ignored on both sides;
+/// the channel backend never produces them and the oracle is validated not
+/// to.
+pub fn compare_to_oracle(real: &RunResult, oracle: &RunResult, tolerance: f64) -> CrossCheck {
+    let oracle_by_round: HashMap<usize, f64> = oracle
+        .round_records()
+        .map(|r| (r.round, r.test_accuracy))
+        .collect();
+    let mut compared = 0;
+    let mut max_accuracy_gap = 0.0f64;
+    for record in real.round_records() {
+        if let Some(oracle_accuracy) = oracle_by_round.get(&record.round) {
+            compared += 1;
+            max_accuracy_gap = max_accuracy_gap.max((record.test_accuracy - oracle_accuracy).abs());
+        }
+    }
+    let oracle_bytes = oracle.total_traffic.bytes_sent;
+    let traffic_gap_ratio = if oracle_bytes == 0 {
+        0.0
+    } else {
+        (real.total_traffic.bytes_sent as f64 - oracle_bytes as f64).abs() / oracle_bytes as f64
+    };
+    CrossCheck {
+        rounds_real: real.rounds_run,
+        rounds_oracle: oracle.rounds_run,
+        compared,
+        max_accuracy_gap,
+        final_accuracy_gap: (real.final_accuracy() - oracle.final_accuracy()).abs(),
+        traffic_gap_ratio,
+        tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RoundRecord;
+
+    fn record(round: usize, accuracy: f64) -> RoundRecord {
+        RoundRecord {
+            round,
+            train_loss: 0.0,
+            test_loss: 0.0,
+            test_accuracy: accuracy,
+            test_rmse: 0.0,
+            mean_alpha: 1.0,
+            cum_bytes_per_node: 100.0,
+            cum_payload_per_node: 90.0,
+            cum_metadata_per_node: 10.0,
+            sim_time_s: round as f64,
+            mean_staleness_s: 0.0,
+            crashes: 0,
+            rejoins: 0,
+            messages_expired: 0,
+            downweight_mass: 0.0,
+            edges_rewired: 0,
+            bandwidth_saved_bytes: 0,
+            attacks_injected: 0,
+            mass_clipped: 0.0,
+            per_node_accuracy: Vec::new(),
+            checkpoint: false,
+        }
+    }
+
+    fn run(records: Vec<RoundRecord>, bytes: u64) -> RunResult {
+        let rounds_run = records.last().map_or(0, |r| r.round + 1);
+        RunResult {
+            strategy: "test".to_owned(),
+            records,
+            total_traffic: jwins_net::TrafficStats {
+                bytes_sent: bytes,
+                ..Default::default()
+            },
+            rounds_run,
+            reached_target: None,
+            alpha_history: Vec::new(),
+            measured_latency_s: None,
+        }
+    }
+
+    #[test]
+    fn tiny_latencies_clamp_to_instant_links() {
+        let profile = oracle_profile(Some(2e-6), 1.0);
+        assert!(profile.is_degenerate());
+        let none = oracle_profile(None, 1.0);
+        assert!(none.is_degenerate());
+    }
+
+    #[test]
+    fn slow_links_replay_as_uniform_latency() {
+        let profile = oracle_profile(Some(0.75), 1.0);
+        assert!(!profile.is_degenerate());
+        match profile.links {
+            LinkProfile::Uniform { latency_s, .. } => assert!((latency_s - 0.75).abs() < 1e-12),
+            other => panic!("expected uniform links, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sub_round_latencies_stay_degenerate() {
+        // ~8% of a round: real in-process flight, barrier-equivalent.
+        assert!(oracle_profile(Some(0.004), 0.05).is_degenerate());
+        // Larger than the round: must be replayed, not clamped.
+        assert!(!oracle_profile(Some(0.1), 0.05).is_degenerate());
+    }
+
+    #[test]
+    fn identical_trajectories_pass() {
+        let real = run(vec![record(1, 0.4), record(3, 0.6)], 1000);
+        let oracle = run(vec![record(1, 0.4), record(3, 0.6)], 1000);
+        let check = compare_to_oracle(&real, &oracle, DEFAULT_ACCURACY_TOLERANCE);
+        assert_eq!(check.compared, 2);
+        assert_eq!(check.max_accuracy_gap, 0.0);
+        assert_eq!(check.traffic_gap_ratio, 0.0);
+        assert!(check.within_tolerance());
+    }
+
+    #[test]
+    fn diverging_trajectories_fail() {
+        let real = run(vec![record(1, 0.1), record(3, 0.2)], 1100);
+        let oracle = run(vec![record(1, 0.4), record(3, 0.6)], 1000);
+        let check = compare_to_oracle(&real, &oracle, DEFAULT_ACCURACY_TOLERANCE);
+        assert_eq!(check.compared, 2);
+        assert!((check.max_accuracy_gap - 0.4).abs() < 1e-12);
+        assert!((check.final_accuracy_gap - 0.4).abs() < 1e-12);
+        assert!((check.traffic_gap_ratio - 0.1).abs() < 1e-12);
+        assert!(!check.within_tolerance());
+    }
+
+    #[test]
+    fn disjoint_round_sets_never_pass_vacuously() {
+        let real = run(vec![record(2, 0.5)], 100);
+        let oracle = run(vec![record(3, 0.5)], 100);
+        let check = compare_to_oracle(&real, &oracle, DEFAULT_ACCURACY_TOLERANCE);
+        assert_eq!(check.compared, 0);
+        assert!(!check.within_tolerance());
+    }
+}

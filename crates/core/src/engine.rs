@@ -70,7 +70,7 @@
 //! same-speed cohorts aligned and batch wide — see the `ext_parallel`
 //! bench.
 
-use crate::config::{ExecutionMode, TrainConfig};
+use crate::config::{ExecutionMode, TrainConfig, TransportKind};
 use crate::metrics::{RoundRecord, RunResult, TargetHit};
 use crate::participation::{AlwaysOn, ParticipationModel};
 use crate::strategy::{Outbound, ReceivedMessage, ShareStrategy};
@@ -78,7 +78,9 @@ use crate::{JwinsError, Result};
 use jwins_adversary::{AttackBehavior, AttackTimeline};
 use jwins_data::batch::BatchSampler;
 use jwins_fault::RejoinMode;
-use jwins_net::{LossModel, PendingSend, SimNetwork};
+use jwins_net::{
+    LossModel, PendingSend, PurgeScope, SimNetwork, ThreadChannelTransport, Transport,
+};
 use jwins_nn::model::{EvalMetrics, Model};
 use jwins_sim::{Conflict, EventQueue, LifecycleEvent, LifecycleTracker, SimTime};
 use jwins_topology::dynamic::{RoundTopology, TopologyProvider};
@@ -250,13 +252,21 @@ impl<M: Model> TrainerBuilder<M> {
                 last_alpha: 0.0,
             });
         }
-        let mut network = if self.config.message_loss > 0.0 {
-            SimNetwork::lossy(
-                n,
-                LossModel::new(self.config.message_loss, self.config.seed ^ 0x1055),
-            )
-        } else {
-            SimNetwork::new(n)
+        // The transport is chosen here and never again: the engine speaks
+        // only the `Transport` trait from this point on, so both backends
+        // run the exact same round program.
+        let mut network: Box<dyn Transport> = match self.config.transport {
+            TransportKind::Sim => {
+                if self.config.message_loss > 0.0 {
+                    Box::new(SimNetwork::lossy(
+                        n,
+                        LossModel::new(self.config.message_loss, self.config.seed ^ 0x1055),
+                    ))
+                } else {
+                    Box::new(SimNetwork::new(n))
+                }
+            }
+            TransportKind::Channel(_) => Box::new(ThreadChannelTransport::new(n)),
         };
         // File sinks are opened here so a bad trace path fails the build as
         // a configuration error rather than wedging mid-run.
@@ -276,7 +286,7 @@ impl<M: Model> TrainerBuilder<M> {
         let tracer = Arc::new(tracer);
         network.set_tracer(Arc::clone(&tracer));
         Ok(Trainer {
-            network,
+            network: Arc::from(network),
             test: Arc::new(self.test),
             config: self.config,
             topology,
@@ -316,20 +326,25 @@ fn attack_kind(behavior: AttackBehavior) -> AttackKind {
     }
 }
 
-struct NodeState<M: Model> {
-    model: M,
-    params: Vec<f32>,
-    sampler: BatchSampler<M::Sample>,
-    strategy: Box<dyn ShareStrategy>,
-    out: Option<Outbound>,
-    last_train_loss: f32,
-    last_alpha: f64,
+pub(crate) struct NodeState<M: Model> {
+    pub(crate) model: M,
+    pub(crate) params: Vec<f32>,
+    pub(crate) sampler: BatchSampler<M::Sample>,
+    pub(crate) strategy: Box<dyn ShareStrategy>,
+    pub(crate) out: Option<Outbound>,
+    pub(crate) last_train_loss: f32,
+    pub(crate) last_alpha: f64,
 }
 
 /// Runs τ local SGD steps on one node — the *identical* instruction sequence
 /// for both execution substrates, so event-driven runs with a degenerate
 /// heterogeneity profile replay bulk-synchronous results bit-for-bit.
-fn train_steps<M: Model>(node: &mut NodeState<M>, tau: usize, batch_size: usize, lr: f32) {
+pub(crate) fn train_steps<M: Model>(
+    node: &mut NodeState<M>,
+    tau: usize,
+    batch_size: usize,
+    lr: f32,
+) {
     node.model.set_params(&node.params);
     let mut loss = 0.0;
     for _ in 0..tau {
@@ -453,16 +468,16 @@ where
 
 /// A configured decentralized training run.
 pub struct Trainer<M: Model> {
-    config: TrainConfig,
-    topology: Box<dyn TopologyProvider>,
-    participation: Box<dyn ParticipationModel>,
-    network: SimNetwork,
-    nodes: Vec<NodeState<M>>,
-    test: Arc<Vec<M::Sample>>,
+    pub(crate) config: TrainConfig,
+    pub(crate) topology: Box<dyn TopologyProvider>,
+    pub(crate) participation: Box<dyn ParticipationModel>,
+    pub(crate) network: Arc<dyn Transport>,
+    pub(crate) nodes: Vec<NodeState<M>>,
+    pub(crate) test: Arc<Vec<M::Sample>>,
     /// Run telemetry. Always present — the flight recorder inside is the
     /// always-on crash context — and only ever *read from* sequential code,
     /// so it can never perturb a result (see `jwins_trace`).
-    tracer: Arc<Tracer>,
+    pub(crate) tracer: Arc<Tracer>,
 }
 
 impl<M: Model> Trainer<M> {
@@ -515,7 +530,7 @@ impl<M: Model> Trainer<M> {
     }
 
     /// Active neighbours of `i` this round, in sorted order.
-    fn active_neighbors(topo: &RoundTopology, active: &[bool], i: usize) -> Vec<usize> {
+    pub(crate) fn active_neighbors(topo: &RoundTopology, active: &[bool], i: usize) -> Vec<usize> {
         topo.graph
             .neighbors(i)
             .iter()
@@ -584,8 +599,14 @@ impl<M: Model> Trainer<M> {
             match outbound {
                 Outbound::Broadcast(msg) => {
                     node_bytes = (msg.bytes.len() * neighbors.len()) as u64;
-                    self.network
-                        .broadcast(i, &neighbors, msg.bytes, msg.breakdown);
+                    for &to in &neighbors {
+                        self.network.send(PendingSend::bulk(
+                            i,
+                            to,
+                            msg.bytes.clone(),
+                            msg.breakdown,
+                        ));
+                    }
                 }
                 Outbound::PerEdge(messages) => {
                     if messages.len() != neighbors.len() {
@@ -596,7 +617,8 @@ impl<M: Model> Trainer<M> {
                     for (&to, msg) in neighbors.iter().zip(messages) {
                         if let Some(msg) = msg {
                             node_bytes += msg.bytes.len() as u64;
-                            self.network.send(i, to, msg.bytes, msg.breakdown);
+                            self.network
+                                .send(PendingSend::bulk(i, to, msg.bytes, msg.breakdown));
                         }
                     }
                 }
@@ -620,7 +642,8 @@ impl<M: Model> Trainer<M> {
             if !active[i] {
                 return Ok(());
             }
-            let inbox = network.drain(i);
+            // No deadline, no TTL: barrier rounds deliver everything sent.
+            let inbox = network.drain(i, SimTime::MAX, None).envelopes;
             let neighbors = graph.neighbors(i);
             let received: Vec<ReceivedMessage<'_>> = inbox
                 .iter()
@@ -754,9 +777,17 @@ impl<M: Model> Trainer<M> {
         // If anything below panics, the guard dumps the flight recorder's
         // tail to stderr before the process unwinds.
         let guard = jwins_trace::FlightDumpGuard::new(Arc::clone(&tracer));
-        let result = match self.config.execution {
-            ExecutionMode::BulkSynchronous => self.run_sync(),
-            ExecutionMode::EventDriven => self.run_event_driven(),
+        let result = if self.config.transport.is_real() {
+            // The channel backend has no virtual clock to schedule either
+            // substrate on; its driver runs the round program on one OS
+            // thread per node (validation already pinned the execution
+            // mode to BulkSynchronous).
+            crate::channel_driver::run_channel(self)
+        } else {
+            match self.config.execution {
+                ExecutionMode::BulkSynchronous => self.run_sync(),
+                ExecutionMode::EventDriven => self.run_event_driven(),
+            }
         };
         drop(guard);
         if result.is_err() {
@@ -911,6 +942,7 @@ impl<M: Model> Trainer<M> {
             rounds_run,
             reached_target,
             alpha_history,
+            measured_latency_s: None,
         })
     }
 
@@ -1172,8 +1204,22 @@ impl<M: Model> Trainer<M> {
                             // The connection is gone in both directions;
                             // only this round's messages die — other rounds
                             // may still carry the edge.
-                            let (killed_ab, _) = self.network.purge_link(a, b, Some(round));
-                            let (killed_ba, _) = self.network.purge_link(b, a, Some(round));
+                            let killed_ab = self
+                                .network
+                                .purge(PurgeScope::Link {
+                                    from: a,
+                                    to: b,
+                                    sent_round: Some(round),
+                                })
+                                .messages;
+                            let killed_ba = self
+                                .network
+                                .purge(PurgeScope::Link {
+                                    from: b,
+                                    to: a,
+                                    sent_round: Some(round),
+                                })
+                                .messages;
                             if killed_ab > 0 {
                                 tracer.emit(TraceEvent::MsgKill {
                                     t_ns: refresh_time.0,
@@ -1618,7 +1664,7 @@ impl<M: Model> Trainer<M> {
                                 kind: attack_kind(b),
                             });
                         }
-                        self.network.commit_sends(proposal.sends);
+                        self.network.send_batch(proposal.sends);
                         bandwidth_saved += proposal.saved_bytes;
                         current_alpha[node] = proposal.alpha;
                         if self.config.record_alphas {
@@ -1699,8 +1745,8 @@ impl<M: Model> Trainer<M> {
                     // at all for events discarded by an early stop.
                     let proposals =
                         par_batch(&mut self.nodes, items, threads, |node, state, item| {
-                            let (inbox, mut expired) =
-                                network.drain_until_deferred(node, time, ttl);
+                            let drained = network.drain(node, time, ttl);
+                            let (inbox, mut expired) = (drained.envelopes, drained.expired);
                             let neighbors = item.topo.graph.neighbors(node);
                             let mut received = Vec::with_capacity(inbox.len());
                             let mut absorbed = 0.0f64;
@@ -1785,7 +1831,7 @@ impl<M: Model> Trainer<M> {
                     for (node, round, trained, epoch) in live {
                         if trained {
                             let p = proposals.next().expect("one proposal per trained mix");
-                            self.network.record_expired_many(node, p.expired);
+                            self.network.record_expired(node, p.expired);
                             if p.expired > 0 {
                                 tracer.emit(TraceEvent::MsgExpire {
                                     t_ns: time.0,
@@ -1880,8 +1926,14 @@ impl<M: Model> Trainer<M> {
                         // The host dies with its inbox and open connections:
                         // everything queued for it and everything it still
                         // has in flight is destroyed.
-                        let killed_inbox = self.network.purge_inbox(node);
-                        let killed_in_flight = self.network.purge_in_flight_from(node, time);
+                        let killed_inbox = self.network.purge(PurgeScope::Inbox { node }).messages;
+                        let killed_in_flight = self
+                            .network
+                            .purge(PurgeScope::InFlightFrom {
+                                from: node,
+                                cutoff: time,
+                            })
+                            .messages;
                         let permanent = recoveries_scheduled[node] == 0;
                         tracer.emit(TraceEvent::NodeCrash {
                             t_ns: time.0,
@@ -1974,7 +2026,13 @@ impl<M: Model> Trainer<M> {
                         // Deliveries that completed while the host was down
                         // hit a dead machine; still-in-flight tails land on
                         // the recovered host and survive.
-                        let killed = self.network.purge_arrived(node, time);
+                        let killed = self
+                            .network
+                            .purge(PurgeScope::ArrivedBy {
+                                node,
+                                deadline: time,
+                            })
+                            .messages;
                         if killed > 0 {
                             tracer.emit(TraceEvent::MsgKill {
                                 t_ns: time.0,
@@ -2073,7 +2131,7 @@ impl<M: Model> Trainer<M> {
         // have every node alive, so this cannot disturb their totals).
         for node in 0..n {
             if !lifecycle.is_alive(node) {
-                self.network.purge_inbox(node);
+                self.network.purge(PurgeScope::Inbox { node });
             }
         }
 
@@ -2128,6 +2186,7 @@ impl<M: Model> Trainer<M> {
             rounds_run,
             reached_target,
             alpha_history,
+            measured_latency_s: None,
         })
     }
 }
@@ -2272,6 +2331,7 @@ mod tests {
             rounds_run: rounds,
             reached_target: None,
             alpha_history: Vec::new(),
+            measured_latency_s: None,
         };
         (params, result)
     }

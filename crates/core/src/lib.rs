@@ -69,7 +69,9 @@
 //! ```
 
 pub mod average;
+mod channel_driver;
 pub mod config;
+pub mod crosscheck;
 pub mod cutoff;
 pub mod engine;
 pub mod metrics;

@@ -151,6 +151,13 @@ pub struct RunResult {
     /// Per-round, per-node sharing fractions (only when
     /// `TrainConfig::record_alphas` is set).
     pub alpha_history: Vec<Vec<f64>>,
+    /// Mean in-flight message latency the transport *measured* during the
+    /// run, in seconds. `None` on the simulated backend (nothing is
+    /// measured — latency is modelled); `Some` on real-concurrency
+    /// backends, where the cross-check harness replays it through the sim
+    /// oracle (`crate::crosscheck`). Excluded from [`Self::assert_bit_identical`]:
+    /// it is a wall-clock observation, not part of the deterministic run.
+    pub measured_latency_s: Option<f64>,
 }
 
 impl RunResult {
@@ -295,6 +302,7 @@ mod tests {
             rounds_run: 11,
             reached_target: None,
             alpha_history: Vec::new(),
+            measured_latency_s: None,
         };
         assert_eq!(result.final_accuracy(), 0.5);
         assert_eq!(result.final_record().unwrap().round, 10);
@@ -309,6 +317,7 @@ mod tests {
             rounds_run: 1,
             reached_target: None,
             alpha_history: Vec::new(),
+            measured_latency_s: None,
         };
         let csv = result.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
@@ -362,6 +371,7 @@ mod tests {
             rounds_run: 0,
             reached_target: None,
             alpha_history: Vec::new(),
+            measured_latency_s: None,
         };
         assert_eq!(result.final_accuracy(), 0.0);
         assert!(result.final_record().is_none());

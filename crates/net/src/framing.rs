@@ -1,0 +1,263 @@
+//! Wire framing for the real-concurrency backend.
+//!
+//! Messages crossing an OS-thread (or, later, socket) boundary lose the
+//! typed `Envelope` the in-memory backend shares by reference, so the
+//! [`crate::ThreadChannelTransport`] serializes each one into a
+//! self-describing frame — magic, version, message kind, routing header,
+//! round/time stamps, length-prefixed payload — in the style of a
+//! production p2p stack's message layer: the receiver *validates* what the
+//! wire handed it instead of trusting it.
+//!
+//! The frame header is deliberately **not** metered by [`crate::meter`]:
+//! the engine's byte accounting must be identical across backends (the
+//! cross-check harness compares `RoundRecord` traffic columns), so framing
+//! overhead is transport-internal, like TCP/IP headers under the paper's
+//! application-level byte counts.
+
+use bytes::Bytes;
+use jwins_sim::SimTime;
+use std::fmt;
+
+/// Frame magic: "JWNT" (JWins Network Transport).
+pub const MAGIC: [u8; 4] = *b"JWNT";
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Fixed header length in bytes: magic(4) + version(1) + kind(1) +
+/// from(4) + to(4) + sent_round(8) + sent_ns(8) + payload_len(4).
+pub const HEADER_LEN: usize = 34;
+
+/// The protocol message taxonomy. One kind today; the discriminant is on
+/// the wire so adding control messages (handshakes, pings) later does not
+/// break old frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A round's model-sharing gossip message.
+    Gossip = 0,
+}
+
+impl FrameKind {
+    fn from_wire(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(FrameKind::Gossip),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded frame: everything the receiving session needs to rebuild an
+/// [`crate::Envelope`] (the arrival stamp is the receiver's, not the
+/// wire's).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Message kind.
+    pub kind: FrameKind,
+    /// Sending node.
+    pub from: usize,
+    /// Intended receiver (validated against the session that read it).
+    pub to: usize,
+    /// The sender's local round stamp.
+    pub sent_round: usize,
+    /// The sender's clock at send time, on the transport's time axis.
+    pub sent: SimTime,
+    /// The message body (zero-copy slice of the wire buffer).
+    pub payload: Bytes,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than a header.
+    TooShort {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The magic bytes did not match [`MAGIC`].
+    BadMagic,
+    /// Unknown protocol version.
+    BadVersion {
+        /// The version byte on the wire.
+        got: u8,
+    },
+    /// Unknown [`FrameKind`] discriminant.
+    BadKind {
+        /// The kind byte on the wire.
+        got: u8,
+    },
+    /// The length prefix disagrees with the buffer length.
+    LengthMismatch {
+        /// Payload length the header declared.
+        declared: usize,
+        /// Payload bytes actually present.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooShort { got } => {
+                write!(f, "frame too short: {got} bytes < {HEADER_LEN}-byte header")
+            }
+            FrameError::BadMagic => write!(f, "bad frame magic (expected JWNT)"),
+            FrameError::BadVersion { got } => {
+                write!(f, "unknown frame version {got} (expected {VERSION})")
+            }
+            FrameError::BadKind { got } => write!(f, "unknown frame kind {got}"),
+            FrameError::LengthMismatch { declared, got } => {
+                write!(f, "frame length mismatch: header declares {declared} payload bytes, buffer holds {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one message into a wire frame.
+pub fn encode(
+    kind: FrameKind,
+    from: usize,
+    to: usize,
+    sent_round: usize,
+    sent: SimTime,
+    payload: &Bytes,
+) -> Bytes {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(kind as u8);
+    buf.extend_from_slice(&(from as u32).to_le_bytes());
+    buf.extend_from_slice(&(to as u32).to_le_bytes());
+    buf.extend_from_slice(&(sent_round as u64).to_le_bytes());
+    buf.extend_from_slice(&sent.0.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    Bytes::from(buf)
+}
+
+/// Decodes a wire frame, validating magic, version, kind and length.
+///
+/// # Errors
+///
+/// Returns the first [`FrameError`] the validation walk hits.
+pub fn decode(wire: &Bytes) -> Result<Frame, FrameError> {
+    if wire.len() < HEADER_LEN {
+        return Err(FrameError::TooShort { got: wire.len() });
+    }
+    if wire[0..4] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if wire[4] != VERSION {
+        return Err(FrameError::BadVersion { got: wire[4] });
+    }
+    let kind = FrameKind::from_wire(wire[5]).ok_or(FrameError::BadKind { got: wire[5] })?;
+    let u32_at = |i: usize| u32::from_le_bytes(wire[i..i + 4].try_into().expect("4 bytes"));
+    let u64_at = |i: usize| u64::from_le_bytes(wire[i..i + 8].try_into().expect("8 bytes"));
+    let from = u32_at(6) as usize;
+    let to = u32_at(10) as usize;
+    let sent_round = u64_at(14) as usize;
+    let sent = SimTime(u64_at(22));
+    let declared = u32_at(30) as usize;
+    let got = wire.len() - HEADER_LEN;
+    if declared != got {
+        return Err(FrameError::LengthMismatch { declared, got });
+    }
+    Ok(Frame {
+        kind,
+        from,
+        to,
+        sent_round,
+        sent,
+        payload: wire.slice(HEADER_LEN..wire.len()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let payload = Bytes::from(vec![7u8, 8, 9]);
+        let wire = encode(FrameKind::Gossip, 3, 11, 42, SimTime(1_000_000), &payload);
+        assert_eq!(wire.len(), HEADER_LEN + 3);
+        let frame = decode(&wire).expect("valid frame");
+        assert_eq!(frame.kind, FrameKind::Gossip);
+        assert_eq!(frame.from, 3);
+        assert_eq!(frame.to, 11);
+        assert_eq!(frame.sent_round, 42);
+        assert_eq!(frame.sent, SimTime(1_000_000));
+        assert_eq!(&frame.payload[..], &[7, 8, 9]);
+    }
+
+    #[test]
+    fn empty_payloads_are_legal() {
+        let wire = encode(FrameKind::Gossip, 0, 1, 0, SimTime::ZERO, &Bytes::new());
+        assert_eq!(wire.len(), HEADER_LEN);
+        let frame = decode(&wire).expect("valid frame");
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_frames() {
+        let good = encode(
+            FrameKind::Gossip,
+            1,
+            2,
+            3,
+            SimTime(4),
+            &Bytes::from(vec![5u8]),
+        );
+
+        assert_eq!(
+            decode(&good.slice(0..10)),
+            Err(FrameError::TooShort { got: 10 })
+        );
+
+        let mut bad_magic = good.to_vec();
+        bad_magic[0] = b'X';
+        assert_eq!(decode(&Bytes::from(bad_magic)), Err(FrameError::BadMagic));
+
+        let mut bad_version = good.to_vec();
+        bad_version[4] = 99;
+        assert_eq!(
+            decode(&Bytes::from(bad_version)),
+            Err(FrameError::BadVersion { got: 99 })
+        );
+
+        let mut bad_kind = good.to_vec();
+        bad_kind[5] = 7;
+        assert_eq!(
+            decode(&Bytes::from(bad_kind)),
+            Err(FrameError::BadKind { got: 7 })
+        );
+
+        let mut truncated = good.to_vec();
+        truncated.pop();
+        assert_eq!(
+            decode(&Bytes::from(truncated)),
+            Err(FrameError::LengthMismatch {
+                declared: 1,
+                got: 0
+            })
+        );
+    }
+
+    #[test]
+    fn errors_render_human_readable() {
+        let text = format!(
+            "{} / {} / {}",
+            FrameError::BadMagic,
+            FrameError::BadVersion { got: 2 },
+            FrameError::LengthMismatch {
+                declared: 4,
+                got: 2
+            }
+        );
+        assert!(text.contains("JWNT"));
+        assert!(text.contains("version 2"));
+        assert!(text.contains("declares 4"));
+    }
+}

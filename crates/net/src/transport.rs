@@ -1,78 +1,34 @@
-//! Mailbox-based message transport.
+//! The engine↔network contract: [`Transport`].
 //!
-//! A [`SimNetwork`] connects `n` nodes. Senders enqueue [`Envelope`]s into
-//! the receiver's mailbox; receivers drain their mailbox once per round (the
-//! training engine is bulk-synchronous, like the paper's round structure).
-//! Payloads are reference-counted [`bytes::Bytes`], so broadcasting one
-//! message to `d` neighbours costs one allocation while still being counted
-//! `d` times by the meter — exactly like a TCP fan-out.
+//! The training engine talks to exactly one object — a [`Transport`] — and
+//! never to a concrete network type. The trait captures the engine's actual
+//! needs as a small, coherent surface:
+//!
+//! - **committed sends**: every transmission is a fully priced
+//!   [`PendingSend`] (endpoints, bytes, virtual departure/arrival stamps),
+//!   handed over one at a time ([`Transport::send`]) or as an ordered batch
+//!   ([`Transport::send_batch`]);
+//! - **one drain** ([`Transport::drain`]): deadline-aware (messages whose
+//!   `arrives` stamp is past the deadline stay queued) and TTL-aware
+//!   (arrived-but-stale messages are discarded and *counted*, with the
+//!   stats commit deferred to the caller via [`Transport::record_expired`]
+//!   so a parallel execute phase stays deterministic);
+//! - **one purge** ([`Transport::purge`]): a [`PurgeScope`] selects which
+//!   messages die (a crashed node's inbox, deliveries that landed on a dead
+//!   host, a dead sender's half-open transfers, a repaired-away link);
+//! - **stats/tracer hooks**: per-node [`TrafficStats`] snapshots and an
+//!   attachable [`jwins_trace::Tracer`] that observes sends and drops
+//!   without ever affecting them.
+//!
+//! Two backends implement it: the deterministic in-memory
+//! [`crate::SimNetwork`] (virtual time, the determinism oracle) and the
+//! real-concurrency [`crate::ThreadChannelTransport`] (one OS thread per
+//! node, a crossbeam channel per directed edge, wall-clock stamps mapped
+//! onto [`SimTime`]).
 
 use crate::meter::{ByteBreakdown, TrafficStats};
 use bytes::Bytes;
 use jwins_sim::SimTime;
-use parking_lot::Mutex;
-use std::collections::HashMap;
-
-/// Independent per-message loss on every directed link, deterministic in
-/// `(seed, from, to, per-link sequence number)`.
-///
-/// Dropped messages are still metered as sent (the sender paid for the
-/// bytes) but never reach the receiver's mailbox; the drop is counted in
-/// [`TrafficStats::messages_dropped`]. Node-level churn is a different
-/// failure mode — see the engine's participation models.
-///
-/// # Example
-///
-/// ```
-/// use jwins_net::{LossModel, SimNetwork};
-/// use jwins_net::ByteBreakdown;
-/// use bytes::Bytes;
-///
-/// let net = SimNetwork::lossy(2, LossModel::new(0.5, 7));
-/// for _ in 0..100 {
-///     net.send(0, 1, Bytes::from(vec![0u8]), ByteBreakdown { payload: 1, metadata: 0 });
-/// }
-/// let delivered = net.drain(1).len() as u64;
-/// assert_eq!(delivered + net.stats(0).messages_dropped, 100);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LossModel {
-    probability: f64,
-    seed: u64,
-}
-
-impl LossModel {
-    /// Creates a loss model dropping each message with `probability`.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `0 <= probability < 1`.
-    pub fn new(probability: f64, seed: u64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&probability),
-            "loss probability must be in [0, 1)"
-        );
-        Self { probability, seed }
-    }
-
-    /// The configured drop probability.
-    pub fn probability(&self) -> f64 {
-        self.probability
-    }
-
-    fn drops(&self, from: usize, to: usize, sequence: u64) -> bool {
-        // SplitMix64 over (seed, from, to, sequence).
-        let mut z = self
-            .seed
-            .wrapping_add((from as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            .wrapping_add((to as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9))
-            .wrapping_add((sequence + 1).wrapping_mul(0x94D0_49BB_1331_11EB));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        let u = (z ^ (z >> 31)) as f64 / u64::MAX as f64;
-        u < self.probability
-    }
-}
 
 /// A delivered message.
 ///
@@ -81,7 +37,7 @@ impl LossModel {
 /// network, `arrives` is when the last byte lands in the receiver's mailbox
 /// (`latency + bytes / bandwidth` on the sending link). The barrier-driven
 /// engine leaves both at [`SimTime::ZERO`], making every message immediately
-/// drainable — exactly the old semantics.
+/// drainable — exactly the bulk-synchronous semantics.
 #[derive(Debug, Clone)]
 pub struct Envelope {
     /// Sending node.
@@ -91,7 +47,7 @@ pub struct Envelope {
     /// Virtual send time.
     pub sent: SimTime,
     /// Virtual arrival time; until then the message is invisible to
-    /// [`SimNetwork::drain_until`].
+    /// [`Transport::drain`].
     pub arrives: SimTime,
     /// The sender's local round when it sent this message (staleness
     /// accounting in asynchronous gossip; 0 in barrier mode).
@@ -117,8 +73,8 @@ impl Envelope {
 /// The event-driven engine's parallel execute phase computes everything
 /// about a transmission (recipient, bytes, virtual departure and arrival)
 /// without touching shared state, then hands the batch to
-/// [`SimNetwork::commit_sends`] in the event queue's deterministic order —
-/// so mailbox append order, loss-model link sequences and traffic counters
+/// [`Transport::send_batch`] in the event queue's deterministic order — so
+/// mailbox append order, loss-model link sequences and traffic counters
 /// replay exactly as if the events had run one at a time.
 #[derive(Debug, Clone)]
 pub struct PendingSend {
@@ -138,744 +94,259 @@ pub struct PendingSend {
     pub sent_round: usize,
 }
 
-/// An in-process network between `n` nodes.
-#[derive(Debug)]
-pub struct SimNetwork {
-    mailboxes: Vec<Mutex<Vec<Envelope>>>,
-    stats: Vec<Mutex<TrafficStats>>,
-    loss: Option<LossModel>,
-    /// Per-directed-link sequence numbers driving the loss hash.
-    sequences: Mutex<HashMap<(usize, usize), u64>>,
-    /// Telemetry for the transport's sequential decision points (send and
-    /// loss-model drop). Purges and expiries are reported by the engine,
-    /// which knows the virtual time and event context — never from the
-    /// parallel execute phase (see the `jwins_trace` determinism contract).
-    tracer: Option<std::sync::Arc<jwins_trace::Tracer>>,
-}
-
-impl SimNetwork {
-    /// Creates a reliable network with `n` empty mailboxes.
-    pub fn new(n: usize) -> Self {
+impl PendingSend {
+    /// A barrier-mode send: both stamps at [`SimTime::ZERO`] and round 0,
+    /// i.e. immediately drainable — the bulk-synchronous semantics.
+    pub fn bulk(from: usize, to: usize, payload: Bytes, breakdown: ByteBreakdown) -> Self {
         Self {
-            mailboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
-            stats: (0..n)
-                .map(|_| Mutex::new(TrafficStats::default()))
-                .collect(),
-            loss: None,
-            sequences: Mutex::new(HashMap::new()),
-            tracer: None,
-        }
-    }
-
-    /// Attaches a tracer: every send (and loss-model drop) from now on
-    /// emits a [`jwins_trace::TraceEvent`]. Recording is strictly
-    /// observational — counters, mailboxes and loss sequences are
-    /// bit-identical with or without it.
-    pub fn set_tracer(&mut self, tracer: std::sync::Arc<jwins_trace::Tracer>) {
-        self.tracer = Some(tracer);
-    }
-
-    /// Creates a lossy network: each message independently dropped per
-    /// [`LossModel`]. Determinism holds per directed link regardless of the
-    /// interleaving of sends on other links.
-    pub fn lossy(n: usize, loss: LossModel) -> Self {
-        Self {
-            loss: Some(loss),
-            ..Self::new(n)
-        }
-    }
-
-    /// The loss model in effect, if any.
-    pub fn loss_model(&self) -> Option<LossModel> {
-        self.loss
-    }
-
-    /// Number of nodes.
-    pub fn len(&self) -> usize {
-        self.mailboxes.len()
-    }
-
-    /// Whether the network has no nodes.
-    pub fn is_empty(&self) -> bool {
-        self.mailboxes.is_empty()
-    }
-
-    /// Sends `payload` from `from` to `to`, metering `breakdown` bytes.
-    /// The message is stamped at time zero, i.e. immediately drainable —
-    /// the bulk-synchronous transport semantics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either endpoint is out of range.
-    pub fn send(&self, from: usize, to: usize, payload: Bytes, breakdown: ByteBreakdown) {
-        self.send_timed(
             from,
             to,
             payload,
             breakdown,
-            SimTime::ZERO,
-            SimTime::ZERO,
-            0,
-        );
+            sent: SimTime::ZERO,
+            arrives: SimTime::ZERO,
+            sent_round: 0,
+        }
     }
+}
 
-    /// Sends `payload` with explicit virtual timestamps: handed to the
-    /// network at `sent`, landing in the receiver's mailbox at `arrives`.
-    /// `sent_round` is the sender's local round (staleness accounting).
-    ///
-    /// # Panics
-    ///
-    /// Panics if either endpoint is out of range or `arrives < sent`.
-    #[allow(clippy::too_many_arguments)]
-    pub fn send_timed(
-        &self,
+/// The result of one [`Transport::drain`]: the messages that arrived in
+/// time, plus how many arrived messages the TTL discarded.
+///
+/// The expiry count is *returned*, not yet recorded in the receiver's
+/// [`TrafficStats`], so a parallel execute phase can drain disjoint
+/// mailboxes concurrently and commit the counter updates later in
+/// deterministic order (via [`Transport::record_expired`]) — or not at all,
+/// when the run stops before the event's turn to commit.
+#[derive(Debug, Default)]
+pub struct Drained {
+    /// Arrived, unexpired messages ordered by arrival time (ties keep the
+    /// transport's delivery order).
+    pub envelopes: Vec<Envelope>,
+    /// Arrived messages the TTL discarded (accounting deferred).
+    pub expired: u64,
+}
+
+/// Which messages a [`Transport::purge`] destroys.
+///
+/// Every scope reverses the victims' receive accounting via
+/// [`TrafficStats::record_kill`]; the sender keeps paying for the bytes it
+/// pushed (they were on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PurgeScope {
+    /// Everything queued for `node` — arrived or in flight — as when the
+    /// node crashes and all its connections die.
+    Inbox {
+        /// The crashed receiver.
+        node: usize,
+    },
+    /// Messages for `node` whose delivery completed by `deadline` — they
+    /// landed on a dead host (issued when the node recovers, with the
+    /// recovery time). Messages still in flight at `deadline` survive: the
+    /// tail of the transfer lands on the recovered host.
+    ArrivedBy {
+        /// The recovering receiver.
+        node: usize,
+        /// The recovery time.
+        deadline: SimTime,
+    },
+    /// `from`'s messages still in flight at `cutoff` (delivery not yet
+    /// complete) — a crashed sender's half-open transfers. Messages whose
+    /// last byte already landed are past saving by the sender's death and
+    /// survive.
+    InFlightFrom {
+        /// The crashed sender.
         from: usize,
-        to: usize,
-        payload: Bytes,
-        breakdown: ByteBreakdown,
-        sent: SimTime,
-        arrives: SimTime,
-        sent_round: usize,
-    ) {
-        assert!(
-            from < self.len() && to < self.len(),
-            "endpoint out of range"
-        );
-        assert!(arrives >= sent, "message cannot arrive before it was sent");
-        debug_assert_eq!(
-            breakdown.total(),
-            payload.len(),
-            "breakdown must account for every byte"
-        );
-        self.stats[from].lock().record_send(breakdown);
-        if let Some(loss) = &self.loss {
-            let sequence = {
-                let mut sequences = self.sequences.lock();
-                let counter = sequences.entry((from, to)).or_insert(0);
-                let current = *counter;
-                *counter += 1;
-                current
-            };
-            if loss.drops(from, to, sequence) {
-                self.stats[from].lock().record_drop();
-                if let Some(tracer) = &self.tracer {
-                    tracer.emit(jwins_trace::TraceEvent::MsgDrop {
-                        t_ns: sent.0,
-                        from: from as u32,
-                        to: to as u32,
-                        round: sent_round as u32,
-                        bytes: payload.len() as u64,
-                    });
-                }
-                return;
-            }
-        }
-        if let Some(tracer) = &self.tracer {
-            tracer.emit(jwins_trace::TraceEvent::MsgSend {
-                t_ns: sent.0,
-                from: from as u32,
-                to: to as u32,
-                round: sent_round as u32,
-                bytes: payload.len() as u64,
-                arrives_ns: arrives.0,
-            });
-        }
-        self.stats[to].lock().record_receive(payload.len());
-        self.mailboxes[to].lock().push(Envelope {
-            from,
-            payload,
-            sent,
-            arrives,
-            sent_round,
-        });
-    }
-
-    /// Applies buffered sends in order — equivalent to calling
-    /// [`Self::send_timed`] once per element, in sequence. The caller (the
-    /// engine's commit phase) is responsible for ordering the batch
-    /// deterministically; this method adds no reordering of its own.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any endpoint is out of range or a send arrives before it
-    /// was sent (the [`Self::send_timed`] contract).
-    pub fn commit_sends(&self, sends: impl IntoIterator<Item = PendingSend>) {
-        for s in sends {
-            self.send_timed(
-                s.from,
-                s.to,
-                s.payload,
-                s.breakdown,
-                s.sent,
-                s.arrives,
-                s.sent_round,
-            );
-        }
-    }
-
-    /// Broadcasts `payload` from `from` to every node in `to`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any endpoint is out of range.
-    pub fn broadcast(&self, from: usize, to: &[usize], payload: Bytes, breakdown: ByteBreakdown) {
-        for &t in to {
-            self.send(from, t, payload.clone(), breakdown);
-        }
-    }
-
-    /// Drains and returns the mailbox of `node` (delivery order preserved),
-    /// ignoring arrival timestamps — the barrier-mode drain.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    pub fn drain(&self, node: usize) -> Vec<Envelope> {
-        std::mem::take(&mut *self.mailboxes[node].lock())
-    }
-
-    /// Drains only the messages that have *arrived* by `deadline`
-    /// (`arrives <= deadline`), ordered by arrival time (ties keep delivery
-    /// order). Later-arriving messages stay queued for a future drain — the
-    /// event-driven runtime calls this with a node's local clock, so a slow
-    /// link's message is simply not there yet.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    pub fn drain_until(&self, node: usize, deadline: SimTime) -> Vec<Envelope> {
-        self.drain_until_expiring(node, deadline, None)
-    }
-
-    /// [`Self::drain_until`] with a message TTL: arrived messages whose age
-    /// at `deadline` exceeds `ttl` are discarded instead of returned,
-    /// counted in the receiver's [`TrafficStats::messages_expired`]. A
-    /// `None` TTL behaves exactly like [`Self::drain_until`]. Messages still
-    /// in flight stay queued and are TTL-checked when they are drained.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    pub fn drain_until_expiring(
-        &self,
-        node: usize,
-        deadline: SimTime,
-        ttl: Option<SimTime>,
-    ) -> Vec<Envelope> {
-        let (arrived, expired) = self.drain_until_deferred(node, deadline, ttl);
-        self.record_expired_many(node, expired);
-        arrived
-    }
-
-    /// [`Self::drain_until_expiring`] with the expiry *accounting* deferred:
-    /// expired envelopes are discarded from the mailbox as usual, but their
-    /// count is returned instead of recorded, so a parallel execute phase
-    /// can drain disjoint mailboxes concurrently and commit the counter
-    /// updates later in deterministic order (via
-    /// [`Self::record_expired_many`]) — or not at all, when the run stops
-    /// before the event's turn to commit.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    pub fn drain_until_deferred(
-        &self,
-        node: usize,
-        deadline: SimTime,
-        ttl: Option<SimTime>,
-    ) -> (Vec<Envelope>, u64) {
-        let mut expired = 0u64;
-        let mut mailbox = self.mailboxes[node].lock();
-        let mut arrived = Vec::new();
-        let mut pending = Vec::with_capacity(mailbox.len());
-        for env in mailbox.drain(..) {
-            if env.arrives <= deadline {
-                if ttl.is_some_and(|t| env.age_at(deadline) > t) {
-                    expired += 1;
-                } else {
-                    arrived.push(env);
-                }
-            } else {
-                pending.push(env);
-            }
-        }
-        *mailbox = pending;
-        drop(mailbox);
-        arrived.sort_by_key(|e| e.arrives); // stable: equal arrivals keep push order
-        (arrived, expired)
-    }
-
-    /// Records an over-cap staleness drop decided by the caller (the mix
-    /// loop applies round-based caps the transport cannot see).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    pub fn record_expired(&self, node: usize) {
-        self.stats[node].lock().record_expired();
-    }
-
-    /// Records `count` expiries at once — the commit-phase counterpart of
-    /// [`Self::drain_until_deferred`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    pub fn record_expired_many(&self, node: usize, count: u64) {
-        if count == 0 {
-            return;
-        }
-        let mut stats = self.stats[node].lock();
-        for _ in 0..count {
-            stats.record_expired();
-        }
-    }
-
-    /// Destroys every message queued for `node` — arrived or in flight —
-    /// as when the node crashes and all its connections die. Returns the
-    /// number of messages destroyed; their receive accounting is reversed
-    /// via [`TrafficStats::record_kill`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    pub fn purge_inbox(&self, node: usize) -> u64 {
-        let envelopes = { std::mem::take(&mut *self.mailboxes[node].lock()) };
-        let mut stats = self.stats[node].lock();
-        for env in &envelopes {
-            stats.record_kill(env.payload.len());
-        }
-        envelopes.len() as u64
-    }
-
-    /// Destroys messages for `node` whose delivery completed by `deadline`
-    /// — they landed on a dead host (called when the node recovers, with
-    /// the recovery time). Messages still in flight at `deadline` survive:
-    /// the tail of the transfer lands on the recovered host. Returns the
-    /// number destroyed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    pub fn purge_arrived(&self, node: usize, deadline: SimTime) -> u64 {
-        let mut killed = 0u64;
-        let mut killed_bytes: Vec<usize> = Vec::new();
-        {
-            let mut mailbox = self.mailboxes[node].lock();
-            mailbox.retain(|env| {
-                if env.arrives <= deadline {
-                    killed += 1;
-                    killed_bytes.push(env.payload.len());
-                    false
-                } else {
-                    true
-                }
-            });
-        }
-        let mut stats = self.stats[node].lock();
-        for bytes in killed_bytes {
-            stats.record_kill(bytes);
-        }
-        killed
-    }
-
-    /// Destroys `from`'s messages still in flight at `cutoff` (delivery not
-    /// yet complete) — a crashed sender's half-open transfers. Messages
-    /// whose last byte already landed are past saving by the sender's death
-    /// and survive. Returns the number destroyed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `from` is out of range.
-    pub fn purge_in_flight_from(&self, from: usize, cutoff: SimTime) -> u64 {
-        assert!(from < self.len(), "endpoint out of range");
-        let mut killed = 0u64;
-        for (to, mailbox) in self.mailboxes.iter().enumerate() {
-            let mut killed_bytes: Vec<usize> = Vec::new();
-            {
-                let mut mailbox = mailbox.lock();
-                mailbox.retain(|env| {
-                    if env.from == from && env.arrives > cutoff {
-                        killed_bytes.push(env.payload.len());
-                        false
-                    } else {
-                        true
-                    }
-                });
-            }
-            if !killed_bytes.is_empty() {
-                let mut stats = self.stats[to].lock();
-                killed += killed_bytes.len() as u64;
-                for bytes in killed_bytes {
-                    stats.record_kill(bytes);
-                }
-            }
-        }
-        killed
-    }
-
-    /// Destroys messages queued from `from` to `to` — arrived or in flight
-    /// — as when a topology-repair step tears the connection down (the edge
-    /// was removed, so its deliveries will never be mixed). With
+        /// The crash time.
+        cutoff: SimTime,
+    },
+    /// Messages queued from `from` to `to` — arrived or in flight — as when
+    /// a topology-repair step tears the connection down (the edge was
+    /// removed, so its deliveries will never be mixed). With
     /// `sent_round = Some(r)` only messages the sender stamped with round
     /// `r` die (repair re-wires per round; other rounds may still carry the
-    /// edge); `None` clears the whole directed link. Receive accounting is
-    /// reversed via [`TrafficStats::record_kill`], exactly like the crash
-    /// purges. Returns `(messages, bytes)` destroyed.
+    /// edge); `None` clears the whole directed link.
+    Link {
+        /// The edge's sending endpoint.
+        from: usize,
+        /// The edge's receiving endpoint.
+        to: usize,
+        /// Restrict the kill to one sender round (`None` = whole link).
+        sent_round: Option<usize>,
+    },
+}
+
+/// What a [`Transport::purge`] destroyed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PurgeReport {
+    /// Messages destroyed.
+    pub messages: u64,
+    /// Wire bytes destroyed with them.
+    pub bytes: u64,
+}
+
+/// Wall-clock delivery latency observed by a real backend, aggregated over
+/// every message it moved — the measured profile the cross-check harness
+/// replays through the sim oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredFlight {
+    /// Mean send→deliver latency in seconds.
+    pub mean_latency_s: f64,
+    /// Messages the mean was taken over.
+    pub messages: u64,
+}
+
+/// A network between `n` nodes, as the training engine sees one.
+///
+/// # Contract
+///
+/// - **Delivery**: a [`PendingSend`] accepted by [`Transport::send`] is
+///   either delivered to `to`'s mailbox or dropped by an explicit mechanism
+///   (loss model, purge) that shows up in [`TrafficStats`]. Per directed
+///   edge, delivery preserves send order for equal `arrives` stamps.
+/// - **Metering**: the sender is charged at send time
+///   ([`TrafficStats::record_send`]); the receiver is credited when the
+///   message is bound for its mailbox ([`TrafficStats::record_receive`]),
+///   and purges reverse that credit ([`TrafficStats::record_kill`]).
+/// - **Drain**: one call serves every engine mode. The barrier engine
+///   passes `deadline = SimTime::MAX, ttl = None` ("everything ever
+///   sent"); the event-driven engine passes the node's local virtual clock
+///   and the staleness TTL. A `SimTime::MAX` deadline measures TTL ages at
+///   the transport's [`Transport::now`] instead (the only meaningful "now"
+///   when no deadline was given).
+/// - **Tracing** is strictly observational: a transport with a tracer
+///   attached behaves bit-identically to one without.
+pub trait Transport: Send + Sync + std::fmt::Debug {
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// Whether the network has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attaches a tracer: every send (and drop) from now on emits a
+    /// [`jwins_trace::TraceEvent`]. Called once at build time, before the
+    /// transport is shared.
+    fn set_tracer(&mut self, tracer: std::sync::Arc<jwins_trace::Tracer>);
+
+    /// Executes one committed send.
     ///
     /// # Panics
     ///
-    /// Panics if either endpoint is out of range.
-    pub fn purge_link(&self, from: usize, to: usize, sent_round: Option<usize>) -> (u64, u64) {
-        assert!(
-            from < self.len() && to < self.len(),
-            "endpoint out of range"
-        );
-        let mut killed_bytes: Vec<usize> = Vec::new();
-        {
-            let mut mailbox = self.mailboxes[to].lock();
-            mailbox.retain(|env| {
-                if env.from == from && sent_round.is_none_or(|r| env.sent_round == r) {
-                    killed_bytes.push(env.payload.len());
-                    false
-                } else {
-                    true
-                }
-            });
+    /// Panics if an endpoint is out of range or `arrives < sent`.
+    fn send(&self, send: PendingSend);
+
+    /// Executes a batch of committed sends in order — equivalent to calling
+    /// [`Transport::send`] once per element, in sequence. The caller (the
+    /// engine's commit phase) is responsible for ordering the batch
+    /// deterministically; implementations add no reordering of their own.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`Transport::send`] contract.
+    fn send_batch(&self, sends: Vec<PendingSend>) {
+        for s in sends {
+            self.send(s);
         }
-        if killed_bytes.is_empty() {
-            return (0, 0);
-        }
-        let mut stats = self.stats[to].lock();
-        let mut bytes = 0u64;
-        for b in &killed_bytes {
-            stats.record_kill(*b);
-            bytes += *b as u64;
-        }
-        (killed_bytes.len() as u64, bytes)
     }
+
+    /// Drains `node`'s messages that have *arrived* by `deadline`
+    /// (`arrives <= deadline`), ordered by arrival time (ties keep delivery
+    /// order). Later-arriving messages stay queued for a future drain.
+    /// With a TTL, arrived messages older than `ttl` at the deadline are
+    /// discarded and counted in [`Drained::expired`] — returned, not yet
+    /// recorded (see [`Transport::record_expired`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn drain(&self, node: usize, deadline: SimTime, ttl: Option<SimTime>) -> Drained;
+
+    /// Records `count` expiries in `node`'s stats — the commit-phase
+    /// counterpart of [`Drained::expired`], also used for over-cap
+    /// staleness drops decided by the mix loop (round-based caps the
+    /// transport cannot see). A zero count is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn record_expired(&self, node: usize, count: u64);
+
+    /// Destroys the messages selected by `scope` and reverses their receive
+    /// accounting. See [`PurgeScope`] for the exact semantics of each
+    /// variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scope endpoint is out of range.
+    fn purge(&self, scope: PurgeScope) -> PurgeReport;
 
     /// Number of messages still queued (arrived or in flight) for `node`.
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
-    pub fn pending(&self, node: usize) -> usize {
-        self.mailboxes[node].lock().len()
-    }
+    fn pending(&self, node: usize) -> usize;
 
     /// Snapshot of a node's traffic counters.
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
-    pub fn stats(&self, node: usize) -> TrafficStats {
-        *self.stats[node].lock()
-    }
+    fn stats(&self, node: usize) -> TrafficStats;
 
     /// Cluster-wide traffic totals.
-    pub fn total_stats(&self) -> TrafficStats {
-        let mut total = TrafficStats::default();
-        for s in &self.stats {
-            total.merge(&s.lock());
+    fn total_stats(&self) -> TrafficStats;
+
+    /// The transport's own clock, mapped onto the virtual axis. The sim
+    /// backend has no clock of its own (the engine drives virtual time) and
+    /// always answers [`SimTime::ZERO`]; a real backend answers wall-clock
+    /// time since construction.
+    fn now(&self) -> SimTime;
+
+    /// The delivery-latency profile a real backend measured, if any — the
+    /// sim oracle's replay input. The sim backend answers `None` (its
+    /// latencies are *declared*, not measured).
+    fn measured_flight(&self) -> Option<MeasuredFlight> {
+        None
+    }
+}
+
+/// Shared drain core: partitions a mailbox at `deadline`, applies the TTL
+/// against `age_ref`, stable-sorts survivors by arrival. Both backends
+/// funnel through this so their deadline/TTL semantics cannot drift apart.
+pub(crate) fn drain_mailbox(
+    mailbox: &mut Vec<Envelope>,
+    deadline: SimTime,
+    age_ref: SimTime,
+    ttl: Option<SimTime>,
+) -> Drained {
+    let mut expired = 0u64;
+    let mut arrived = Vec::new();
+    let mut pending = Vec::with_capacity(mailbox.len());
+    for env in mailbox.drain(..) {
+        if env.arrives <= deadline {
+            if ttl.is_some_and(|t| env.age_at(age_ref) > t) {
+                expired += 1;
+            } else {
+                arrived.push(env);
+            }
+        } else {
+            pending.push(env);
         }
-        total
+    }
+    *mailbox = pending;
+    arrived.sort_by_key(|e| e.arrives); // stable: equal arrivals keep push order
+    Drained {
+        envelopes: arrived,
+        expired,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn breakdown(payload: usize, metadata: usize) -> ByteBreakdown {
-        ByteBreakdown { payload, metadata }
-    }
-
-    #[test]
-    fn send_and_drain() {
-        let net = SimNetwork::new(3);
-        net.send(0, 1, Bytes::from(vec![1u8, 2, 3]), breakdown(2, 1));
-        net.send(2, 1, Bytes::from(vec![4u8]), breakdown(1, 0));
-        let inbox = net.drain(1);
-        assert_eq!(inbox.len(), 2);
-        assert_eq!(inbox[0].from, 0);
-        assert_eq!(&inbox[0].payload[..], &[1, 2, 3]);
-        assert_eq!(inbox[1].from, 2);
-        // Drained mailboxes are empty.
-        assert!(net.drain(1).is_empty());
-    }
-
-    #[test]
-    fn metering_matches_messages() {
-        let net = SimNetwork::new(2);
-        net.send(0, 1, Bytes::from(vec![0u8; 10]), breakdown(8, 2));
-        net.send(0, 1, Bytes::from(vec![0u8; 6]), breakdown(6, 0));
-        let s0 = net.stats(0);
-        assert_eq!(s0.bytes_sent, 16);
-        assert_eq!(s0.payload_sent, 14);
-        assert_eq!(s0.metadata_sent, 2);
-        assert_eq!(s0.messages_sent, 2);
-        assert_eq!(net.stats(1).bytes_received, 16);
-        assert_eq!(net.total_stats().bytes_sent, 16);
-    }
-
-    #[test]
-    fn broadcast_meters_per_receiver() {
-        let net = SimNetwork::new(4);
-        net.broadcast(0, &[1, 2, 3], Bytes::from(vec![0u8; 5]), breakdown(5, 0));
-        assert_eq!(net.stats(0).bytes_sent, 15, "fan-out counts per link");
-        assert_eq!(net.stats(0).messages_sent, 3);
-        for node in 1..4 {
-            assert_eq!(net.drain(node).len(), 1);
-        }
-    }
-
-    #[test]
-    fn concurrent_sends_are_safe() {
-        let net = std::sync::Arc::new(SimNetwork::new(2));
-        let handles: Vec<_> = (0..8)
-            .map(|_| {
-                let net = net.clone();
-                std::thread::spawn(move || {
-                    for _ in 0..100 {
-                        net.send(0, 1, Bytes::from(vec![0u8; 3]), breakdown(3, 0));
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("no panics");
-        }
-        assert_eq!(net.stats(0).messages_sent, 800);
-        assert_eq!(net.drain(1).len(), 800);
-    }
-
-    #[test]
-    #[should_panic(expected = "endpoint out of range")]
-    fn invalid_endpoint_panics() {
-        SimNetwork::new(1).send(0, 1, Bytes::new(), breakdown(0, 0));
-    }
-
-    #[test]
-    fn lossy_network_drops_at_configured_rate() {
-        let net = SimNetwork::lossy(2, LossModel::new(0.25, 7));
-        for _ in 0..2000 {
-            net.send(0, 1, Bytes::from(vec![1u8]), breakdown(1, 0));
-        }
-        let delivered = net.drain(1).len();
-        let dropped = net.stats(0).messages_dropped;
-        assert_eq!(delivered as u64 + dropped, 2000);
-        let rate = dropped as f64 / 2000.0;
-        assert!((rate - 0.25).abs() < 0.03, "drop rate {rate}");
-        // Sender still pays for every byte; receiver sees only delivered.
-        assert_eq!(net.stats(0).bytes_sent, 2000);
-        assert_eq!(net.stats(1).bytes_received, delivered as u64);
-    }
-
-    #[test]
-    fn loss_pattern_is_deterministic_per_link() {
-        let run = || {
-            let net = SimNetwork::lossy(3, LossModel::new(0.5, 3));
-            for _ in 0..32 {
-                net.send(0, 1, Bytes::from(vec![0u8]), breakdown(1, 0));
-            }
-            net.drain(1).len()
-        };
-        assert_eq!(run(), run());
-        // Interleaving traffic on another link must not disturb link (0,1).
-        let net = SimNetwork::lossy(3, LossModel::new(0.5, 3));
-        for _ in 0..32 {
-            net.send(2, 1, Bytes::from(vec![9u8]), breakdown(1, 0));
-            net.send(0, 1, Bytes::from(vec![0u8]), breakdown(1, 0));
-        }
-        let from_zero = net.drain(1).iter().filter(|e| e.from == 0).count();
-        assert_eq!(from_zero, run());
-    }
-
-    #[test]
-    fn zero_loss_delivers_everything() {
-        let net = SimNetwork::lossy(2, LossModel::new(0.0, 1));
-        for _ in 0..50 {
-            net.send(0, 1, Bytes::from(vec![0u8]), breakdown(1, 0));
-        }
-        assert_eq!(net.drain(1).len(), 50);
-        assert_eq!(net.stats(0).messages_dropped, 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "loss probability")]
-    fn full_loss_rejected() {
-        let _ = LossModel::new(1.0, 0);
-    }
-
-    #[test]
-    fn drain_until_respects_arrival_times() {
-        let net = SimNetwork::new(2);
-        let send_at = |sent: u64, arrives: u64, round: usize| {
-            net.send_timed(
-                0,
-                1,
-                Bytes::from(vec![round as u8]),
-                breakdown(1, 0),
-                SimTime(sent),
-                SimTime(arrives),
-                round,
-            );
-        };
-        send_at(0, 50, 0); // slow link: pushed first, arrives last
-        send_at(10, 20, 1);
-        send_at(10, 10, 2);
-        // Nothing has arrived before t=10.
-        assert!(net.drain_until(1, SimTime(9)).is_empty());
-        assert_eq!(net.pending(1), 3);
-        // By t=30 two messages are in, ordered by arrival, not by push.
-        let first = net.drain_until(1, SimTime(30));
-        assert_eq!(
-            first.iter().map(|e| e.sent_round).collect::<Vec<_>>(),
-            vec![2, 1]
-        );
-        // The slow message is still in flight, then lands.
-        assert_eq!(net.pending(1), 1);
-        let late = net.drain_until(1, SimTime(50));
-        assert_eq!(late.len(), 1);
-        assert_eq!(late[0].sent_round, 0);
-        assert_eq!(late[0].sent, SimTime(0));
-        assert_eq!(late[0].arrives, SimTime(50));
-        assert_eq!(net.pending(1), 0);
-    }
-
-    #[test]
-    fn ttl_expires_old_messages_at_drain() {
-        let net = SimNetwork::new(2);
-        let send_at = |sent: f64, arrives: f64| {
-            net.send_timed(
-                0,
-                1,
-                Bytes::from(vec![1u8]),
-                breakdown(1, 0),
-                SimTime::from_secs_f64(sent),
-                SimTime::from_secs_f64(arrives),
-                0,
-            );
-        };
-        send_at(0.0, 1.0); // age 10 s at drain: expired
-        send_at(8.0, 9.0); // age 2 s at drain: fresh
-        send_at(0.0, 20.0); // still in flight: untouched
-        let ttl = Some(SimTime::from_secs_f64(5.0));
-        let inbox = net.drain_until_expiring(1, SimTime::from_secs_f64(10.0), ttl);
-        assert_eq!(inbox.len(), 1);
-        assert_eq!(inbox[0].sent, SimTime::from_secs_f64(8.0));
-        assert_eq!(net.stats(1).messages_expired, 1);
-        assert_eq!(net.stats(1).messages_dropped, 0, "distinct from drops");
-        assert_eq!(net.pending(1), 1, "in-flight message still queued");
-        // The expired bytes did arrive at the host.
-        assert_eq!(net.stats(1).bytes_received, 3);
-        // No TTL behaves exactly like drain_until.
-        let late = net.drain_until_expiring(1, SimTime::from_secs_f64(30.0), None);
-        assert_eq!(late.len(), 1);
-    }
-
-    #[test]
-    fn commit_sends_replays_send_timed_in_order() {
-        let direct = SimNetwork::new(2);
-        let buffered = SimNetwork::new(2);
-        let sends: Vec<PendingSend> = (0..4)
-            .map(|k| PendingSend {
-                from: 0,
-                to: 1,
-                payload: Bytes::from(vec![k as u8; k + 1]),
-                breakdown: breakdown(k + 1, 0),
-                sent: SimTime(k as u64),
-                arrives: SimTime(10), // equal arrivals: push order must hold
-                sent_round: k,
-            })
-            .collect();
-        for s in &sends {
-            direct.send_timed(
-                s.from,
-                s.to,
-                s.payload.clone(),
-                s.breakdown,
-                s.sent,
-                s.arrives,
-                s.sent_round,
-            );
-        }
-        buffered.commit_sends(sends);
-        assert_eq!(direct.total_stats(), buffered.total_stats());
-        let a = direct.drain_until(1, SimTime(10));
-        let b = buffered.drain_until(1, SimTime(10));
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.sent_round, y.sent_round);
-            assert_eq!(x.payload, y.payload);
-        }
-    }
-
-    #[test]
-    fn commit_sends_drives_the_loss_model_like_direct_sends() {
-        // Per-link loss sequences advance at commit time, so a buffered
-        // batch committed in pop order reproduces the direct drop pattern.
-        let direct = SimNetwork::lossy(2, LossModel::new(0.5, 9));
-        let buffered = SimNetwork::lossy(2, LossModel::new(0.5, 9));
-        let mk = |k: usize| PendingSend {
-            from: 0,
-            to: 1,
-            payload: Bytes::from(vec![k as u8]),
-            breakdown: breakdown(1, 0),
-            sent: SimTime::ZERO,
-            arrives: SimTime::ZERO,
-            sent_round: k,
-        };
-        for k in 0..64 {
-            let s = mk(k);
-            direct.send_timed(
-                s.from,
-                s.to,
-                s.payload.clone(),
-                s.breakdown,
-                s.sent,
-                s.arrives,
-                s.sent_round,
-            );
-        }
-        buffered.commit_sends((0..64).map(mk));
-        let a: Vec<usize> = direct.drain(1).iter().map(|e| e.sent_round).collect();
-        let b: Vec<usize> = buffered.drain(1).iter().map(|e| e.sent_round).collect();
-        assert_eq!(a, b, "identical survivors under the loss model");
-        assert!(direct.stats(0).messages_dropped > 0, "losses exercised");
-    }
-
-    #[test]
-    fn deferred_drain_counts_but_does_not_record_expiries() {
-        let net = SimNetwork::new(2);
-        let send_at = |sent: f64, arrives: f64| {
-            net.send_timed(
-                0,
-                1,
-                Bytes::from(vec![1u8]),
-                breakdown(1, 0),
-                SimTime::from_secs_f64(sent),
-                SimTime::from_secs_f64(arrives),
-                0,
-            );
-        };
-        send_at(0.0, 1.0); // age 10 s at drain: expired
-        send_at(8.0, 9.0); // fresh
-        let ttl = Some(SimTime::from_secs_f64(5.0));
-        let (inbox, expired) = net.drain_until_deferred(1, SimTime::from_secs_f64(10.0), ttl);
-        assert_eq!(inbox.len(), 1);
-        assert_eq!(expired, 1);
-        assert_eq!(
-            net.stats(1).messages_expired,
-            0,
-            "accounting deferred to the caller's commit phase"
-        );
-        net.record_expired_many(1, expired);
-        assert_eq!(net.stats(1).messages_expired, 1);
-        net.record_expired_many(1, 0); // no-op
-        assert_eq!(net.stats(1).messages_expired, 1);
-    }
 
     #[test]
     fn envelope_age_helpers() {
@@ -893,137 +364,18 @@ mod tests {
     }
 
     #[test]
-    fn purge_inbox_destroys_everything_and_reverses_receives() {
-        let net = SimNetwork::new(2);
-        net.send(0, 1, Bytes::from(vec![0u8; 4]), breakdown(4, 0));
-        net.send_timed(
-            0,
+    fn bulk_sends_are_zero_stamped() {
+        let s = PendingSend::bulk(
             1,
-            Bytes::from(vec![0u8; 6]),
-            breakdown(6, 0),
-            SimTime(5),
-            SimTime(50),
-            1,
+            2,
+            Bytes::from(vec![9u8]),
+            ByteBreakdown {
+                payload: 1,
+                metadata: 0,
+            },
         );
-        assert_eq!(net.stats(1).bytes_received, 10);
-        assert_eq!(net.purge_inbox(1), 2);
-        assert_eq!(net.pending(1), 0);
-        let s = net.stats(1);
-        assert_eq!(s.bytes_received, 0);
-        assert_eq!(s.messages_dropped, 2);
-        // The sender still paid for every byte.
-        assert_eq!(net.stats(0).bytes_sent, 10);
-    }
-
-    #[test]
-    fn purge_arrived_spares_in_flight_messages() {
-        let net = SimNetwork::new(2);
-        let send_arriving = |arrives: u64| {
-            net.send_timed(
-                0,
-                1,
-                Bytes::from(vec![0u8]),
-                breakdown(1, 0),
-                SimTime(0),
-                SimTime(arrives),
-                0,
-            );
-        };
-        send_arriving(10);
-        send_arriving(20);
-        send_arriving(30);
-        assert_eq!(net.purge_arrived(1, SimTime(20)), 2);
-        assert_eq!(net.pending(1), 1);
-        assert_eq!(net.stats(1).messages_dropped, 2);
-        let survivor = net.drain_until(1, SimTime(30));
-        assert_eq!(survivor.len(), 1);
-        assert_eq!(survivor[0].arrives, SimTime(30));
-    }
-
-    #[test]
-    fn purge_in_flight_from_kills_only_that_senders_undelivered() {
-        let net = SimNetwork::new(3);
-        let send = |from: usize, arrives: u64| {
-            net.send_timed(
-                from,
-                2,
-                Bytes::from(vec![from as u8]),
-                breakdown(1, 0),
-                SimTime(0),
-                SimTime(arrives),
-                0,
-            );
-        };
-        send(0, 5); // already delivered at cutoff: survives
-        send(0, 15); // in flight from the crashing sender: killed
-        send(1, 15); // in flight from a healthy sender: survives
-        assert_eq!(net.purge_in_flight_from(0, SimTime(10)), 1);
-        assert_eq!(net.pending(2), 2);
-        assert_eq!(net.stats(2).messages_dropped, 1);
-        let inbox = net.drain_until(2, SimTime(20));
-        let froms: Vec<usize> = inbox.iter().map(|e| e.from).collect();
-        assert_eq!(froms, vec![0, 1]);
-    }
-
-    #[test]
-    fn purge_link_kills_only_that_directed_link() {
-        let net = SimNetwork::new(3);
-        net.send(0, 2, Bytes::from(vec![0u8; 4]), breakdown(4, 0));
-        net.send(1, 2, Bytes::from(vec![0u8; 6]), breakdown(6, 0));
-        net.send(0, 1, Bytes::from(vec![0u8; 2]), breakdown(2, 0));
-        assert_eq!(net.purge_link(0, 2, None), (1, 4));
-        assert_eq!(net.pending(2), 1, "other sender's message survives");
-        assert_eq!(net.pending(1), 1, "other link untouched");
-        let s = net.stats(2);
-        assert_eq!(s.messages_dropped, 1);
-        assert_eq!(s.bytes_received, 6, "receive accounting reversed");
-        // The sender still paid for the bytes it pushed.
-        assert_eq!(net.stats(0).bytes_sent, 6);
-        // An empty link is a no-op.
-        assert_eq!(net.purge_link(0, 2, None), (0, 0));
-    }
-
-    #[test]
-    fn purge_link_can_filter_by_sent_round() {
-        let net = SimNetwork::new(2);
-        for round in [3usize, 4, 3] {
-            net.send_timed(
-                0,
-                1,
-                Bytes::from(vec![round as u8; 2]),
-                breakdown(2, 0),
-                SimTime(0),
-                SimTime(10),
-                round,
-            );
-        }
-        assert_eq!(net.purge_link(0, 1, Some(3)), (2, 4));
-        let survivors = net.drain_until(1, SimTime(10));
-        assert_eq!(survivors.len(), 1);
-        assert_eq!(survivors[0].sent_round, 4, "other rounds' messages live");
-    }
-
-    #[test]
-    fn plain_send_is_immediately_drainable() {
-        let net = SimNetwork::new(2);
-        net.send(0, 1, Bytes::from(vec![7u8]), breakdown(1, 0));
-        let inbox = net.drain_until(1, SimTime::ZERO);
-        assert_eq!(inbox.len(), 1);
-        assert_eq!(inbox[0].arrives, SimTime::ZERO);
-    }
-
-    #[test]
-    #[should_panic(expected = "arrive before")]
-    fn arrival_before_send_rejected() {
-        let net = SimNetwork::new(2);
-        net.send_timed(
-            0,
-            1,
-            Bytes::new(),
-            breakdown(0, 0),
-            SimTime(10),
-            SimTime(5),
-            0,
-        );
+        assert_eq!((s.from, s.to, s.sent_round), (1, 2, 0));
+        assert_eq!(s.sent, SimTime::ZERO);
+        assert_eq!(s.arrives, SimTime::ZERO);
     }
 }

@@ -16,6 +16,11 @@ impl SimTime {
     /// The origin of simulated time.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The end of the virtual time axis — the "no deadline" sentinel a
+    /// transport drain accepts to mean "deliver everything that has ever
+    /// been sent".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Converts seconds to virtual time, saturating at the axis end and
     /// clamping negatives to zero.
     pub fn from_secs_f64(secs: f64) -> Self {

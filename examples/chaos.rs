@@ -4,6 +4,7 @@
 //! ```sh
 //! cargo run --release --example chaos
 //! cargo run --release --example chaos -- --trace /tmp/chaos
+//! cargo run --release --example chaos -- --transport channel
 //! ```
 //!
 //! The fault engine kills the victims' in-flight messages at the crash and
@@ -23,8 +24,15 @@
 //! `<prefix>-<policy>.csv` (windowed time series) via the in-engine
 //! `MetricsSink` — the `TrainConfig::metrics` path, proven a bit-no-op by
 //! `tests/metrics_layer.rs`.
+//!
+//! With `--transport channel` the cluster runs on real OS threads (one per
+//! node) instead of the virtual-time sim. Fault injection, simulated
+//! stragglers and the event-driven clock are virtual-time features the
+//! real backend rejects, so they are dropped (with a printed note): the
+//! run shows the same 16-node gossip under real concurrency, measured
+//! flight latency included.
 
-use jwins::config::{ExecutionMode, TrainConfig};
+use jwins::config::{ChannelTransportConfig, ExecutionMode, TrainConfig, TransportKind};
 use jwins::engine::Trainer;
 use jwins::strategies::FullSharing;
 use jwins::strategy::ShareStrategy;
@@ -104,14 +112,87 @@ fn run(
     trainer.run().expect("run completes")
 }
 
+/// The same 16-node cluster on real OS-thread channels. The fault engine,
+/// straggler profile and event-driven clock are virtual-time features —
+/// `TrainConfig::validate` rejects them on the real backend — so this arm
+/// drops them and shows the gossip itself under real concurrency.
+fn run_channel(trace_jsonl: Option<String>, metrics_prefix: Option<&str>) {
+    let nodes = 16;
+    let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
+    let mut cfg = TrainConfig::new(if smoke() { 8 } else { 30 });
+    cfg.local_steps = 1;
+    cfg.batch_size = 8;
+    cfg.lr = 0.02;
+    cfg.eval_every = 2;
+    cfg.eval_test_samples = 128;
+    cfg.transport = TransportKind::Channel(ChannelTransportConfig::default());
+    cfg.trace.jsonl_path = trace_jsonl.clone();
+    if let Some(prefix) = metrics_prefix {
+        cfg.metrics.prometheus_path = Some(format!("{prefix}.prom"));
+        cfg.metrics.csv_path = Some(format!("{prefix}.csv"));
+    }
+    let trainer = Trainer::builder(cfg)
+        .topology(StaticTopology::random_regular(nodes, 4, 7).expect("feasible graph"))
+        .test_set(data.test)
+        .nodes(data.node_train, |_| {
+            (
+                mlp_classifier(2 * 8 * 8, &[16], 4, 42),
+                Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+            )
+        })
+        .build()
+        .expect("valid experiment");
+    let result = trainer.run().expect("run completes");
+    println!(
+        "== real OS-thread channels ({nodes} node threads) ==\n\
+         note: fault injection, simulated stragglers and the event-driven \
+         clock are\nvirtual-time features — dropped on the real backend, \
+         which measures the host\ninstead of modelling it.\n"
+    );
+    println!("round  accuracy  wall-time[s]  staleness[s]");
+    for r in &result.records {
+        println!(
+            "{:>5}  {:>8.3}  {:>12.2}  {:>12.4}",
+            r.round + 1,
+            r.test_accuracy,
+            r.sim_time_s,
+            r.mean_staleness_s
+        );
+    }
+    if let Some(latency) = result.measured_latency_s {
+        println!(
+            "\nmeasured mean flight latency: {:.3} ms — replay it in the sim \
+             with `jwins::crosscheck::oracle_profile`",
+            latency * 1e3
+        );
+    }
+    if let Some(jsonl) = &trace_jsonl {
+        println!(
+            "trace written to {jsonl} (wall-clock stamps from concurrent \
+             threads — summarize with `trace_report {jsonl}`, but `--check` \
+             expects virtual-time monotonicity and does not apply)"
+        );
+    }
+}
+
 fn main() {
+    const TARGET: f64 = 0.9;
+    let prefix = flag_value("--trace");
+    let metrics = flag_value("--metrics");
+    match flag_value("--transport").as_deref() {
+        Some("channel") => {
+            let jsonl = prefix.as_ref().map(|p| format!("{p}-channel.jsonl"));
+            let metrics_prefix = metrics.as_ref().map(|p| format!("{p}-channel"));
+            run_channel(jsonl, metrics_prefix.as_deref());
+            return;
+        }
+        None | Some("sim") => {}
+        Some(other) => panic!("--transport {other}: expected `sim` or `channel`"),
+    }
     println!(
         "chaos cluster: 16 nodes, 4 of them 4x slower, 100 Mbit/s links;\n\
          a quarter of the cluster crashes at t=6.5s and rejoins at t=14.5s\n"
     );
-    const TARGET: f64 = 0.9;
-    let prefix = flag_value("--trace");
-    let metrics = flag_value("--metrics");
     let mut time_to_target = Vec::new();
     for (name, slug, staleness) in [
         (

@@ -4,6 +4,7 @@
 //! ```sh
 //! cargo run --release --example stragglers
 //! cargo run --release --example stragglers -- --trace /tmp/stragglers
+//! cargo run --release --example stragglers -- --transport channel
 //! ```
 //!
 //! Under the barrier, every round waits for the slowest node, so the whole
@@ -18,8 +19,14 @@
 //! With `--metrics <prefix>` each mode also exports its metrics
 //! aggregation to `<prefix>-<mode>.prom` and `<prefix>-<mode>.csv` through
 //! the in-engine `MetricsSink` (`TrainConfig::metrics`).
+//!
+//! With `--transport channel` the same config runs on real OS threads
+//! instead: one thread per node, framed messages over in-process channels,
+//! wall-clock time. Straggler *injection* does not apply there — the real
+//! host is the time model — so the run reports measured flight latency and
+//! wall-clock rounds rather than the barrier-vs-async comparison.
 
-use jwins::config::{ExecutionMode, TrainConfig};
+use jwins::config::{ChannelTransportConfig, ExecutionMode, TrainConfig, TransportKind};
 use jwins::engine::Trainer;
 use jwins::strategies::FullSharing;
 use jwins::strategy::ShareStrategy;
@@ -90,11 +97,82 @@ fn run(
     trainer.run().expect("run completes")
 }
 
+/// The same cluster on the real-concurrency channel backend: no simulated
+/// stragglers (the host's actual scheduling jitter is the heterogeneity),
+/// wall-clock time instead of virtual time.
+fn run_channel(trace_jsonl: Option<String>, metrics_prefix: Option<&str>) {
+    let nodes = 8;
+    let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
+    let mut cfg = TrainConfig::new(if smoke() { 6 } else { 30 });
+    cfg.local_steps = 2;
+    cfg.batch_size = 8;
+    cfg.lr = 0.1;
+    cfg.eval_every = if smoke() { 2 } else { 5 };
+    cfg.eval_test_samples = 128;
+    cfg.transport = TransportKind::Channel(ChannelTransportConfig::default());
+    cfg.trace.jsonl_path = trace_jsonl.clone();
+    if let Some(prefix) = metrics_prefix {
+        cfg.metrics.prometheus_path = Some(format!("{prefix}.prom"));
+        cfg.metrics.csv_path = Some(format!("{prefix}.csv"));
+    }
+    let trainer = Trainer::builder(cfg)
+        .topology(StaticTopology::random_regular(nodes, 3, 7).expect("feasible graph"))
+        .test_set(data.test)
+        .nodes(data.node_train, |_| {
+            (
+                mlp_classifier(2 * 8 * 8, &[16], 4, 42),
+                Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+            )
+        })
+        .build()
+        .expect("valid experiment");
+    let result = trainer.run().expect("run completes");
+    println!(
+        "== real OS-thread channels ({nodes} node threads) ==\n\
+         note: simulated stragglers/event-driven execution are virtual-time \
+         features;\nthe real backend measures the host instead of modelling it.\n"
+    );
+    println!("round  accuracy  wall-time[s]  staleness[s]");
+    for r in &result.records {
+        println!(
+            "{:>5}  {:>8.3}  {:>12.2}  {:>12.4}",
+            r.round + 1,
+            r.test_accuracy,
+            r.sim_time_s,
+            r.mean_staleness_s
+        );
+    }
+    if let Some(latency) = result.measured_latency_s {
+        println!(
+            "\nmeasured mean flight latency: {:.3} ms — feed it back to the sim \
+             oracle with `jwins::crosscheck::oracle_profile`",
+            latency * 1e3
+        );
+    }
+    if let Some(jsonl) = &trace_jsonl {
+        println!(
+            "trace written to {jsonl} (wall-clock stamps from concurrent \
+             threads — summarize with `trace_report {jsonl}`, but `--check` \
+             expects virtual-time monotonicity and does not apply)"
+        );
+    }
+}
+
 fn main() {
-    println!("straggler cluster: 8 nodes, 2 of them 4x slower, 100 Mbit/s links\n");
     const TARGET: f64 = 0.99;
     let prefix = flag_value("--trace");
     let metrics = flag_value("--metrics");
+    match flag_value("--transport").as_deref() {
+        Some("channel") => {
+            let jsonl = prefix.as_ref().map(|p| format!("{p}-channel.jsonl"));
+            let metrics_prefix = metrics.as_ref().map(|p| format!("{p}-channel"));
+            run_channel(jsonl, metrics_prefix.as_deref());
+            return;
+        }
+        None | Some("sim") => {}
+        Some(other) => panic!("--transport {other}: expected `sim` or `channel`"),
+    }
+    println!("straggler cluster: 8 nodes, 2 of them 4x slower, 100 Mbit/s links\n");
     let mut time_to_target = Vec::new();
     for (name, slug, mode) in [
         (

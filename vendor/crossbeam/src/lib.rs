@@ -1,6 +1,7 @@
 //! Offline shim for `crossbeam`: the `thread::scope` API implemented over
 //! `std::thread::scope` (available since Rust 1.63), preserving crossbeam's
-//! `Result`-returning signature and the `|_| …` spawn-closure shape.
+//! `Result`-returning signature and the `|_| …` spawn-closure shape, plus
+//! an `unbounded` MPMC `channel` built on `Mutex<VecDeque>` + `Condvar`.
 
 /// Scoped threads.
 pub mod thread {
@@ -51,8 +52,206 @@ pub mod thread {
     }
 }
 
+/// Multi-producer multi-consumer FIFO channels (the `unbounded` flavour
+/// only), implemented over `Mutex<VecDeque>` + `Condvar`. Semantics match
+/// upstream crossbeam where the JWINS transport layer relies on them:
+/// per-channel FIFO order, `Err` once every peer on the other side is gone,
+/// cloneable `Sender`s *and* `Receiver`s.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        readable: Condvar,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The message could not be sent: every `Receiver` was dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a closed channel")
+        }
+    }
+
+    /// Why `try_recv` returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every `Sender` was dropped.
+        Disconnected,
+    }
+
+    /// Why `recv_timeout` returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed without a message arriving.
+        Timeout,
+        /// The channel is empty and every `Sender` was dropped.
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; `Err(SendError(msg))` once every receiver is
+        /// gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            match state.queue.pop_front() {
+                Some(msg) => Ok(msg),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Dequeues, blocking up to `timeout` for a message to arrive.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, timed_out) = self
+                    .shared
+                    .readable
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel poisoned");
+                state = next;
+                if timed_out.timed_out() && state.queue.is_empty() {
+                    return if state.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers -= 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use std::time::Duration;
+
     #[test]
     fn scoped_threads_borrow_and_join() {
         let data = [1u64, 2, 3, 4];
@@ -65,5 +264,75 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn channel_preserves_fifo_order() {
+        let (tx, rx) = crate::channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10);
+        for i in 0..10 {
+            assert_eq!(rx.try_recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(crate::channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn channel_reports_disconnect_both_ways() {
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(crate::channel::SendError(1)));
+
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(
+            rx.try_recv(),
+            Err(crate::channel::TryRecvError::Disconnected)
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(crate::channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_blocks_until_a_send_lands() {
+        let (tx, rx) = crate::channel::unbounded();
+        crate::thread::scope(|scope| {
+            scope.spawn(move |_| {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(42u32).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out_when_nothing_arrives() {
+        let (_tx, rx) = crate::channel::unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(crate::channel::RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn cloned_endpoints_share_the_queue() {
+        let (tx, rx) = crate::channel::unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx2.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        // Dropping one sender clone keeps the channel open.
+        drop(tx2);
+        tx.send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(3));
     }
 }
