@@ -1,0 +1,303 @@
+//! Extension: sharded event engine at large node counts.
+//!
+//! The event-driven engine now runs on a `ShardedEventQueue` (per-node-group
+//! heaps behind a global merge) and an arena-backed parameter store, so the
+//! simulator scales past the paper's 256-node ceiling. This bench measures
+//! two things:
+//!
+//! 1. **Scale sweep** — events/sec and peak RSS (`VmHWM`) as the node count
+//!    grows (1k, 10k; 100k at `JWINS_SCALE=paper`). The workload is a tiny
+//!    MLP on synthetic features so the event loop, not the math, dominates.
+//! 2. **Ordering modes** — under fully-random per-node speeds
+//!    (`ComputeProfile::LogNormal`) no two events share a timestamp, so
+//!    `Ordering::Strict` degenerates to singleton batches and the worker
+//!    pool starves. `Ordering::Window` admits a bounded virtual-time skew
+//!    into each batch and recovers the parallelism; on an 8-core host the
+//!    full run asserts >1.5× throughput over the strict global-heap
+//!    configuration, and every run asserts the relaxed mode lands within
+//!    one accuracy point of strict.
+//!
+//! Strict mode at any shard count is bit-identical to the original single
+//! heap (`tests/scale_determinism.rs` pins this); only `Window` is allowed
+//! to reorder, and only within `max_skew_ns`.
+//!
+//! Peak RSS is read from `/proc/self/status` (`VmHWM`), which is a
+//! process-lifetime high-water mark — the sweep therefore runs node counts
+//! in ascending order and reports the mark after each size.
+
+use jwins::config::{ExecutionMode, TrainConfig};
+use jwins::engine::Trainer;
+use jwins::metrics::RunResult;
+use jwins::strategies::FullSharing;
+use jwins::strategy::ShareStrategy;
+use jwins_bench::report::BenchCase;
+use jwins_bench::{banner, Scale};
+use jwins_data::images::{cifar_like, ImageConfig};
+use jwins_nn::models::{mlp_classifier, ClassSample};
+use jwins_sim::{ComputeProfile, HeterogeneityProfile, LinkProfile, Ordering};
+use jwins_topology::dynamic::StaticTopology;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const DEGREE: usize = 4;
+/// Distinct per-node datasets; nodes beyond this cycle through them, so
+/// data generation stays O(1) in the node count.
+const TEMPLATES: usize = 16;
+/// Samples each node trains on per round (`local_steps = 1`).
+const SAMPLES_PER_NODE: usize = 2;
+
+/// Queue events per run: every active node schedules StartRound, TrainDone
+/// and Mix once per round (faults and eval ticks are off here).
+fn event_count(nodes: usize, rounds: usize) -> u64 {
+    3 * nodes as u64 * rounds as u64
+}
+
+/// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`);
+/// `None` off Linux or if the field is missing.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Fully-random per-node compute speeds: with probability 1 no two nodes
+/// finish a round at the same instant, so strict ordering cannot batch.
+fn random_speeds() -> HeterogeneityProfile {
+    HeterogeneityProfile {
+        compute: ComputeProfile::LogNormal { sigma: 0.5 },
+        links: LinkProfile::Uniform {
+            latency_s: 0.002,
+            bandwidth_bps: 12.5e6,
+        },
+    }
+}
+
+fn run_scale(
+    nodes: usize,
+    rounds: usize,
+    shards: usize,
+    ordering: Ordering,
+    threads: usize,
+    hetero: HeterogeneityProfile,
+) -> RunResult {
+    let data = cifar_like(&ImageConfig::tiny(), TEMPLATES, 2, SEED);
+    let node_train: Vec<Vec<ClassSample>> = (0..nodes)
+        .map(|i| {
+            data.node_train[i % TEMPLATES]
+                .iter()
+                .take(SAMPLES_PER_NODE)
+                .cloned()
+                .collect()
+        })
+        .collect();
+    let mut cfg = TrainConfig::new(rounds);
+    cfg.seed = SEED;
+    cfg.local_steps = 1;
+    cfg.batch_size = SAMPLES_PER_NODE;
+    cfg.lr = 0.05;
+    // One final evaluation over a small slice: at 10k+ nodes a full eval
+    // pass would dwarf the event loop this bench is measuring.
+    cfg.eval_every = rounds;
+    cfg.eval_test_samples = 16;
+    cfg.threads = threads;
+    cfg.execution = ExecutionMode::EventDriven;
+    cfg.heterogeneity = hetero;
+    cfg.shards = shards;
+    cfg.ordering = ordering;
+    let trainer = Trainer::builder(cfg)
+        .topology(
+            StaticTopology::random_regular(nodes, DEGREE, SEED ^ 0xD1).expect("feasible graph"),
+        )
+        .test_set(data.test.clone())
+        .nodes(node_train, |_node| {
+            (
+                mlp_classifier(2 * 8 * 8, &[4], 4, SEED),
+                Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
+            )
+        })
+        .build()
+        .expect("valid experiment");
+    trainer.run().expect("run completes")
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let smoke = jwins_bench::smoke();
+    banner(
+        "ext_scale — sharded event engine from 1k to 100k nodes",
+        "per-shard heaps + arena-backed node state keep events/sec flat and \
+         memory sublinear as the node count grows; Window ordering recovers \
+         batch parallelism under fully-random speeds",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // ---- Part 1: scale sweep (ascending, for the VmHWM high-water mark).
+    let (sizes, rounds): (&[usize], usize) = if smoke {
+        (&[256, 1000], 2)
+    } else if matches!(scale, Scale::Paper) {
+        (&[1000, 10_000, 100_000], 3)
+    } else {
+        (&[1000, 10_000], 3)
+    };
+    println!(
+        "host cores: {cores}{}\n",
+        if smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>12}",
+        "nodes", "rounds", "wall s", "events/s", "peak RSS MB"
+    );
+    let mut csv =
+        String::from("section,nodes,rounds,shards,ordering,threads,wall_s,events_per_s,peak_rss_mb,final_accuracy\n");
+    let mut cases = Vec::new();
+    let mut rss_per_node: Vec<(usize, f64)> = Vec::new();
+    for &nodes in sizes {
+        // Shard count scales with the run; stragglers keep cohorts
+        // time-aligned so strict batches stay wide even at scale.
+        let shards = (nodes / 64).max(1);
+        let hetero = HeterogeneityProfile::stragglers(0.25, 4.0, 0.005, 12.5e6);
+        let start = Instant::now();
+        let result = run_scale(nodes, rounds, shards, Ordering::Strict, 0, hetero);
+        let wall = start.elapsed().as_secs_f64();
+        let events = event_count(nodes, rounds);
+        let eps = events as f64 / wall;
+        let rss_mb = peak_rss_bytes().map_or(f64::NAN, |b| b as f64 / (1024.0 * 1024.0));
+        rss_per_node.push((nodes, rss_mb));
+        let accuracy = result.final_record().map_or(f64::NAN, |r| r.test_accuracy);
+        println!("{nodes:>8} {rounds:>8} {wall:>10.2} {eps:>12.0} {rss_mb:>12.1}");
+        csv.push_str(&format!(
+            "scale,{nodes},{rounds},{shards},strict,0,{wall:.4},{eps:.1},{rss_mb:.1},{accuracy:.6}\n"
+        ));
+        cases.push(BenchCase::from_result(
+            "ext_scale",
+            &format!("nodes-{nodes}"),
+            wall,
+            &result,
+        ));
+    }
+    // Sublinear-memory sanity: 10× the nodes must cost < 10× the peak RSS.
+    // VmHWM includes the process baseline, so this is conservative; only
+    // checked on the full run where both sizes are present.
+    if !smoke {
+        if let (Some(&(n_small, rss_small)), Some(&(n_big, rss_big))) =
+            (rss_per_node.first(), rss_per_node.last())
+        {
+            if rss_small.is_finite() && rss_big.is_finite() && rss_small > 0.0 {
+                let node_ratio = n_big as f64 / n_small as f64;
+                let rss_ratio = rss_big / rss_small;
+                println!(
+                    "\npeak RSS grew {rss_ratio:.2}x across a {node_ratio:.0}x node-count increase"
+                );
+                assert!(
+                    rss_ratio < node_ratio,
+                    "peak RSS grew {rss_ratio:.2}x over a {node_ratio:.0}x node increase — \
+                     superlinear memory; the arena or the queue is leaking per-node copies"
+                );
+            }
+        }
+    }
+
+    // ---- Part 2: ordering modes under fully-random per-node speeds.
+    // Strict cannot batch here (no two events share a timestamp); Window
+    // admits a bounded skew and refills the worker pool. The skew is a
+    // tenth of the median round time — far below anything that could move
+    // a mix deadline.
+    let (ord_nodes, ord_rounds) = if smoke { (256, 2) } else { (2000, 4) };
+    let skew = Ordering::Window {
+        max_skew_ns: 5_000_000, // 5 ms against a 50 ms median compute time
+    };
+    println!(
+        "\nordering modes @ {ord_nodes} nodes, {ord_rounds} rounds, 8 threads, \
+         log-normal speeds:"
+    );
+    println!(
+        "{:>24} {:>10} {:>12} {:>10}",
+        "mode", "wall s", "events/s", "accuracy"
+    );
+    let mut strict_result: Option<(f64, RunResult)> = None;
+    let mut window_result: Option<(f64, RunResult)> = None;
+    for (label, shards, ordering) in [
+        ("strict/1-shard (heap)", 1usize, Ordering::Strict),
+        ("strict/16-shard", 16, Ordering::Strict),
+        ("window/16-shard", 16, skew),
+    ] {
+        let start = Instant::now();
+        let result = run_scale(ord_nodes, ord_rounds, shards, ordering, 8, random_speeds());
+        let wall = start.elapsed().as_secs_f64();
+        let events = event_count(ord_nodes, ord_rounds);
+        let eps = events as f64 / wall;
+        let accuracy = result.final_record().map_or(f64::NAN, |r| r.test_accuracy);
+        println!("{label:>24} {wall:>10.2} {eps:>12.0} {accuracy:>10.4}");
+        let ord_name = if matches!(ordering, Ordering::Strict) {
+            "strict"
+        } else {
+            "window"
+        };
+        csv.push_str(&format!(
+            "ordering,{ord_nodes},{ord_rounds},{shards},{ord_name},8,{wall:.4},{eps:.1},,{accuracy:.6}\n"
+        ));
+        cases.push(BenchCase::from_result(
+            "ext_scale",
+            &format!("{ord_name}-{shards}shard"),
+            wall,
+            &result,
+        ));
+        match (ordering, shards) {
+            (Ordering::Strict, 1) => strict_result = Some((wall, result)),
+            (Ordering::Window { .. }, _) => window_result = Some((wall, result)),
+            _ => {
+                // The 16-shard strict run must replay the 1-shard schedule
+                // bit for bit: sharding is structural, not semantic.
+                if let Some((_, base)) = &strict_result {
+                    base.assert_bit_identical(&result, "strict 1-shard vs 16-shard");
+                    println!("{:>24} strict shard counts are bit-identical", "");
+                }
+            }
+        }
+    }
+    let (strict_wall, strict_run) = strict_result.expect("strict baseline ran");
+    let (window_wall, window_run) = window_result.expect("window run ran");
+
+    // Relaxed ordering must not cost (meaningful) accuracy: the skew is
+    // bounded well below the mix deadline, so the final model should land
+    // within a point of strict on every configuration, smoke included.
+    let strict_acc = strict_run
+        .final_record()
+        .map_or(f64::NAN, |r| r.test_accuracy);
+    let window_acc = window_run
+        .final_record()
+        .map_or(f64::NAN, |r| r.test_accuracy);
+    assert!(
+        (strict_acc - window_acc).abs() <= 0.01,
+        "window ordering drifted from strict: {window_acc:.4} vs {strict_acc:.4} \
+         (must agree within 0.01)"
+    );
+    println!("\nwindow vs strict final accuracy: {window_acc:.4} vs {strict_acc:.4} (within 0.01)");
+
+    jwins_bench::save_csv("ext_scale", &csv);
+    jwins_bench::report::append_cases(&cases);
+
+    if smoke {
+        println!(
+            "\nsmoke run: accuracy parity asserted; the throughput gate needs the full config."
+        );
+        return;
+    }
+    let recovery = strict_wall / window_wall;
+    if cores >= 8 {
+        assert!(
+            recovery > 1.5,
+            "window ordering should recover >1.5x throughput over the strict \
+             global heap at 8 threads under random speeds, got {recovery:.2}x"
+        );
+        println!(
+            "window recovered {recovery:.2}x throughput over the strict heap (>1.5x required)"
+        );
+    } else {
+        println!(
+            "Host has {cores} core(s): the >1.5x recovery check applies on hosts \
+             with 8+ cores; measured {recovery:.2}x. Accuracy parity was asserted regardless."
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Flat parameter storage for the whole cluster.
+//!
+//! At 10k+ nodes, per-node `Vec<f32>` parameter buffers scatter the hot
+//! training state across the heap: every execute batch chases `n` separate
+//! allocations and the allocator pays per-node bookkeeping. [`ParamArena`]
+//! packs every node's flat parameter vector into one contiguous `Vec<f32>`
+//! (CSR-style offsets, so heterogeneous model sizes still work) and hands
+//! out disjoint `&mut [f32]` windows per node. The float values and their
+//! operation order are exactly those of the per-node layout — the arena is
+//! a storage change, not a numeric one — so runs stay bit-identical to the
+//! pre-arena engine.
+//!
+//! Worker threads get their windows through [`ParamArena::slices_mut`],
+//! which splits the buffer into per-node `&mut` slices once per batch;
+//! distinctness of batch node ids (the event queue's independent-batch
+//! contract) guarantees the borrows are disjoint.
+
+/// One flat buffer holding every node's parameters, indexed by node id.
+#[derive(Debug, Clone)]
+pub(crate) struct ParamArena {
+    /// `offsets[i]..offsets[i + 1]` is node `i`'s window; `n + 1` entries.
+    offsets: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl ParamArena {
+    /// Packs per-node parameter vectors (in node order) into one buffer.
+    pub(crate) fn from_nodes(params: Vec<Vec<f32>>) -> Self {
+        let mut offsets = Vec::with_capacity(params.len() + 1);
+        offsets.push(0);
+        let total: usize = params.iter().map(Vec::len).sum();
+        let mut data = Vec::with_capacity(total);
+        for p in params {
+            data.extend_from_slice(&p);
+            offsets.push(data.len());
+        }
+        Self { offsets, data }
+    }
+
+    /// Number of nodes with a window in the arena.
+    pub(crate) fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Node `i`'s parameters.
+    pub(crate) fn node(&self, i: usize) -> &[f32] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Node `i`'s parameters, writable.
+    pub(crate) fn node_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Splits the buffer into one disjoint `&mut` window per node, in node
+    /// order — the shape worker pools distribute across threads.
+    pub(crate) fn slices_mut(&mut self) -> Vec<&mut [f32]> {
+        let mut out = Vec::with_capacity(self.node_count());
+        let mut rest: &mut [f32] = &mut self.data;
+        for w in self.offsets.windows(2) {
+            let (head, tail) = rest.split_at_mut(w[1] - w[0]);
+            out.push(head);
+            rest = tail;
+        }
+        out
+    }
+
+    /// Copies node `from`'s parameters over node `to`'s (donor re-sync on
+    /// recovery). Panics if the two windows differ in length.
+    pub(crate) fn copy_node(&mut self, from: usize, to: usize) {
+        let src = self.offsets[from]..self.offsets[from + 1];
+        let dst = self.offsets[to];
+        assert_eq!(
+            src.len(),
+            self.offsets[to + 1] - dst,
+            "donor and rejoiner models must agree in size"
+        );
+        self.data.copy_within(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_contiguous_and_disjoint() {
+        let mut arena =
+            ParamArena::from_nodes(vec![vec![1.0, 2.0], vec![3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(arena.node_count(), 3);
+        assert_eq!(arena.node(0), &[1.0, 2.0]);
+        assert_eq!(arena.node(1), &[3.0]);
+        assert_eq!(arena.node(2), &[4.0, 5.0, 6.0]);
+        arena.node_mut(1)[0] = 9.0;
+        assert_eq!(arena.node(1), &[9.0]);
+        let slices = arena.slices_mut();
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[2].len(), 3);
+        slices.into_iter().for_each(|s| s.fill(0.0));
+        assert_eq!(arena.node(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn copy_node_resyncs_equal_sized_windows() {
+        let mut arena = ParamArena::from_nodes(vec![vec![1.0, 2.0], vec![7.0, 8.0]]);
+        arena.copy_node(0, 1);
+        assert_eq!(arena.node(1), &[1.0, 2.0]);
+        assert_eq!(arena.node(0), &[1.0, 2.0], "donor untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "agree in size")]
+    fn copy_node_rejects_size_mismatch() {
+        let mut arena = ParamArena::from_nodes(vec![vec![1.0], vec![2.0, 3.0]]);
+        arena.copy_node(0, 1);
+    }
+}

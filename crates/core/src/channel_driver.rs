@@ -71,6 +71,7 @@ struct Board {
 /// the same chunked merge as the engine's parallel evaluation phase.
 fn evaluate_node<M: Model>(
     state: &mut NodeState<M>,
+    params: &[f32],
     test: &[M::Sample],
     cap: usize,
 ) -> (EvalMetrics, f64) {
@@ -79,7 +80,7 @@ fn evaluate_node<M: Model>(
     } else {
         &test[..cap]
     };
-    state.model.set_params(&state.params);
+    state.model.set_params(params);
     let mut local = EvalMetrics::default();
     for chunk in subset.chunks(64) {
         local.merge(&state.model.evaluate(chunk));
@@ -102,6 +103,7 @@ where
         participation,
         network,
         nodes,
+        mut arena,
         test,
         tracer,
     } = trainer;
@@ -148,7 +150,7 @@ where
     });
     let stop = AtomicBool::new(false);
 
-    let worker = |i: usize, mut state: NodeState<M>| -> Result<()> {
+    let worker = |i: usize, mut state: NodeState<M>, params: &mut [f32]| -> Result<()> {
         // Early messages from fast neighbours, waiting for their round.
         let mut stash: Vec<jwins_net::Envelope> = Vec::new();
         for (round, (topo, active)) in contexts.iter().enumerate().take(rounds) {
@@ -165,7 +167,7 @@ where
                 // oracle models busy time as compute, not link latency).
                 stash.extend(network.drain(i, SimTime::MAX, None).envelopes);
                 let wall = Instant::now();
-                train_steps(&mut state, tau, batch_size, lr);
+                train_steps(&mut state, params, tau, batch_size, lr);
                 tracer.emit(TraceEvent::Train {
                     t_ns: network.now().0,
                     node: i as u32,
@@ -173,9 +175,7 @@ where
                     compute_ns: wall.elapsed().as_nanos() as u64,
                 });
                 let neighbors = Trainer::<M>::active_neighbors(topo, active, i);
-                let outbound = state
-                    .strategy
-                    .make_outbound(round, &state.params, &neighbors)?;
+                let outbound = state.strategy.make_outbound(round, params, &neighbors)?;
                 state.last_alpha = state.strategy.last_alpha();
                 let now = network.now();
                 let send = |to: usize, msg: crate::strategy::OutMessage| {
@@ -272,20 +272,21 @@ where
                         staleness_s,
                     });
                 }
-                state.params = state.strategy.aggregate(
+                let mixed = state.strategy.aggregate(
                     round,
-                    &state.params,
+                    params,
                     topo.weights.self_weight(i),
                     &received,
                 )?;
-                state.model.set_params(&state.params);
+                params.copy_from_slice(&mixed);
+                state.model.set_params(params);
             }
             let is_last = round + 1 == rounds;
             let eval_due =
                 is_last || (config.eval_every > 0 && (round + 1) % config.eval_every == 0);
             // Inactive nodes evaluate too — same as the barrier engine,
             // where every node's (possibly unchanged) model joins the mean.
-            let eval = eval_due.then(|| evaluate_node(&mut state, &test, eval_cap));
+            let eval = eval_due.then(|| evaluate_node(&mut state, params, &test, eval_cap));
 
             let mut board = board.lock();
             board.total_staleness_s += staleness_now;
@@ -380,12 +381,16 @@ where
     };
 
     let results: Vec<Result<()>> = crossbeam::thread::scope(|scope| {
+        // Each node thread owns its state plus a disjoint `&mut` window of
+        // the shared parameter arena; the scope joins before the arena's
+        // borrow ends.
         let handles: Vec<_> = nodes
             .into_iter()
+            .zip(arena.slices_mut())
             .enumerate()
-            .map(|(i, state)| {
+            .map(|(i, (state, params))| {
                 let worker = &worker;
-                scope.spawn(move |_| worker(i, state))
+                scope.spawn(move |_| worker(i, state, params))
             })
             .collect();
         // Joined in spawn (= node) order, so the first error reported is

@@ -182,6 +182,23 @@ pub struct TrainConfig {
     /// pre-adversary engine (pinned by `tests/byzantine.rs`).
     #[serde(default)]
     pub attack: jwins_adversary::AttackPlan,
+    /// Event-queue shard count for [`ExecutionMode::EventDriven`] (`0` =
+    /// one shard, the pre-shard layout). Pending events are routed to shard
+    /// `node % shards`; pops always take the global minimum across shard
+    /// heads, so the shard count never changes the schedule — it only
+    /// shrinks the per-heap working set at large node counts.
+    #[serde(default)]
+    pub shards: usize,
+    /// Commit-order contract of the event loop
+    /// ([`jwins_sim::Ordering::Strict`] by default — bit-identical to the
+    /// global single-heap engine). [`jwins_sim::Ordering::Window`] lets one
+    /// execute batch span events up to `max_skew_ns` of virtual time apart,
+    /// restoring wide parallel batches under fully-random per-node speeds
+    /// at the cost of a bounded reordering (an event may miss effects
+    /// committed less than the skew before it fires). Requires
+    /// [`ExecutionMode::EventDriven`] on [`TransportKind::Sim`].
+    #[serde(default)]
+    pub ordering: jwins_sim::Ordering,
     /// Robust aggregation rule applied to decoded neighbor contributions
     /// at the mixing layer (see `jwins_adversary::Robust`). Removed mass
     /// folds into the self-weight, keeping mixing row-stochastic (the
@@ -219,10 +236,27 @@ impl TrainConfig {
             message_loss: 0.0,
             trace: jwins_trace::TraceConfig::default(),
             metrics: jwins_metrics::MetricsConfig::default(),
+            shards: 0,
+            ordering: jwins_sim::Ordering::Strict,
             attack: jwins_adversary::AttackPlan::None,
             robust: jwins_adversary::Robust::None,
             record_alphas: false,
         }
+    }
+
+    /// Fluent event-queue shard-count override (`0` = one shard).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Fluent commit-order override (event-driven sim runs only for
+    /// [`jwins_sim::Ordering::Window`]).
+    #[must_use]
+    pub fn with_ordering(mut self, ordering: jwins_sim::Ordering) -> Self {
+        self.ordering = ordering;
+        self
     }
 
     /// Fluent switch to event-driven execution under `profile`.
@@ -412,6 +446,29 @@ impl TrainConfig {
                 ));
             }
         }
+        if let jwins_sim::Ordering::Window { max_skew_ns } = self.ordering {
+            if max_skew_ns == 0 {
+                return Err(JwinsError::InvalidConfig(
+                    "Ordering::Window with max_skew_ns = 0 is Ordering::Strict; \
+                     use Strict explicitly or pick a positive skew"
+                        .into(),
+                ));
+            }
+            if self.execution != ExecutionMode::EventDriven {
+                return Err(JwinsError::InvalidConfig(
+                    "Ordering::Window relaxes the event loop's commit order; \
+                     bulk-synchronous execution has no event loop to relax"
+                        .into(),
+                ));
+            }
+            if self.transport.is_real() {
+                return Err(JwinsError::InvalidConfig(
+                    "Ordering::Window bounds *virtual-time* skew inside execute \
+                     batches; the channel transport has no virtual clock"
+                        .into(),
+                ));
+            }
+        }
         self.metrics.validate().map_err(JwinsError::InvalidConfig)?;
         self.attack.validate().map_err(JwinsError::InvalidConfig)?;
         self.robust.validate().map_err(JwinsError::InvalidConfig)?;
@@ -591,6 +648,8 @@ mod tests {
             behavior: jwins_adversary::AttackBehavior::Scale { factor: -4.0 },
         };
         config.robust = jwins_adversary::Robust::TrimmedMean { trim: 0.3 };
+        config.shards = 16;
+        config.ordering = jwins_sim::Ordering::Window { max_skew_ns: 2_500 };
         let text = serde::json::to_string(&config);
         let back: TrainConfig = serde::json::from_str(&text).unwrap();
         assert_eq!(back.time_model, config.time_model);
@@ -608,6 +667,34 @@ mod tests {
         assert_eq!(back.metrics, config.metrics);
         assert_eq!(back.attack, config.attack);
         assert_eq!(back.robust, config.robust);
+        assert_eq!(back.shards, config.shards);
+        assert_eq!(back.ordering, config.ordering);
+    }
+
+    #[test]
+    fn window_ordering_requires_the_event_driven_sim_engine() {
+        let window = jwins_sim::Ordering::Window { max_skew_ns: 1_000 };
+        // Barrier execution has no event loop to relax.
+        let c = TrainConfig::new(3).with_ordering(window);
+        assert!(c.validate().is_err());
+        // The channel transport has no virtual clock to bound skew on.
+        let c = TrainConfig::new(3)
+            .with_transport(TransportKind::Channel(ChannelTransportConfig::default()))
+            .with_ordering(window);
+        assert!(c.validate().is_err());
+        // A zero-skew window is a confusing Strict spelling; rejected.
+        let c = TrainConfig::new(3)
+            .with_event_driven(HeterogeneityProfile::default())
+            .with_ordering(jwins_sim::Ordering::Window { max_skew_ns: 0 });
+        assert!(c.validate().is_err());
+        // The real thing validates, as do shards everywhere (a pure
+        // data-structure knob).
+        let c = TrainConfig::new(3)
+            .with_event_driven(HeterogeneityProfile::default())
+            .with_ordering(window)
+            .with_shards(8);
+        assert!(c.validate().is_ok());
+        assert!(TrainConfig::new(3).with_shards(64).validate().is_ok());
     }
 
     #[test]
@@ -699,6 +786,8 @@ mod tests {
         assert_eq!(config.metrics, jwins_metrics::MetricsConfig::default());
         assert_eq!(config.attack, jwins_adversary::AttackPlan::None);
         assert_eq!(config.robust, jwins_adversary::Robust::None);
+        assert_eq!(config.shards, 0);
+        assert_eq!(config.ordering, jwins_sim::Ordering::Strict);
         assert!(config.validate().is_ok());
     }
 

@@ -48,12 +48,22 @@
 //! - [`crate::config::TrainConfig::threads`] (1, 2, 8, or 0 = all cores) —
 //!   worker threads only split the execute phase of already-independent
 //!   events;
+//! - [`crate::config::TrainConfig::shards`] — the event queue
+//!   ([`jwins_sim::ShardedEventQueue`]) routes events to per-node-group
+//!   heaps but merges them behind one global insertion counter and tie
+//!   hash, so any shard count replays the identical total order
+//!   (`tests/scale_determinism.rs`);
 //! - host core count / scheduler timing, for the same reason.
 //!
 //! These knobs **do** change results, deterministically:
 //!
 //! - [`crate::config::TrainConfig::seed`] — drives initial weights, batch
 //!   order, queue tie-breaks, loss draws and fault expansion;
+//! - [`crate::config::TrainConfig::ordering`] — `Window { max_skew_ns }`
+//!   lets a batch absorb events within a bounded virtual-time skew of its
+//!   head (each still executes at its own timestamp), trading strict
+//!   commit interleaving for batch width under fully-random speeds;
+//!   `Strict` (the default) is bit-identical to the pre-sharding engine;
 //! - the heterogeneity profile, fault plan, staleness policy, topology and
 //!   every learning hyperparameter.
 //!
@@ -68,8 +78,10 @@
 //! per-node speeds) yield singleton batches, while class-structured
 //! profiles (e.g. [`jwins_sim::HeterogeneityProfile::stragglers`]) keep
 //! same-speed cohorts aligned and batch wide — see the `ext_parallel`
-//! bench.
+//! bench, and `ext_scale` for the windowed-ordering escape hatch at large
+//! node counts.
 
+use crate::arena::ParamArena;
 use crate::config::{ExecutionMode, TrainConfig, TransportKind};
 use crate::metrics::{RoundRecord, RunResult, TargetHit};
 use crate::participation::{AlwaysOn, ParticipationModel};
@@ -82,7 +94,7 @@ use jwins_net::{
     LossModel, PendingSend, PurgeScope, SimNetwork, ThreadChannelTransport, Transport,
 };
 use jwins_nn::model::{EvalMetrics, Model};
-use jwins_sim::{Conflict, EventQueue, LifecycleEvent, LifecycleTracker, SimTime};
+use jwins_sim::{Conflict, LifecycleEvent, LifecycleTracker, ShardedEventQueue, SimTime};
 use jwins_topology::dynamic::{RoundTopology, TopologyProvider};
 use jwins_topology::repair::{dead_neighbor_counts, LiveSet};
 use jwins_trace::{AttackKind, BatchClass, KillReason, TraceEvent, TraceSink, Tracer};
@@ -206,6 +218,7 @@ impl<M: Model> TrainerBuilder<M> {
             model0.params()
         };
         let mut nodes = Vec::with_capacity(n);
+        let mut init = Vec::with_capacity(n);
         for (i, ((mut model, strategy), shard)) in
             self.nodes.into_iter().zip(self.shards).enumerate()
         {
@@ -244,14 +257,15 @@ impl<M: Model> TrainerBuilder<M> {
             );
             nodes.push(NodeState {
                 model,
-                params,
                 sampler,
                 strategy,
                 out: None,
                 last_train_loss: 0.0,
                 last_alpha: 0.0,
             });
+            init.push(params);
         }
+        let arena = ParamArena::from_nodes(init);
         // The transport is chosen here and never again: the engine speaks
         // only the `Transport` trait from this point on, so both backends
         // run the exact same round program.
@@ -292,6 +306,7 @@ impl<M: Model> TrainerBuilder<M> {
             topology,
             participation: self.participation,
             nodes,
+            arena,
             tracer,
         })
     }
@@ -326,9 +341,13 @@ fn attack_kind(behavior: AttackBehavior) -> AttackKind {
     }
 }
 
+/// Per-node training state. Flat model parameters live *outside* this
+/// struct, in the trainer's [`ParamArena`] — one contiguous buffer indexed
+/// by node id — so the hot per-batch state is cache-dense at large node
+/// counts; closures receive the node's window as a `&mut [f32]` alongside
+/// its `NodeState`.
 pub(crate) struct NodeState<M: Model> {
     pub(crate) model: M,
-    pub(crate) params: Vec<f32>,
     pub(crate) sampler: BatchSampler<M::Sample>,
     pub(crate) strategy: Box<dyn ShareStrategy>,
     pub(crate) out: Option<Outbound>,
@@ -341,49 +360,64 @@ pub(crate) struct NodeState<M: Model> {
 /// heterogeneity profile replay bulk-synchronous results bit-for-bit.
 pub(crate) fn train_steps<M: Model>(
     node: &mut NodeState<M>,
+    params: &mut [f32],
     tau: usize,
     batch_size: usize,
     lr: f32,
 ) {
-    node.model.set_params(&node.params);
+    node.model.set_params(params);
     let mut loss = 0.0;
     for _ in 0..tau {
         let batch = node.sampler.sample(batch_size);
         let (l, grad) = node.model.loss_and_grad(&batch);
         loss = l;
-        for (p, g) in node.params.iter_mut().zip(&grad) {
+        for (p, g) in params.iter_mut().zip(&grad) {
             *p -= lr * g;
         }
-        node.model.set_params(&node.params);
+        node.model.set_params(params);
     }
     node.last_train_loss = loss;
 }
 
 /// Runs each node's closure in parallel chunks, propagating the first error.
 /// Phases are barrier-separated, so results do not depend on thread count.
-fn par_nodes<M, F>(nodes: &mut [NodeState<M>], threads: usize, f: F) -> Result<()>
+/// Each closure gets the node's arena window alongside its state; chunks
+/// carry matching (state, window) pairs, so the borrows stay disjoint.
+fn par_nodes<M, F>(
+    nodes: &mut [NodeState<M>],
+    arena: &mut ParamArena,
+    threads: usize,
+    f: F,
+) -> Result<()>
 where
     M: Model + Send,
     M::Sample: Send + Sync,
-    F: Fn(usize, &mut NodeState<M>) -> Result<()> + Sync,
+    F: Fn(usize, &mut NodeState<M>, &mut [f32]) -> Result<()> + Sync,
 {
     let threads = threads.min(nodes.len()).max(1);
+    let params = arena.slices_mut();
     if threads == 1 {
-        for (i, node) in nodes.iter_mut().enumerate() {
-            f(i, node)?;
+        for (i, (node, params)) in nodes.iter_mut().zip(params).enumerate() {
+            f(i, node, params)?;
         }
         return Ok(());
     }
     let chunk = nodes.len().div_ceil(threads);
+    let mut work: Vec<(&mut NodeState<M>, &mut [f32])> = nodes.iter_mut().zip(params).collect();
+    let mut chunks: Vec<Vec<(&mut NodeState<M>, &mut [f32])>> = Vec::new();
+    while !work.is_empty() {
+        let rest = work.split_off(chunk.min(work.len()));
+        chunks.push(std::mem::replace(&mut work, rest));
+    }
     let results: Vec<Result<()>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = nodes
-            .chunks_mut(chunk)
+        let handles: Vec<_> = chunks
+            .into_iter()
             .enumerate()
-            .map(|(ci, nodes)| {
+            .map(|(ci, chunk_items)| {
                 let f = &f;
                 scope.spawn(move |_| {
-                    for (k, node) in nodes.iter_mut().enumerate() {
-                        f(ci * chunk + k, node)?;
+                    for (k, (node, params)) in chunk_items.into_iter().enumerate() {
+                        f(ci * chunk + k, node, params)?;
                     }
                     Ok(())
                 })
@@ -398,6 +432,10 @@ where
     results.into_iter().collect()
 }
 
+/// One unit of `par_batch` work: a node id, its state and arena window,
+/// and the event payload.
+type WorkItem<'a, M, T> = (usize, &'a mut NodeState<M>, &'a mut [f32], T);
+
 /// Executes one closure per `(node, item)` pair on the worker pool — the
 /// event-driven engine's *execute* phase. Items carry distinct node ids
 /// (the queue's independent-batch contract), whose states are selected as
@@ -406,6 +444,7 @@ where
 /// and failures are independent of thread count.
 fn par_batch<M, T, P, F>(
     nodes: &mut [NodeState<M>],
+    arena: &mut ParamArena,
     items: Vec<(usize, T)>,
     threads: usize,
     f: F,
@@ -415,27 +454,29 @@ where
     M::Sample: Send + Sync,
     T: Send,
     P: Send,
-    F: Fn(usize, &mut NodeState<M>, T) -> Result<P> + Sync,
+    F: Fn(usize, &mut NodeState<M>, &mut [f32], T) -> Result<P> + Sync,
 {
     let mut slots: Vec<Option<&mut NodeState<M>>> = nodes.iter_mut().map(Some).collect();
-    let mut work: Vec<(usize, &mut NodeState<M>, T)> = items
+    let mut pslots: Vec<Option<&mut [f32]>> = arena.slices_mut().into_iter().map(Some).collect();
+    let mut work: Vec<WorkItem<'_, M, T>> = items
         .into_iter()
         .map(|(id, item)| {
             let state = slots[id]
                 .take()
                 .expect("batch nodes must be pairwise distinct");
-            (id, state, item)
+            let params = pslots[id].take().expect("state and window taken together");
+            (id, state, params, item)
         })
         .collect();
     let threads = threads.min(work.len()).max(1);
     if threads == 1 {
         return work
             .into_iter()
-            .map(|(id, state, item)| f(id, state, item))
+            .map(|(id, state, params, item)| f(id, state, params, item))
             .collect();
     }
     let chunk = work.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<(usize, &mut NodeState<M>, T)>> = Vec::new();
+    let mut chunks: Vec<Vec<WorkItem<'_, M, T>>> = Vec::new();
     while !work.is_empty() {
         let rest = work.split_off(chunk.min(work.len()));
         chunks.push(std::mem::replace(&mut work, rest));
@@ -448,7 +489,7 @@ where
                 scope.spawn(move |_| {
                     chunk_items
                         .into_iter()
-                        .map(|(id, state, item)| f(id, state, item))
+                        .map(|(id, state, params, item)| f(id, state, params, item))
                         .collect::<Result<Vec<P>>>()
                 })
             })
@@ -473,6 +514,9 @@ pub struct Trainer<M: Model> {
     pub(crate) participation: Box<dyn ParticipationModel>,
     pub(crate) network: Arc<dyn Transport>,
     pub(crate) nodes: Vec<NodeState<M>>,
+    /// Every node's flat parameters in one contiguous buffer (see
+    /// [`ParamArena`]); `nodes[i]`'s window is `arena.node(i)`.
+    pub(crate) arena: ParamArena,
     pub(crate) test: Arc<Vec<M::Sample>>,
     /// Run telemetry. Always present — the flight recorder inside is the
     /// always-on crash context — and only ever *read from* sequential code,
@@ -506,7 +550,7 @@ impl<M: Model> Trainer<M> {
     ///
     /// Panics if `node` is out of range.
     pub fn node_params(&self, node: usize) -> &[f32] {
-        &self.nodes[node].params
+        self.arena.node(node)
     }
 
     /// Overwrites a node's parameters (test hook for consensus experiments).
@@ -515,8 +559,9 @@ impl<M: Model> Trainer<M> {
     ///
     /// Panics if `node` is out of range or the length mismatches.
     pub fn set_node_params(&mut self, node: usize, params: &[f32]) {
-        assert_eq!(params.len(), self.nodes[node].params.len());
-        self.nodes[node].params = params.to_vec();
+        let window = self.arena.node_mut(node);
+        assert_eq!(params.len(), window.len());
+        window.copy_from_slice(params);
         self.nodes[node].model.set_params(params);
         self.nodes[node].strategy.init(params);
     }
@@ -561,25 +606,29 @@ impl<M: Model> Trainer<M> {
         let lr = self.config.lr;
         let atk_seed = self.config.seed ^ ATTACK_SALT;
         let threads = self.worker_threads();
-        par_nodes(&mut self.nodes, threads, move |i, node| {
-            if !active[i] {
-                node.out = None;
-                return Ok(());
-            }
-            train_steps(node, tau, bs, lr);
-            let neighbors = Self::active_neighbors(topo, active, i);
-            let outbound = if let Some(behavior) = attacks[i] {
-                let mut tainted = node.params.clone();
-                jwins_adversary::apply_behavior(behavior, atk_seed, i, round, &mut tainted);
-                node.strategy.make_outbound(round, &tainted, &neighbors)?
-            } else {
-                node.strategy
-                    .make_outbound(round, &node.params, &neighbors)?
-            };
-            node.out = Some(outbound);
-            node.last_alpha = node.strategy.last_alpha();
-            Ok(())
-        })
+        par_nodes(
+            &mut self.nodes,
+            &mut self.arena,
+            threads,
+            move |i, node, params| {
+                if !active[i] {
+                    node.out = None;
+                    return Ok(());
+                }
+                train_steps(node, params, tau, bs, lr);
+                let neighbors = Self::active_neighbors(topo, active, i);
+                let outbound = if let Some(behavior) = attacks[i] {
+                    let mut tainted = params.to_vec();
+                    jwins_adversary::apply_behavior(behavior, atk_seed, i, round, &mut tainted);
+                    node.strategy.make_outbound(round, &tainted, &neighbors)?
+                } else {
+                    node.strategy.make_outbound(round, params, &neighbors)?
+                };
+                node.out = Some(outbound);
+                node.last_alpha = node.strategy.last_alpha();
+                Ok(())
+            },
+        )
     }
 
     /// Message delivery; returns the max bytes any single node pushed.
@@ -638,37 +687,43 @@ impl<M: Model> Trainer<M> {
         let graph = Arc::clone(&topo.graph);
         let weights = Arc::clone(&topo.weights);
         let threads = self.worker_threads();
-        par_nodes(&mut self.nodes, threads, move |i, node| {
-            if !active[i] {
-                return Ok(());
-            }
-            // No deadline, no TTL: barrier rounds deliver everything sent.
-            let inbox = network.drain(i, SimTime::MAX, None).envelopes;
-            let neighbors = graph.neighbors(i);
-            let received: Vec<ReceivedMessage<'_>> = inbox
-                .iter()
-                .map(|env| {
-                    let pos = neighbors
-                        .binary_search(&env.from)
-                        .map_err(|_| JwinsError::Protocol("message from non-neighbour"))?;
-                    let weight = weights.neighbor_weights(i)[pos];
-                    Ok(ReceivedMessage {
-                        from: env.from,
-                        // Barrier rounds are lockstep: every message in the
-                        // inbox was built for this round.
-                        round,
-                        weight,
-                        edge_weight: weight,
-                        bytes: &env.payload,
+        par_nodes(
+            &mut self.nodes,
+            &mut self.arena,
+            threads,
+            move |i, node, params| {
+                if !active[i] {
+                    return Ok(());
+                }
+                // No deadline, no TTL: barrier rounds deliver everything sent.
+                let inbox = network.drain(i, SimTime::MAX, None).envelopes;
+                let neighbors = graph.neighbors(i);
+                let received: Vec<ReceivedMessage<'_>> = inbox
+                    .iter()
+                    .map(|env| {
+                        let pos = neighbors
+                            .binary_search(&env.from)
+                            .map_err(|_| JwinsError::Protocol("message from non-neighbour"))?;
+                        let weight = weights.neighbor_weights(i)[pos];
+                        Ok(ReceivedMessage {
+                            from: env.from,
+                            // Barrier rounds are lockstep: every message in the
+                            // inbox was built for this round.
+                            round,
+                            weight,
+                            edge_weight: weight,
+                            bytes: &env.payload,
+                        })
                     })
-                })
-                .collect::<Result<_>>()?;
-            node.params =
-                node.strategy
-                    .aggregate(round, &node.params, weights.self_weight(i), &received)?;
-            node.model.set_params(&node.params);
-            Ok(())
-        })
+                    .collect::<Result<_>>()?;
+                let mixed =
+                    node.strategy
+                        .aggregate(round, params, weights.self_weight(i), &received)?;
+                params.copy_from_slice(&mixed);
+                node.model.set_params(params);
+                Ok(())
+            },
+        )
     }
 
     /// Evaluates all nodes on the shared test set (possibly subsampled),
@@ -688,20 +743,25 @@ impl<M: Model> Trainer<M> {
             .map(|_| parking_lot::Mutex::new(EvalMetrics::default()))
             .collect();
         let threads = self.worker_threads();
-        par_nodes(&mut self.nodes, threads, |i, node| {
-            let subset: &[M::Sample] = if cap == 0 || cap >= test.len() {
-                &test
-            } else {
-                &test[..cap]
-            };
-            node.model.set_params(&node.params);
-            let mut local = EvalMetrics::default();
-            for chunk in subset.chunks(64) {
-                local.merge(&node.model.evaluate(chunk));
-            }
-            *per_node[i].lock() = local;
-            Ok(())
-        })?;
+        par_nodes(
+            &mut self.nodes,
+            &mut self.arena,
+            threads,
+            |i, node, params| {
+                let subset: &[M::Sample] = if cap == 0 || cap >= test.len() {
+                    &test
+                } else {
+                    &test[..cap]
+                };
+                node.model.set_params(params);
+                let mut local = EvalMetrics::default();
+                for chunk in subset.chunks(64) {
+                    local.merge(&node.model.evaluate(chunk));
+                }
+                *per_node[i].lock() = local;
+                Ok(())
+            },
+        )?;
         let mut merged = EvalMetrics::default();
         let mut accuracies = Vec::with_capacity(per_node.len());
         for slot in &per_node {
@@ -1071,11 +1131,20 @@ impl<M: Model> Trainer<M> {
         let repair_on = !repair.is_none();
         let repair_seed = self.config.seed ^ 0x5245_5041; // "REPA"
 
-        let mut queue: EventQueue<Ev> = EventQueue::new(self.config.seed ^ 0xE0E0);
+        // The sharded queue preserves the single-heap total order exactly
+        // (global sequence counter + seeded tie-break, min over shard
+        // heads), so the shard count is a pure data-structure knob; only
+        // `Ordering::Window` changes the schedule, and only batch shapes.
+        let mut queue: ShardedEventQueue<Ev> = ShardedEventQueue::new(
+            self.config.seed ^ 0xE0E0,
+            self.config.shards,
+            self.config.ordering,
+        );
         for node in 0..n {
             queue.push(
                 SimTime::ZERO,
                 prio(RANK_START, node),
+                node,
                 Ev::StartRound {
                     node,
                     round: 0,
@@ -1091,6 +1160,7 @@ impl<M: Model> Trainer<M> {
             queue.push(
                 tf.at,
                 prio(RANK_FAULT, tf.event.node()),
+                tf.event.node(),
                 Ev::Fault {
                     event: tf.event,
                     rejoin: tf.rejoin,
@@ -1101,6 +1171,7 @@ impl<M: Model> Trainer<M> {
             queue.push(
                 SimTime::from_secs_f64(interval),
                 prio(RANK_EVAL, 0),
+                0,
                 Ev::EvalTick,
             );
         }
@@ -1391,6 +1462,9 @@ impl<M: Model> Trainer<M> {
         // state; they are applied at commit, in the queue's pop order.
         struct TrainItem {
             round: usize,
+            /// This event's own fire time — the batch head's under Strict,
+            /// up to `max_skew_ns` later under Window.
+            at: SimTime,
             topo: RoundTopology,
             active: Arc<Vec<bool>>,
             /// Dead base-graph neighbours this node no longer addresses
@@ -1411,6 +1485,8 @@ impl<M: Model> Trainer<M> {
         }
         struct MixItem {
             round: usize,
+            /// This event's own fire time (see [`TrainItem::at`]).
+            at: SimTime,
             topo: RoundTopology,
         }
         struct MixProposal {
@@ -1463,7 +1539,10 @@ impl<M: Model> Trainer<M> {
             queue_hwm = queue_hwm.max((queue.len() + batch.len()) as u32);
             let time = first.time;
             let head = first.event;
-            last_time = time;
+            // Under `Ordering::Window` a batch spans fire times; the run's
+            // last event time is the batch tail's (equal to the head's
+            // under Strict, where batches are simultaneous).
+            last_time = batch.last().expect("batch has a head").time;
             match head {
                 Ev::StartRound { .. } => {
                     // Pure scheduling — no compute worth parallelizing;
@@ -1476,14 +1555,15 @@ impl<M: Model> Trainer<M> {
                         if !lifecycle.is_current(node, epoch) {
                             continue;
                         }
-                        let (_, active_set, _) = ctx_for!(round, time);
+                        let (_, active_set, _) = ctx_for!(round, s.time);
                         let active = active_set[node];
-                        let end = time.plus(compute_time[node]);
+                        let end = s.time.plus(compute_time[node]);
                         pending_work += 1;
                         if active {
                             queue.push(
                                 end,
                                 prio(RANK_TRAIN, node),
+                                node,
                                 Ev::TrainDone { node, round, epoch },
                             );
                         } else {
@@ -1491,6 +1571,7 @@ impl<M: Model> Trainer<M> {
                             queue.push(
                                 end,
                                 prio(RANK_MIX, node),
+                                node,
                                 Ev::Mix {
                                     node,
                                     round,
@@ -1506,7 +1587,8 @@ impl<M: Model> Trainer<M> {
                     // Propose: charge the pops, filter stale epochs, and
                     // resolve round contexts up front (the cache is only
                     // touched here, sequentially).
-                    let mut meta: Vec<(usize, usize, u64, Option<AttackBehavior>)> = Vec::new();
+                    let mut meta: Vec<(usize, usize, u64, Option<AttackBehavior>, SimTime)> =
+                        Vec::new();
                     let mut items: Vec<(usize, TrainItem)> = Vec::new();
                     for s in batch {
                         let Ev::TrainDone { node, round, epoch } = s.event else {
@@ -1516,13 +1598,14 @@ impl<M: Model> Trainer<M> {
                         if !lifecycle.is_current(node, epoch) {
                             continue;
                         }
-                        let (topo, active, avoided) = ctx_for!(round, time);
-                        let attack = attack_timeline.behavior_at(node, time);
-                        meta.push((node, round, epoch, attack));
+                        let (topo, active, avoided) = ctx_for!(round, s.time);
+                        let attack = attack_timeline.behavior_at(node, s.time);
+                        meta.push((node, round, epoch, attack, s.time));
                         items.push((
                             node,
                             TrainItem {
                                 round,
+                                at: s.time,
                                 topo,
                                 active,
                                 avoided: avoided.get(node).copied().unwrap_or(0),
@@ -1533,13 +1616,17 @@ impl<M: Model> Trainer<M> {
                     let width = items.len() as u32;
                     let queue_depth = queue.len() as u32;
                     // Train batches may span rounds (the class ignores the
-                    // round); the batch record reports the head's.
+                    // round); the batch record reports the head's, and the
+                    // shard id is the head node's.
                     let Ev::TrainDone {
-                        round: batch_round, ..
+                        node: batch_node,
+                        round: batch_round,
+                        ..
                     } = head
                     else {
                         unreachable!("batches are homogeneous by class")
                     };
+                    let batch_shard = queue.shard_of(batch_node) as u32;
                     let propose_done = run_wall.elapsed();
                     let tau = self.config.local_steps;
                     let bs = self.config.batch_size;
@@ -1550,15 +1637,19 @@ impl<M: Model> Trainer<M> {
                     // worker pool. Everything a handler would do to shared
                     // state — mailbox appends, metering, the Mix schedule —
                     // is buffered into the proposal instead.
-                    let proposals =
-                        par_batch(&mut self.nodes, items, threads, |node, state, item| {
+                    let proposals = par_batch(
+                        &mut self.nodes,
+                        &mut self.arena,
+                        items,
+                        threads,
+                        |node, state, params, item| {
                             let neighbors = Self::active_neighbors(&item.topo, &item.active, node);
-                            train_steps(state, tau, bs, lr);
+                            train_steps(state, params, tau, bs, lr);
                             // Byzantine nodes train honestly but build their
                             // messages from a perturbed copy — the same
                             // injection point as the barrier substrate.
                             let outbound = if let Some(behavior) = item.attack {
-                                let mut tainted = state.params.clone();
+                                let mut tainted = params.to_vec();
                                 jwins_adversary::apply_behavior(
                                     behavior,
                                     atk_seed,
@@ -1570,18 +1661,16 @@ impl<M: Model> Trainer<M> {
                                     .strategy
                                     .make_outbound(item.round, &tainted, &neighbors)?
                             } else {
-                                state.strategy.make_outbound(
-                                    item.round,
-                                    &state.params,
-                                    &neighbors,
-                                )?
+                                state
+                                    .strategy
+                                    .make_outbound(item.round, params, &neighbors)?
                             };
                             state.last_alpha = state.strategy.last_alpha();
                             // Serialize over the uplink one message at a
                             // time: the k-th transmission starts when the
                             // (k-1)-th has left, and arrives one link
                             // latency after its last byte.
-                            let mut departure = time;
+                            let mut departure = item.at;
                             let mut sends = Vec::with_capacity(neighbors.len());
                             let mut buffer_send =
                                 |to: usize,
@@ -1595,7 +1684,7 @@ impl<M: Model> Trainer<M> {
                                         to,
                                         payload: msg.bytes,
                                         breakdown: msg.breakdown,
-                                        sent: time,
+                                        sent: item.at,
                                         arrives: departure.after_secs(tx + link.latency_s),
                                         sent_round: item.round,
                                     });
@@ -1642,15 +1731,17 @@ impl<M: Model> Trainer<M> {
                                 alpha: state.last_alpha,
                                 saved_bytes: item.avoided * per_msg_bytes,
                             })
-                        })?;
+                        },
+                    )?;
                     let execute_done = run_wall.elapsed();
                     // Commit in pop order: mailbox append order, loss-model
                     // link sequences and the Mix schedule replay the
                     // sequential interleaving exactly.
-                    for ((node, round, epoch, attack), proposal) in meta.into_iter().zip(proposals)
+                    for ((node, round, epoch, attack, at), proposal) in
+                        meta.into_iter().zip(proposals)
                     {
                         tracer.emit(TraceEvent::Train {
-                            t_ns: time.0,
+                            t_ns: at.0,
                             node: node as u32,
                             round: round as u32,
                             compute_ns: compute_time[node].0,
@@ -1658,7 +1749,7 @@ impl<M: Model> Trainer<M> {
                         if let Some(b) = attack {
                             attacks_injected += 1;
                             tracer.emit(TraceEvent::AttackInject {
-                                t_ns: time.0,
+                                t_ns: at.0,
                                 node: node as u32,
                                 round: round as u32,
                                 kind: attack_kind(b),
@@ -1674,6 +1765,7 @@ impl<M: Model> Trainer<M> {
                         queue.push(
                             proposal.mix_at,
                             prio(RANK_MIX, node),
+                            node,
                             Ev::Mix {
                                 node,
                                 round,
@@ -1689,6 +1781,7 @@ impl<M: Model> Trainer<M> {
                             round: batch_round as u32,
                             width,
                             queue_depth,
+                            shard: batch_shard,
                             wall_start_ns: wall_start.as_nanos() as u64,
                             propose_ns: (propose_done - wall_start).as_nanos() as u64,
                             execute_ns: (execute_done - propose_done).as_nanos() as u64,
@@ -1701,7 +1794,7 @@ impl<M: Model> Trainer<M> {
                     // Propose: charge the pops, filter stale epochs, and
                     // resolve topologies for the trained mixes (idle ones
                     // touch nothing shared until commit).
-                    let mut live: Vec<(usize, usize, bool, u64)> = Vec::new();
+                    let mut live: Vec<(usize, usize, bool, u64, SimTime)> = Vec::new();
                     for s in batch {
                         let Ev::Mix {
                             node,
@@ -1716,25 +1809,29 @@ impl<M: Model> Trainer<M> {
                         if !lifecycle.is_current(node, epoch) {
                             continue;
                         }
-                        live.push((node, round, trained, epoch));
+                        live.push((node, round, trained, epoch, s.time));
                     }
                     let mut items: Vec<(usize, MixItem)> = Vec::new();
-                    for &(node, round, trained, _) in &live {
+                    for &(node, round, trained, _, at) in &live {
                         if trained {
-                            let (topo, _, _) = ctx_for!(round, time);
-                            items.push((node, MixItem { round, topo }));
+                            let (topo, _, _) = ctx_for!(round, at);
+                            items.push((node, MixItem { round, at, topo }));
                         }
                     }
                     let width = items.len() as u32;
                     let queue_depth = queue.len() as u32;
                     // Mix classes encode the round, so the batch is
-                    // single-round by construction.
+                    // single-round by construction; the shard id is the
+                    // head node's.
                     let Ev::Mix {
-                        round: batch_round, ..
+                        node: batch_node,
+                        round: batch_round,
+                        ..
                     } = head
                     else {
                         unreachable!("batches are homogeneous by class")
                     };
+                    let batch_shard = queue.shard_of(batch_node) as u32;
                     let propose_done = run_wall.elapsed();
                     let network = &self.network;
                     // Execute: drain and aggregate on the worker pool.
@@ -1743,9 +1840,13 @@ impl<M: Model> Trainer<M> {
                     // accumulators are deferred into the proposal because
                     // float sums must be committed in pop order — and not
                     // at all for events discarded by an early stop.
-                    let proposals =
-                        par_batch(&mut self.nodes, items, threads, |node, state, item| {
-                            let drained = network.drain(node, time, ttl);
+                    let proposals = par_batch(
+                        &mut self.nodes,
+                        &mut self.arena,
+                        items,
+                        threads,
+                        |node, state, params, item| {
+                            let drained = network.drain(node, item.at, ttl);
                             let (inbox, mut expired) = (drained.envelopes, drained.expired);
                             let neighbors = item.topo.graph.neighbors(node);
                             let mut received = Vec::with_capacity(inbox.len());
@@ -1764,7 +1865,7 @@ impl<M: Model> Trainer<M> {
                                 let factor = if has_cap {
                                     staleness.weight_factor(
                                         env.age_rounds(item.round),
-                                        env.age_at(time).as_secs_f64(),
+                                        env.age_at(item.at).as_secs_f64(),
                                     )
                                 } else {
                                     1.0
@@ -1794,7 +1895,7 @@ impl<M: Model> Trainer<M> {
                                 staleness_terms.push((
                                     env.from,
                                     env.sent_round,
-                                    time.since(env.sent).as_secs_f64(),
+                                    item.at.since(env.sent).as_secs_f64(),
                                 ));
                                 received.push(ReceivedMessage {
                                     from: env.from,
@@ -1808,19 +1909,21 @@ impl<M: Model> Trainer<M> {
                             if absorbed > 0.0 {
                                 self_weight += absorbed;
                             }
-                            state.params = state.strategy.aggregate(
+                            let mixed = state.strategy.aggregate(
                                 item.round,
-                                &state.params,
+                                params,
                                 self_weight,
                                 &received,
                             )?;
-                            state.model.set_params(&state.params);
+                            params.copy_from_slice(&mixed);
+                            state.model.set_params(params);
                             Ok(MixProposal {
                                 staleness: staleness_terms,
                                 absorbed,
                                 expired,
                             })
-                        })?;
+                        },
+                    )?;
                     let execute_done = run_wall.elapsed();
                     // Commit in pop order. An early stop breaks out: since
                     // a batch is single-round and the stop fires at the
@@ -1828,13 +1931,13 @@ impl<M: Model> Trainer<M> {
                     // the batch's last item — the break just keeps the
                     // discard-the-rest invariant explicit.
                     let mut proposals = proposals.into_iter();
-                    for (node, round, trained, epoch) in live {
+                    for (node, round, trained, epoch, at) in live {
                         if trained {
                             let p = proposals.next().expect("one proposal per trained mix");
                             self.network.record_expired(node, p.expired);
                             if p.expired > 0 {
                                 tracer.emit(TraceEvent::MsgExpire {
-                                    t_ns: time.0,
+                                    t_ns: at.0,
                                     node: node as u32,
                                     round: round as u32,
                                     count: p.expired,
@@ -1846,7 +1949,7 @@ impl<M: Model> Trainer<M> {
                             for &(from, sent_round, s) in &p.staleness {
                                 total_staleness_s += s;
                                 tracer.emit(TraceEvent::MsgMixed {
-                                    t_ns: time.0,
+                                    t_ns: at.0,
                                     node: node as u32,
                                     from: from as u32,
                                     round: round as u32,
@@ -1863,7 +1966,7 @@ impl<M: Model> Trainer<M> {
                             // schedule whether or not any sink listens.
                             if let Some(ps) = self.nodes[node].strategy.pairing_stats() {
                                 tracer.emit(TraceEvent::StrategyPairing {
-                                    t_ns: time.0,
+                                    t_ns: at.0,
                                     node: node as u32,
                                     round: round as u32,
                                     paired: ps.paired,
@@ -1874,7 +1977,7 @@ impl<M: Model> Trainer<M> {
                             if let Some(rs) = self.nodes[node].strategy.robust_stats() {
                                 mass_clipped += rs.mass;
                                 tracer.emit(TraceEvent::RobustClip {
-                                    t_ns: time.0,
+                                    t_ns: at.0,
                                     node: node as u32,
                                     round: round as u32,
                                     clipped: rs.clipped,
@@ -1888,14 +1991,15 @@ impl<M: Model> Trainer<M> {
                             alpha_rows[round][node] = current_alpha[node];
                         }
                         rounds_passed[node] = round + 1;
-                        if pass_round!(round, time) {
+                        if pass_round!(round, at) {
                             break;
                         }
                         if round + 1 < rounds {
                             pending_work += 1;
                             queue.push(
-                                time,
+                                at,
                                 prio(RANK_START, node),
+                                node,
                                 Ev::StartRound {
                                     node,
                                     round: round + 1,
@@ -1911,6 +2015,7 @@ impl<M: Model> Trainer<M> {
                             round: batch_round as u32,
                             width,
                             queue_depth,
+                            shard: batch_shard,
                             wall_start_ns: wall_start.as_nanos() as u64,
                             propose_ns: (propose_done - wall_start).as_nanos() as u64,
                             execute_ns: (execute_done - propose_done).as_nanos() as u64,
@@ -2045,11 +2150,11 @@ impl<M: Model> Trainer<M> {
                         // lowest-indexed live peer (deterministic); fall
                         // back to a warm restart if fully alone.
                         if let Some(donor) = donor {
-                            let params = self.nodes[donor].params.clone();
+                            self.arena.copy_node(donor, node);
+                            let params = self.arena.node(node);
                             let state = &mut self.nodes[node];
-                            state.params = params;
-                            state.model.set_params(&state.params);
-                            state.strategy.init(&state.params);
+                            state.model.set_params(params);
+                            state.strategy.init(params);
                         }
                         // Re-admission runs through the same repair policy:
                         // in-progress rounds re-resolve with the node back
@@ -2064,6 +2169,7 @@ impl<M: Model> Trainer<M> {
                             queue.push(
                                 time,
                                 prio(RANK_START, node),
+                                node,
                                 Ev::StartRound {
                                     node,
                                     round,
@@ -2119,7 +2225,12 @@ impl<M: Model> Trainer<M> {
                     // scheduled past the end of training must not prolong
                     // the cadence. Checkpoints never trigger early stop.
                     if pending_work > 0 || productive_recoveries > 0 {
-                        queue.push(time.after_secs(interval), prio(RANK_EVAL, 0), Ev::EvalTick);
+                        queue.push(
+                            time.after_secs(interval),
+                            prio(RANK_EVAL, 0),
+                            0,
+                            Ev::EvalTick,
+                        );
                     }
                 }
             }

@@ -68,6 +68,7 @@
 //! # }
 //! ```
 
+pub(crate) mod arena;
 pub mod average;
 mod channel_driver;
 pub mod config;

@@ -439,6 +439,42 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_aliases_one_buffer_but_meters_per_edge_logical_bytes() {
+        // The zero-copy audit: a broadcast hands every neighbour a clone of
+        // one reference-counted payload. The meter must still charge each
+        // directed edge the full logical byte count — the wire carried the
+        // message d times — while the d delivered envelopes all alias the
+        // sender's single allocation. Exact counts are pinned so a future
+        // deep-copy (or a metering short-circuit that counts the buffer
+        // once) fails loudly.
+        let net = SimNetwork::new(5);
+        let payload = Bytes::from(vec![0xABu8; 48]);
+        let base = payload.as_ptr();
+        let neighbors = [1usize, 2, 3, 4];
+        for &to in &neighbors {
+            bulk(&net, 0, to, payload.clone(), breakdown(40, 8));
+        }
+        let s = net.stats(0);
+        assert_eq!(s.bytes_sent, 4 * 48, "sender pays per edge, not per buffer");
+        assert_eq!(s.payload_sent, 4 * 40);
+        assert_eq!(s.metadata_sent, 4 * 8);
+        assert_eq!(s.messages_sent, 4);
+        for &node in &neighbors {
+            assert_eq!(net.stats(node).bytes_received, 48);
+            let inbox = drain_all(&net, node);
+            assert_eq!(inbox.len(), 1);
+            assert_eq!(
+                inbox[0].payload.as_ptr(),
+                base,
+                "delivered payload must alias the broadcast buffer"
+            );
+            assert_eq!(&inbox[0].payload[..], &[0xABu8; 48][..]);
+        }
+        assert_eq!(net.total_stats().bytes_sent, 192);
+        assert_eq!(net.total_stats().bytes_received, 192);
+    }
+
+    #[test]
     fn concurrent_sends_are_safe() {
         let net = std::sync::Arc::new(SimNetwork::new(2));
         let handles: Vec<_> = (0..8)

@@ -70,8 +70,10 @@ pub mod clock;
 pub mod hetero;
 pub mod lifecycle;
 pub mod queue;
+pub mod shard;
 
 pub use clock::{SimTime, VirtualClock};
 pub use hetero::{ComputeProfile, HeterogeneityProfile, LinkParams, LinkProfile};
 pub use lifecycle::{LifecycleEvent, LifecycleTracker};
 pub use queue::{Conflict, EventQueue, Scheduled};
+pub use shard::{Ordering, ShardedEventQueue};

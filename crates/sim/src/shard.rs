@@ -1,0 +1,524 @@
+//! A sharded event scheduler for large-node-count runs.
+//!
+//! [`ShardedEventQueue`] splits the pending-event set across per-node-group
+//! binary heaps (shard = `node % shards`) while preserving the *global*
+//! total order of [`crate::queue::EventQueue`]: one shared insertion
+//! counter drives the same seeded tie-break hash, and every pop takes the
+//! minimum over shard heads under the identical
+//! `(time, priority, tie, seq)` key. With [`Ordering::Strict`] the pop
+//! sequence — and therefore every downstream batch, commit, and trace — is
+//! bit-identical to the single-heap queue for any shard count; a proptest
+//! below pins that equivalence under arbitrary interleavings.
+//!
+//! [`Ordering::Window`] is the throughput mode: `pop_independent_batch` may
+//! extend a batch past the head's fire time, up to `max_skew_ns` later, as
+//! long as the batch stays one conflict class on pairwise-distinct nodes.
+//! Under fully-random per-node speeds, strictly-simultaneous batches
+//! degenerate to singletons and serialize the worker pool; a bounded skew
+//! window restores wide batches at the cost of a bounded reordering: an
+//! event executed inside a window cannot observe side effects (messages,
+//! repairs) committed by earlier batch members less than `max_skew_ns`
+//! before it. The batch is still a prefix of the queue's total order, so
+//! runs remain bit-reproducible for a fixed `(seed, max_skew_ns)` — Window
+//! trades *agreement with the strict schedule* for parallelism, never
+//! run-to-run determinism.
+
+use crate::clock::SimTime;
+use crate::queue::{splitmix64, Conflict, Scheduled};
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// Commit-order contract for [`ShardedEventQueue::pop_independent_batch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum Ordering {
+    /// Batches contain only simultaneous events; the pop sequence is
+    /// bit-identical to the global single-heap [`crate::EventQueue`].
+    #[default]
+    Strict,
+    /// Batches may span fire times up to `max_skew_ns` apart. Deterministic
+    /// for a fixed seed and skew, but *not* equivalent to the strict
+    /// schedule: an event may execute without seeing effects committed up
+    /// to `max_skew_ns` of virtual time before it fires.
+    Window {
+        /// Maximum spread, in virtual nanoseconds, between the earliest and
+        /// latest fire time inside one batch.
+        max_skew_ns: u64,
+    },
+}
+
+impl Ordering {
+    /// The batch time-spread bound: zero under [`Ordering::Strict`].
+    pub fn max_skew_ns(self) -> u64 {
+        match self {
+            Ordering::Strict => 0,
+            Ordering::Window { max_skew_ns } => max_skew_ns,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ShardEntry<E> {
+    time: SimTime,
+    priority: u64,
+    tie: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> ShardEntry<E> {
+    fn key(&self) -> (SimTime, u64, u64, u64) {
+        (self.time, self.priority, self.tie, self.seq)
+    }
+}
+
+impl<E> PartialEq for ShardEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ShardEntry<E> {}
+
+impl<E> PartialOrd for ShardEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ShardEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap; invert so the smallest key sits at each shard head.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// A deterministic event queue sharded by node id.
+///
+/// Same contract as [`crate::EventQueue`] — seeded total order, conflict-
+/// aware batch pop — but pending events live in `shards` independent heaps
+/// so push/pop touch a heap of `n/shards` entries instead of `n`. `push`
+/// takes the node that owns the event (routing is `node % shards`; events
+/// with no owning node may pass any stable id) purely as a placement hint:
+/// pops always take the global minimum across shard heads, so shard count
+/// never changes the schedule.
+#[derive(Debug)]
+pub struct ShardedEventQueue<E> {
+    shards: Vec<BinaryHeap<ShardEntry<E>>>,
+    seed: u64,
+    next_seq: u64,
+    len: usize,
+    ordering: Ordering,
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// An empty queue with `shards` heaps (clamped to at least one) whose
+    /// tie-breaks are derived from `seed`, popping batches under `ordering`.
+    pub fn new(seed: u64, shards: usize, ordering: Ordering) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            seed,
+            next_seq: 0,
+            len: 0,
+            ordering,
+        }
+    }
+
+    /// Number of shards (always at least one).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured commit-order mode.
+    pub fn ordering(&self) -> Ordering {
+        self.ordering
+    }
+
+    /// The shard that owns events routed by `node`.
+    pub fn shard_of(&self, node: usize) -> usize {
+        node % self.shards.len()
+    }
+
+    /// Number of pending events across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `event` at `time` with same-time rank `priority`, routed
+    /// to shard `node % shards`. The sequence counter and tie-break hash
+    /// are global, so the resulting total order is independent of routing.
+    pub fn push(&mut self, time: SimTime, priority: u64, node: usize, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let shard = node % self.shards.len();
+        self.shards[shard].push(ShardEntry {
+            time,
+            priority,
+            tie: splitmix64(self.seed ^ seq),
+            seq,
+            event,
+        });
+        self.len += 1;
+    }
+
+    /// The shard whose head is the global minimum, if any event is pending.
+    fn min_shard(&self) -> Option<usize> {
+        let mut best: Option<(usize, (SimTime, u64, u64, u64))> = None;
+        for (i, heap) in self.shards.iter().enumerate() {
+            if let Some(head) = heap.peek() {
+                let key = head.key();
+                if best.is_none_or(|(_, k)| key < k) {
+                    best = Some((i, key));
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Removes and returns the next event in the global
+    /// (time, priority, seeded-tie) order.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let shard = self.min_shard()?;
+        let entry = self.shards[shard].pop().expect("peeked head exists");
+        self.len -= 1;
+        Some(Scheduled {
+            time: entry.time,
+            priority: entry.priority,
+            event: entry.event,
+        })
+    }
+
+    /// The fire time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.min_shard()
+            .and_then(|s| self.shards[s].peek())
+            .map(|e| e.time)
+    }
+
+    /// Pops the maximal batch of *independent* events: the longest prefix
+    /// of the global total order whose events classify as
+    /// [`Conflict::Exclusive`] with the head's class, touch pairwise-
+    /// distinct nodes, and fire within the ordering mode's time window of
+    /// the head ([`Ordering::Strict`]: exactly the head's time — identical
+    /// to [`crate::EventQueue::pop_independent_batch`];
+    /// [`Ordering::Window`]: at most `max_skew_ns` later). A
+    /// [`Conflict::Solo`] head yields a batch of at most one event.
+    pub fn pop_independent_batch<F>(&mut self, classify: F) -> Vec<Scheduled<E>>
+    where
+        F: Fn(&E) -> Conflict,
+    {
+        let Some(first) = self.pop() else {
+            return Vec::new();
+        };
+        let time = first.time;
+        let skew = self.ordering.max_skew_ns();
+        let Conflict::Exclusive { class, node } = classify(&first.event) else {
+            return vec![first];
+        };
+        let mut claimed = std::collections::HashSet::new();
+        claimed.insert(node);
+        let mut batch = vec![first];
+        while let Some(shard) = self.min_shard() {
+            let head = self.shards[shard].peek().expect("min shard has a head");
+            // `head` follows `first` in the total order, so its time is
+            // never earlier; the spread below cannot underflow.
+            if head.time.0.saturating_sub(time.0) > skew {
+                break;
+            }
+            match classify(&head.event) {
+                Conflict::Exclusive { class: c, node } if c == class => {
+                    if !claimed.insert(node) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+            let entry = self.shards[shard].pop().expect("peeked entry exists");
+            self.len -= 1;
+            batch.push(Scheduled {
+                time: entry.time,
+                priority: entry.priority,
+                event: entry.event,
+            });
+        }
+        batch
+    }
+
+    /// Discards all pending events (used on early stop).
+    pub fn clear(&mut self) {
+        for heap in &mut self.shards {
+            heap.clear();
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+
+    fn prio(class: u64, node: usize) -> u64 {
+        (class << 32) | node as u64
+    }
+
+    #[test]
+    fn strict_pop_matches_global_queue_by_hand() {
+        let mut global = EventQueue::new(99);
+        let mut sharded = ShardedEventQueue::new(99, 4, Ordering::Strict);
+        for node in 0..12 {
+            let t = SimTime((node as u64 * 7) % 3);
+            global.push(t, prio(1, node), node);
+            sharded.push(t, prio(1, node), node, node);
+        }
+        let g: Vec<_> = std::iter::from_fn(|| global.pop().map(|s| s.event)).collect();
+        let s: Vec<_> = std::iter::from_fn(|| sharded.pop().map(|s| s.event)).collect();
+        assert_eq!(g, s);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_and_reported() {
+        let q: ShardedEventQueue<()> = ShardedEventQueue::new(0, 0, Ordering::Strict);
+        assert_eq!(q.shard_count(), 1);
+        let q: ShardedEventQueue<()> = ShardedEventQueue::new(0, 16, Ordering::Strict);
+        assert_eq!(q.shard_count(), 16);
+        assert_eq!(q.shard_of(17), 1);
+    }
+
+    #[test]
+    fn window_batches_span_close_fire_times() {
+        // Four same-class events 10ns apart on distinct nodes: strict pops
+        // four singleton batches, a 35ns window pops one batch of four.
+        let fill = |q: &mut ShardedEventQueue<usize>| {
+            for node in 0..4 {
+                q.push(SimTime(100 + node as u64 * 10), prio(1, node), node, node);
+            }
+        };
+        let classify = |&node: &usize| Conflict::Exclusive { class: 1, node };
+
+        let mut strict = ShardedEventQueue::new(7, 2, Ordering::Strict);
+        fill(&mut strict);
+        assert_eq!(strict.pop_independent_batch(classify).len(), 1);
+
+        let mut window = ShardedEventQueue::new(7, 2, Ordering::Window { max_skew_ns: 35 });
+        fill(&mut window);
+        let batch = window.pop_independent_batch(classify);
+        assert_eq!(batch.len(), 4, "all four fall inside the window");
+        assert_eq!(
+            batch.iter().map(|s| s.event).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "window batches preserve the total order"
+        );
+    }
+
+    #[test]
+    fn window_is_bounded_and_measured_from_the_head() {
+        let classify = |&node: &usize| Conflict::Exclusive { class: 1, node };
+        let mut q = ShardedEventQueue::new(7, 2, Ordering::Window { max_skew_ns: 15 });
+        q.push(SimTime(0), prio(1, 0), 0, 0);
+        q.push(SimTime(10), prio(1, 1), 1, 1);
+        // 20ns after the *head*, though only 10ns after its predecessor:
+        // the spread bound is head-anchored, so this starts a new batch.
+        q.push(SimTime(20), prio(1, 2), 2, 2);
+        let batch = q.pop_independent_batch(classify);
+        assert_eq!(
+            batch.iter().map(|s| s.event).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(q.pop_independent_batch(classify).len(), 1);
+    }
+
+    #[test]
+    fn window_still_respects_class_node_and_solo_boundaries() {
+        let classify = |&(class, node): &(u64, usize)| {
+            if class == 0 {
+                Conflict::Solo
+            } else {
+                Conflict::Exclusive { class, node }
+            }
+        };
+        let mut q = ShardedEventQueue::new(3, 4, Ordering::Window { max_skew_ns: 1_000 });
+        q.push(SimTime(0), prio(1, 0), 0, (1, 0));
+        q.push(SimTime(5), prio(1, 0), 0, (1, 0)); // duplicate node
+        q.push(SimTime(6), prio(1, 1), 1, (1, 1));
+        let batch = q.pop_independent_batch(classify);
+        assert_eq!(batch.len(), 1, "duplicate node ends the batch");
+        assert_eq!(q.pop_independent_batch(classify).len(), 2);
+
+        let mut q = ShardedEventQueue::new(3, 4, Ordering::Window { max_skew_ns: 1_000 });
+        q.push(SimTime(0), prio(0, 0), 0, (0, 0)); // solo
+        q.push(SimTime(1), prio(1, 1), 1, (1, 1));
+        assert_eq!(
+            q.pop_independent_batch(classify).len(),
+            1,
+            "solo runs alone"
+        );
+
+        let mut q = ShardedEventQueue::new(3, 4, Ordering::Window { max_skew_ns: 1_000 });
+        q.push(SimTime(0), prio(1, 0), 0, (1, 0));
+        q.push(SimTime(1), prio(2, 1), 1, (2, 1)); // different class
+        assert_eq!(
+            q.pop_independent_batch(classify).len(),
+            1,
+            "class boundary ends the batch even inside the window"
+        );
+    }
+
+    #[test]
+    fn peek_len_and_clear_track_all_shards() {
+        let mut q = ShardedEventQueue::new(0, 3, Ordering::Strict);
+        assert!(q.is_empty());
+        q.push(SimTime(4), 0, 0, 'a');
+        q.push(SimTime(2), 0, 1, 'b');
+        q.push(SimTime(9), 0, 2, 'c');
+        assert_eq!(q.peek_time(), Some(SimTime(2)));
+        assert_eq!(q.len(), 3);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ordering_serde_round_trip_and_default() {
+        assert_eq!(Ordering::default(), Ordering::Strict);
+        for mode in [Ordering::Strict, Ordering::Window { max_skew_ns: 250 }] {
+            let text = serde::json::to_string(&mode);
+            let back: Ordering = serde::json::from_str(&text).unwrap();
+            assert_eq!(back, mode);
+        }
+        assert_eq!(Ordering::Strict.max_skew_ns(), 0);
+        assert_eq!(Ordering::Window { max_skew_ns: 9 }.max_skew_ns(), 9);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The heart of the Strict contract: for any seed, shard count and
+        /// event interleaving, the sharded queue's sequential pops AND its
+        /// independent batches replay the global single-heap queue exactly —
+        /// same events, same order, same grouping.
+        #[test]
+        fn strict_sharded_replays_the_global_queue(
+            seed in proptest::any::<u64>(),
+            shards in 1usize..8,
+            events in proptest::collection::vec(
+                (0u64..4, 0u64..3, 0usize..6), 1..48),
+        ) {
+            let classify = |&(_, class, node): &(usize, u64, usize)| {
+                if class == 0 {
+                    Conflict::Solo
+                } else {
+                    Conflict::Exclusive { class, node }
+                }
+            };
+            let mut global = EventQueue::new(seed);
+            let mut plain = ShardedEventQueue::new(seed, shards, Ordering::Strict);
+            let mut batched = ShardedEventQueue::new(seed, shards, Ordering::Strict);
+            for (i, &(t, class, node)) in events.iter().enumerate() {
+                let priority = (class << 32) | node as u64;
+                global.push(SimTime(t), priority, (i, class, node));
+                plain.push(SimTime(t), priority, node, (i, class, node));
+                batched.push(SimTime(t), priority, node, (i, class, node));
+            }
+            // One-at-a-time pops agree with the global heap.
+            let reference: Vec<_> =
+                std::iter::from_fn(|| global.pop().map(|s| s.event)).collect();
+            let popped: Vec<_> =
+                std::iter::from_fn(|| plain.pop().map(|s| s.event)).collect();
+            prop_assert_eq!(&popped, &reference);
+            // Batch boundaries agree with the global heap's batch pop too.
+            let mut global = EventQueue::new(seed);
+            for (i, &(t, class, node)) in events.iter().enumerate() {
+                let priority = (class << 32) | node as u64;
+                global.push(SimTime(t), priority, (i, class, node));
+            }
+            loop {
+                let expect: Vec<_> = global
+                    .pop_independent_batch(classify)
+                    .into_iter()
+                    .map(|s| (s.time, s.priority, s.event))
+                    .collect();
+                let got: Vec<_> = batched
+                    .pop_independent_batch(classify)
+                    .into_iter()
+                    .map(|s| (s.time, s.priority, s.event))
+                    .collect();
+                prop_assert_eq!(&got, &expect);
+                if expect.is_empty() {
+                    break;
+                }
+            }
+        }
+
+        /// Window batches are still prefixes of the total order: flattening
+        /// them replays the sequential pop sequence exactly, every batch is
+        /// one class on distinct nodes, and no batch spans more virtual
+        /// time than the configured skew.
+        #[test]
+        fn window_batches_partition_order_within_skew(
+            seed in proptest::any::<u64>(),
+            shards in 1usize..8,
+            skew in 0u64..5,
+            events in proptest::collection::vec(
+                (0u64..6, 0u64..3, 0usize..6), 1..48),
+        ) {
+            let classify = |&(_, class, node): &(usize, u64, usize)| {
+                if class == 0 {
+                    Conflict::Solo
+                } else {
+                    Conflict::Exclusive { class, node }
+                }
+            };
+            let ordering = Ordering::Window { max_skew_ns: skew };
+            let mut plain = ShardedEventQueue::new(seed, shards, ordering);
+            let mut batched = ShardedEventQueue::new(seed, shards, ordering);
+            for (i, &(t, class, node)) in events.iter().enumerate() {
+                let priority = (class << 32) | node as u64;
+                plain.push(SimTime(t), priority, node, (i, class, node));
+                batched.push(SimTime(t), priority, node, (i, class, node));
+            }
+            let sequential: Vec<_> =
+                std::iter::from_fn(|| plain.pop().map(|s| s.event)).collect();
+            let mut flattened = Vec::new();
+            loop {
+                let batch = batched.pop_independent_batch(classify);
+                if batch.is_empty() {
+                    break;
+                }
+                let head_time = batch[0].time;
+                let head = classify(&batch[0].event);
+                let mut nodes = std::collections::HashSet::new();
+                for s in &batch {
+                    prop_assert!(
+                        s.time.0 >= head_time.0
+                            && s.time.0 - head_time.0 <= skew,
+                        "batch spans {}ns > skew {}ns",
+                        s.time.0 - head_time.0, skew
+                    );
+                    if batch.len() > 1 {
+                        let c = classify(&s.event);
+                        prop_assert!(
+                            matches!((head, c), (
+                                Conflict::Exclusive { class: a, .. },
+                                Conflict::Exclusive { class: b, .. },
+                            ) if a == b),
+                            "batch mixes classes: {:?} vs {:?}", head, c
+                        );
+                        let (_, _, node) = s.event;
+                        prop_assert!(
+                            nodes.insert(node),
+                            "batch contains node {} twice", node
+                        );
+                    }
+                }
+                flattened.extend(batch.into_iter().map(|s| s.event));
+            }
+            prop_assert_eq!(flattened, sequential);
+        }
+    }
+}

@@ -274,6 +274,10 @@ pub enum TraceEvent {
         width: u32,
         /// Queue depth right after the batch was popped.
         queue_depth: u32,
+        /// The event-queue shard the batch head was routed to (0 on the
+        /// unsharded engine; absent in pre-shard traces, which parse as 0).
+        #[serde(default)]
+        shard: u32,
         /// Wall-clock offset of the propose phase from run start (ns).
         wall_start_ns: u64,
         /// Wall nanoseconds spent in the sequential propose phase.
@@ -351,6 +355,7 @@ impl TraceEvent {
                 round,
                 width,
                 queue_depth,
+                shard,
                 ..
             } => TraceEvent::ExecuteBatch {
                 t_ns,
@@ -358,6 +363,7 @@ impl TraceEvent {
                 round,
                 width,
                 queue_depth,
+                shard,
                 wall_start_ns: 0,
                 propose_ns: 0,
                 execute_ns: 0,
@@ -497,6 +503,7 @@ mod tests {
                 round: 4,
                 width: 6,
                 queue_depth: 20,
+                shard: 3,
                 wall_start_ns: 123,
                 propose_ns: 456,
                 execute_ns: 789,
@@ -515,6 +522,24 @@ mod tests {
     }
 
     #[test]
+    fn pre_shard_batch_lines_parse_with_shard_zero() {
+        // Fixture traces recorded before the sharded engine carry no
+        // `shard` key; they must keep loading (and comparing) as shard 0.
+        let line = "{\"ExecuteBatch\":{\"t_ns\":1000,\"class\":\"Train\",\
+                    \"round\":2,\"width\":4,\"queue_depth\":8,\
+                    \"wall_start_ns\":5,\"propose_ns\":6,\"execute_ns\":7,\
+                    \"commit_ns\":8}}";
+        let ev: TraceEvent = serde::json::from_str(line).expect("old line parses");
+        match ev {
+            TraceEvent::ExecuteBatch { shard, width, .. } => {
+                assert_eq!(shard, 0);
+                assert_eq!(width, 4);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
     fn canonical_strips_only_the_wall_side_channel() {
         for ev in samples() {
             let canon = ev.canonical();
@@ -525,6 +550,7 @@ mod tests {
                     round,
                     width,
                     queue_depth,
+                    shard,
                     ..
                 } => {
                     assert_eq!(
@@ -535,6 +561,7 @@ mod tests {
                             round,
                             width,
                             queue_depth,
+                            shard,
                             wall_start_ns: 0,
                             propose_ns: 0,
                             execute_ns: 0,

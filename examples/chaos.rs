@@ -5,6 +5,7 @@
 //! cargo run --release --example chaos
 //! cargo run --release --example chaos -- --trace /tmp/chaos
 //! cargo run --release --example chaos -- --transport channel
+//! cargo run --release --example chaos -- --nodes 1000
 //! ```
 //!
 //! The fault engine kills the victims' in-flight messages at the crash and
@@ -31,6 +32,11 @@
 //! real backend rejects, so they are dropped (with a printed note): the
 //! run shows the same 16-node gossip under real concurrency, measured
 //! flight latency included.
+//!
+//! With `--nodes N` the cluster scales past the default 16 nodes — the
+//! correlated outage still takes out a quarter of whatever is running.
+//! Above 16 nodes the per-node datasets cycle through 16 templates so
+//! data generation stays cheap at any scale.
 
 use jwins::config::{ChannelTransportConfig, ExecutionMode, TrainConfig, TransportKind};
 use jwins::engine::Trainer;
@@ -38,7 +44,7 @@ use jwins::strategies::FullSharing;
 use jwins::strategy::ShareStrategy;
 use jwins_data::images::{cifar_like, ImageConfig};
 use jwins_fault::{FaultConfig, FaultPlan, RejoinMode, StalenessPolicy};
-use jwins_nn::models::mlp_classifier;
+use jwins_nn::models::{mlp_classifier, ClassSample};
 use jwins_sim::HeterogeneityProfile;
 use jwins_topology::dynamic::StaticTopology;
 
@@ -52,21 +58,46 @@ fn flag_value(name: &str) -> Option<String> {
         if arg == name {
             return Some(
                 args.next()
-                    .unwrap_or_else(|| panic!("{name} requires a path prefix")),
+                    .unwrap_or_else(|| panic!("{name} requires a value")),
             );
         }
     }
     None
 }
 
+/// The node count from `--nodes N`, defaulting to `default`.
+fn node_count(default: usize) -> usize {
+    let nodes = flag_value("--nodes").map_or(default, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--nodes {v:?} is not a node count"))
+    });
+    assert!(
+        nodes >= 5,
+        "--nodes needs at least 5 nodes for this topology"
+    );
+    nodes
+}
+
+/// Per-node train shards plus the shared test set. Above 16 nodes the
+/// datasets cycle through 16 templates, so `--nodes 10000` costs the same
+/// data generation as 16.
+fn node_data(nodes: usize, seed: u64) -> (Vec<Vec<ClassSample>>, Vec<ClassSample>) {
+    let templates = nodes.min(16);
+    let data = cifar_like(&ImageConfig::tiny(), templates, 2, seed);
+    let train = (0..nodes)
+        .map(|i| data.node_train[i % templates].clone())
+        .collect();
+    (train, data.test)
+}
+
 fn run(
+    nodes: usize,
     staleness: StalenessPolicy,
     trace_jsonl: Option<String>,
     metrics_prefix: Option<&str>,
     flight: Option<FlightRecorder>,
 ) -> jwins::metrics::RunResult {
-    let nodes = 16;
-    let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
+    let (node_train, test) = node_data(nodes, 42);
     let mut cfg = TrainConfig::new(if smoke() { 8 } else { 30 });
     cfg.local_steps = 1;
     cfg.batch_size = 8;
@@ -96,8 +127,8 @@ fn run(
     }
     let mut builder = Trainer::builder(cfg)
         .topology(StaticTopology::random_regular(nodes, 4, 7).expect("feasible graph"))
-        .test_set(data.test)
-        .nodes(data.node_train, |_| {
+        .test_set(test)
+        .nodes(node_train, |_| {
             (
                 mlp_classifier(2 * 8 * 8, &[16], 4, 42),
                 Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
@@ -116,9 +147,8 @@ fn run(
 /// straggler profile and event-driven clock are virtual-time features —
 /// `TrainConfig::validate` rejects them on the real backend — so this arm
 /// drops them and shows the gossip itself under real concurrency.
-fn run_channel(trace_jsonl: Option<String>, metrics_prefix: Option<&str>) {
-    let nodes = 16;
-    let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
+fn run_channel(nodes: usize, trace_jsonl: Option<String>, metrics_prefix: Option<&str>) {
+    let (node_train, test) = node_data(nodes, 42);
     let mut cfg = TrainConfig::new(if smoke() { 8 } else { 30 });
     cfg.local_steps = 1;
     cfg.batch_size = 8;
@@ -133,8 +163,8 @@ fn run_channel(trace_jsonl: Option<String>, metrics_prefix: Option<&str>) {
     }
     let trainer = Trainer::builder(cfg)
         .topology(StaticTopology::random_regular(nodes, 4, 7).expect("feasible graph"))
-        .test_set(data.test)
-        .nodes(data.node_train, |_| {
+        .test_set(test)
+        .nodes(node_train, |_| {
             (
                 mlp_classifier(2 * 8 * 8, &[16], 4, 42),
                 Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
@@ -179,19 +209,20 @@ fn main() {
     const TARGET: f64 = 0.9;
     let prefix = flag_value("--trace");
     let metrics = flag_value("--metrics");
+    let nodes = node_count(16);
     match flag_value("--transport").as_deref() {
         Some("channel") => {
             let jsonl = prefix.as_ref().map(|p| format!("{p}-channel.jsonl"));
             let metrics_prefix = metrics.as_ref().map(|p| format!("{p}-channel"));
-            run_channel(jsonl, metrics_prefix.as_deref());
+            run_channel(nodes, jsonl, metrics_prefix.as_deref());
             return;
         }
         None | Some("sim") => {}
         Some(other) => panic!("--transport {other}: expected `sim` or `channel`"),
     }
     println!(
-        "chaos cluster: 16 nodes, 4 of them 4x slower, 100 Mbit/s links;\n\
-         a quarter of the cluster crashes at t=6.5s and rejoins at t=14.5s\n"
+        "chaos cluster: {nodes} nodes, a quarter of them 4x slower, 100 Mbit/s \
+         links;\na quarter of the cluster crashes at t=6.5s and rejoins at t=14.5s\n"
     );
     let mut time_to_target = Vec::new();
     for (name, slug, staleness) in [
@@ -212,6 +243,7 @@ fn main() {
             .as_ref()
             .map(|_| FlightRecorder::with_byte_bound(2048));
         let result = run(
+            nodes,
             staleness,
             jsonl.clone(),
             metrics_prefix.as_deref(),

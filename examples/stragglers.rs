@@ -5,6 +5,7 @@
 //! cargo run --release --example stragglers
 //! cargo run --release --example stragglers -- --trace /tmp/stragglers
 //! cargo run --release --example stragglers -- --transport channel
+//! cargo run --release --example stragglers -- --nodes 1000
 //! ```
 //!
 //! Under the barrier, every round waits for the slowest node, so the whole
@@ -25,6 +26,10 @@
 //! wall-clock time. Straggler *injection* does not apply there — the real
 //! host is the time model — so the run reports measured flight latency and
 //! wall-clock rounds rather than the barrier-vs-async comparison.
+//!
+//! With `--nodes N` the cluster scales past the default 8 nodes (the
+//! sharded event engine handles thousands; above 16 nodes the per-node
+//! datasets cycle through 16 templates so data generation stays cheap).
 
 use jwins::config::{ChannelTransportConfig, ExecutionMode, TrainConfig, TransportKind};
 use jwins::engine::Trainer;
@@ -32,7 +37,7 @@ use jwins::strategies::FullSharing;
 use jwins::strategy::ShareStrategy;
 use jwins_data::images::{cifar_like, ImageConfig};
 use jwins_net::TimeModel;
-use jwins_nn::models::mlp_classifier;
+use jwins_nn::models::{mlp_classifier, ClassSample};
 use jwins_sim::HeterogeneityProfile;
 use jwins_topology::dynamic::StaticTopology;
 
@@ -45,20 +50,54 @@ fn flag_value(name: &str) -> Option<String> {
         if arg == name {
             return Some(
                 args.next()
-                    .unwrap_or_else(|| panic!("{name} requires a path prefix")),
+                    .unwrap_or_else(|| panic!("{name} requires a value")),
             );
         }
     }
     None
 }
 
+/// The node count from `--nodes N`, defaulting to `default`.
+fn node_count(default: usize) -> usize {
+    let nodes = flag_value("--nodes").map_or(default, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--nodes {v:?} is not a node count"))
+    });
+    assert!(
+        nodes >= 5,
+        "--nodes needs at least 5 nodes for this topology"
+    );
+    nodes
+}
+
+/// Per-node train shards plus the shared test set. Above 16 nodes the
+/// datasets cycle through 16 templates, so `--nodes 10000` costs the same
+/// data generation as 16.
+fn node_data(nodes: usize, seed: u64) -> (Vec<Vec<ClassSample>>, Vec<ClassSample>) {
+    let templates = nodes.min(16);
+    let data = cifar_like(&ImageConfig::tiny(), templates, 2, seed);
+    let train = (0..nodes)
+        .map(|i| data.node_train[i % templates].clone())
+        .collect();
+    (train, data.test)
+}
+
+/// A feasible gossip degree: 3-regular graphs need an even `n * 3`.
+fn degree(nodes: usize) -> usize {
+    if nodes.is_multiple_of(2) {
+        3
+    } else {
+        4
+    }
+}
+
 fn run(
+    nodes: usize,
     mode: ExecutionMode,
     trace_jsonl: Option<String>,
     metrics_prefix: Option<&str>,
 ) -> jwins::metrics::RunResult {
-    let nodes = 8;
-    let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
+    let (node_train, test) = node_data(nodes, 42);
     let mut cfg = TrainConfig::new(if smoke() { 6 } else { 30 });
     cfg.local_steps = 2;
     cfg.batch_size = 8;
@@ -73,7 +112,7 @@ fn run(
         }
         ExecutionMode::EventDriven => {
             cfg.time_model = TimeModel::edge_100mbit(0.05);
-            // 2 of 8 nodes are 4× slower; 100 Mbit/s links with 5 ms latency.
+            // A quarter of the nodes are 4× slower; 100 Mbit/s links, 5 ms latency.
             cfg.heterogeneity = HeterogeneityProfile::stragglers(0.25, 4.0, 0.005, 100.0e6 / 8.0);
         }
         _ => unreachable!("example covers both execution modes"),
@@ -84,9 +123,9 @@ fn run(
         cfg.metrics.csv_path = Some(format!("{prefix}.csv"));
     }
     let trainer = Trainer::builder(cfg)
-        .topology(StaticTopology::random_regular(nodes, 3, 7).expect("feasible graph"))
-        .test_set(data.test)
-        .nodes(data.node_train, |_| {
+        .topology(StaticTopology::random_regular(nodes, degree(nodes), 7).expect("feasible graph"))
+        .test_set(test)
+        .nodes(node_train, |_| {
             (
                 mlp_classifier(2 * 8 * 8, &[16], 4, 42),
                 Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
@@ -100,9 +139,8 @@ fn run(
 /// The same cluster on the real-concurrency channel backend: no simulated
 /// stragglers (the host's actual scheduling jitter is the heterogeneity),
 /// wall-clock time instead of virtual time.
-fn run_channel(trace_jsonl: Option<String>, metrics_prefix: Option<&str>) {
-    let nodes = 8;
-    let data = cifar_like(&ImageConfig::tiny(), nodes, 2, 42);
+fn run_channel(nodes: usize, trace_jsonl: Option<String>, metrics_prefix: Option<&str>) {
+    let (node_train, test) = node_data(nodes, 42);
     let mut cfg = TrainConfig::new(if smoke() { 6 } else { 30 });
     cfg.local_steps = 2;
     cfg.batch_size = 8;
@@ -116,9 +154,9 @@ fn run_channel(trace_jsonl: Option<String>, metrics_prefix: Option<&str>) {
         cfg.metrics.csv_path = Some(format!("{prefix}.csv"));
     }
     let trainer = Trainer::builder(cfg)
-        .topology(StaticTopology::random_regular(nodes, 3, 7).expect("feasible graph"))
-        .test_set(data.test)
-        .nodes(data.node_train, |_| {
+        .topology(StaticTopology::random_regular(nodes, degree(nodes), 7).expect("feasible graph"))
+        .test_set(test)
+        .nodes(node_train, |_| {
             (
                 mlp_classifier(2 * 8 * 8, &[16], 4, 42),
                 Box::new(FullSharing::new()) as Box<dyn ShareStrategy>,
@@ -162,17 +200,21 @@ fn main() {
     const TARGET: f64 = 0.99;
     let prefix = flag_value("--trace");
     let metrics = flag_value("--metrics");
+    let nodes = node_count(8);
     match flag_value("--transport").as_deref() {
         Some("channel") => {
             let jsonl = prefix.as_ref().map(|p| format!("{p}-channel.jsonl"));
             let metrics_prefix = metrics.as_ref().map(|p| format!("{p}-channel"));
-            run_channel(jsonl, metrics_prefix.as_deref());
+            run_channel(nodes, jsonl, metrics_prefix.as_deref());
             return;
         }
         None | Some("sim") => {}
         Some(other) => panic!("--transport {other}: expected `sim` or `channel`"),
     }
-    println!("straggler cluster: 8 nodes, 2 of them 4x slower, 100 Mbit/s links\n");
+    println!(
+        "straggler cluster: {nodes} nodes, a quarter of them 4x slower, \
+         100 Mbit/s links\n"
+    );
     let mut time_to_target = Vec::new();
     for (name, slug, mode) in [
         (
@@ -188,7 +230,7 @@ fn main() {
     ] {
         let jsonl = prefix.as_ref().map(|p| format!("{p}-{slug}.jsonl"));
         let metrics_prefix = metrics.as_ref().map(|p| format!("{p}-{slug}"));
-        let result = run(mode, jsonl.clone(), metrics_prefix.as_deref());
+        let result = run(nodes, mode, jsonl.clone(), metrics_prefix.as_deref());
         if let Some(jsonl) = &jsonl {
             println!("trace written to {jsonl} (inspect with `trace_report {jsonl}`)");
         }
